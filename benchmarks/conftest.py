@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures.
+
+BMC runs are seconds-scale, so benchmarks use ``pedantic`` mode with a
+single round — the goal is regenerating the paper's numbers, not
+microsecond stability.  Full-suite (37-row) runs are marked ``slow``;
+select them with ``-m slow`` (the default benchmark run uses the 6-row
+subset).
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: full 37-row suite benchmarks")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a seconds-scale callable exactly once and return its
+    result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

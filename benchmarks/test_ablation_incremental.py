@@ -1,0 +1,20 @@
+"""Ablation bench: incremental composition (the paper's conclusion).
+
+One-shot vs incremental BMC, each with plain VSIDS and with the refined
+static ordering, on the suite subset.  Expected shape: the refined
+orderings cut decisions on both substrates, and the incremental refined
+combination is the cheapest overall.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_incremental_ablation
+from repro.workloads import small_suite
+
+
+def test_incremental_ablation(benchmark):
+    report = run_once(benchmark, run_incremental_ablation, rows=small_suite())
+    print()
+    print(report.render())
+    # Refined ordering cuts decisions on both substrates.
+    assert report.total_decisions("oneshot/static") < report.total_decisions("oneshot/vsids")
+    assert report.total_decisions("incr/static") < report.total_decisions("incr/vsids")

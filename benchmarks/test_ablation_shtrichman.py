@@ -1,0 +1,21 @@
+"""Ablation bench: time-axis (Shtrichman CAV'00) vs register-axis
+(the paper's core-derived ranking) vs plain VSIDS.
+
+The paper positions its method as the orthogonal axis to Shtrichman's —
+this bench puts all four orderings on the same subset.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_axis_ablation
+from repro.workloads import small_suite
+
+
+def test_axis_ablation(benchmark):
+    report = run_once(benchmark, run_axis_ablation, rows=small_suite())
+    print()
+    print(report.render())
+    # The core-derived orderings must beat plain VSIDS on decisions for
+    # this distractor-heavy subset.
+    bmc = report.total_decisions("bmc")
+    assert report.total_decisions("static") < bmc
+    assert report.total_decisions("dynamic") < bmc

@@ -1,0 +1,21 @@
+"""Ablation bench: the §3.2 core-weighting rule.
+
+The paper argues for combining *all* previous cores with recency
+weighting.  This bench compares linear (paper), uniform, and
+last-core-only accumulation on the suite subset.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_weighting_ablation
+from repro.workloads import small_suite
+
+
+def test_weighting_ablation(benchmark):
+    report = run_once(benchmark, run_weighting_ablation, rows=small_suite())
+    print()
+    print(report.render())
+    # Every variant still refines: all beat nothing (sanity), and the
+    # paper's linear rule must not be grossly worse than the variants.
+    linear = report.total_decisions("linear")
+    for variant in ("uniform", "last"):
+        assert linear <= 3 * report.total_decisions(variant)

@@ -1,0 +1,31 @@
+"""§3.1 claim benchmark: simplified-CDG bookkeeping costs ~5% runtime.
+
+Measures the suite subset with recording on vs off.  Pure-Python timing
+noise on sub-second solves is large, so the assertion is a loose upper
+bound; the rendered report records the measured percentage for
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_overhead
+from repro.workloads import small_suite, table1_suite
+
+
+def test_cdg_overhead_subset(benchmark):
+    report = run_once(benchmark, run_overhead, rows=small_suite())
+    print()
+    print(report.render())
+    assert report.total_overhead < 0.5, (
+        f"CDG overhead {100 * report.total_overhead:.1f}% is far above the "
+        f"paper's ~5% claim"
+    )
+
+
+@pytest.mark.slow
+def test_cdg_overhead_full(benchmark):
+    report = run_once(benchmark, run_overhead, rows=table1_suite())
+    print()
+    print(report.render())
+    assert report.total_overhead < 0.3

@@ -1,0 +1,33 @@
+"""Fig. 6 regeneration: the scatter of per-model times.
+
+The benchmark runs the underlying Table 1 measurement on the subset and
+renders both scatter panels; the full-suite variant is marked slow.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_fig6, run_table1, scatter_points
+from repro.workloads import small_suite
+
+
+def test_fig6_subset(benchmark):
+    report = run_once(benchmark, run_table1, rows=small_suite())
+    text = render_fig6(report)
+    print()
+    print(text)
+    for method in ("static", "dynamic"):
+        points = scatter_points(report, method)
+        wins = sum(1 for _, x, y in points if y < x)
+        # Paper: most dots fall under the diagonal.
+        assert wins >= len(points) // 2
+
+
+@pytest.mark.slow
+def test_fig6_full(benchmark):
+    report = run_once(benchmark, run_table1)
+    print()
+    print(render_fig6(report))
+    points = scatter_points(report, "dynamic")
+    wins = sum(1 for _, x, y in points if y < x)
+    assert wins > len(points) // 2

@@ -1,0 +1,35 @@
+"""Fig. 7 regeneration: per-depth decisions and implications on the
+02_3_b2 analogue, standard BMC vs refine-order BMC.
+
+Shape assertions mirror the paper: at the deeper unrollings the refined
+ordering's search tree (decision count) is at least an order of magnitude
+smaller, and implications shrink correspondingly.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_fig7, run_fig7
+from repro.workloads import instance_by_name
+
+
+def test_fig7_quick_analogue(benchmark):
+    """Fast proxy row (02_1_b2) for default benchmark runs."""
+    data = run_once(benchmark, run_fig7, instance=instance_by_name("02_1_b2"))
+    assert sum(data.ref_decisions) < sum(data.bmc_decisions)
+
+
+@pytest.mark.slow
+def test_fig7_02_3_b2(benchmark):
+    """The paper's actual Fig. 7 model analogue."""
+    data = run_once(benchmark, run_fig7)
+    print()
+    print(render_fig7(data))
+    half = len(data.depths) // 2
+    bmc_tail = sum(data.bmc_decisions[half:])
+    ref_tail = sum(data.ref_decisions[half:])
+    assert ref_tail * 5 < bmc_tail, (
+        f"expected >=5x decision reduction at deep unrollings, "
+        f"got {bmc_tail} vs {ref_tail}"
+    )
+    assert sum(data.ref_implications) < sum(data.bmc_implications)

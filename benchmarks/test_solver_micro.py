@@ -1,0 +1,80 @@
+"""Solver microbenchmarks: BCP throughput, hard-instance solving, core
+extraction and proof checking.  These track the substrate's performance
+independent of the BMC layer."""
+
+import random
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import CdclSolver, SolverConfig, check_proof
+
+
+def pigeonhole(n):
+    formula = CnfFormula((n + 1) * n)
+    for p in range(n + 1):
+        formula.add_clause(mk_lit(p * n + h) for h in range(n))
+    for h in range(n):
+        for p1 in range(n + 1):
+            for p2 in range(p1 + 1, n + 1):
+                formula.add_clause([mk_lit(p1 * n + h, True), mk_lit(p2 * n + h, True)])
+    return formula
+
+
+def implication_ladder(length):
+    """x0 -> x1 -> ... : one unit clause triggers a length-n BCP chain."""
+    formula = CnfFormula(length + 1)
+    formula.add_clause([mk_lit(0)])
+    for i in range(length):
+        formula.add_clause([mk_lit(i, True), mk_lit(i + 1)])
+    return formula
+
+
+def random_3cnf(num_vars, num_clauses, seed):
+    rng = random.Random(seed)
+    formula = CnfFormula(num_vars)
+    for _ in range(num_clauses):
+        chosen = rng.sample(range(num_vars), 3)
+        formula.add_clause(2 * v + rng.randint(0, 1) for v in chosen)
+    return formula
+
+
+def test_bcp_ladder(benchmark):
+    formula = implication_ladder(4000)
+    outcome = benchmark(lambda: CdclSolver(formula).solve())
+    assert outcome.is_sat
+
+
+def test_pigeonhole_solve(benchmark):
+    formula = pigeonhole(6)
+    outcome = benchmark.pedantic(
+        lambda: CdclSolver(formula).solve(), rounds=1, iterations=1
+    )
+    assert outcome.is_unsat
+
+
+def test_random_3cnf_near_threshold(benchmark):
+    # 4.26 clause/var ratio: the hard region.
+    formula = random_3cnf(70, 298, seed=5)
+    outcome = benchmark.pedantic(
+        lambda: CdclSolver(formula).solve(), rounds=1, iterations=1
+    )
+    assert outcome.status.value in ("sat", "unsat")
+
+
+def test_core_extraction_cost(benchmark):
+    formula = pigeonhole(5)
+
+    def solve_and_extract():
+        solver = CdclSolver(formula)
+        outcome = solver.solve()
+        return outcome.core_clauses
+
+    core = benchmark.pedantic(solve_and_extract, rounds=1, iterations=1)
+    assert core
+
+
+def test_proof_check_cost(benchmark):
+    formula = pigeonhole(4)
+    solver = CdclSolver(formula)
+    solver.solve()
+    proof = solver.export_proof()
+    assert benchmark(lambda: check_proof(formula, proof))

@@ -1,0 +1,55 @@
+"""Table 1 regeneration benchmarks.
+
+``test_table1_subset_*`` time each method over the 6-row subset and
+assert the paper's aggregate shape (refined orderings beat standard BMC
+in total).  ``test_table1_full`` (marked slow) regenerates the whole
+37-row table and prints it — this is the run recorded in EXPERIMENTS.md:
+
+    pytest benchmarks/test_table1.py -m slow --benchmark-only -s
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_instance, run_table1
+from repro.workloads import small_suite, table1_suite
+
+
+@pytest.fixture(scope="module")
+def subset():
+    return small_suite()
+
+
+def _run_method(rows, method):
+    return [run_instance(row, method) for row in rows]
+
+
+@pytest.mark.parametrize("method", ["bmc", "static", "dynamic"])
+def test_table1_subset_method(benchmark, subset, method):
+    results = run_once(benchmark, _run_method, subset, method)
+    assert len(results) == len(subset)
+    assert all(r.status in ("failed", "passed-bounded") for r in results)
+
+
+def test_table1_subset_shape(benchmark, subset):
+    """Aggregate shape on the subset: both refined orderings reduce the
+    total decision count (the paper's mechanism), and at least one
+    reduces total time."""
+    report = run_once(benchmark, run_table1, rows=subset)
+    bmc_decisions = sum(row.decisions_of("bmc") for row in report.rows)
+    for method in ("static", "dynamic"):
+        assert sum(row.decisions_of(method) for row in report.rows) < bmc_decisions
+    assert min(report.ratio("static"), report.ratio("dynamic")) < 1.0
+
+
+@pytest.mark.slow
+def test_table1_full(benchmark):
+    """The full 37-row Table 1 (prints the rendered table with -s)."""
+    report = run_once(benchmark, run_table1)
+    print()
+    print(report.render())
+    # Paper shape: totals improve, most circuits improve.
+    assert report.ratio("static") < 1.0
+    assert report.ratio("dynamic") < 1.0
+    assert report.wins("static") >= len(report.rows) // 2
+    assert report.wins("dynamic") >= len(report.rows) // 2

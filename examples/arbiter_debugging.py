@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Debugging a buggy round-robin arbiter with BMC.
+
+Scenario: a 4-client round-robin arbiter is supposed to grant at most one
+client per cycle.  A bug (an "armed" priority override, modeling a
+misapplied performance patch) violates mutual exclusion — but only after
+the stress input has been high for 8 consecutive cycles, so simulation
+with random inputs is unlikely to hit it.
+
+BMC finds the shortest counterexample; the example then:
+
+1. prints the offending input schedule and both granted clients,
+2. replays it through the cycle-accurate simulator to confirm,
+3. shows how the refined ordering accelerates the UNSAT depths leading
+   up to the bug (the bulk of BMC's work on the way to a deep bug).
+
+Run:
+
+    python examples/arbiter_debugging.py
+"""
+
+from repro.bmc import BmcEngine, BmcStatus, RefineOrderBmc
+from repro.workloads import round_robin_arbiter
+
+ARM_DEPTH = 8
+NUM_CLIENTS = 4
+
+
+def build():
+    return round_robin_arbiter(
+        num_clients=NUM_CLIENTS,
+        buggy_arm_depth=ARM_DEPTH,
+        distractor_words=4,
+        distractor_width=8,
+    )
+
+
+def main():
+    circuit, prop = build()
+    print(f"design: {circuit}")
+    print(f"checking: G at-most-one-grant, to depth {ARM_DEPTH + 3}\n")
+
+    result = RefineOrderBmc(circuit, prop, max_depth=ARM_DEPTH + 3, mode="dynamic").run()
+    assert result.status is BmcStatus.FAILED, "the bug should be reachable"
+    trace = result.trace
+    print(f"counterexample found at depth {trace.depth}")
+
+    # Show the input schedule.
+    stress = circuit.find("stress")
+    requests = [circuit.find(f"req{i}") for i in range(NUM_CLIENTS)]
+    print("\ninput schedule (frame: stress, requests):")
+    for frame, vec in enumerate(trace.inputs):
+        reqs = "".join(str(vec.get(r, 0)) for r in requests)
+        print(f"  frame {frame:2d}: stress={vec.get(stress, 0)} req={reqs}")
+
+    # Replay and identify the double grant.
+    frames = circuit.simulate(trace.inputs, initial_state=trace.initial_state)
+    final = frames[trace.depth]
+    tokens = [circuit.find(f"prio{i}") for i in range(NUM_CLIENTS)]
+    print(f"\nat frame {trace.depth}:")
+    print("  priority token:", [final[t] for t in tokens])
+    print("  violated invariant net:", circuit.name_of(trace.property_net),
+          "=", final[trace.property_net])
+    assert final[trace.property_net] == 0
+
+    # How much did the refined ordering help on the UNSAT prefix?
+    print("\nUNSAT-prefix cost (depths 0..%d):" % (trace.depth - 1))
+    for name, engine_cls in [("standard BMC", None), ("refine-order", "dynamic")]:
+        circuit2, prop2 = build()
+        if engine_cls is None:
+            engine = BmcEngine(circuit2, prop2, max_depth=trace.depth - 1)
+        else:
+            engine = RefineOrderBmc(circuit2, prop2, trace.depth - 1, mode=engine_cls)
+        prefix = engine.run()
+        assert prefix.status is BmcStatus.PASSED_BOUNDED
+        print(
+            f"  {name:14s} decisions={prefix.total_decisions:7d} "
+            f"implications={prefix.total_propagations:9d}"
+        )
+
+
+if __name__ == "__main__":
+    main()

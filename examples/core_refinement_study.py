@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Anatomy of the refinement loop: cores, abstractions and rankings.
+
+Walks the paper's machinery on a single design, one BMC depth at a time:
+
+1. solves each depth's instance and extracts the unsatisfiable core via
+   the simplified CDG (§3.1),
+2. maps the core back to circuit gates/latches — the *abstract model* of
+   Fig. 3 — and shows how little of the circuit it covers,
+3. measures the core-to-core overlap that justifies reusing history
+   (§3, "highly correlated"),
+4. prints the evolving ``bmc_score`` ranking and the circuit nets its top
+   variables correspond to,
+5. verifies each UNSAT answer with the independent resolution-proof
+   checker (reference [18]).
+
+Run:
+
+    python examples/core_refinement_study.py
+"""
+
+from repro.bmc import abstract_model, bmc_score_update, core_overlap
+from repro.circuit import circuit_stats
+from repro.encode import Unroller
+from repro.sat import CdclSolver, RankedStrategy, check_proof
+from repro.workloads import counter_tripwire
+
+MAX_DEPTH = 8
+
+
+def main():
+    circuit, prop = counter_tripwire(
+        counter_width=4, target=15, distractor_words=4, distractor_width=8
+    )
+    stats = circuit_stats(circuit)
+    print(f"design: {circuit}  ({stats})\n")
+
+    unroller = Unroller(circuit, prop)
+    var_rank = {}
+    previous_core = None
+
+    print(f"{'k':>2s} {'clauses':>8s} {'core':>6s} {'core%':>6s} "
+          f"{'abs.gates':>9s} {'cover%':>7s} {'overlap':>8s} {'decisions':>9s}")
+    for k in range(MAX_DEPTH + 1):
+        instance = unroller.instance(k)
+        strategy = RankedStrategy(var_rank, dynamic=True)
+        solver = CdclSolver(instance.formula, strategy=strategy)
+        outcome = solver.solve()
+        assert outcome.is_unsat, "this property holds through MAX_DEPTH"
+
+        # Independent verification of the UNSAT answer.
+        assert check_proof(instance.formula, solver.export_proof())
+
+        abstraction = abstract_model(instance, outcome.core_clauses)
+        overlap = (
+            core_overlap(previous_core, outcome.core_clauses)
+            if previous_core is not None
+            else float("nan")
+        )
+        print(
+            f"{k:2d} {instance.formula.num_clauses:8d} "
+            f"{len(outcome.core_clauses):6d} "
+            f"{100 * len(outcome.core_clauses) / instance.formula.num_clauses:5.1f}% "
+            f"{len(abstraction.gates):9d} "
+            f"{100 * abstraction.coverage_of(instance):6.1f}% "
+            f"{overlap:8.2f} {solver.stats.decisions:9d}"
+        )
+        previous_core = outcome.core_clauses
+        bmc_score_update(var_rank, outcome.core_vars, k)
+
+    # Where does the ranking point?  Map top variables back to circuit nets.
+    print("\ntop-ranked CNF variables and their circuit meaning:")
+    by_score = sorted(var_rank.items(), key=lambda item: -item[1])[:8]
+    lit_location = {}
+    for net in range(circuit.num_nets):
+        for frame in range(MAX_DEPTH + 1):
+            try:
+                lit = unroller.lit_of(net, frame)
+            except KeyError:
+                continue
+            lit_location.setdefault(lit >> 1, (net, frame))
+    for var, score in by_score:
+        net, frame = lit_location.get(var, (None, None))
+        location = (
+            f"{circuit.name_of(net)} @ frame {frame}" if net is not None else "aux"
+        )
+        print(f"  var {var:5d}  bmc_score={score:6.1f}  -> {location}")
+
+    kernel_hits = sum(
+        1 for var, _ in by_score
+        if lit_location.get(var) and not circuit.name_of(lit_location[var][0]).startswith(("dist", "dx"))
+    )
+    print(f"\n{kernel_hits}/8 of the top-ranked variables are property-kernel "
+          f"nets — the ranking found the control logic and ignores the "
+          f"distractor datapath.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: verify a safety property with BMC and compare decision
+orderings.
+
+Builds a small design — an enable-gated counter with a tripwire, wrapped
+in property-irrelevant "distractor" logic — and checks the invariant
+``G (counter != 15)`` four ways:
+
+* standard BMC (Chaff's VSIDS ordering),
+* Shtrichman's time-frame ordering (CAV 2000),
+* the paper's refined ordering, static and dynamic (DAC 2004).
+
+The property fails at depth 15; every method finds the same
+counterexample, but the refined orderings explore far smaller search
+trees.  Run:
+
+    python examples/quickstart.py
+"""
+
+from repro.bmc import BmcEngine, BmcStatus, RefineOrderBmc, ShtrichmanBmc
+from repro.workloads import counter_tripwire
+
+
+def build():
+    """A fresh copy of the design (engines are one-shot)."""
+    return counter_tripwire(
+        counter_width=4,
+        target=15,
+        distractor_words=5,
+        distractor_width=8,
+    )
+
+
+def main():
+    circuit, prop = build()
+    print(f"design: {circuit}")
+    print(f"property: G {circuit.name_of(prop)}  (counter never reaches 15)\n")
+
+    engines = [
+        ("standard BMC (VSIDS)", lambda c, p: BmcEngine(c, p, max_depth=15)),
+        ("Shtrichman time-axis", lambda c, p: ShtrichmanBmc(c, p, max_depth=15)),
+        ("refine-order static", lambda c, p: RefineOrderBmc(c, p, 15, mode="static")),
+        ("refine-order dynamic", lambda c, p: RefineOrderBmc(c, p, 15, mode="dynamic")),
+    ]
+    print(f"{'method':22s} {'verdict':9s} {'k':>3s} {'decisions':>10s} "
+          f"{'implications':>13s} {'SAT time':>9s}")
+    for name, make in engines:
+        circuit, prop = build()
+        result = make(circuit, prop).run()
+        sat_time = sum(d.solve_time for d in result.per_depth)
+        print(
+            f"{name:22s} {result.status.value:9s} {result.depth_reached:3d} "
+            f"{result.total_decisions:10d} {result.total_propagations:13d} "
+            f"{sat_time:8.2f}s"
+        )
+        assert result.status is BmcStatus.FAILED and result.depth_reached == 15
+
+    # Show the counterexample from the last run.
+    circuit, prop = build()
+    result = RefineOrderBmc(circuit, prop, 15, mode="dynamic").run()
+    trace = result.trace
+    en = circuit.find("en")
+    print(f"\ncounterexample (length {trace.depth}): the enable input per frame:")
+    print("  en =", [vec.get(en, 0) for vec in trace.inputs])
+    frames = circuit.simulate(trace.inputs, initial_state=trace.initial_state)
+    counter_value = sum(
+        frames[-1][circuit.find(f"cnt{i}")] << i for i in range(4)
+    )
+    print(f"  counter value at frame {trace.depth}: {counter_value} (the tripwire)")
+
+
+if __name__ == "__main__":
+    main()

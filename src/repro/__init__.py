@@ -1,0 +1,72 @@
+"""repro — a full reproduction of "Refining the SAT Decision Ordering for
+Bounded Model Checking" (Wang, Jin, Hachtel, Somenzi — DAC 2004).
+
+Layers (bottom up):
+
+* ``repro.cnf`` — literals, clauses, formulas, DIMACS.
+* ``repro.sat`` — Chaff-style CDCL with VSIDS, the paper's simplified
+  Conflict Dependency Graph, unsat-core extraction, proof checking.
+* ``repro.circuit`` — sequential netlists, builders, BLIF/AIGER.
+* ``repro.encode`` — Tseitin encoding and Eq. 1 time-frame unrolling.
+* ``repro.bmc`` — the BMC engine, the paper's refine-order algorithm
+  (static/dynamic), the Shtrichman baseline, core-to-abstraction maps.
+* ``repro.workloads`` — benchmark circuit generators and the 37-instance
+  Table 1 suite.
+* ``repro.experiments`` — harnesses regenerating Table 1, Fig. 6, Fig. 7,
+  the CDG-overhead claim and the design-choice ablations.
+
+Quickstart::
+
+    from repro.workloads import counter_tripwire
+    from repro.bmc import RefineOrderBmc
+
+    circuit, prop = counter_tripwire(counter_width=4, target=9)
+    result = RefineOrderBmc(circuit, prop, max_depth=12, mode="dynamic").run()
+    print(result.summary())
+"""
+
+from repro.bmc import (
+    BmcEngine,
+    BmcResult,
+    BmcStatus,
+    IncrementalBmcEngine,
+    InductionStatus,
+    KInductionEngine,
+    RefineOrderBmc,
+    ShtrichmanBmc,
+)
+from repro.circuit import Circuit, GateOp
+from repro.cnf import CnfFormula
+from repro.encode import Unroller
+from repro.sat import (
+    CdclSolver,
+    RankedStrategy,
+    SolveResult,
+    SolverConfig,
+    VsidsStrategy,
+    solve_formula,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "GateOp",
+    "CnfFormula",
+    "Unroller",
+    "CdclSolver",
+    "SolverConfig",
+    "solve_formula",
+    "SolveResult",
+    "VsidsStrategy",
+    "RankedStrategy",
+    "BmcEngine",
+    "RefineOrderBmc",
+    "ShtrichmanBmc",
+    "IncrementalBmcEngine",
+    "KInductionEngine",
+    "InductionStatus",
+    "BmcResult",
+    "BmcStatus",
+    "__version__",
+]

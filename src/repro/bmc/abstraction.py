@@ -1,0 +1,74 @@
+"""Abstract models implied by unsatisfiable cores (paper Fig. 3/4).
+
+A subset of CNF clauses identifies a subset of registers and logic gates:
+a gate is *in the abstract model* if any clause describing its relation
+appears in the core; a latch is in if its init clause or any gate of its
+next-state usage is.  These over-approximations are what the paper's
+ranking estimates — this module makes them first-class so experiments and
+tests can inspect core locality directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Set
+
+from repro.encode.unroll import BmcInstance
+
+
+@dataclass(frozen=True)
+class AbstractModel:
+    """The circuit elements named by an unsatisfiable core.
+
+    ``gates``/``latches`` are circuit nets (union over frames);
+    ``gates_by_frame`` gives the per-time-frame breakdown;
+    ``uses_property_clause`` records whether the ¬P constraint is in the
+    core (it essentially always is).
+    """
+
+    gates: FrozenSet[int]
+    latches: FrozenSet[int]
+    gates_by_frame: Dict[int, FrozenSet[int]]
+    uses_property_clause: bool
+
+    @property
+    def num_elements(self) -> int:
+        return len(self.gates) + len(self.latches)
+
+    def coverage_of(self, instance: BmcInstance) -> float:
+        """Fraction of the circuit's gates+latches in the abstraction."""
+        circuit = instance.circuit
+        total = len(circuit.gates()) + len(circuit.latches)
+        return self.num_elements / total if total else 0.0
+
+
+def abstract_model(instance: BmcInstance, core_clauses: Iterable[int]) -> AbstractModel:
+    """Map a core (original clause indices) back to circuit elements."""
+    gates: Set[int] = set()
+    latches: Set[int] = set()
+    by_frame: Dict[int, Set[int]] = {}
+    uses_property = False
+    for clause_index in core_clauses:
+        origin = instance.origin_of(clause_index)
+        if origin.kind == "gate":
+            gates.add(origin.net)
+            by_frame.setdefault(origin.frame, set()).add(origin.net)
+        elif origin.kind == "init":
+            latches.add(origin.net)
+        elif origin.kind == "property":
+            uses_property = True
+    return AbstractModel(
+        gates=frozenset(gates),
+        latches=frozenset(latches),
+        gates_by_frame={f: frozenset(nets) for f, nets in by_frame.items()},
+        uses_property_clause=uses_property,
+    )
+
+
+def core_overlap(core_a: Iterable[int], core_b: Iterable[int]) -> float:
+    """Jaccard similarity of two cores (clause-index sets) — quantifies
+    the paper's claim that successive BMC cores are highly correlated."""
+    set_a, set_b = set(core_a), set(core_b)
+    if not set_a and not set_b:
+        return 1.0
+    return len(set_a & set_b) / len(set_a | set_b)

@@ -1,0 +1,148 @@
+"""The BMC depth loop (standard BMC and the paper's Fig. 5 skeleton).
+
+``BmcEngine`` iterates ``k = start_depth .. max_depth``, generating the
+depth-``k`` CNF (Eq. 1) and handing it to the CDCL solver.  A strategy
+factory chooses the decision ordering per instance — plain VSIDS
+reproduces "standard BMC"; the refine-order subclasses in
+``repro.bmc.refine`` implement the paper's algorithm by feeding unsat-core
+variables back into the next instance's ordering.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.circuit.netlist import Circuit
+from repro.encode.unroll import BmcInstance, Unroller
+from repro.sat.heuristics import DecisionStrategy, RankedStrategy, VsidsStrategy
+from repro.sat.solver import CdclSolver, SolverConfig
+from repro.sat.types import SolveOutcome, SolveResult
+from repro.bmc.result import BmcResult, BmcStatus, DepthStats, Trace
+
+#: A factory: (instance, k) -> the decision strategy for that SAT call.
+StrategyFactory = Callable[[BmcInstance, int], DecisionStrategy]
+
+
+def vsids_factory(instance: BmcInstance, k: int) -> DecisionStrategy:
+    """The baseline: Chaff's default VSIDS on every instance."""
+    return VsidsStrategy()
+
+
+class BmcEngine:
+    """Bounded model checking of an invariant property ``G property_net``.
+
+    Parameters
+    ----------
+    circuit, property_net:
+        The model and the invariant net ``P`` (true = good states).
+    max_depth:
+        Completeness threshold analogue: the last depth checked.
+    strategy_factory:
+        Decision-ordering choice per instance (default: VSIDS).
+    solver_config:
+        Per-instance solver configuration, including budgets.
+    use_coi:
+        Restrict the encoding to the property's cone of influence.
+    time_budget:
+        Optional wall-clock cap for the whole run; on expiry the run
+        reports ``BUDGET_EXHAUSTED`` at the last completed depth (the
+        paper's 2-hour-cap rows).
+    verify_traces:
+        Re-simulate counterexamples before returning them (cheap, on by
+        default).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        property_net: int,
+        max_depth: int,
+        strategy_factory: StrategyFactory = vsids_factory,
+        solver_config: Optional[SolverConfig] = None,
+        use_coi: bool = False,
+        start_depth: int = 0,
+        time_budget: Optional[float] = None,
+        verify_traces: bool = True,
+    ) -> None:
+        if max_depth < start_depth:
+            raise ValueError("max_depth must be >= start_depth")
+        self.circuit = circuit
+        self.property_net = property_net
+        self.max_depth = max_depth
+        self.start_depth = start_depth
+        self.strategy_factory = strategy_factory
+        self.solver_config = solver_config or SolverConfig()
+        self.time_budget = time_budget
+        self.verify_traces = verify_traces
+        self.unroller = Unroller(circuit, property_net, use_coi=use_coi)
+
+    # Subclass hook: called after each UNSAT depth with its outcome.
+    def on_unsat(self, k: int, instance: BmcInstance, outcome: SolveOutcome) -> None:
+        """Default: nothing (standard BMC learns nothing across depths)."""
+
+    def run(self) -> BmcResult:
+        """Execute the depth loop; see :class:`BmcResult`."""
+        start = time.perf_counter()
+        result = BmcResult(status=BmcStatus.PASSED_BOUNDED, depth_reached=self.start_depth - 1)
+        for k in range(self.start_depth, self.max_depth + 1):
+            if (
+                self.time_budget is not None
+                and time.perf_counter() - start > self.time_budget
+            ):
+                result.status = BmcStatus.BUDGET_EXHAUSTED
+                break
+            instance = self.unroller.instance(k)
+            strategy = self.strategy_factory(instance, k)
+            solver = CdclSolver(
+                instance.formula, strategy=strategy, config=self.solver_config
+            )
+            outcome = solver.solve()
+            depth_stats = DepthStats(
+                k=k,
+                status=outcome.status.value,
+                num_vars=instance.formula.num_vars,
+                num_clauses=instance.formula.num_clauses,
+                decisions=outcome.stats.decisions,
+                propagations=outcome.stats.propagations,
+                conflicts=outcome.stats.conflicts,
+                solve_time=outcome.stats.solve_time,
+                core_clauses=(
+                    len(outcome.core_clauses)
+                    if outcome.core_clauses is not None
+                    else None
+                ),
+                core_vars=(
+                    len(outcome.core_vars) if outcome.core_vars is not None else None
+                ),
+                switched=(
+                    strategy.switched if isinstance(strategy, RankedStrategy) else None
+                ),
+            )
+            result.per_depth.append(depth_stats)
+            if outcome.status is SolveResult.UNKNOWN:
+                result.status = BmcStatus.BUDGET_EXHAUSTED
+                break
+            result.depth_reached = k
+            if outcome.status is SolveResult.SAT:
+                result.status = BmcStatus.FAILED
+                result.trace = self._build_trace(instance, outcome)
+                break
+            self.on_unsat(k, instance, outcome)
+        result.total_time = time.perf_counter() - start
+        return result
+
+    def _build_trace(self, instance: BmcInstance, outcome: SolveOutcome) -> Trace:
+        trace = Trace(
+            depth=instance.k,
+            inputs=instance.decode_inputs(outcome.model),
+            initial_state=instance.decode_initial_state(outcome.model),
+            property_net=self.property_net,
+        )
+        if self.verify_traces:
+            frames = self.circuit.simulate(trace.inputs, initial_state=trace.initial_state)
+            if frames[instance.k][self.property_net] != 0:
+                raise AssertionError(
+                    "internal error: counterexample fails re-simulation"
+                )
+        return trace

@@ -1,0 +1,86 @@
+"""Result types for BMC runs: statuses, per-depth statistics, traces."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sat.stats import SolverStats
+
+
+class BmcStatus(enum.Enum):
+    """Outcome of a bounded model checking run."""
+
+    FAILED = "failed"  # counterexample found: the property is false
+    PASSED_BOUNDED = "passed-bounded"  # no counterexample up to the bound
+    BUDGET_EXHAUSTED = "budget-exhausted"  # a per-depth or global budget hit
+
+
+@dataclass
+class Trace:
+    """A counterexample: per-frame input vectors and the initial state.
+
+    Replaying ``inputs`` from ``initial_state`` through
+    ``Circuit.simulate`` reaches a state violating the property at frame
+    ``depth`` — the engine verifies this before returning.
+    """
+
+    depth: int
+    inputs: List[Dict[int, int]]
+    initial_state: Dict[int, int]
+    property_net: int
+
+
+@dataclass
+class DepthStats:
+    """Measurements for one BMC depth (one SAT instance).
+
+    ``decisions`` and ``propagations`` are the series of the paper's
+    Fig. 7; ``core_clauses``/``core_vars`` are sizes of the extracted
+    unsatisfiable core (UNSAT depths only); ``switched`` reports whether a
+    dynamic strategy fell back to VSIDS at this depth.
+    """
+
+    k: int
+    status: str  # "sat" | "unsat" | "unknown"
+    num_vars: int
+    num_clauses: int
+    decisions: int
+    propagations: int
+    conflicts: int
+    solve_time: float
+    core_clauses: Optional[int] = None
+    core_vars: Optional[int] = None
+    switched: Optional[bool] = None
+
+
+@dataclass
+class BmcResult:
+    """Everything a BMC run produces."""
+
+    status: BmcStatus
+    depth_reached: int  # last depth whose SAT instance completed
+    per_depth: List[DepthStats] = field(default_factory=list)
+    trace: Optional[Trace] = None
+    total_time: float = 0.0
+
+    @property
+    def total_decisions(self) -> int:
+        return sum(d.decisions for d in self.per_depth)
+
+    @property
+    def total_propagations(self) -> int:
+        return sum(d.propagations for d in self.per_depth)
+
+    @property
+    def total_conflicts(self) -> int:
+        return sum(d.conflicts for d in self.per_depth)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.status.value} @k={self.depth_reached} "
+            f"time={self.total_time:.3f}s decisions={self.total_decisions} "
+            f"implications={self.total_propagations}"
+        )

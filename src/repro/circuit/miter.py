@@ -1,0 +1,136 @@
+"""Miter construction for equivalence checking.
+
+A *miter* joins two circuits over shared inputs and compares their
+outputs: the ``equal`` net is 1 iff every compared output pair agrees.
+Checking ``G equal`` with BMC/k-induction is then sequential equivalence
+checking (SEC) — the standard way to verify a retimed/optimized design
+against its golden model, and a natural consumer of this library's
+engines.
+
+Both circuits keep their own latches (each with its own reset state);
+inputs are matched by name when both sides name them, else by position.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit, CircuitError, GateOp
+
+
+def _copy_into(
+    target: Circuit,
+    source: Circuit,
+    input_map: Dict[int, int],
+    prefix: str,
+) -> Dict[int, int]:
+    """Copy ``source`` into ``target`` reusing mapped inputs; returns the
+    net map."""
+    net_map: Dict[int, int] = dict(input_map)
+    # Pass 1: latches (so next-state references resolve in pass 3).
+    for latch in source.latches:
+        net_map[latch] = target.add_latch(
+            f"{prefix}{source.name_of(latch)}", init=source.init_of(latch)
+        )
+    # Pass 2: combinational nets in topological (numeric) order.
+    for net in source.topological_order():
+        if net in net_map:
+            continue
+        op = source.op_of(net)
+        if op is GateOp.INPUT:
+            raise CircuitError(
+                f"unmapped input {source.name_of(net)!r} in {source.name}"
+            )
+        if op is GateOp.CONST0:
+            net_map[net] = target.const(0)
+        elif op is GateOp.CONST1:
+            net_map[net] = target.const(1)
+        else:
+            fanins = [net_map[f] for f in source.fanins_of(net)]
+            net_map[net] = target.add_gate(op, fanins)
+    # Pass 3: next-state hookups.
+    for latch in source.latches:
+        net_map_latch = net_map[latch]
+        target.set_next(net_map_latch, net_map[source.next_of(latch)])
+    return net_map
+
+
+def _match_inputs(left: Circuit, right: Circuit) -> List[Tuple[int, int]]:
+    if len(left.inputs) != len(right.inputs):
+        raise CircuitError(
+            f"input count mismatch: {len(left.inputs)} vs {len(right.inputs)}"
+        )
+    left_names = {left.name_of(n): n for n in left.inputs}
+    right_names = {right.name_of(n): n for n in right.inputs}
+    if set(left_names) == set(right_names):
+        return [(left_names[name], right_names[name]) for name in sorted(left_names)]
+    return list(zip(left.inputs, right.inputs))
+
+
+def build_miter(
+    left: Circuit,
+    right: Circuit,
+    outputs: Optional[Sequence[str]] = None,
+    name: str = "miter",
+) -> Tuple[Circuit, int]:
+    """Build the miter of two circuits; returns ``(circuit, equal_net)``.
+
+    ``outputs`` selects which output names to compare (default: the
+    intersection of both circuits' output names, which must be
+    non-empty).  Checking ``G equal_net`` asserts sequential equivalence
+    of the compared outputs from the two reset states.
+    """
+    left.validate()
+    right.validate()
+    if outputs is None:
+        outputs = sorted(set(left.outputs) & set(right.outputs))
+    if not outputs:
+        raise CircuitError("no common outputs to compare")
+    for output in outputs:
+        if output not in left.outputs or output not in right.outputs:
+            raise CircuitError(f"output {output!r} missing on one side")
+
+    miter = Circuit(name)
+    pairs = _match_inputs(left, right)
+    input_map_left: Dict[int, int] = {}
+    input_map_right: Dict[int, int] = {}
+    for left_net, right_net in pairs:
+        shared = miter.add_input(left.name_of(left_net))
+        input_map_left[left_net] = shared
+        input_map_right[right_net] = shared
+
+    left_map = _copy_into(miter, left, input_map_left, "l_")
+    right_map = _copy_into(miter, right, input_map_right, "r_")
+
+    agreements = [
+        miter.g_xnor(left_map[left.outputs[o]], right_map[right.outputs[o]])
+        for o in outputs
+    ]
+    equal = agreements[0] if len(agreements) == 1 else miter.g_and(*agreements)
+    miter.set_name(equal, "equal")
+    miter.set_output("equal", equal)
+    miter.validate()
+    return miter, equal
+
+
+def check_equivalence(
+    left: Circuit,
+    right: Circuit,
+    max_depth: int = 20,
+    outputs: Optional[Sequence[str]] = None,
+    prove: bool = True,
+):
+    """Sequential equivalence check via the BMC/induction engines.
+
+    Returns the :class:`~repro.bmc.induction.InductionResult` when
+    ``prove`` is True (PROVED = equivalent, FAILED = a distinguishing
+    input sequence exists, with trace), else the bounded
+    :class:`~repro.bmc.result.BmcResult`.
+    """
+    from repro.bmc.engine import BmcEngine
+    from repro.bmc.induction import KInductionEngine
+
+    miter, equal = build_miter(left, right, outputs=outputs)
+    if prove:
+        return KInductionEngine(miter, equal, max_k=max_depth).run()
+    return BmcEngine(miter, equal, max_depth=max_depth).run()

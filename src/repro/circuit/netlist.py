@@ -1,0 +1,348 @@
+"""Gate-level sequential netlists.
+
+The model of the paper's §2: a 4-tuple ``(V, W, I, T)`` — present-state
+variables (latches), inputs, an initial-state predicate (per-latch init
+values) and a transition relation (each latch's next-state net).  Nets are
+dense integers; the :class:`Circuit` object is both the storage and the
+builder API.
+
+Combinational logic is an operator DAG over nets.  Latches break cycles:
+their next-state nets are recorded separately and are not combinational
+fanins, so the combinational part must be acyclic (checked by
+:meth:`Circuit.validate`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+class GateOp(enum.Enum):
+    """Net operators.  ``INPUT``/``LATCH``/``CONST*`` are sources."""
+
+    INPUT = "input"
+    LATCH = "latch"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"  # fanins (sel, a, b): sel ? a : b
+
+
+_SOURCE_OPS = frozenset({GateOp.INPUT, GateOp.LATCH, GateOp.CONST0, GateOp.CONST1})
+_UNARY_OPS = frozenset({GateOp.BUF, GateOp.NOT})
+_NARY_OPS = frozenset({GateOp.AND, GateOp.OR, GateOp.NAND, GateOp.NOR})
+_BINARY_OPS = frozenset({GateOp.XOR, GateOp.XNOR})
+
+
+class CircuitError(ValueError):
+    """Raised on malformed circuit construction or validation failure."""
+
+
+class Circuit:
+    """A named sequential netlist with a construction API.
+
+    Typical usage::
+
+        c = Circuit("counter")
+        clk_en = c.add_input("en")
+        b0 = c.add_latch("b0")
+        c.set_next(b0, c.g_xor(b0, clk_en))
+        c.set_output("lsb", b0)
+        c.validate()
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._ops: List[GateOp] = []
+        self._fanins: List[Tuple[int, ...]] = []
+        self._net_names: Dict[int, str] = {}
+        self._name_to_net: Dict[str, int] = {}
+        self._inputs: List[int] = []
+        self._latches: List[int] = []
+        self._latch_next: Dict[int, int] = {}
+        self._latch_init: Dict[int, Optional[int]] = {}
+        self._outputs: Dict[str, int] = {}
+        self._const_nets: Dict[GateOp, int] = {}
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def num_nets(self) -> int:
+        return len(self._ops)
+
+    @property
+    def inputs(self) -> Tuple[int, ...]:
+        return tuple(self._inputs)
+
+    @property
+    def latches(self) -> Tuple[int, ...]:
+        return tuple(self._latches)
+
+    @property
+    def outputs(self) -> Dict[str, int]:
+        return dict(self._outputs)
+
+    def op_of(self, net: int) -> GateOp:
+        """Operator of a net."""
+        return self._ops[net]
+
+    def fanins_of(self, net: int) -> Tuple[int, ...]:
+        """Combinational fanins of a net."""
+        return self._fanins[net]
+
+    def next_of(self, latch: int) -> int:
+        """Next-state net of a latch."""
+        if self._ops[latch] is not GateOp.LATCH:
+            raise CircuitError(f"net {latch} is not a latch")
+        if latch not in self._latch_next:
+            raise CircuitError(f"latch {latch} has no next-state net")
+        return self._latch_next[latch]
+
+    def init_of(self, latch: int) -> Optional[int]:
+        """Initial value of a latch: 0, 1 or None (unconstrained)."""
+        if self._ops[latch] is not GateOp.LATCH:
+            raise CircuitError(f"net {latch} is not a latch")
+        return self._latch_init[latch]
+
+    def name_of(self, net: int) -> str:
+        """Name of a net (``n<index>`` when unnamed)."""
+        return self._net_names.get(net, f"n{net}")
+
+    def find(self, name: str) -> int:
+        """Net index of a named net; raises ``KeyError`` if absent."""
+        return self._name_to_net[name]
+
+    def gates(self) -> List[int]:
+        """All non-source nets (the combinational logic)."""
+        return [net for net in range(self.num_nets) if self._ops[net] not in _SOURCE_OPS]
+
+    # -- construction ----------------------------------------------------
+
+    def _new_net(self, op: GateOp, fanins: Tuple[int, ...], name: Optional[str]) -> int:
+        for fanin in fanins:
+            if not 0 <= fanin < len(self._ops):
+                raise CircuitError(f"fanin {fanin} does not exist")
+        net = len(self._ops)
+        self._ops.append(op)
+        self._fanins.append(fanins)
+        if name is not None:
+            if name in self._name_to_net:
+                raise CircuitError(f"duplicate net name {name!r}")
+            self._net_names[net] = name
+            self._name_to_net[name] = net
+        return net
+
+    def add_input(self, name: Optional[str] = None) -> int:
+        """Add a primary input; returns its net."""
+        net = self._new_net(GateOp.INPUT, (), name)
+        self._inputs.append(net)
+        return net
+
+    def add_latch(self, name: Optional[str] = None, init: Optional[int] = 0) -> int:
+        """A latch with an initial value (0, 1 or None for unconstrained).
+        Call :meth:`set_next` before :meth:`validate`."""
+        if init not in (0, 1, None):
+            raise CircuitError(f"latch init must be 0, 1 or None, got {init!r}")
+        net = self._new_net(GateOp.LATCH, (), name)
+        self._latches.append(net)
+        self._latch_init[net] = init
+        return net
+
+    def set_next(self, latch: int, net: int) -> None:
+        """Set a latch's next-state net."""
+        if self._ops[latch] is not GateOp.LATCH:
+            raise CircuitError(f"net {latch} is not a latch")
+        if not 0 <= net < len(self._ops):
+            raise CircuitError(f"next-state net {net} does not exist")
+        self._latch_next[latch] = net
+
+    def const(self, value: int) -> int:
+        """The constant-0 or constant-1 net (created on first use)."""
+        op = GateOp.CONST1 if value else GateOp.CONST0
+        if op not in self._const_nets:
+            self._const_nets[op] = self._new_net(op, (), None)
+        return self._const_nets[op]
+
+    def add_gate(self, op: GateOp, fanins: Sequence[int], name: Optional[str] = None) -> int:
+        """Add a combinational gate; arity is checked per operator."""
+        fanins = tuple(fanins)
+        if op in _SOURCE_OPS:
+            raise CircuitError(f"{op.value} is not a combinational gate")
+        if op in _UNARY_OPS and len(fanins) != 1:
+            raise CircuitError(f"{op.value} takes exactly 1 fanin")
+        if op in _BINARY_OPS and len(fanins) != 2:
+            raise CircuitError(f"{op.value} takes exactly 2 fanins")
+        if op in _NARY_OPS and len(fanins) < 1:
+            raise CircuitError(f"{op.value} takes at least 1 fanin")
+        if op is GateOp.MUX and len(fanins) != 3:
+            raise CircuitError("mux takes exactly 3 fanins (sel, a, b)")
+        return self._new_net(op, fanins, name)
+
+    # Convenience builders.  N-ary XOR/XNOR chains are expanded to binary
+    # gates here so the CNF encoding stays small.
+
+    def g_not(self, a: int, name: Optional[str] = None) -> int:
+        """NOT gate."""
+        return self.add_gate(GateOp.NOT, (a,), name)
+
+    def g_buf(self, a: int, name: Optional[str] = None) -> int:
+        """Buffer (identity) gate."""
+        return self.add_gate(GateOp.BUF, (a,), name)
+
+    def g_and(self, *fanins: int, name: Optional[str] = None) -> int:
+        """N-ary AND gate."""
+        return self.add_gate(GateOp.AND, fanins, name)
+
+    def g_or(self, *fanins: int, name: Optional[str] = None) -> int:
+        """N-ary OR gate."""
+        return self.add_gate(GateOp.OR, fanins, name)
+
+    def g_nand(self, *fanins: int, name: Optional[str] = None) -> int:
+        """N-ary NAND gate."""
+        return self.add_gate(GateOp.NAND, fanins, name)
+
+    def g_nor(self, *fanins: int, name: Optional[str] = None) -> int:
+        """N-ary NOR gate."""
+        return self.add_gate(GateOp.NOR, fanins, name)
+
+    def g_xor(self, *fanins: int, name: Optional[str] = None) -> int:
+        """XOR; n-ary inputs expand to a binary-gate chain."""
+        if len(fanins) < 2:
+            raise CircuitError("xor takes at least 2 fanins")
+        acc = fanins[0]
+        for fanin in fanins[1:-1]:
+            acc = self.add_gate(GateOp.XOR, (acc, fanin))
+        return self.add_gate(GateOp.XOR, (acc, fanins[-1]), name)
+
+    def g_xnor(self, a: int, b: int, name: Optional[str] = None) -> int:
+        """2-input XNOR gate."""
+        return self.add_gate(GateOp.XNOR, (a, b), name)
+
+    def g_mux(self, sel: int, a: int, b: int, name: Optional[str] = None) -> int:
+        """``sel ? a : b``."""
+        return self.add_gate(GateOp.MUX, (sel, a, b), name)
+
+    def g_implies(self, a: int, b: int, name: Optional[str] = None) -> int:
+        """Implication ``a -> b`` (as ``!a | b``)."""
+        return self.g_or(self.g_not(a), b, name=name)
+
+    def set_output(self, name: str, net: int) -> None:
+        """Declare a named output."""
+        if not 0 <= net < len(self._ops):
+            raise CircuitError(f"output net {net} does not exist")
+        self._outputs[name] = net
+
+    def set_name(self, net: int, name: str) -> None:
+        """Attach a (unique) name to an existing net."""
+        if name in self._name_to_net:
+            raise CircuitError(f"duplicate net name {name!r}")
+        if not 0 <= net < len(self._ops):
+            raise CircuitError(f"net {net} does not exist")
+        self._net_names[net] = name
+        self._name_to_net[name] = net
+
+    # -- validation and ordering -----------------------------------------
+
+    def validate(self) -> None:
+        """Check structural sanity: every latch has a next-state net and
+        the combinational DAG is acyclic (guaranteed by construction since
+        fanins must pre-exist, but next-state hookups are re-checked)."""
+        for latch in self._latches:
+            if latch not in self._latch_next:
+                raise CircuitError(
+                    f"latch {self.name_of(latch)} has no next-state net"
+                )
+        # Fanins always reference earlier nets, so the combinational part
+        # is acyclic by construction; nothing more to check there.
+
+    def topological_order(self) -> List[int]:
+        """Nets in evaluation order.  Construction order is already
+        topological (fanins must pre-exist), so this is ``0..n-1``."""
+        return list(range(self.num_nets))
+
+    # -- simulation --------------------------------------------------------
+
+    def evaluate_net(self, net: int, values: List[int]) -> int:
+        """Evaluate a single net given filled source values."""
+        op = self._ops[net]
+        fanins = self._fanins[net]
+        if op is GateOp.CONST0:
+            return 0
+        if op is GateOp.CONST1:
+            return 1
+        if op in (GateOp.INPUT, GateOp.LATCH):
+            return values[net]
+        fanin_values = [values[f] for f in fanins]
+        if op is GateOp.BUF:
+            return fanin_values[0]
+        if op is GateOp.NOT:
+            return 1 - fanin_values[0]
+        if op is GateOp.AND:
+            return int(all(fanin_values))
+        if op is GateOp.OR:
+            return int(any(fanin_values))
+        if op is GateOp.NAND:
+            return 1 - int(all(fanin_values))
+        if op is GateOp.NOR:
+            return 1 - int(any(fanin_values))
+        if op is GateOp.XOR:
+            return fanin_values[0] ^ fanin_values[1]
+        if op is GateOp.XNOR:
+            return 1 - (fanin_values[0] ^ fanin_values[1])
+        if op is GateOp.MUX:
+            sel, a, b = fanin_values
+            return a if sel else b
+        raise CircuitError(f"cannot evaluate op {op}")
+
+    def simulate(
+        self,
+        input_vectors: Sequence[Mapping[int, int]],
+        initial_state: Optional[Mapping[int, int]] = None,
+    ) -> List[List[int]]:
+        """Cycle-accurate simulation.
+
+        ``input_vectors[t]`` maps input nets to 0/1 for cycle ``t``
+        (missing inputs default to 0).  ``initial_state`` overrides latch
+        init values — required for latches with ``init=None``.  Returns one
+        full net-value list per cycle.
+        """
+        self.validate()
+        state: Dict[int, int] = {}
+        for latch in self._latches:
+            init = self._latch_init[latch]
+            if initial_state is not None and latch in initial_state:
+                state[latch] = initial_state[latch]
+            elif init is not None:
+                state[latch] = init
+            else:
+                state[latch] = 0
+        frames: List[List[int]] = []
+        for vector in input_vectors:
+            values = [0] * self.num_nets
+            for latch, value in state.items():
+                values[latch] = value
+            for input_net in self._inputs:
+                values[input_net] = vector.get(input_net, 0)
+            for net in range(self.num_nets):
+                values[net] = self.evaluate_net(net, values)
+            frames.append(values)
+            state = {
+                latch: values[self._latch_next[latch]] for latch in self._latches
+            }
+        return frames
+
+    def __str__(self) -> str:
+        return (
+            f"Circuit({self.name!r}: {len(self._inputs)} inputs, "
+            f"{len(self._latches)} latches, {len(self.gates())} gates)"
+        )
+
+    __repr__ = __str__

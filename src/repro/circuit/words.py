@@ -1,0 +1,185 @@
+"""Word-level construction helpers over :class:`~repro.circuit.netlist.Circuit`.
+
+The benchmark generators (``repro.workloads``) build datapaths out of these:
+registers, adders, incrementers, comparators, muxes — all little-endian
+lists of nets (index 0 = LSB).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.circuit.netlist import Circuit, CircuitError
+
+
+def word_inputs(circuit: Circuit, width: int, prefix: str) -> List[int]:
+    """``width`` fresh inputs named ``prefix0 .. prefix{w-1}``."""
+    return [circuit.add_input(f"{prefix}{i}") for i in range(width)]
+
+
+def word_latches(
+    circuit: Circuit, width: int, prefix: str, init: int = 0
+) -> List[int]:
+    """``width`` latches named ``prefix0..``; ``init`` is the initial
+    integer value, little-endian."""
+    if init < 0 or init >= (1 << width):
+        raise CircuitError(f"init {init} does not fit in {width} bits")
+    return [
+        circuit.add_latch(f"{prefix}{i}", init=(init >> i) & 1)
+        for i in range(width)
+    ]
+
+
+def word_const(circuit: Circuit, width: int, value: int) -> List[int]:
+    """A constant word."""
+    if value < 0 or value >= (1 << width):
+        raise CircuitError(f"value {value} does not fit in {width} bits")
+    return [circuit.const((value >> i) & 1) for i in range(width)]
+
+
+def word_not(circuit: Circuit, word: Sequence[int]) -> List[int]:
+    return [circuit.g_not(bit) for bit in word]
+
+
+def word_and(circuit: Circuit, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    _check_widths(a, b)
+    return [circuit.g_and(x, y) for x, y in zip(a, b)]
+
+
+def word_or(circuit: Circuit, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    _check_widths(a, b)
+    return [circuit.g_or(x, y) for x, y in zip(a, b)]
+
+
+def word_xor(circuit: Circuit, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    _check_widths(a, b)
+    return [circuit.g_xor(x, y) for x, y in zip(a, b)]
+
+
+def word_mux(
+    circuit: Circuit, sel: int, a: Sequence[int], b: Sequence[int]
+) -> List[int]:
+    """Per-bit ``sel ? a : b``."""
+    _check_widths(a, b)
+    return [circuit.g_mux(sel, x, y) for x, y in zip(a, b)]
+
+
+def word_eq(circuit: Circuit, a: Sequence[int], b: Sequence[int]) -> int:
+    """Single net: 1 iff the words are equal."""
+    _check_widths(a, b)
+    bits = [circuit.g_xnor(x, y) for x, y in zip(a, b)]
+    return circuit.g_and(*bits) if len(bits) > 1 else bits[0]
+
+
+def word_eq_const(circuit: Circuit, a: Sequence[int], value: int) -> int:
+    """Single net: 1 iff the word equals the constant ``value``."""
+    if value < 0 or value >= (1 << len(a)):
+        raise CircuitError(f"value {value} does not fit in {len(a)} bits")
+    bits = [
+        bit if (value >> i) & 1 else circuit.g_not(bit)
+        for i, bit in enumerate(a)
+    ]
+    return circuit.g_and(*bits) if len(bits) > 1 else bits[0]
+
+
+def word_is_zero(circuit: Circuit, a: Sequence[int]) -> int:
+    return circuit.g_nor(*a) if len(a) > 1 else circuit.g_not(a[0])
+
+
+def word_add(
+    circuit: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    carry_in: Optional[int] = None,
+) -> List[int]:
+    """Ripple-carry adder (result truncated to the operand width)."""
+    _check_widths(a, b)
+    carry = carry_in if carry_in is not None else circuit.const(0)
+    result = []
+    for x, y in zip(a, b):
+        s = circuit.g_xor(circuit.g_xor(x, y), carry)
+        carry = circuit.g_or(
+            circuit.g_and(x, y), circuit.g_and(carry, circuit.g_xor(x, y))
+        )
+        result.append(s)
+    return result
+
+
+def word_increment(circuit: Circuit, a: Sequence[int]) -> List[int]:
+    """``a + 1`` truncated to width (optimized carry chain)."""
+    carry = circuit.const(1)
+    result = []
+    for bit in a:
+        result.append(circuit.g_xor(bit, carry))
+        carry = circuit.g_and(bit, carry)
+    return result
+
+
+def word_sub(
+    circuit: Circuit, a: Sequence[int], b: Sequence[int]
+) -> List[int]:
+    """``a - b`` modulo ``2**width`` (two's-complement: a + ~b + 1)."""
+    _check_widths(a, b)
+    carry = circuit.const(1)
+    return word_add(circuit, a, word_not(circuit, b), carry_in=carry)
+
+
+def word_decrement(circuit: Circuit, a: Sequence[int]) -> List[int]:
+    """``a - 1`` truncated to width (optimized borrow chain)."""
+    borrow = circuit.const(1)
+    result = []
+    for bit in a:
+        result.append(circuit.g_xor(bit, borrow))
+        borrow = circuit.g_and(circuit.g_not(bit), borrow)
+    return result
+
+
+def word_lt(circuit: Circuit, a: Sequence[int], b: Sequence[int]) -> int:
+    """Single net: 1 iff ``a < b`` (unsigned ripple comparator)."""
+    _check_widths(a, b)
+    less = circuit.const(0)
+    for x, y in zip(a, b):  # LSB-first: later (higher) bits dominate
+        bit_lt = circuit.g_and(circuit.g_not(x), y)
+        bit_eq = circuit.g_xnor(x, y)
+        less = circuit.g_or(bit_lt, circuit.g_and(bit_eq, less))
+    return less
+
+
+def word_to_gray(circuit: Circuit, a: Sequence[int]) -> List[int]:
+    """Binary-to-Gray: ``g[i] = a[i] ^ a[i+1]`` (MSB passes through)."""
+    result = []
+    for i, bit in enumerate(a):
+        if i + 1 < len(a):
+            result.append(circuit.g_xor(bit, a[i + 1]))
+        else:
+            result.append(circuit.g_buf(bit))
+    return result
+
+
+def word_shift_left(
+    circuit: Circuit, a: Sequence[int], fill: Optional[int] = None
+) -> List[int]:
+    """Shift one position toward the MSB; ``fill`` enters at the LSB."""
+    fill_net = fill if fill is not None else circuit.const(0)
+    return [fill_net] + list(a[:-1])
+
+
+def word_value(word: Sequence[int], values: Sequence[int]) -> int:
+    """Integer value of a word under simulated net ``values``."""
+    return sum(values[bit] << i for i, bit in enumerate(word))
+
+
+def connect_register(
+    circuit: Circuit, latches: Sequence[int], next_word: Sequence[int]
+) -> None:
+    """Wire a word of latches to its next-state word."""
+    _check_widths(latches, next_word)
+    for latch, nxt in zip(latches, next_word):
+        circuit.set_next(latch, nxt)
+
+
+def _check_widths(a: Sequence[int], b: Sequence[int]) -> None:
+    if len(a) != len(b):
+        raise CircuitError(f"width mismatch: {len(a)} vs {len(b)}")
+    if not a:
+        raise CircuitError("zero-width word")

@@ -1,0 +1,236 @@
+"""The ``repro-bmc`` command-line tool.
+
+Subcommands:
+
+* ``check`` — bounded model checking of a BLIF/AIGER netlist, with
+  optional refined orderings, incremental engine, property expressions
+  and VCD counterexample dumps.
+* ``prove`` — unbounded proof or refutation by k-induction.
+* ``solve`` — standalone DIMACS SAT solving with unsat cores.
+* ``suite`` — run the Table 1 suite expectations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bmc import (
+    BmcEngine,
+    BmcStatus,
+    IncrementalBmcEngine,
+    InductionStatus,
+    KInductionEngine,
+    RefineOrderBmc,
+    ShtrichmanBmc,
+)
+from repro.circuit import parse_aiger_file, parse_blif_file, trace_to_vcd
+from repro.cnf import parse_dimacs_file
+from repro.properties import PropertyError, compile_property
+from repro.sat import CdclSolver, SolveResult
+from repro.experiments.runner import run_instance
+from repro.workloads.suite import small_suite, table1_suite
+
+
+def _load_circuit(path: str):
+    if path.endswith((".aag", ".aig")):
+        return parse_aiger_file(path)
+    return parse_blif_file(path)
+
+
+def _resolve_property(circuit, args) -> int:
+    """Property from ``--property NAME`` or ``--expr TEXT``; returns the
+    net or raises SystemExit(2) with a message."""
+    if args.expr is not None:
+        try:
+            return compile_property(circuit, args.expr)
+        except PropertyError as exc:
+            print(f"error: bad property expression: {exc}")
+            raise SystemExit(2)
+    if args.property is None:
+        print("error: provide --property NAME or --expr EXPRESSION")
+        raise SystemExit(2)
+    try:
+        return circuit.outputs[args.property]
+    except KeyError:
+        names = ", ".join(circuit.outputs) or "(none)"
+        print(f"error: no output named {args.property!r}; outputs: {names}")
+        raise SystemExit(2)
+
+
+def _print_trace(circuit, trace) -> None:
+    print(f"counterexample of length {trace.depth}:")
+    for frame, vector in enumerate(trace.inputs):
+        bits = " ".join(
+            f"{circuit.name_of(net)}={value}" for net, value in sorted(vector.items())
+        )
+        print(f"  frame {frame}: {bits}")
+
+
+def _cmd_check(args) -> int:
+    circuit = _load_circuit(args.model)
+    prop = _resolve_property(circuit, args)
+    if args.incremental:
+        mode = {"bmc": "vsids", "static": "static", "dynamic": "dynamic"}.get(args.method)
+        if mode is None:
+            print("error: --incremental supports methods bmc/static/dynamic")
+            return 2
+        engine = IncrementalBmcEngine(circuit, prop, max_depth=args.depth, mode=mode)
+    else:
+        engines = {
+            "bmc": lambda: BmcEngine(circuit, prop, max_depth=args.depth),
+            "shtrichman": lambda: ShtrichmanBmc(circuit, prop, max_depth=args.depth),
+            "static": lambda: RefineOrderBmc(circuit, prop, args.depth, mode="static"),
+            "dynamic": lambda: RefineOrderBmc(circuit, prop, args.depth, mode="dynamic"),
+        }
+        engine = engines[args.method]()
+    result = engine.run()
+    print(result.summary())
+    for depth in result.per_depth:
+        core = f" core={depth.core_clauses}" if depth.core_clauses is not None else ""
+        print(
+            f"  k={depth.k:3d} {depth.status:7s} decisions={depth.decisions:7d} "
+            f"implications={depth.propagations:9d}{core}"
+        )
+    if result.status is BmcStatus.FAILED:
+        _print_trace(circuit, result.trace)
+        if args.vcd:
+            with open(args.vcd, "w", encoding="utf-8") as handle:
+                trace_to_vcd(circuit, result.trace, handle)
+            print(f"wrote waveform to {args.vcd}")
+        return 1
+    return 0
+
+
+def _cmd_prove(args) -> int:
+    circuit = _load_circuit(args.model)
+    prop = _resolve_property(circuit, args)
+    engine = KInductionEngine(
+        circuit, prop, max_k=args.max_k, unique_states=not args.no_unique_states
+    )
+    result = engine.run()
+    print(result.summary())
+    for stats in result.step_stats:
+        print(f"  step k={stats.k}: {stats.status} decisions={stats.decisions}")
+    if result.status is InductionStatus.FAILED:
+        _print_trace(circuit, result.trace)
+        if args.vcd:
+            with open(args.vcd, "w", encoding="utf-8") as handle:
+                trace_to_vcd(circuit, result.trace, handle)
+            print(f"wrote waveform to {args.vcd}")
+        return 1
+    return 0 if result.status is InductionStatus.PROVED else 2
+
+
+def _cmd_solve(args) -> int:
+    formula = parse_dimacs_file(args.cnf)
+    solver = CdclSolver(formula)
+    outcome = solver.solve()
+    stats = solver.stats
+    print(
+        f"{outcome.status.value.upper()} "
+        f"(decisions={stats.decisions}, implications={stats.propagations}, "
+        f"conflicts={stats.conflicts}, time={stats.solve_time:.3f}s)"
+    )
+    if outcome.is_sat:
+        dimacs = " ".join(
+            str((var + 1) if value else -(var + 1))
+            for var, value in enumerate(outcome.model)
+        )
+        print(f"v {dimacs} 0")
+    elif args.core and outcome.core_clauses is not None:
+        core = outcome.core_clauses
+        if args.trim:
+            from repro.sat import trim_core
+
+            trimmed = trim_core(formula, core=core)
+            print(
+                f"trimmed core: {len(core)} -> {len(trimmed.core)} clauses "
+                f"in {trimmed.iterations} iterations"
+            )
+            core = trimmed.core
+        print(f"unsat core: {len(core)}/{formula.num_clauses} clauses")
+        print(" ".join(str(i) for i in sorted(core)))
+    return 0 if outcome.is_sat else 1
+
+
+def _cmd_suite(args) -> int:
+    rows = small_suite() if args.small else table1_suite()
+    failures = 0
+    for row in rows:
+        try:
+            result = run_instance(row, args.method)
+            print(
+                f"ok   {row.name:10s} {result.status:15s} k={result.depth_reached:3d} "
+                f"t={result.solve_time:.3f}s"
+            )
+        except AssertionError as exc:
+            failures += 1
+            print(f"FAIL {row.name:10s} {exc}")
+    print(f"{len(rows) - failures}/{len(rows)} instances matched expectations")
+    return 1 if failures else 0
+
+
+def _add_property_args(parser) -> None:
+    parser.add_argument("--property", help="output name of the invariant")
+    parser.add_argument(
+        "--expr",
+        help="invariant as a boolean expression over net names, "
+        "e.g. '!(grant0 & grant1)'",
+    )
+    parser.add_argument("--vcd", metavar="FILE", help="dump counterexample as VCD")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-bmc")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="bounded model checking of a netlist")
+    check.add_argument("model", help="BLIF (.blif) or ASCII AIGER (.aag) file")
+    _add_property_args(check)
+    check.add_argument("--depth", type=int, default=20, help="maximum unrolling depth")
+    check.add_argument(
+        "--method",
+        choices=("bmc", "static", "dynamic", "shtrichman"),
+        default="dynamic",
+    )
+    check.add_argument(
+        "--incremental", action="store_true",
+        help="use the single persistent-solver engine",
+    )
+    check.set_defaults(func=_cmd_check)
+
+    prove = sub.add_parser("prove", help="unbounded proof by k-induction")
+    prove.add_argument("model")
+    _add_property_args(prove)
+    prove.add_argument("--max-k", type=int, default=20)
+    prove.add_argument(
+        "--no-unique-states", action="store_true",
+        help="drop the simple-path constraint (may diverge)",
+    )
+    prove.set_defaults(func=_cmd_prove)
+
+    solve = sub.add_parser("solve", help="solve a DIMACS CNF file")
+    solve.add_argument("cnf")
+    solve.add_argument("--core", action="store_true", help="print the unsat core")
+    solve.add_argument("--trim", action="store_true", help="trim the core first")
+    solve.set_defaults(func=_cmd_solve)
+
+    suite = sub.add_parser("suite", help="run the Table 1 suite expectations")
+    suite.add_argument("--small", action="store_true")
+    suite.add_argument(
+        "--method",
+        choices=("bmc", "static", "dynamic", "shtrichman"),
+        default="dynamic",
+    )
+    suite.set_defaults(func=_cmd_suite)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SystemExit as exc:  # property-resolution errors carry a code
+        return exc.code if isinstance(exc.code, int) else 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

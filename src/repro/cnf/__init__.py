@@ -1,0 +1,41 @@
+"""CNF substrate: literals, clauses, formulas and DIMACS I/O.
+
+Literal encoding convention (MiniSat style):
+
+* Variables are dense non-negative integers ``0, 1, 2, ...``.
+* A literal is ``2 * var`` for the positive phase and ``2 * var + 1`` for
+  the negative phase.
+
+This integer packing keeps the SAT solver's hot loops free of object
+indirection while staying trivially convertible to DIMACS's signed-integer
+convention (variable ``v`` is DIMACS ``v + 1``).
+"""
+
+from repro.cnf.literals import (
+    lit_from_dimacs,
+    lit_is_negated,
+    lit_neg,
+    lit_sign,
+    lit_str,
+    lit_to_dimacs,
+    lit_var,
+    mk_lit,
+)
+from repro.cnf.formula import Clause, CnfFormula
+from repro.cnf.dimacs import parse_dimacs, parse_dimacs_file, write_dimacs
+
+__all__ = [
+    "mk_lit",
+    "lit_var",
+    "lit_sign",
+    "lit_is_negated",
+    "lit_neg",
+    "lit_str",
+    "lit_to_dimacs",
+    "lit_from_dimacs",
+    "Clause",
+    "CnfFormula",
+    "parse_dimacs",
+    "parse_dimacs_file",
+    "write_dimacs",
+]

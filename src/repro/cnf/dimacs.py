@@ -1,0 +1,104 @@
+"""DIMACS CNF reader/writer.
+
+Supports the standard ``p cnf <vars> <clauses>`` header, ``c`` comment
+lines, and clauses terminated by ``0`` (possibly spanning multiple lines).
+The header's variable count is treated as a minimum watermark: literals
+beyond it grow the formula (many real-world files under-declare).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO, Union
+
+from repro.cnf.formula import CnfFormula
+from repro.cnf.literals import lit_from_dimacs, lit_to_dimacs
+
+
+class DimacsError(ValueError):
+    """Raised on malformed DIMACS input."""
+
+
+def parse_dimacs(source: Union[str, TextIO]) -> CnfFormula:
+    """Parse DIMACS CNF text (or a text stream) into a ``CnfFormula``."""
+    stream = io.StringIO(source) if isinstance(source, str) else source
+    declared_vars = None
+    declared_clauses = None
+    formula = CnfFormula(0)
+    pending: list = []
+    for line_no, raw_line in enumerate(stream, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("c") or line.startswith("%"):
+            continue
+        if line.startswith("p"):
+            if declared_vars is not None:
+                raise DimacsError(f"line {line_no}: duplicate problem line")
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(f"line {line_no}: bad problem line {line!r}")
+            try:
+                declared_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError as exc:
+                raise DimacsError(f"line {line_no}: bad problem line {line!r}") from exc
+            if declared_vars < 0 or declared_clauses < 0:
+                raise DimacsError(f"line {line_no}: negative counts in problem line")
+            formula = CnfFormula(declared_vars)
+            continue
+        if declared_vars is None:
+            raise DimacsError(f"line {line_no}: clause before problem line")
+        for token in line.split():
+            try:
+                value = int(token)
+            except ValueError as exc:
+                raise DimacsError(f"line {line_no}: bad token {token!r}") from exc
+            if value == 0:
+                _add_pending(formula, pending)
+                pending = []
+            else:
+                pending.append(value)
+    if pending:
+        # Tolerate a final clause missing its 0 terminator.
+        _add_pending(formula, pending)
+    if declared_vars is None:
+        raise DimacsError("missing problem line")
+    if declared_clauses is not None and formula.num_clauses != declared_clauses:
+        raise DimacsError(
+            f"declared {declared_clauses} clauses but found {formula.num_clauses}"
+        )
+    return formula
+
+
+def _add_pending(formula: CnfFormula, dimacs_lits: list) -> None:
+    packed = []
+    for dimacs_lit in dimacs_lits:
+        lit = lit_from_dimacs(dimacs_lit)
+        while (lit >> 1) >= formula.num_vars:
+            formula.new_var()
+        packed.append(lit)
+    formula.add_clause(packed)
+
+
+def parse_dimacs_file(path: str) -> CnfFormula:
+    """Parse a DIMACS CNF file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_dimacs(handle)
+
+
+def write_dimacs(formula: CnfFormula, sink: TextIO, comment: str = "") -> None:
+    """Write a formula in DIMACS format to a text stream."""
+    if comment:
+        for line in comment.splitlines():
+            sink.write(f"c {line}\n")
+    sink.write(f"p cnf {formula.num_vars} {formula.num_clauses}\n")
+    for clause in formula.clauses:
+        tokens = [str(lit_to_dimacs(lit)) for lit in clause]
+        tokens.append("0")
+        sink.write(" ".join(tokens) + "\n")
+
+
+def dimacs_str(formula: CnfFormula, comment: str = "") -> str:
+    """The DIMACS text of a formula, as a string."""
+    buffer = io.StringIO()
+    write_dimacs(formula, buffer, comment=comment)
+    return buffer.getvalue()

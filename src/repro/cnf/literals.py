@@ -1,0 +1,55 @@
+"""Packed-integer literal helpers.
+
+A literal packs a variable index and a phase bit into one non-negative
+integer: ``lit = 2 * var + phase`` where ``phase == 1`` means *negated*.
+All helpers are tiny pure functions; the SAT solver inlines the arithmetic
+in its hot loops, but every other module should go through these names.
+"""
+
+from __future__ import annotations
+
+
+def mk_lit(var: int, negated: bool = False) -> int:
+    """Build the literal for ``var``; ``negated=True`` gives the negative phase."""
+    if var < 0:
+        raise ValueError(f"variable index must be non-negative, got {var}")
+    return 2 * var + (1 if negated else 0)
+
+
+def lit_var(lit: int) -> int:
+    """Variable index of a literal."""
+    return lit >> 1
+
+
+def lit_sign(lit: int) -> int:
+    """Phase bit of a literal: 0 for positive, 1 for negative."""
+    return lit & 1
+
+
+def lit_is_negated(lit: int) -> bool:
+    """True if the literal is the negative phase of its variable."""
+    return bool(lit & 1)
+
+
+def lit_neg(lit: int) -> int:
+    """The complement literal (same variable, opposite phase)."""
+    return lit ^ 1
+
+
+def lit_str(lit: int) -> str:
+    """Human-readable form, e.g. ``x3`` or ``~x3``."""
+    return f"~x{lit >> 1}" if lit & 1 else f"x{lit >> 1}"
+
+
+def lit_to_dimacs(lit: int) -> int:
+    """Convert a packed literal to DIMACS signed-int convention (1-based)."""
+    var = (lit >> 1) + 1
+    return -var if lit & 1 else var
+
+
+def lit_from_dimacs(dimacs_lit: int) -> int:
+    """Convert a DIMACS signed literal (non-zero) to the packed convention."""
+    if dimacs_lit == 0:
+        raise ValueError("0 is the DIMACS clause terminator, not a literal")
+    var = abs(dimacs_lit) - 1
+    return 2 * var + (1 if dimacs_lit < 0 else 0)

@@ -1,0 +1,7 @@
+"""CNF encoding of sequential circuits: Tseitin gate clauses and the
+BMC unrolling of the paper's Eq. 1."""
+
+from repro.encode.tseitin import gate_clauses
+from repro.encode.unroll import BmcInstance, ClauseOrigin, Unroller
+
+__all__ = ["gate_clauses", "Unroller", "BmcInstance", "ClauseOrigin"]

@@ -1,0 +1,75 @@
+"""Tseitin clauses for the primitive gate operators.
+
+The unroller aliases BUF/NOT/NAND/NOR/XNOR onto these by literal negation,
+so only AND, OR, XOR and MUX need clause templates.  ``out`` is a variable
+index (the defined net), fanins are packed literals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.circuit.netlist import GateOp
+from repro.cnf.literals import lit_neg, mk_lit
+
+
+def _and_clauses(out: int, fanins: Sequence[int]) -> List[List[int]]:
+    out_lit = mk_lit(out)
+    clauses = [[lit_neg(out_lit), fanin] for fanin in fanins]
+    clauses.append([out_lit] + [lit_neg(f) for f in fanins])
+    return clauses
+
+
+def _or_clauses(out: int, fanins: Sequence[int]) -> List[List[int]]:
+    out_lit = mk_lit(out)
+    clauses = [[out_lit, lit_neg(fanin)] for fanin in fanins]
+    clauses.append([lit_neg(out_lit)] + list(fanins))
+    return clauses
+
+
+def _xor_clauses(out: int, fanins: Sequence[int]) -> List[List[int]]:
+    if len(fanins) != 2:
+        raise ValueError("xor encoding requires exactly 2 fanins")
+    g = mk_lit(out)
+    a, b = fanins
+    return [
+        [lit_neg(g), a, b],
+        [lit_neg(g), lit_neg(a), lit_neg(b)],
+        [g, lit_neg(a), b],
+        [g, a, lit_neg(b)],
+    ]
+
+
+def _mux_clauses(out: int, fanins: Sequence[int]) -> List[List[int]]:
+    if len(fanins) != 3:
+        raise ValueError("mux encoding requires exactly 3 fanins (sel, a, b)")
+    g = mk_lit(out)
+    sel, a, b = fanins
+    return [
+        [lit_neg(g), lit_neg(sel), a],
+        [g, lit_neg(sel), lit_neg(a)],
+        [lit_neg(g), sel, b],
+        [g, sel, lit_neg(b)],
+        # Redundant but propagation-strengthening: out agrees when a == b.
+        [lit_neg(g), a, b],
+        [g, lit_neg(a), lit_neg(b)],
+    ]
+
+
+_ENCODERS = {
+    GateOp.AND: _and_clauses,
+    GateOp.OR: _or_clauses,
+    GateOp.XOR: _xor_clauses,
+    GateOp.MUX: _mux_clauses,
+}
+
+
+def gate_clauses(op: GateOp, out: int, fanins: Sequence[int]) -> List[List[int]]:
+    """Tseitin clauses asserting ``var(out) == op(fanins)``."""
+    try:
+        encoder = _ENCODERS[op]
+    except KeyError:
+        raise ValueError(f"no direct encoding for {op}; alias it first") from None
+    if not fanins:
+        raise ValueError(f"{op.value} with no fanins")
+    return encoder(out, fanins)

@@ -1,0 +1,283 @@
+"""Time-frame unrolling of the paper's Eq. 1.
+
+For an invariant property ``G P`` and a depth ``k``, the BMC instance is::
+
+    I(V0)  and  T(V0,W1,V1) ... T(V(k-1),Wk,Vk)  and  not P(Vk)
+
+The :class:`Unroller` is *stateful and monotone*: frames are encoded once
+and cached, and variable/clause numbering for the shared prefix is
+identical across instances of increasing ``k``.  This is what lets the
+paper's ``varRank`` — keyed by CNF variable — transfer from one BMC
+instance to the next (the same circuit net at the same time frame is the
+same CNF variable in every instance).
+
+Encoding choices (standard for circuit BMC):
+
+* NOT/BUF are free — they alias to the fanin literal with the phase bit.
+* NAND/NOR/XNOR alias to the negation of the AND/OR/XOR variable.
+* Latch variables are shared across the frame boundary:
+  ``lit(latch, f+1) = lit(next_state_net, f)``.
+* Variable 0 is a global constant-true anchored by a unit clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit, GateOp
+from repro.circuit.ops import cone_of_influence
+from repro.cnf.formula import CnfFormula
+from repro.cnf.literals import lit_neg, mk_lit
+from repro.encode.tseitin import gate_clauses
+
+
+@dataclass(frozen=True)
+class ClauseOrigin:
+    """Provenance of one CNF clause.
+
+    ``kind`` is ``"const"``, ``"init"``, ``"gate"`` or ``"property"``;
+    ``net``/``frame`` locate the circuit element (−1 where meaningless).
+    The abstraction module maps unsat cores back to circuit elements
+    through these records (the paper's Fig. 3).
+    """
+
+    kind: str
+    net: int
+    frame: int
+
+
+class BmcInstance:
+    """One depth-``k`` BMC SAT instance with provenance and decoding."""
+
+    def __init__(
+        self,
+        unroller: "Unroller",
+        k: int,
+        formula: CnfFormula,
+        origins: List[ClauseOrigin],
+        property_clause_index: int,
+    ) -> None:
+        self.unroller = unroller
+        self.k = k
+        self.formula = formula
+        self.origins = origins
+        self.property_clause_index = property_clause_index
+
+    @property
+    def circuit(self) -> Circuit:
+        return self.unroller.circuit
+
+    def lit_of(self, net: int, frame: int) -> int:
+        """CNF literal of a circuit net at a time frame (0 .. k)."""
+        if not 0 <= frame <= self.k:
+            raise ValueError(f"frame {frame} outside 0..{self.k}")
+        return self.unroller.lit_of(net, frame)
+
+    def value_of(self, model: Sequence[int], net: int, frame: int) -> int:
+        """Value of a net at a frame under a satisfying model."""
+        lit = self.lit_of(net, frame)
+        return model[lit >> 1] ^ (lit & 1)
+
+    def origin_of(self, clause_index: int) -> ClauseOrigin:
+        """Provenance of a clause of this instance's formula."""
+        return self.origins[clause_index]
+
+    def decode_inputs(self, model: Sequence[int]) -> List[Dict[int, int]]:
+        """Input vectors per frame, suitable for ``Circuit.simulate``."""
+        return [
+            {net: self.value_of(model, net, frame) for net in self.unroller.nets_inputs}
+            for frame in range(self.k + 1)
+        ]
+
+    def decode_initial_state(self, model: Sequence[int]) -> Dict[int, int]:
+        """Latch values at frame 0 (relevant for ``init=None`` latches)."""
+        return {
+            net: self.value_of(model, net, 0) for net in self.unroller.nets_latches
+        }
+
+
+class Unroller:
+    """Monotone unroller for one circuit + property pair.
+
+    ``property_net`` is the net that must hold in every reachable state
+    (the invariant ``P``); each instance asserts its negation at frame
+    ``k``.  With ``use_coi=True``, only the property's sequential cone of
+    influence is encoded (an ablation; the default matches Eq. 1's full
+    transition relation).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        property_net: int,
+        use_coi: bool = False,
+        constrain_init: bool = True,
+    ) -> None:
+        circuit.validate()
+        if not 0 <= property_net < circuit.num_nets:
+            raise ValueError(f"property net {property_net} does not exist")
+        self.circuit = circuit
+        self.property_net = property_net
+        self.use_coi = use_coi
+        self.constrain_init = constrain_init
+        if use_coi:
+            cone = cone_of_influence(circuit, [property_net])
+            self._nets = [net for net in circuit.topological_order() if net in cone]
+        else:
+            self._nets = circuit.topological_order()
+        net_set = set(self._nets)
+        self.nets_inputs = tuple(n for n in circuit.inputs if n in net_set)
+        self.nets_latches = tuple(n for n in circuit.latches if n in net_set)
+
+        # Variable 0 is constant-true; clause 0 asserts it.
+        self._num_vars = 1
+        self._clauses: List[Tuple[int, ...]] = [(mk_lit(0),)]
+        self._origins: List[ClauseOrigin] = [ClauseOrigin("const", -1, -1)]
+        self._lit_cache: Dict[Tuple[int, int], int] = {}
+        self._var_frame: List[int] = [-1]  # allocation frame per variable
+        self._frames_built = 0
+        self._vars_after_frame: List[int] = []
+        self._clauses_after_frame: List[int] = []
+
+    # -- variable management -------------------------------------------
+
+    def _new_var(self, frame: int) -> int:
+        var = self._num_vars
+        self._num_vars += 1
+        self._var_frame.append(frame)
+        return var
+
+    def lit_of(self, net: int, frame: int) -> int:
+        """Packed literal of ``net`` at ``frame``; frames must be built."""
+        try:
+            return self._lit_cache[(net, frame)]
+        except KeyError:
+            raise KeyError(
+                f"net {net} at frame {frame} is not encoded "
+                f"(frames built: {self._frames_built}, coi={self.use_coi})"
+            ) from None
+
+    def var_frame(self, var: int) -> int:
+        """The frame a CNF variable was allocated in (−1 for the constant).
+
+        This is the "time axis" position used by the Shtrichman baseline
+        ordering."""
+        return self._var_frame[var]
+
+    # -- frame construction ----------------------------------------------
+
+    def _add_clause(self, lits: Sequence[int], origin: ClauseOrigin) -> None:
+        self._clauses.append(tuple(lits))
+        self._origins.append(origin)
+
+    def ensure_frames(self, k: int) -> None:
+        """Encode frames up to and including ``k``."""
+        while self._frames_built <= k:
+            self._build_frame(self._frames_built)
+            self._frames_built += 1
+            self._vars_after_frame.append(self._num_vars)
+            self._clauses_after_frame.append(len(self._clauses))
+
+    def _build_frame(self, frame: int) -> None:
+        circuit = self.circuit
+        cache = self._lit_cache
+        const_true = mk_lit(0)
+        for net in self._nets:
+            op = circuit.op_of(net)
+            if op is GateOp.CONST0:
+                cache[(net, frame)] = lit_neg(const_true)
+            elif op is GateOp.CONST1:
+                cache[(net, frame)] = const_true
+            elif op is GateOp.INPUT:
+                cache[(net, frame)] = mk_lit(self._new_var(frame))
+            elif op is GateOp.LATCH:
+                if frame == 0:
+                    lit = mk_lit(self._new_var(0))
+                    cache[(net, 0)] = lit
+                    init = circuit.init_of(net)
+                    if init is not None and self.constrain_init:
+                        self._add_clause(
+                            [lit if init == 1 else lit_neg(lit)],
+                            ClauseOrigin("init", net, 0),
+                        )
+                else:
+                    cache[(net, frame)] = cache[(circuit.next_of(net), frame - 1)]
+            elif op is GateOp.BUF:
+                cache[(net, frame)] = cache[(circuit.fanins_of(net)[0], frame)]
+            elif op is GateOp.NOT:
+                cache[(net, frame)] = lit_neg(cache[(circuit.fanins_of(net)[0], frame)])
+            else:
+                base_op, negate = _ALIAS[op]
+                fanin_lits = [cache[(f, frame)] for f in circuit.fanins_of(net)]
+                out_var = self._new_var(frame)
+                origin = ClauseOrigin("gate", net, frame)
+                for clause in gate_clauses(base_op, out_var, fanin_lits):
+                    self._add_clause(clause, origin)
+                lit = mk_lit(out_var)
+                cache[(net, frame)] = lit_neg(lit) if negate else lit
+
+    # -- incremental access (used by repro.bmc.incremental) ----------------
+
+    @property
+    def num_encoded_clauses(self) -> int:
+        """Clauses encoded so far (over all built frames)."""
+        return len(self._clauses)
+
+    @property
+    def num_encoded_vars(self) -> int:
+        """Variable watermark over all built frames."""
+        return self._num_vars
+
+    def clauses_since(self, index: int) -> List[Tuple[Tuple[int, ...], ClauseOrigin]]:
+        """Clauses (with provenance) added at or after cumulative index
+        ``index`` — the delta an incremental solver must ingest after
+        ``ensure_frames`` advanced."""
+        return list(zip(self._clauses[index:], self._origins[index:]))
+
+    def origin_of_clause(self, index: int) -> ClauseOrigin:
+        """Provenance of a cumulative clause index (identical to the
+        incremental solver's original-clause ID)."""
+        return self._origins[index]
+
+    def formula_up_to(self, k: int) -> Tuple[CnfFormula, List[ClauseOrigin]]:
+        """The transition formula for frames 0..k *without* any property
+        clause (the k-induction engine asserts properties via
+        assumptions instead)."""
+        self.ensure_frames(k)
+        num_vars = self._vars_after_frame[k]
+        num_clauses = self._clauses_after_frame[k]
+        formula = CnfFormula(num_vars)
+        for lits in self._clauses[:num_clauses]:
+            formula.add_clause(lits)
+        return formula, list(self._origins[:num_clauses])
+
+    # -- instance assembly -------------------------------------------------
+
+    def instance(self, k: int) -> BmcInstance:
+        """The depth-``k`` BMC instance (deterministic for every ``k``,
+        independent of what was built before)."""
+        if k < 0:
+            raise ValueError("depth must be non-negative")
+        self.ensure_frames(k)
+        num_vars = self._vars_after_frame[k]
+        num_clauses = self._clauses_after_frame[k]
+        formula = CnfFormula(num_vars)
+        for lits in self._clauses[:num_clauses]:
+            formula.add_clause(lits)
+        origins = list(self._origins[:num_clauses])
+        property_lit = self.lit_of(self.property_net, k)
+        property_index = formula.add_clause([lit_neg(property_lit)])
+        origins.append(ClauseOrigin("property", self.property_net, k))
+        return BmcInstance(self, k, formula, origins, property_index)
+
+
+_ALIAS = {
+    GateOp.AND: (GateOp.AND, False),
+    GateOp.NAND: (GateOp.AND, True),
+    GateOp.OR: (GateOp.OR, False),
+    GateOp.NOR: (GateOp.OR, True),
+    GateOp.XOR: (GateOp.XOR, False),
+    GateOp.XNOR: (GateOp.XOR, True),
+    GateOp.MUX: (GateOp.MUX, False),
+}

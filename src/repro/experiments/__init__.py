@@ -1,0 +1,47 @@
+"""Experiment harnesses regenerating every table and figure of the paper
+(see DESIGN.md §5 for the experiment index)."""
+
+from repro.experiments.runner import (
+    STRATEGIES,
+    InstanceResult,
+    make_engine,
+    run_instance,
+)
+from repro.experiments.table1 import Table1Report, Table1Row, run_table1
+from repro.experiments.fig6 import fig6_csv, render_fig6, scatter_points
+from repro.experiments.fig7 import Fig7Data, fig7_csv, render_fig7, run_fig7
+from repro.experiments.correlation import CorrelationReport, run_correlation
+from repro.experiments.overhead import OverheadReport, run_overhead
+from repro.experiments.ablations import (
+    AblationReport,
+    run_axis_ablation,
+    run_incremental_ablation,
+    run_threshold_ablation,
+    run_weighting_ablation,
+)
+
+__all__ = [
+    "STRATEGIES",
+    "InstanceResult",
+    "run_instance",
+    "make_engine",
+    "Table1Report",
+    "Table1Row",
+    "run_table1",
+    "render_fig6",
+    "scatter_points",
+    "fig6_csv",
+    "Fig7Data",
+    "run_fig7",
+    "render_fig7",
+    "fig7_csv",
+    "OverheadReport",
+    "run_overhead",
+    "CorrelationReport",
+    "run_correlation",
+    "AblationReport",
+    "run_weighting_ablation",
+    "run_threshold_ablation",
+    "run_axis_ablation",
+    "run_incremental_ablation",
+]

@@ -1,0 +1,91 @@
+"""Command-line entry point: ``python -m repro.experiments <experiment>``.
+
+Experiments: ``table1``, ``fig6``, ``fig7``, ``overhead``, ``ablations``,
+``all``.  Use ``--small`` for the 6-row subset (quick smoke run) and
+``--csv DIR`` to also write CSV files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.experiments.ablations import (
+    run_axis_ablation,
+    run_incremental_ablation,
+    run_threshold_ablation,
+    run_weighting_ablation,
+)
+from repro.experiments.fig6 import fig6_csv, render_fig6
+from repro.experiments.fig7 import fig7_csv, render_fig7, run_fig7
+from repro.experiments.overhead import run_overhead
+from repro.experiments.table1 import run_table1
+from repro.workloads.suite import small_suite, table1_suite
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=(
+            "table1", "fig6", "fig7", "overhead", "ablations",
+            "correlation", "all",
+        ),
+    )
+    parser.add_argument(
+        "--small", action="store_true",
+        help="run on the 6-row subset instead of all 37 rows",
+    )
+    parser.add_argument("--csv", metavar="DIR", help="also write CSV output here")
+    args = parser.parse_args(argv)
+
+    rows = small_suite() if args.small else None
+    want = args.experiment
+
+    def save(name: str, text: str) -> None:
+        if args.csv:
+            os.makedirs(args.csv, exist_ok=True)
+            path = os.path.join(args.csv, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"[wrote {path}]")
+
+    report = None
+    if want in ("table1", "fig6", "all"):
+        print("running Table 1 (3 methods x "
+              f"{len(rows) if rows else 37} instances)...", flush=True)
+        report = run_table1(rows=rows, verbose=True)
+    if want in ("table1", "all"):
+        print(report.render())
+        save("table1.csv", report.to_csv())
+    if want in ("fig6", "all"):
+        print(render_fig6(report))
+        save("fig6.csv", fig6_csv(report))
+    if want in ("fig7", "all"):
+        print("running Fig. 7 (02_3_b2 analogue)...", flush=True)
+        data = run_fig7()
+        print(render_fig7(data))
+        save("fig7.csv", fig7_csv(data))
+    if want in ("correlation", "all"):
+        from repro.experiments.correlation import run_correlation
+
+        print("running core-correlation study...", flush=True)
+        print(run_correlation(rows=rows if args.small else None).render())
+    if want in ("overhead", "all"):
+        print("running CDG overhead measurement...", flush=True)
+        print(run_overhead(rows=rows).render())
+    if want in ("ablations", "all"):
+        print("running ablations...", flush=True)
+        print(run_weighting_ablation(rows=rows).render())
+        print(run_threshold_ablation(rows=rows).render())
+        print(run_axis_ablation(rows=rows).render())
+        print(run_incremental_ablation(rows=rows).render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

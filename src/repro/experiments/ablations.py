@@ -1,0 +1,170 @@
+"""Ablations of the paper's design choices (DESIGN.md §5).
+
+1. **Core weighting** (§3.2): the paper weights core variables by the
+   depth of the instance they came from and keeps all history.  Compared
+   against uniform weights and a last-core-only ranking.
+2. **Dynamic switch threshold** (§3.3): the paper reverts to VSIDS when
+   decisions exceed 1/64 of the original literal count.  Compared against
+   more/less eager divisors, never switching (= static) and switching
+   immediately (= plain VSIDS).
+3. **Time-axis vs register-axis**: the Shtrichman CAV'00 frame ordering
+   vs the paper's core-derived ordering vs plain VSIDS.
+4. **Incremental composition** (§5 / related work [17, 5]): the paper
+   claims its ordering composes with incremental SAT.  One-shot vs
+   incremental engines, each with and without the refined ordering.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bmc.refine import WEIGHTINGS
+from repro.experiments.runner import InstanceResult, run_instance
+from repro.workloads.suite import SuiteInstance, small_suite
+
+
+@dataclass
+class AblationReport:
+    """Per-variant totals over a suite subset."""
+
+    title: str
+    variants: List[str]
+    per_instance: Dict[str, List[InstanceResult]]  # variant -> results
+
+    def total_time(self, variant: str) -> float:
+        """Summed SAT-search seconds of one variant."""
+        return sum(r.solve_time for r in self.per_instance[variant])
+
+    def total_decisions(self, variant: str) -> int:
+        """Summed decision count of one variant."""
+        return sum(r.decisions for r in self.per_instance[variant])
+
+    def render(self) -> str:
+        """Human-readable variant comparison table."""
+        out = io.StringIO()
+        out.write(f"{self.title}\n")
+        out.write(f"{'variant':22s} {'time (s)':>10s} {'decisions':>11s}\n")
+        for variant in self.variants:
+            out.write(
+                f"{variant:22s} {self.total_time(variant):10.3f} "
+                f"{self.total_decisions(variant):11d}\n"
+            )
+        return out.getvalue()
+
+
+def run_weighting_ablation(
+    rows: Optional[Sequence[SuiteInstance]] = None,
+) -> AblationReport:
+    """Paper's linear-in-depth weighting vs uniform vs last-core-only."""
+    suite = list(rows) if rows is not None else small_suite()
+    per: Dict[str, List[InstanceResult]] = {w: [] for w in WEIGHTINGS}
+    for instance in suite:
+        for weighting in WEIGHTINGS:
+            per[weighting].append(
+                run_instance(instance, "static", weighting=weighting)
+            )
+    return AblationReport(
+        title="Core-weighting ablation (static mode)",
+        variants=list(WEIGHTINGS),
+        per_instance=per,
+    )
+
+
+def run_threshold_ablation(
+    rows: Optional[Sequence[SuiteInstance]] = None,
+    divisors: Sequence[int] = (16, 64, 256),
+) -> AblationReport:
+    """The dynamic 1/64 switch threshold vs alternatives.
+
+    ``static`` never switches; ``bmc`` is the always-VSIDS extreme.
+    """
+    suite = list(rows) if rows is not None else small_suite()
+    variants = ["bmc", "static"] + [f"dynamic/{d}" for d in divisors]
+    per: Dict[str, List[InstanceResult]] = {v: [] for v in variants}
+    for instance in suite:
+        per["bmc"].append(run_instance(instance, "bmc"))
+        per["static"].append(run_instance(instance, "static"))
+        for divisor in divisors:
+            per[f"dynamic/{divisor}"].append(
+                run_instance(instance, "dynamic", switch_divisor=divisor)
+            )
+    return AblationReport(
+        title="Dynamic switch-threshold ablation",
+        variants=variants,
+        per_instance=per,
+    )
+
+
+def run_incremental_ablation(
+    rows: Optional[Sequence[SuiteInstance]] = None,
+) -> AblationReport:
+    """One-shot vs incremental engines, plain and refined.
+
+    Incremental variants run the whole depth loop inside one persistent
+    solver (clauses streamed per frame, property as a unit assumption),
+    so their reported time is wall time of the loop; decision counts are
+    directly comparable across all four variants.
+    """
+    from repro.bmc.incremental import IncrementalBmcEngine
+    from repro.bmc.result import BmcStatus
+
+    suite = list(rows) if rows is not None else small_suite()
+    variants = ["oneshot/vsids", "oneshot/static", "incr/vsids", "incr/static"]
+    per: Dict[str, List[InstanceResult]] = {v: [] for v in variants}
+    for instance in suite:
+        per["oneshot/vsids"].append(run_instance(instance, "bmc"))
+        per["oneshot/static"].append(run_instance(instance, "static"))
+        for mode in ("vsids", "static"):
+            circuit, prop = instance.build()
+            engine = IncrementalBmcEngine(
+                circuit, prop, max_depth=instance.max_depth, mode=mode
+            )
+            result = engine.run()
+            expected = (
+                BmcStatus.FAILED if instance.expected == "fail"
+                else BmcStatus.PASSED_BOUNDED
+            )
+            if result.status is not expected:
+                raise AssertionError(
+                    f"{instance.name} incremental/{mode}: unexpected "
+                    f"{result.status.value}"
+                )
+            per[f"incr/{mode}"].append(
+                InstanceResult(
+                    name=instance.name,
+                    strategy=f"incr/{mode}",
+                    status=result.status.value,
+                    depth_reached=result.depth_reached,
+                    solve_time=sum(d.solve_time for d in result.per_depth),
+                    wall_time=result.total_time,
+                    decisions=result.total_decisions,
+                    implications=result.total_propagations,
+                    conflicts=result.total_conflicts,
+                    per_depth=result.per_depth,
+                )
+            )
+    return AblationReport(
+        title="Incremental-composition ablation (one-shot vs incremental)",
+        variants=variants,
+        per_instance=per,
+    )
+
+
+def run_axis_ablation(
+    rows: Optional[Sequence[SuiteInstance]] = None,
+) -> AblationReport:
+    """Time-axis (Shtrichman) vs register-axis (cores) vs the generic
+    solver orderings (VSIDS, BerkMin)."""
+    suite = list(rows) if rows is not None else small_suite()
+    variants = ["bmc", "berkmin", "shtrichman", "static", "dynamic"]
+    per: Dict[str, List[InstanceResult]] = {v: [] for v in variants}
+    for instance in suite:
+        for variant in variants:
+            per[variant].append(run_instance(instance, variant))
+    return AblationReport(
+        title="Decision-axis ablation (VSIDS vs time-axis vs register-axis)",
+        variants=variants,
+        per_instance=per,
+    )

@@ -1,0 +1,124 @@
+"""Core-correlation study: quantifying the paper's premise.
+
+§3 rests on two empirical claims about the SAT instances BMC generates:
+
+1. cores are *small* relative to the formula (the abstract model is a
+   tiny slice of the design), and
+2. successive cores are *highly correlated* ("share a large number of
+   clauses"), so history is a good predictor.
+
+This harness measures both directly: for one representative row per
+workload family it solves the UNSAT depth sequence, records each core,
+and reports core sizes (absolute and as a fraction of the formula) and
+the Jaccard overlap between consecutive cores (well-defined because the
+unroller's clause numbering is prefix-stable across depths).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bmc.abstraction import core_overlap
+from repro.encode.unroll import Unroller
+from repro.sat.solver import CdclSolver
+from repro.sat.types import SolveResult
+from repro.workloads.suite import SuiteInstance, table1_suite
+
+
+@dataclass
+class CorrelationRow:
+    """Per-instance core statistics over its depth sequence."""
+
+    name: str
+    family: str
+    depths: List[int]
+    core_sizes: List[int]
+    formula_sizes: List[int]
+    overlaps: List[float]  # consecutive-core Jaccard
+
+    @property
+    def mean_core_fraction(self) -> float:
+        fractions = [
+            size / total for size, total in zip(self.core_sizes, self.formula_sizes)
+        ]
+        return sum(fractions) / len(fractions) if fractions else 0.0
+
+    @property
+    def mean_overlap(self) -> float:
+        return sum(self.overlaps) / len(self.overlaps) if self.overlaps else 0.0
+
+
+@dataclass
+class CorrelationReport:
+    rows: List[CorrelationRow]
+
+    def render(self) -> str:
+        """Human-readable per-model statistics table."""
+        out = io.StringIO()
+        out.write(
+            f"{'model':10s} {'family':11s} {'depths':>7s} {'core frac':>10s} "
+            f"{'overlap':>8s}\n"
+        )
+        for row in self.rows:
+            out.write(
+                f"{row.name:10s} {row.family:11s} {len(row.depths):7d} "
+                f"{100 * row.mean_core_fraction:9.1f}% {row.mean_overlap:8.2f}\n"
+            )
+        if self.rows:
+            frac = sum(r.mean_core_fraction for r in self.rows) / len(self.rows)
+            overlap = sum(r.mean_overlap for r in self.rows) / len(self.rows)
+            out.write(
+                f"\nmean core fraction {100 * frac:.1f}% of clauses; "
+                f"mean consecutive-core overlap {overlap:.2f}\n"
+                "(the paper's premise: cores are small and highly "
+                "correlated across depths)\n"
+            )
+        return out.getvalue()
+
+
+def _representatives() -> List[SuiteInstance]:
+    seen = set()
+    rows = []
+    for row in table1_suite():
+        if row.expected == "pass" and row.family not in seen:
+            seen.add(row.family)
+            rows.append(row)
+    return rows
+
+
+def run_correlation(
+    rows: Optional[Sequence[SuiteInstance]] = None,
+) -> CorrelationReport:
+    """Collect core-size and overlap statistics (UNSAT depths only)."""
+    suite = list(rows) if rows is not None else _representatives()
+    report_rows: List[CorrelationRow] = []
+    for instance in suite:
+        circuit, prop = instance.build()
+        unroller = Unroller(circuit, prop)
+        depths: List[int] = []
+        core_sizes: List[int] = []
+        formula_sizes: List[int] = []
+        cores = []
+        for k in range(instance.max_depth + 1):
+            bmc_instance = unroller.instance(k)
+            outcome = CdclSolver(bmc_instance.formula).solve()
+            if outcome.status is not SolveResult.UNSAT:
+                break
+            depths.append(k)
+            core_sizes.append(len(outcome.core_clauses))
+            formula_sizes.append(bmc_instance.formula.num_clauses)
+            cores.append(outcome.core_clauses)
+        overlaps = [core_overlap(a, b) for a, b in zip(cores, cores[1:])]
+        report_rows.append(
+            CorrelationRow(
+                name=instance.name,
+                family=instance.family,
+                depths=depths,
+                core_sizes=core_sizes,
+                formula_sizes=formula_sizes,
+                overlaps=overlaps,
+            )
+        )
+    return CorrelationReport(rows=report_rows)

@@ -1,0 +1,93 @@
+"""Fig. 6: scatter plots of per-model CPU time, standard BMC (x-axis)
+vs the new method (y-axis), one panel per configuration.
+
+Dots under the diagonal are wins for the refined ordering.  Rendered as
+ASCII scatter plots on log-log axes (the paper's panels are linear, but
+our per-row times span three orders of magnitude), plus CSV export.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import List, Optional, Tuple
+
+from repro.experiments.table1 import Table1Report
+
+
+def scatter_points(report: Table1Report, method: str) -> List[Tuple[str, float, float]]:
+    """(model, bmc_time, method_time) triples."""
+    return [
+        (row.instance.name, row.time_of("bmc"), row.time_of(method))
+        for row in report.rows
+    ]
+
+
+def render_ascii_scatter(
+    points: List[Tuple[str, float, float]],
+    title: str,
+    size: int = 25,
+) -> str:
+    """A log-log ASCII scatter with the diagonal marked.
+
+    ``*`` = a model (multiple models in one cell render ``N``); ``.`` =
+    the x == y diagonal.  Points below the diagonal are wins for the
+    y-axis method.
+    """
+    values = [v for _, x, y in points for v in (x, y) if v > 0]
+    if not values:
+        return f"{title}\n(no data)\n"
+    lo = min(values)
+    hi = max(values)
+    if hi <= lo:
+        hi = lo * 10
+    log_lo, log_hi = math.log10(lo), math.log10(hi)
+    span = log_hi - log_lo
+
+    def cell(value: float) -> int:
+        clamped = min(max(value, lo), hi)
+        return int(round((math.log10(clamped) - log_lo) / span * (size - 1)))
+
+    grid = [[" "] * size for _ in range(size)]
+    for d in range(size):
+        grid[size - 1 - d][d] = "."
+    counts = {}
+    for _, x, y in points:
+        key = (size - 1 - cell(y), cell(x))
+        counts[key] = counts.get(key, 0) + 1
+    for (row, col), count in counts.items():
+        grid[row][col] = "*" if count == 1 else str(min(count, 9))
+
+    below = sum(1 for _, x, y in points if y < x)
+    out = io.StringIO()
+    out.write(f"{title}  [x: bmc seconds, y: new method seconds, log-log]\n")
+    out.write(f"({below}/{len(points)} models under the diagonal = wins)\n")
+    for row in grid:
+        out.write("|" + "".join(row) + "\n")
+    out.write("+" + "-" * size + "\n")
+    out.write(f" {lo:.3g}s  ->  {hi:.3g}s\n")
+    return out.getvalue()
+
+
+def render_fig6(report: Table1Report) -> str:
+    """Both panels (static and dynamic), like the paper's Fig. 6."""
+    out = io.StringIO()
+    for method in ("static", "dynamic"):
+        out.write(render_ascii_scatter(
+            scatter_points(report, method),
+            f"Fig. 6 ({method}): BMC vs refine_order BMC",
+        ))
+        out.write("\n")
+    return out.getvalue()
+
+
+def fig6_csv(report: Table1Report) -> str:
+    """CSV export of the scatter data."""
+    out = io.StringIO()
+    out.write("model,bmc_s,static_s,dynamic_s\n")
+    for row in report.rows:
+        out.write(
+            f"{row.instance.name},{row.time_of('bmc'):.6f},"
+            f"{row.time_of('static'):.6f},{row.time_of('dynamic'):.6f}\n"
+        )
+    return out.getvalue()

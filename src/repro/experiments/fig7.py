@@ -1,0 +1,117 @@
+"""Fig. 7: per-depth statistics on the 02_3_b2 analogue.
+
+Two log-scale series pairs over the unrolling depth: the number of
+decisions and the number of implications, for standard BMC vs
+refine-order BMC.  Smaller decision counts mean smaller search trees —
+the paper's mechanism for the speedups.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import InstanceResult, run_instance
+from repro.workloads.suite import FIG7_INSTANCE, SuiteInstance, instance_by_name
+
+
+@dataclass
+class Fig7Data:
+    """Per-depth series for the two methods."""
+
+    instance_name: str
+    depths: List[int]
+    bmc_decisions: List[int]
+    ref_decisions: List[int]
+    bmc_implications: List[int]
+    ref_implications: List[int]
+
+
+def run_fig7(
+    instance: Optional[SuiteInstance] = None,
+    refined_method: str = "dynamic",
+) -> Fig7Data:
+    """Run both methods on the Fig. 7 model and collect per-depth series."""
+    row = instance if instance is not None else instance_by_name(FIG7_INSTANCE)
+    baseline = run_instance(row, "bmc")
+    refined = run_instance(row, refined_method)
+    depths = [d.k for d in baseline.per_depth]
+    ref_by_k = {d.k: d for d in refined.per_depth}
+    return Fig7Data(
+        instance_name=row.name,
+        depths=depths,
+        bmc_decisions=[d.decisions for d in baseline.per_depth],
+        ref_decisions=[ref_by_k[k].decisions for k in depths if k in ref_by_k],
+        bmc_implications=[d.propagations for d in baseline.per_depth],
+        ref_implications=[ref_by_k[k].propagations for k in depths if k in ref_by_k],
+    )
+
+
+def _render_series(
+    title: str,
+    depths: Sequence[int],
+    series_a: Sequence[int],
+    series_b: Sequence[int],
+    label_a: str = "BMC",
+    label_b: str = "ref_ord_BMC",
+    height: int = 12,
+) -> str:
+    """ASCII log-scale chart of two series over depth (paper style)."""
+    out = io.StringIO()
+    out.write(f"{title}  (x: unrolling depth; log10 y; {label_a}='o', {label_b}='x')\n")
+    all_values = [v for v in list(series_a) + list(series_b) if v > 0]
+    if not all_values:
+        return out.getvalue() + "(no data)\n"
+    log_lo = math.floor(math.log10(min(all_values)))
+    log_hi = math.ceil(math.log10(max(all_values)))
+    if log_hi == log_lo:
+        log_hi += 1
+    width = len(depths)
+
+    def row_of(value: int) -> int:
+        if value <= 0:
+            return 0
+        return int(round((math.log10(value) - log_lo) / (log_hi - log_lo) * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    for col, (va, vb) in enumerate(zip(series_a, series_b)):
+        ra, rb = row_of(va), row_of(vb)
+        grid[height - 1 - ra][col] = "o"
+        if rb == ra:
+            grid[height - 1 - rb][col] = "#"  # overlap
+        else:
+            grid[height - 1 - rb][col] = "x"
+    for i, line in enumerate(grid):
+        exponent = log_hi - i * (log_hi - log_lo) / (height - 1)
+        out.write(f"1e{exponent:4.1f} |" + "".join(line) + "\n")
+    out.write("      +" + "-" * width + "\n")
+    out.write("       k=" + "".join(str(d % 10) for d in depths) + "\n")
+    return out.getvalue()
+
+
+def render_fig7(data: Fig7Data) -> str:
+    """Both panels: decisions and implications per depth."""
+    out = io.StringIO()
+    out.write(f"Fig. 7 analogue on {data.instance_name}\n\n")
+    out.write(_render_series(
+        "Number of Decisions", data.depths, data.bmc_decisions, data.ref_decisions
+    ))
+    out.write("\n")
+    out.write(_render_series(
+        "Number of Implications", data.depths, data.bmc_implications, data.ref_implications
+    ))
+    return out.getvalue()
+
+
+def fig7_csv(data: Fig7Data) -> str:
+    """CSV export of the per-depth series."""
+    out = io.StringIO()
+    out.write("k,bmc_decisions,ref_decisions,bmc_implications,ref_implications\n")
+    for i, k in enumerate(data.depths):
+        out.write(
+            f"{k},{data.bmc_decisions[i]},{data.ref_decisions[i]},"
+            f"{data.bmc_implications[i]},{data.ref_implications[i]}\n"
+        )
+    return out.getvalue()

@@ -1,0 +1,156 @@
+"""Table 1: CPU time of standard BMC vs refine-order BMC (static &
+dynamic) over the 37-instance suite, with TOTAL and RATIO rows.
+
+Reproduces the layout of the paper's Table 1: model name, T/F column
+(``F`` for failing properties, ``(k)`` for capped true rows), and one
+time column per method.  Adds the decision counts, the per-row paper
+reference times, and the two §4 summary claims (average speedup; number
+of improved circuits).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import InstanceResult, run_instance
+from repro.workloads.suite import SuiteInstance, table1_suite
+
+_METHODS = ("bmc", "static", "dynamic")
+
+
+@dataclass
+class Table1Row:
+    """One model row: results for all three methods."""
+
+    instance: SuiteInstance
+    results: Dict[str, InstanceResult]
+
+    @property
+    def tf_label(self) -> str:
+        if self.instance.expected == "fail":
+            return "F"
+        return f"({self.instance.max_depth})"
+
+    def time_of(self, method: str) -> float:
+        """SAT-search seconds of one method on this row."""
+        return self.results[method].solve_time
+
+    def decisions_of(self, method: str) -> int:
+        """Total decisions of one method on this row."""
+        return self.results[method].decisions
+
+
+@dataclass
+class Table1Report:
+    """The full table plus the §4 aggregate claims."""
+
+    rows: List[Table1Row]
+
+    def total(self, method: str) -> float:
+        """The TOTAL row: summed time of a method."""
+        return sum(row.time_of(method) for row in self.rows)
+
+    def ratio(self, method: str) -> float:
+        """The RATIO row: a method's total over standard BMC's."""
+        base = self.total("bmc")
+        return self.total(method) / base if base else float("nan")
+
+    def wins(self, method: str) -> int:
+        """Rows where ``method`` beats standard BMC (paper: 26 static,
+        32 dynamic out of 37)."""
+        return sum(1 for row in self.rows if row.time_of(method) < row.time_of("bmc"))
+
+    def average_speedup(self, method: str) -> float:
+        """Mean per-row relative time reduction (paper: 38% static,
+        42% dynamic)."""
+        reductions = [
+            1.0 - row.time_of(method) / row.time_of("bmc")
+            for row in self.rows
+            if row.time_of("bmc") > 0
+        ]
+        return sum(reductions) / len(reductions) if reductions else float("nan")
+
+    def render(self, show_paper: bool = True) -> str:
+        """Format in the style of the paper's Table 1."""
+        out = io.StringIO()
+        header = f"{'model':10s} {'T/F':6s} {'bmc(s)':>9s} {'sta.(s)':>9s} {'dyn.(s)':>9s} {'bmc dec':>9s} {'sta dec':>8s} {'dyn dec':>8s}"
+        if show_paper:
+            header += f"   {'paper bmc/sta/dyn (s)':>24s}"
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for row in self.rows:
+            line = (
+                f"{row.instance.name:10s} {row.tf_label:6s} "
+                f"{row.time_of('bmc'):9.3f} {row.time_of('static'):9.3f} "
+                f"{row.time_of('dynamic'):9.3f} "
+                f"{row.decisions_of('bmc'):9d} {row.decisions_of('static'):8d} "
+                f"{row.decisions_of('dynamic'):8d}"
+            )
+            if show_paper:
+                paper = row.instance.paper
+                line += f"   {paper.bmc_s:8.0f}/{paper.static_s:5.0f}/{paper.dynamic_s:5.0f}"
+            out.write(line + "\n")
+        out.write("-" * len(header) + "\n")
+        out.write(
+            f"{'TOTAL':10s} {'':6s} {self.total('bmc'):9.3f} "
+            f"{self.total('static'):9.3f} {self.total('dynamic'):9.3f}\n"
+        )
+        out.write(
+            f"{'RATIO':10s} {'':6s} {100.0:8.0f}% {100 * self.ratio('static'):8.0f}% "
+            f"{100 * self.ratio('dynamic'):8.0f}%   (paper: 100% / 62% / 57%)\n"
+        )
+        out.write("\n")
+        out.write(
+            f"average speedup: static {100 * self.average_speedup('static'):.0f}%, "
+            f"dynamic {100 * self.average_speedup('dynamic'):.0f}%  "
+            f"(paper: 38% / 42%)\n"
+        )
+        out.write(
+            f"improved circuits: static {self.wins('static')}/{len(self.rows)}, "
+            f"dynamic {self.wins('dynamic')}/{len(self.rows)}  "
+            f"(paper: 26/37, 32/37)\n"
+        )
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """CSV export of the full table (with paper references)."""
+        out = io.StringIO()
+        out.write(
+            "model,tf,bmc_s,static_s,dynamic_s,bmc_decisions,static_decisions,"
+            "dynamic_decisions,paper_bmc_s,paper_static_s,paper_dynamic_s\n"
+        )
+        for row in self.rows:
+            paper = row.instance.paper
+            out.write(
+                f"{row.instance.name},{row.tf_label},"
+                f"{row.time_of('bmc'):.6f},{row.time_of('static'):.6f},"
+                f"{row.time_of('dynamic'):.6f},"
+                f"{row.decisions_of('bmc')},{row.decisions_of('static')},"
+                f"{row.decisions_of('dynamic')},"
+                f"{paper.bmc_s},{paper.static_s},{paper.dynamic_s}\n"
+            )
+        return out.getvalue()
+
+
+def run_table1(
+    rows: Optional[Sequence[SuiteInstance]] = None,
+    methods: Sequence[str] = _METHODS,
+    verbose: bool = False,
+) -> Table1Report:
+    """Run the full Table 1 experiment (or a subset of rows)."""
+    suite = list(rows) if rows is not None else table1_suite()
+    table_rows: List[Table1Row] = []
+    for instance in suite:
+        results = {}
+        for method in methods:
+            results[method] = run_instance(instance, method)
+            if verbose:
+                r = results[method]
+                print(
+                    f"  {instance.name} {method}: {r.status} k={r.depth_reached} "
+                    f"t={r.solve_time:.3f}s dec={r.decisions}"
+                )
+        table_rows.append(Table1Row(instance=instance, results=results))
+    return Table1Report(rows=table_rows)

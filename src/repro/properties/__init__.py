@@ -1,0 +1,5 @@
+"""Invariant property specifications over named circuit nets."""
+
+from repro.properties.expr import PropertyError, compile_property, parse_property
+
+__all__ = ["compile_property", "parse_property", "PropertyError"]

@@ -1,0 +1,220 @@
+"""A small boolean expression language for invariant properties.
+
+VIS properties are written over named signals; this module provides the
+same convenience: compile ``"!(grant0 & grant1)"`` against a circuit and
+get back a net asserting the invariant ``G expr``.
+
+Grammar (standard precedence, lowest first)::
+
+    expr     := iff
+    iff      := implies ( '<->' implies )*
+    implies  := or ( '->' or )*          (right-associative)
+    or       := xor ( ('|' | '||') xor )*
+    xor      := and ( '^' and )*
+    and      := unary ( ('&' | '&&') unary )*
+    unary    := '!' unary | primary
+    primary  := '(' expr ')' | '0' | '1' | IDENT
+
+Identifiers are circuit net names (letters, digits, ``_``, ``.``, ``[]``).
+The compiler emits gates into the circuit and returns the root net.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.circuit.netlist import Circuit
+
+
+class PropertyError(ValueError):
+    """Raised on syntax errors or unknown signal names."""
+
+
+# --- AST -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Node"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # '&', '|', '^', '->', '<->'
+    left: "Node"
+    right: "Node"
+
+
+Node = Union[Name, Const, Not, BinOp]
+
+
+# --- tokenizer ------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<op><->|->|\|\||&&|[!&|^()])|(?P<const>[01])(?![\w.])"
+    r"|(?P<ident>[A-Za-z_][\w.\[\]]*))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise PropertyError(f"bad token at {remainder[:12]!r}")
+        position = match.end()
+        if match.group("op"):
+            op = match.group("op")
+            tokens.append(("op", {"||": "|", "&&": "&"}.get(op, op)))
+        elif match.group("const"):
+            tokens.append(("const", match.group("const")))
+        else:
+            tokens.append(("ident", match.group("ident")))
+    return tokens
+
+
+# --- parser ----------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _take(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise PropertyError("unexpected end of expression")
+        self._pos += 1
+        return token
+
+    def _accept_op(self, *ops: str) -> Optional[str]:
+        token = self._peek()
+        if token is not None and token[0] == "op" and token[1] in ops:
+            self._pos += 1
+            return token[1]
+        return None
+
+    def parse(self) -> Node:
+        node = self._iff()
+        if self._peek() is not None:
+            raise PropertyError(f"trailing input at token {self._peek()[1]!r}")
+        return node
+
+    def _iff(self) -> Node:
+        node = self._implies()
+        while self._accept_op("<->"):
+            node = BinOp("<->", node, self._implies())
+        return node
+
+    def _implies(self) -> Node:
+        node = self._or()
+        if self._accept_op("->"):
+            return BinOp("->", node, self._implies())  # right-associative
+        return node
+
+    def _or(self) -> Node:
+        node = self._xor()
+        while self._accept_op("|"):
+            node = BinOp("|", node, self._xor())
+        return node
+
+    def _xor(self) -> Node:
+        node = self._and()
+        while self._accept_op("^"):
+            node = BinOp("^", node, self._and())
+        return node
+
+    def _and(self) -> Node:
+        node = self._unary()
+        while self._accept_op("&"):
+            node = BinOp("&", node, self._unary())
+        return node
+
+    def _unary(self) -> Node:
+        if self._accept_op("!"):
+            return Not(self._unary())
+        return self._primary()
+
+    def _primary(self) -> Node:
+        if self._accept_op("("):
+            node = self._iff()
+            if not self._accept_op(")"):
+                raise PropertyError("missing closing parenthesis")
+            return node
+        kind, value = self._take()
+        if kind == "const":
+            return Const(int(value))
+        if kind == "ident":
+            return Name(value)
+        raise PropertyError(f"unexpected token {value!r}")
+
+
+def parse_property(text: str) -> Node:
+    """Parse an invariant expression into an AST (no circuit needed)."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise PropertyError("empty property expression")
+    return _Parser(tokens).parse()
+
+
+# --- compiler --------------------------------------------------------------
+
+
+def compile_property(circuit: Circuit, text: str, name: Optional[str] = None) -> int:
+    """Compile an invariant expression to a net of ``circuit``.
+
+    Signal names resolve through the circuit's name table.  Returns the
+    root net; pass it as the ``property_net`` of any BMC/induction engine
+    (the checked property is ``G <expr>``).
+    """
+    ast = parse_property(text)
+
+    def emit(node: Node) -> int:
+        if isinstance(node, Const):
+            return circuit.const(node.value)
+        if isinstance(node, Name):
+            try:
+                return circuit.find(node.ident)
+            except KeyError:
+                raise PropertyError(f"unknown signal {node.ident!r}") from None
+        if isinstance(node, Not):
+            return circuit.g_not(emit(node.operand))
+        if isinstance(node, BinOp):
+            left = emit(node.left)
+            right = emit(node.right)
+            if node.op == "&":
+                return circuit.g_and(left, right)
+            if node.op == "|":
+                return circuit.g_or(left, right)
+            if node.op == "^":
+                return circuit.g_xor(left, right)
+            if node.op == "->":
+                return circuit.g_or(circuit.g_not(left), right)
+            if node.op == "<->":
+                return circuit.g_xnor(left, right)
+        raise AssertionError(f"unhandled node {node!r}")
+
+    net = emit(ast)
+    if name is not None:
+        circuit.set_name(net, name)
+    return net

@@ -1,0 +1,59 @@
+"""CDCL SAT solving with unsat-core extraction via a simplified CDG.
+
+Public surface:
+
+* :class:`CdclSolver` / :func:`solve_formula` — the solver.
+* :class:`SolverConfig` — tunables and budgets.
+* :class:`SolveOutcome`, :class:`SolveResult` — results.
+* Strategies: :class:`VsidsStrategy`, :class:`RankedStrategy`,
+  :class:`FixedOrderStrategy` (see ``repro.sat.heuristics``).
+* :class:`ConflictDependencyGraph` — the paper's §3.1 structure.
+* :func:`check_proof` / :class:`ResolutionProof` — independent UNSAT
+  verification.
+"""
+
+from repro.sat.cdg import ConflictDependencyGraph
+from repro.sat.heuristics import (
+    BerkMinStrategy,
+    ChaffScores,
+    DecisionStrategy,
+    FixedOrderStrategy,
+    RankedStrategy,
+    VsidsStrategy,
+)
+from repro.sat.proof import ProofError, ResolutionProof, check_proof
+from repro.sat.solver import CdclSolver, SolverConfig, luby, solve_formula
+from repro.sat.elimination import EliminationResult, eliminate_variables
+from repro.sat.proof import drup_str, write_drup
+from repro.sat.simplify import SimplifyResult, simplify
+from repro.sat.trim import TrimResult, trim_core
+from repro.sat.stats import SolverStats
+from repro.sat.types import SolveOutcome, SolveResult
+
+__all__ = [
+    "CdclSolver",
+    "SolverConfig",
+    "solve_formula",
+    "luby",
+    "SolveOutcome",
+    "SolveResult",
+    "SolverStats",
+    "DecisionStrategy",
+    "VsidsStrategy",
+    "RankedStrategy",
+    "BerkMinStrategy",
+    "FixedOrderStrategy",
+    "ChaffScores",
+    "ConflictDependencyGraph",
+    "ResolutionProof",
+    "ProofError",
+    "check_proof",
+    "TrimResult",
+    "trim_core",
+    "SimplifyResult",
+    "simplify",
+    "EliminationResult",
+    "eliminate_variables",
+    "write_drup",
+    "drup_str",
+]

@@ -1,0 +1,144 @@
+"""Simplified Conflict Dependency Graph (paper §3.1).
+
+Chaff-style solvers periodically delete conflict clauses, which would break
+the resolution bookkeeping needed to rebuild an unsatisfiable core.  The
+paper's fix: keep — *separately from the clause database* — only the
+dependency relation, with each clause replaced by an integer pseudo-ID.
+
+This module is that structure.  Clause IDs are assigned by the solver:
+
+* IDs ``0 .. num_original - 1`` are the original formula's clauses (their
+  CNF-formula indices), which are the CDG's leaves;
+* IDs ``>= num_original`` are conflict clauses, each mapped to the tuple of
+  antecedent IDs that were resolved to derive it (including the reason
+  chains of any eliminated level-0 literals, so every entry is a complete
+  resolution derivation).
+
+Deleting a conflict clause from the solver's database leaves its CDG entry
+untouched, so the backward traversal from the final conflict always
+reconstructs a complete core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+
+class ConflictDependencyGraph:
+    """Maps conflict-clause pseudo-IDs to their antecedent pseudo-IDs."""
+
+    def __init__(self, num_original: int) -> None:
+        if num_original < 0:
+            raise ValueError("num_original must be non-negative")
+        self._num_original = num_original
+        self._extra_originals: set = set()
+        self._antecedents: Dict[int, Tuple[int, ...]] = {}
+        self._final_antecedents: Optional[Tuple[int, ...]] = None
+
+    @property
+    def num_original(self) -> int:
+        """Number of initially registered original (leaf) clauses."""
+        return self._num_original
+
+    @property
+    def num_entries(self) -> int:
+        """Number of recorded conflict clauses."""
+        return len(self._antecedents)
+
+    def register_original(self, clause_id: int) -> None:
+        """Declare a later-added clause (incremental interface) a leaf.
+
+        Incremental solving interleaves original and conflict clause IDs;
+        leaves added after construction are registered here.
+        """
+        if clause_id in self._antecedents:
+            raise ValueError(f"clause id {clause_id} is a recorded conflict clause")
+        if clause_id < self._num_original:
+            raise ValueError(f"clause id {clause_id} is already original")
+        self._extra_originals.add(clause_id)
+
+    def is_original(self, clause_id: int) -> bool:
+        """True if the ID denotes an original clause (a leaf)."""
+        return (0 <= clause_id < self._num_original) or clause_id in self._extra_originals
+
+    def add(self, clause_id: int, antecedents: Sequence[int]) -> None:
+        """Record a conflict clause's derivation.
+
+        Every antecedent must be either an original clause or a previously
+        recorded conflict clause (derivations are acyclic by construction).
+        """
+        if self.is_original(clause_id):
+            raise ValueError(f"clause id {clause_id} collides with original clauses")
+        if clause_id in self._antecedents:
+            raise ValueError(f"clause id {clause_id} already recorded")
+        for ant in antecedents:
+            if not self.is_original(ant) and ant not in self._antecedents:
+                raise ValueError(
+                    f"antecedent {ant} of clause {clause_id} is unknown"
+                )
+            if ant >= clause_id:
+                raise ValueError(
+                    f"antecedent {ant} of clause {clause_id} is not older"
+                )
+        self._antecedents[clause_id] = tuple(antecedents)
+
+    def antecedents_of(self, clause_id: int) -> Tuple[int, ...]:
+        """Antecedent tuple of a recorded conflict clause."""
+        return self._antecedents[clause_id]
+
+    def set_final_conflict(self, antecedents: Sequence[int]) -> None:
+        """Record the antecedents of the final (empty-clause) conflict."""
+        for ant in antecedents:
+            if not self.is_original(ant) and ant not in self._antecedents:
+                raise ValueError(f"final-conflict antecedent {ant} is unknown")
+        self._final_antecedents = tuple(antecedents)
+
+    @property
+    def final_antecedents(self) -> Optional[Tuple[int, ...]]:
+        return self._final_antecedents
+
+    def unsat_core(self) -> FrozenSet[int]:
+        """Original clause IDs reachable backward from the final conflict.
+
+        This is the paper's core extraction: traverse the resolution graph
+        from the empty clause toward the leaves; the original clauses
+        encountered form an unsatisfiable core (Fig. 2).
+        """
+        if self._final_antecedents is None:
+            raise RuntimeError("no final conflict recorded (formula not proven UNSAT)")
+        core = set()
+        visited = set()
+        stack = list(self._final_antecedents)
+        while stack:
+            clause_id = stack.pop()
+            if clause_id in visited:
+                continue
+            visited.add(clause_id)
+            if self.is_original(clause_id):
+                core.add(clause_id)
+            else:
+                stack.extend(self._antecedents[clause_id])
+        return frozenset(core)
+
+    def reachable_conflict_clauses(self) -> FrozenSet[int]:
+        """Conflict-clause IDs used by the final derivation (for proof
+        replay and for measuring how much of the learning was relevant)."""
+        if self._final_antecedents is None:
+            raise RuntimeError("no final conflict recorded")
+        used = set()
+        visited = set()
+        stack = list(self._final_antecedents)
+        while stack:
+            clause_id = stack.pop()
+            if clause_id in visited:
+                continue
+            visited.add(clause_id)
+            if not self.is_original(clause_id):
+                used.add(clause_id)
+                stack.extend(self._antecedents[clause_id])
+        return frozenset(used)
+
+    def memory_footprint(self) -> int:
+        """Approximate entry count (IDs stored), the paper's "pseudo ID
+        overhead" — used by the CDG-overhead benchmark."""
+        return sum(1 + len(ants) for ants in self._antecedents.values())

@@ -1,0 +1,167 @@
+"""Bounded variable elimination (NiVER / SatELite style).
+
+Eliminates a variable ``v`` by replacing every clause containing ``v`` or
+``¬v`` with the set of their non-tautological resolvents on ``v`` —
+*when that does not grow the formula* (the NiVER criterion, here measured
+in literals).  The result is equisatisfiable, not equivalent: eliminated
+variables disappear from the formula, so satisfying assignments must be
+*extended* back — :meth:`EliminationResult.extend_model` replays the
+elimination stack in reverse, choosing each eliminated variable's value
+to satisfy its original clauses (always possible, by the resolution
+completeness argument).
+
+``frozen`` variables are never eliminated — BMC callers freeze the
+variables they need to read back (inputs, latches, the property), and
+the refine-order machinery would freeze ranked variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.cnf.formula import CnfFormula
+
+
+@dataclass
+class EliminationResult:
+    """Outcome of bounded variable elimination.
+
+    ``formula`` is over the same variable numbering (eliminated variables
+    simply no longer occur).  ``eliminated`` holds, per eliminated
+    variable in elimination order, the original clauses that mentioned it
+    (as literal tuples) — the data model extension needs.
+    """
+
+    formula: CnfFormula
+    eliminated: List[Tuple[int, List[Tuple[int, ...]]]] = field(default_factory=list)
+
+    @property
+    def num_eliminated(self) -> int:
+        return len(self.eliminated)
+
+    def extend_model(self, model: Sequence[int]) -> List[int]:
+        """Extend a model of the simplified formula to the original.
+
+        Processes the elimination stack in reverse; for each variable,
+        picks the value satisfying all its recorded clauses (clauses
+        already satisfied by other literals impose no constraint).
+        """
+        extended = list(model)
+        for var, clauses in reversed(self.eliminated):
+            value_needed = None
+            for clause in clauses:
+                satisfied = False
+                for lit in clause:
+                    other = lit >> 1
+                    if other == var:
+                        continue
+                    if extended[other] ^ (lit & 1) == 1:
+                        satisfied = True
+                        break
+                if satisfied:
+                    continue
+                # The clause hinges on var's literal.
+                phase_needed = next(
+                    1 ^ (lit & 1) for lit in clause if (lit >> 1) == var
+                )
+                if value_needed is None:
+                    value_needed = phase_needed
+                elif value_needed != phase_needed:
+                    raise ValueError(
+                        "model does not satisfy the simplified formula "
+                        f"(conflicting requirements on eliminated var {var})"
+                    )
+            extended[var] = value_needed if value_needed is not None else 0
+        return extended
+
+
+def _resolve(pos_clause: Tuple[int, ...], neg_clause: Tuple[int, ...], var: int):
+    """Resolvent on ``var``; returns None for tautologies."""
+    merged: Set[int] = set()
+    for lit in pos_clause:
+        if (lit >> 1) != var:
+            merged.add(lit)
+    for lit in neg_clause:
+        if (lit >> 1) != var:
+            if (lit ^ 1) in merged:
+                return None
+            merged.add(lit)
+    return tuple(sorted(merged))
+
+
+def eliminate_variables(
+    formula: CnfFormula,
+    frozen: Optional[Iterable[int]] = None,
+    max_clause_size: int = 16,
+    growth_slack: int = 0,
+) -> EliminationResult:
+    """Run NiVER-style elimination to a fixpoint.
+
+    A variable is eliminated when the resolvent set is no larger (in
+    literals, up to ``growth_slack``) than the clauses removed, and no
+    resolvent exceeds ``max_clause_size`` literals.
+    """
+    frozen_set = set(frozen or ())
+    clauses: List[Optional[Tuple[int, ...]]] = []
+    for clause in formula.clauses:
+        lits = tuple(sorted(set(clause.literals)))
+        if any((lit ^ 1) in lits for lit in lits):
+            continue  # tautologies constrain nothing
+        clauses.append(lits)
+
+    result = EliminationResult(formula=CnfFormula(formula.num_vars))
+    changed = True
+    while changed:
+        changed = False
+        occurs: Dict[int, List[int]] = {}
+        for index, lits in enumerate(clauses):
+            if lits is None:
+                continue
+            for lit in lits:
+                occurs.setdefault(lit, []).append(index)
+
+        for var in range(formula.num_vars):
+            if var in frozen_set:
+                continue
+            pos_indices = [i for i in occurs.get(2 * var, ()) if clauses[i] is not None]
+            neg_indices = [i for i in occurs.get(2 * var + 1, ()) if clauses[i] is not None]
+            if not pos_indices and not neg_indices:
+                continue  # var already absent
+            old_literals = sum(
+                len(clauses[i]) for i in pos_indices + neg_indices
+            )
+            resolvents: Set[Tuple[int, ...]] = set()
+            acceptable = True
+            for pi in pos_indices:
+                for ni in neg_indices:
+                    resolvent = _resolve(clauses[pi], clauses[ni], var)
+                    if resolvent is None:
+                        continue
+                    if len(resolvent) > max_clause_size:
+                        acceptable = False
+                        break
+                    resolvents.add(resolvent)
+                if not acceptable:
+                    break
+            if not acceptable:
+                continue
+            new_literals = sum(len(r) for r in resolvents)
+            if new_literals > old_literals + growth_slack:
+                continue
+            # Eliminate: record the removed clauses, splice in resolvents.
+            removed = [clauses[i] for i in pos_indices + neg_indices]
+            result.eliminated.append((var, [tuple(c) for c in removed]))
+            for i in pos_indices + neg_indices:
+                clauses[i] = None
+            clauses.extend(sorted(resolvents))
+            changed = True
+            # Occurrence index is stale now; restart the variable sweep.
+            break
+
+    simplified = CnfFormula(formula.num_vars)
+    for lits in clauses:
+        if lits is not None:
+            simplified.add_clause(lits)
+    result.formula = simplified
+    return result

@@ -1,0 +1,287 @@
+"""Decision-ordering strategies (paper §3.3).
+
+The solver is strategy-agnostic: it calls ``decide()`` for the next branch
+literal and reports conflicts/backtracks.  Three orderings matter for the
+paper:
+
+* :class:`VsidsStrategy` — Chaff's VSIDS, with the exact update rule the
+  paper quotes: every literal ``l`` holds ``cha_score(l)``, initialised to
+  its literal count in the CNF and periodically updated as
+  ``cha_score(l) = cha_score(l) / 2 + new_lit_counts(l)``.
+* :class:`RankedStrategy` (static) — the paper's refined ordering: sort
+  primarily by the pre-computed per-variable ``bmc_score``, with
+  ``cha_score`` only as a tiebreaker, for the whole solve.
+* :class:`RankedStrategy` (dynamic) — same initial ordering, but falls
+  back to pure VSIDS as soon as the number of decisions exceeds
+  ``1/64`` of the number of original literals (a sign the prediction is
+  inaccurate and the instance is hard).
+
+All strategies share the Chaff mechanics: a periodically re-sorted literal
+order scanned with a moving pointer that is reset on backtrack.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sat.solver import CdclSolver
+
+#: How many conflicts between two score halvings / order rebuilds.
+#: Chaff used an update period of this order; the paper just says
+#: "periodically".
+DEFAULT_UPDATE_PERIOD = 256
+
+
+class ChaffScores:
+    """The per-literal ``cha_score`` array with Chaff's decay rule."""
+
+    def __init__(self, num_vars: int, initial_counts: Sequence[int]) -> None:
+        if len(initial_counts) != 2 * num_vars:
+            raise ValueError("initial_counts must have one entry per literal")
+        self.num_vars = num_vars
+        self.score = [float(c) for c in initial_counts]
+        self.new_counts = [0] * (2 * num_vars)
+
+    def on_learned_clause(self, literals: Iterable[int]) -> None:
+        """Count literals of a freshly learned conflict clause."""
+        new_counts = self.new_counts
+        for lit in literals:
+            new_counts[lit] += 1
+
+    def periodic_update(self) -> None:
+        """Apply ``cha_score = cha_score / 2 + new_lit_counts``; reset counts."""
+        score = self.score
+        new_counts = self.new_counts
+        for lit in range(len(score)):
+            score[lit] = score[lit] / 2.0 + new_counts[lit]
+            new_counts[lit] = 0
+
+
+class DecisionStrategy(ABC):
+    """Interface between the CDCL solver and a decision ordering."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._solver: Optional["CdclSolver"] = None
+
+    def attach(self, solver: "CdclSolver") -> None:
+        """Bind to a solver; called once before solving starts."""
+        self._solver = solver
+
+    @abstractmethod
+    def decide(self) -> int:
+        """Next branch literal (packed), or ``-1`` if every variable is
+        assigned (the formula is satisfied)."""
+
+    def on_conflict(self, learned_literals: Sequence[int]) -> None:
+        """Called after each conflict with the learned clause's literals."""
+
+    def on_backtrack(self) -> None:
+        """Called whenever the solver undoes assignments (incl. restarts)."""
+
+
+class _ScanOrderStrategy(DecisionStrategy):
+    """Shared mechanics: a sorted literal order + scan pointer + rebuilds."""
+
+    def __init__(self, update_period: int = DEFAULT_UPDATE_PERIOD) -> None:
+        super().__init__()
+        if update_period <= 0:
+            raise ValueError("update_period must be positive")
+        self._update_period = update_period
+        self._scores: Optional[ChaffScores] = None
+        self._order: list = []
+        self._ptr = 0
+        self._conflicts_since_update = 0
+
+    def attach(self, solver: "CdclSolver") -> None:
+        super().attach(solver)
+        self._scores = ChaffScores(solver.num_vars, solver.original_literal_counts())
+        self._rebuild_order()
+
+    def _sort_key(self, lit: int):
+        """Sort key; higher sorts earlier.  Subclasses override."""
+        raise NotImplementedError
+
+    def _rebuild_order(self) -> None:
+        num_lits = 2 * self._scores.num_vars
+        self._order = sorted(range(num_lits), key=self._sort_key)
+        self._ptr = 0
+
+    def on_conflict(self, learned_literals: Sequence[int]) -> None:
+        self._scores.on_learned_clause(learned_literals)
+        self._conflicts_since_update += 1
+        if self._conflicts_since_update >= self._update_period:
+            self._conflicts_since_update = 0
+            self._scores.periodic_update()
+            self._rebuild_order()
+
+    def on_backtrack(self) -> None:
+        self._ptr = 0
+
+    def decide(self) -> int:
+        assigns = self._solver.assigns
+        order = self._order
+        ptr = self._ptr
+        n = len(order)
+        while ptr < n:
+            lit = order[ptr]
+            if assigns[lit >> 1] == -1:
+                self._ptr = ptr
+                return lit
+            ptr += 1
+        self._ptr = ptr
+        return -1
+
+
+class VsidsStrategy(_ScanOrderStrategy):
+    """Chaff's VSIDS: sort all literals by ``cha_score`` alone."""
+
+    name = "vsids"
+
+    def _sort_key(self, lit: int):
+        # Sort descending by score; break ties toward lower literal index
+        # so runs are deterministic.
+        return (-self._scores.score[lit], lit)
+
+
+class RankedStrategy(_ScanOrderStrategy):
+    """The paper's refined ordering over a pre-computed variable ranking.
+
+    ``var_rank`` maps variable index to its ``bmc_score`` (missing
+    variables score 0).  In *static* mode the ordering is
+    ``(bmc_score, cha_score)`` for the entire solve.  In *dynamic* mode the
+    strategy watches the solver's decision counter and permanently reverts
+    to pure VSIDS once it exceeds ``num_original_literals / switch_divisor``
+    (the paper uses a divisor of 64).
+    """
+
+    name = "ranked"
+
+    def __init__(
+        self,
+        var_rank: Mapping[int, float],
+        dynamic: bool = False,
+        switch_divisor: int = 64,
+        update_period: int = DEFAULT_UPDATE_PERIOD,
+    ) -> None:
+        super().__init__(update_period=update_period)
+        if switch_divisor <= 0:
+            raise ValueError("switch_divisor must be positive")
+        self._var_rank = dict(var_rank)
+        self._dynamic = dynamic
+        self._switch_divisor = switch_divisor
+        self._switched = False
+        self._switch_threshold = 0
+        self.name = "ranked-dynamic" if dynamic else "ranked-static"
+
+    @property
+    def switched(self) -> bool:
+        """True once the dynamic fallback to VSIDS has triggered."""
+        return self._switched
+
+    def attach(self, solver: "CdclSolver") -> None:
+        """Bind to a solver and compute the dynamic switch threshold."""
+        self._switch_threshold = solver.num_original_literals() // self._switch_divisor
+        super().attach(solver)
+
+    def _sort_key(self, lit: int):
+        score = self._scores.score[lit]
+        if self._switched:
+            return (-score, lit)
+        rank = self._var_rank.get(lit >> 1, 0.0)
+        return (-rank, -score, lit)
+
+    def decide(self) -> int:
+        """Next branch literal; may trigger the dynamic VSIDS fallback."""
+        if (
+            self._dynamic
+            and not self._switched
+            and self._solver.stats.decisions > self._switch_threshold
+        ):
+            self._switched = True
+            self._rebuild_order()
+        return super().decide()
+
+
+class BerkMinStrategy(_ScanOrderStrategy):
+    """A BerkMin-flavoured ordering (Goldberg & Novikov, DATE'02 — the
+    paper's reference [7]).
+
+    BerkMin organises conflict clauses chronologically and branches on a
+    literal of the *most recent unresolved* conflict clause, falling back
+    to a global activity order when every conflict clause is satisfied.
+    This implementation keeps the solver-side mechanics identical to the
+    other strategies (so comparisons isolate the ordering): a bounded
+    stack of recent learned clauses is scanned newest-first for an
+    unresolved one, choosing its highest-``cha_score`` free literal;
+    otherwise the VSIDS scan order decides.
+    """
+
+    name = "berkmin"
+
+    def __init__(
+        self,
+        update_period: int = DEFAULT_UPDATE_PERIOD,
+        recent_limit: int = 512,
+    ) -> None:
+        super().__init__(update_period=update_period)
+        if recent_limit <= 0:
+            raise ValueError("recent_limit must be positive")
+        self._recent_limit = recent_limit
+        self._recent: list = []  # newest last
+
+    def _sort_key(self, lit: int):
+        return (-self._scores.score[lit], lit)
+
+    def on_conflict(self, learned_literals: Sequence[int]) -> None:
+        """Record the clause on the recency stack and update scores."""
+        super().on_conflict(learned_literals)
+        self._recent.append(tuple(learned_literals))
+        if len(self._recent) > self._recent_limit:
+            del self._recent[: len(self._recent) // 2]
+
+    def decide(self) -> int:
+        """Branch from the newest unresolved conflict clause, else VSIDS."""
+        solver = self._solver
+        assigns = solver.assigns
+        for clause in reversed(self._recent):
+            satisfied = False
+            free = []
+            for lit in clause:
+                value = assigns[lit >> 1]
+                if value == -1:
+                    free.append(lit)
+                elif value ^ (lit & 1) == 1:
+                    satisfied = True
+                    break
+            if satisfied or not free:
+                continue
+            score = self._scores.score
+            return max(free, key=lambda lit: (score[lit], -lit))
+        return super().decide()
+
+
+class FixedOrderStrategy(DecisionStrategy):
+    """Branch on an explicit literal sequence, then fall back to first
+    unassigned variable (positive phase).  Useful in tests and for
+    reproducing hand-constructed search trees."""
+
+    name = "fixed"
+
+    def __init__(self, literal_order: Sequence[int]) -> None:
+        super().__init__()
+        self._literal_order = list(literal_order)
+
+    def decide(self) -> int:
+        """Follow the fixed order, then first unassigned variable."""
+        assigns = self._solver.assigns
+        for lit in self._literal_order:
+            if assigns[lit >> 1] == -1:
+                return lit
+        for var in range(self._solver.num_vars):
+            if assigns[var] == -1:
+                return 2 * var
+        return -1

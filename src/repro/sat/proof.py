@@ -1,0 +1,152 @@
+"""Independent checking of UNSAT answers (paper reference [18]).
+
+Zhang & Malik validate SAT solvers by replaying the resolution derivations
+of all learned clauses.  We do the same over our simplified CDG: each
+learned clause, and finally the empty clause, must be derivable from its
+recorded antecedents.  Derivability is checked by *reverse unit
+propagation* (RUP) restricted to the antecedent clauses: assume the
+negation of the derived clause, unit-propagate over the antecedents only,
+and demand a conflict.  RUP subsumes trivial-resolution replay and is
+insensitive to resolution order, which keeps the checker independent of
+the solver's internals.
+
+The checker is deliberately naive (counter-based propagation, no watched
+literals): slow but simple enough to audit, which is the point of an
+independent verifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cnf.formula import CnfFormula
+
+
+class ProofError(ValueError):
+    """Raised when a proof step cannot be validated."""
+
+
+@dataclass
+class ResolutionProof:
+    """A solver-exported refutation.
+
+    ``learned`` maps each conflict-clause pseudo-ID to its literal tuple
+    and antecedent IDs, in derivation order.  ``final_antecedents`` are the
+    antecedents of the empty clause.  ``extra_originals`` holds literal
+    tuples of original clauses added through the incremental interface
+    (their IDs live beyond ``num_original``).
+    """
+
+    num_original: int
+    learned: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]]
+    final_antecedents: Tuple[int, ...]
+    extra_originals: Dict[int, Tuple[int, ...]] = None
+
+    def __post_init__(self):
+        if self.extra_originals is None:
+            self.extra_originals = {}
+
+
+def _rup_holds(target_lits: Sequence[int], antecedent_clauses: List[Sequence[int]]) -> bool:
+    """True if asserting the negation of ``target_lits`` and propagating
+    over ``antecedent_clauses`` alone yields a conflict."""
+    value: Dict[int, int] = {}
+    for lit in target_lits:
+        var, want = lit >> 1, (lit & 1)  # negation of lit is true
+        if var in value and value[var] != want:
+            return True  # negation is itself contradictory (tautology target)
+        value[var] = want
+
+    clauses = [list(c) for c in antecedent_clauses]
+    changed = True
+    while changed:
+        changed = False
+        for clause in clauses:
+            unassigned = None
+            satisfied = False
+            free = 0
+            for lit in clause:
+                var = lit >> 1
+                if var not in value:
+                    free += 1
+                    unassigned = lit
+                elif value[var] == (1 ^ (lit & 1)):
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if free == 0:
+                return True  # conflict reached
+            if free == 1:
+                var = unassigned >> 1
+                value[var] = 1 ^ (unassigned & 1)
+                changed = True
+    return False
+
+
+def write_drup(proof: ResolutionProof, sink) -> None:
+    """Emit the refutation in DRUP format (DIMACS-style lemma lines,
+    ``0``-terminated, ending with the empty clause).
+
+    Any standard DRUP/DRAT checker can then validate the run against the
+    original DIMACS file — interop beyond our own :func:`check_proof`.
+    Deletion lines are not emitted (legal: DRUP deletions are optional
+    hints that only speed checkers up).
+    """
+    from repro.cnf.literals import lit_to_dimacs
+
+    for clause_id in sorted(proof.learned):
+        lits, _ = proof.learned[clause_id]
+        sink.write(" ".join(str(lit_to_dimacs(lit)) for lit in lits) + " 0\n")
+    sink.write("0\n")
+
+
+def drup_str(proof: ResolutionProof) -> str:
+    """The DRUP text of a refutation."""
+    import io
+
+    buffer = io.StringIO()
+    write_drup(proof, buffer)
+    return buffer.getvalue()
+
+
+def check_proof(formula: CnfFormula, proof: ResolutionProof) -> bool:
+    """Validate a refutation against the original formula.
+
+    Raises :class:`ProofError` on the first invalid step; returns ``True``
+    when every learned clause and the final empty clause check out.
+    """
+    if proof.num_original != formula.num_clauses:
+        raise ProofError(
+            f"proof claims {proof.num_original} original clauses, "
+            f"formula has {formula.num_clauses}"
+        )
+
+    def clause_lits(clause_id: int) -> Sequence[int]:
+        if clause_id < proof.num_original:
+            return formula.clause(clause_id).literals
+        if clause_id in proof.extra_originals:
+            return proof.extra_originals[clause_id]
+        if clause_id not in proof.learned:
+            raise ProofError(f"unknown clause id {clause_id}")
+        return proof.learned[clause_id][0]
+
+    for clause_id in sorted(proof.learned):
+        lits, antecedents = proof.learned[clause_id]
+        for ant in antecedents:
+            if ant >= clause_id:
+                raise ProofError(
+                    f"clause {clause_id} cites non-older antecedent {ant}"
+                )
+        ant_clauses = [clause_lits(ant) for ant in antecedents]
+        if not _rup_holds(lits, ant_clauses):
+            raise ProofError(
+                f"learned clause {clause_id} is not RUP-derivable "
+                f"from its {len(antecedents)} antecedents"
+            )
+
+    final_clauses = [clause_lits(ant) for ant in proof.final_antecedents]
+    if not _rup_holds((), final_clauses):
+        raise ProofError("final conflict is not RUP-derivable (empty clause fails)")
+    return True

@@ -1,0 +1,847 @@
+"""A Chaff-style CDCL SAT solver with unsat-core bookkeeping.
+
+This is the substrate the paper instruments: DLL search (Fig. 1 of the
+paper) with two-watched-literal BCP, first-UIP conflict analysis and clause
+learning, Luby restarts, activity-based deletion of learned clauses, and a
+pluggable decision strategy (``repro.sat.heuristics``).
+
+Two features set it apart from a textbook CDCL and come straight from the
+paper:
+
+* **Simplified CDG recording** (§3.1): each learned clause's antecedent IDs
+  are stored in a :class:`~repro.sat.cdg.ConflictDependencyGraph`, keyed by
+  integer pseudo-IDs, independent of the clause database.  Clause deletion
+  therefore never breaks core reconstruction.
+* **Complete derivations**: literals assigned at decision level 0 are
+  eliminated from learned clauses, so their reason chains are folded into
+  the antecedent list.  Every CDG entry is a genuine resolution derivation,
+  which the proof checker (``repro.sat.proof``) replays.
+
+The solver is also **incremental** in the SATIRE / Eén–Sörensson style the
+paper cites as complementary ([17], [5]): clauses and variables may be
+added between ``solve()`` calls, learned clauses persist, and each call
+may carry *assumptions* — literals temporarily forced as the first
+decisions.  UNSAT under assumptions reports both the subset of
+assumptions used (``failed_assumptions``) and the relative unsat core
+(original clauses that, together with the assumptions, are
+contradictory).  The incremental BMC engine (``repro.bmc.incremental``)
+builds directly on this.
+
+Clause IDs: the initial formula's clauses keep their ``CnfFormula``
+indices ``0 .. m-1``; later ``add_clause`` calls and learned clauses share
+the tail of the ID space (the CDG distinguishes leaves from derivations).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cnf.formula import CnfFormula
+from repro.sat.cdg import ConflictDependencyGraph
+from repro.sat.heuristics import DecisionStrategy, VsidsStrategy
+from repro.sat.stats import SolverStats
+from repro.sat.types import SolveOutcome, SolveResult
+
+
+@dataclass
+class SolverConfig:
+    """Tunables for a :class:`CdclSolver`.
+
+    The defaults reproduce the configuration used in the experiments;
+    budget fields (``max_*``) turn an exhaustive solve into a bounded one
+    that may return ``UNKNOWN`` (the paper's two-hour timeout analogue).
+    Budgets apply per ``solve()`` call.
+    """
+
+    record_cdg: bool = True
+    check_model: bool = True
+    use_restarts: bool = True
+    restart_base: int = 100
+    clause_deletion: bool = True
+    reduce_base: int = 2000
+    reduce_growth: float = 1.5
+    clause_activity_decay: float = 0.999
+    max_conflicts: Optional[int] = None
+    max_decisions: Optional[int] = None
+    max_propagations: Optional[int] = None
+
+
+def luby(index: int) -> int:
+    """The ``index``-th element (1-based) of the Luby restart sequence
+    1, 1, 2, 1, 1, 2, 4, ..."""
+    if index < 1:
+        raise ValueError("luby index is 1-based")
+    x = index - 1
+    size = 1
+    seq = 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class CdclSolver:
+    """CDCL solver over a :class:`CnfFormula`, incrementally extensible.
+
+    One-shot use: build with a formula, call :meth:`solve` once.
+    Incremental use: keep calling :meth:`add_clause` / :meth:`new_var` /
+    :meth:`solve` (optionally with assumptions); learned clauses and
+    level-0 facts persist across calls.  The decision strategy defaults to
+    VSIDS; the BMC layer passes
+    :class:`~repro.sat.heuristics.RankedStrategy` instances to realise the
+    paper's refined orderings.
+    """
+
+    def __init__(
+        self,
+        formula: Optional[CnfFormula] = None,
+        strategy: Optional[DecisionStrategy] = None,
+        config: Optional[SolverConfig] = None,
+    ) -> None:
+        self._formula = formula if formula is not None else CnfFormula(0)
+        self.config = config or SolverConfig()
+        self.strategy = strategy or VsidsStrategy()
+        self.num_vars = 0
+        self.stats = SolverStats()
+
+        self.assigns: List[int] = []  # -1 unassigned, else 0/1
+        self._levels: List[int] = []
+        self._reasons: List[int] = []
+        self._seen = bytearray()
+        self._watches: List[List[int]] = []
+        self._lit_counts: List[int] = []  # original-clause literal counts
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._decision_level = 0
+
+        self._num_initial = self._formula.num_clauses
+        self._clauses: List[List[int]] = []
+        self._original_ids: List[int] = []
+        self._active: List[bool] = []
+        self._deleted: List[bool] = []
+        self._activity: List[float] = []
+        self._activity_inc = 1.0
+        self._num_live_learned = 0
+        self._num_original_literals = 0
+
+        self._cdg = (
+            ConflictDependencyGraph(self._num_initial)
+            if self.config.record_cdg
+            else None
+        )
+        self._ok = True
+        self._solving = False
+        self._assumptions: List[int] = []
+        self.failed_assumptions: Optional[frozenset] = None
+        # Implications derived while installing clauses (eager level-0
+        # propagation); credited to the next solve() call's statistics.
+        self._pending_load_propagations = 0
+
+        self.ensure_num_vars(self._formula.num_vars)
+        for clause in self._formula.clauses:
+            self._install_clause(list(clause.literals), initial=True)
+
+    # ------------------------------------------------------------------
+    # Incremental interface.
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its index."""
+        var = self.num_vars
+        self.ensure_num_vars(var + 1)
+        return var
+
+    def ensure_num_vars(self, count: int) -> None:
+        """Grow the variable space to at least ``count`` variables."""
+        while self.num_vars < count:
+            self.assigns.append(-1)
+            self._levels.append(-1)
+            self._reasons.append(-1)
+            self._seen.append(0)
+            self._watches.append([])
+            self._watches.append([])
+            self._lit_counts.append(0)
+            self._lit_counts.append(0)
+            self.num_vars += 1
+
+    def add_clause(self, literals: Sequence[int]) -> int:
+        """Add an original clause (allowed between solves); returns its ID.
+
+        Must not be called mid-search.  The solver backtracks to decision
+        level 0 first, so pending assumptions from a previous call do not
+        leak into the clause's status.
+        """
+        if self._solving:
+            raise RuntimeError("add_clause may not be called during solve()")
+        self._backtrack(0)
+        for lit in literals:
+            if lit < 0:
+                raise ValueError(f"bad packed literal {lit}")
+            if (lit >> 1) >= self.num_vars:
+                raise ValueError(
+                    f"literal references variable {lit >> 1} >= num_vars "
+                    f"{self.num_vars}; call new_var()/ensure_num_vars first"
+                )
+        return self._install_clause(list(literals), initial=False)
+
+    def _install_clause(self, lits: List[int], initial: bool) -> int:
+        cid = len(self._clauses)
+        lits = list(dict.fromkeys(lits))  # dedupe, keep order
+        self._clauses.append(lits)
+        self._deleted.append(False)
+        self._activity.append(0.0)
+        self._original_ids.append(cid)
+        if hasattr(self, "_original_id_set"):
+            self._original_id_set.add(cid)
+        if not initial and self._cdg is not None:
+            self._cdg.register_original(cid)
+        for lit in lits:
+            self._lit_counts[lit] += 1
+        self._num_original_literals += len(lits)
+
+        if _is_tautology(lits):
+            self._active.append(False)
+            return cid
+        self._active.append(True)
+        if not self._ok:
+            return cid
+        if not lits:
+            self._mark_root_unsat([cid])
+        elif len(lits) == 1:
+            self._load_unit(cid, lits[0])
+        else:
+            # Late-added clauses may be unit/false under level-0 facts;
+            # watches on false literals are fine because solve() replays
+            # propagation from the start of the trail after each restart
+            # to level 0.  To keep the invariant simple, prefer watching
+            # non-false literals when available.
+            lits.sort(key=lambda lit: self.value_of(lit) == 0)
+            false_count = sum(1 for lit in lits if self.value_of(lit) == 0)
+            unassigned = [lit for lit in lits if self.value_of(lit) == -1]
+            satisfied = any(self.value_of(lit) == 1 for lit in lits)
+            if not satisfied and false_count == len(lits):
+                antecedents = [cid]
+                self._reason_closure([lit >> 1 for lit in lits], antecedents)
+                self._mark_root_unsat(antecedents)
+                return cid
+            if not satisfied and len(unassigned) == 1 and false_count == len(lits) - 1:
+                # Effectively unit at level 0.
+                target = unassigned[0]
+                lits.remove(target)
+                lits.insert(0, target)
+                self._enqueue(target, cid)
+                self._pending_load_propagations += 1
+            self._watches[lits[0]].append(cid)
+            self._watches[lits[1]].append(cid)
+        return cid
+
+    def _load_unit(self, clause_id: int, lit: int) -> None:
+        value = self.value_of(lit)
+        if value == 1:
+            return  # redundant duplicate unit
+        if value == 0:
+            antecedents = [clause_id]
+            self._reason_closure([lit >> 1], antecedents)
+            self._mark_root_unsat(antecedents)
+            return
+        self._enqueue(lit, clause_id)
+        self._pending_load_propagations += 1
+
+    def _mark_root_unsat(self, antecedents: Sequence[int]) -> None:
+        self._ok = False
+        if self._cdg is not None:
+            self._cdg.set_final_conflict(antecedents)
+
+    # ------------------------------------------------------------------
+    # Introspection used by decision strategies and the BMC layer.
+    # ------------------------------------------------------------------
+
+    def original_literal_counts(self) -> List[int]:
+        """Literal occurrence counts over the original clauses — the
+        initial ``cha_score`` values (paper §3.3)."""
+        return list(self._lit_counts)
+
+    def num_original_literals(self) -> int:
+        """Total literal count of the original clauses (the base of the
+        dynamic strategy's 1/64 switch threshold)."""
+        return self._num_original_literals
+
+    @property
+    def cdg(self) -> Optional[ConflictDependencyGraph]:
+        return self._cdg
+
+    @property
+    def decision_level(self) -> int:
+        return self._decision_level
+
+    def value_of(self, lit: int) -> int:
+        """Current value of a literal: 1 true, 0 false, -1 unassigned."""
+        value = self.assigns[lit >> 1]
+        if value == -1:
+            return -1
+        return value ^ (lit & 1)
+
+    def clause_literals(self, clause_id: int) -> Tuple[int, ...]:
+        """Literals of any clause (original or learned, even deleted)."""
+        return tuple(self._clauses[clause_id])
+
+    def is_original_clause(self, clause_id: int) -> bool:
+        """True if the clause ID denotes an original (non-learned) clause."""
+        if self._cdg is not None:
+            return self._cdg.is_original(clause_id)
+        return clause_id < self._num_initial or not self._looks_learned(clause_id)
+
+    def _looks_learned(self, clause_id: int) -> bool:  # CDG-less fallback
+        return clause_id not in self._original_ids
+
+    # ------------------------------------------------------------------
+    # Assignment trail.
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, lit: int, reason: int) -> None:
+        var = lit >> 1
+        self.assigns[var] = 1 ^ (lit & 1)
+        self._levels[var] = self._decision_level
+        self._reasons[var] = reason
+        self._trail.append(lit)
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level <= level:
+            return
+        limit = self._trail_lim[level]
+        assigns = self.assigns
+        levels = self._levels
+        reasons = self._reasons
+        trail = self._trail
+        for i in range(len(trail) - 1, limit - 1, -1):
+            var = trail[i] >> 1
+            assigns[var] = -1
+            levels[var] = -1
+            reasons[var] = -1
+        del trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = limit
+        self._decision_level = level
+        self.strategy.on_backtrack()
+
+    # ------------------------------------------------------------------
+    # Boolean constraint propagation (two watched literals).
+    # ------------------------------------------------------------------
+
+    def _propagate(self) -> int:
+        """Exhaust the implication queue; returns a conflicting clause ID
+        or -1."""
+        assigns = self.assigns
+        clauses = self._clauses
+        watches = self._watches
+        trail = self._trail
+        while self._qhead < len(trail):
+            lit = trail[self._qhead]
+            self._qhead += 1
+            false_lit = lit ^ 1
+            watch_list = watches[false_lit]
+            i = 0
+            j = 0
+            n = len(watch_list)
+            while i < n:
+                cid = watch_list[i]
+                i += 1
+                lits = clauses[cid]
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                first_value = assigns[first >> 1]
+                if first_value != -1 and first_value ^ (first & 1) == 1:
+                    watch_list[j] = cid
+                    j += 1
+                    continue
+                for k in range(2, len(lits)):
+                    other = lits[k]
+                    other_value = assigns[other >> 1]
+                    if other_value == -1 or other_value ^ (other & 1) == 1:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        watches[other].append(cid)
+                        break
+                else:
+                    watch_list[j] = cid
+                    j += 1
+                    if first_value == -1:
+                        self.stats.propagations += 1
+                        self._enqueue(first, cid)
+                    else:
+                        # Conflict: keep the untouched tail of the list.
+                        while i < n:
+                            watch_list[j] = watch_list[i]
+                            j += 1
+                            i += 1
+                        del watch_list[j:]
+                        return cid
+            del watch_list[j:]
+        return -1
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP) with complete antecedent recording.
+    # ------------------------------------------------------------------
+
+    def _reason_closure(self, start_vars: Sequence[int], antecedents: List[int]) -> None:
+        """Append the reason chains of level-0 variables to ``antecedents``.
+
+        Level-0 literals are dropped from learned clauses, so a complete
+        resolution derivation must also cite the clauses that forced them.
+        """
+        visited: Set[int] = set()
+        stack = list(start_vars)
+        while stack:
+            var = stack.pop()
+            if var in visited:
+                continue
+            visited.add(var)
+            reason = self._reasons[var]
+            if reason == -1:
+                raise AssertionError(
+                    f"level-0 variable {var} has no reason clause"
+                )
+            antecedents.append(reason)
+            for lit in self._clauses[reason]:
+                other = lit >> 1
+                if other != var:
+                    stack.append(other)
+
+    def _analyze(self, conflict_cid: int) -> Tuple[List[int], int, List[int]]:
+        """First-UIP analysis.
+
+        Returns ``(learned_literals, backjump_level, antecedent_ids)`` with
+        the asserting literal at ``learned_literals[0]`` and (when the
+        clause is not unit) a literal of the backjump level at position 1.
+        """
+        seen = self._seen
+        levels = self._levels
+        trail = self._trail
+        current = self._decision_level
+        learned: List[int] = [0]
+        antecedents: List[int] = [conflict_cid]
+        zero_vars: Set[int] = set()
+        touched: List[int] = []
+        counter = 0
+        p = -1
+        cid = conflict_cid
+        idx = len(trail) - 1
+        btlevel = 0
+
+        while True:
+            if cid != conflict_cid and not self._active_original(cid):
+                self._bump_clause_activity(cid)
+            for q in self._clauses[cid]:
+                if q == p:
+                    continue
+                var = q >> 1
+                if seen[var]:
+                    continue
+                level = levels[var]
+                if level == 0:
+                    zero_vars.add(var)
+                    continue
+                seen[var] = 1
+                touched.append(var)
+                if level >= current:
+                    counter += 1
+                else:
+                    learned.append(q)
+                    if level > btlevel:
+                        btlevel = level
+            while not seen[trail[idx] >> 1]:
+                idx -= 1
+            p = trail[idx]
+            idx -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            cid = self._reasons[p >> 1]
+            antecedents.append(cid)
+
+        learned[0] = p ^ 1
+        for var in touched:
+            seen[var] = 0
+        if zero_vars:
+            self._reason_closure(sorted(zero_vars), antecedents)
+        if len(learned) > 1:
+            max_i = 1
+            max_level = levels[learned[1] >> 1]
+            for i in range(2, len(learned)):
+                level = levels[learned[i] >> 1]
+                if level > max_level:
+                    max_level = level
+                    max_i = i
+            learned[1], learned[max_i] = learned[max_i], learned[1]
+            btlevel = max_level
+        else:
+            btlevel = 0
+        return learned, btlevel, antecedents
+
+    def _active_original(self, cid: int) -> bool:
+        if self._cdg is not None:
+            return self._cdg.is_original(cid)
+        return cid in self._original_set()
+
+    def _original_set(self) -> Set[int]:
+        if not hasattr(self, "_original_id_set"):
+            self._original_id_set: Set[int] = set(self._original_ids)
+        return self._original_id_set
+
+    def _bump_clause_activity(self, cid: int) -> None:
+        self._activity[cid] += self._activity_inc
+        if self._activity[cid] > 1e20:
+            scale = 1e-20
+            for other in range(len(self._clauses)):
+                self._activity[other] *= scale
+            self._activity_inc *= scale
+
+    def _add_learned(self, learned: List[int], antecedents: List[int]) -> int:
+        cid = len(self._clauses)
+        self._clauses.append(learned)
+        self._active.append(True)
+        self._deleted.append(False)
+        self._activity.append(self._activity_inc)
+        self._num_live_learned += 1
+        self.stats.learned_clauses += 1
+        if self._cdg is not None:
+            self._cdg.add(cid, antecedents)
+            self.stats.cdg_entries += 1
+        if len(learned) > 1:
+            self._watches[learned[0]].append(cid)
+            self._watches[learned[1]].append(cid)
+        return cid
+
+    # ------------------------------------------------------------------
+    # Learned-clause deletion (the feature the simplified CDG protects).
+    # ------------------------------------------------------------------
+
+    def _reduce_learned_db(self) -> None:
+        original = self._original_set() if self._cdg is None else None
+        candidates = []
+        for cid in range(self._num_initial, len(self._clauses)):
+            if self._deleted[cid] or not self._active[cid]:
+                continue
+            if self._cdg is not None:
+                if self._cdg.is_original(cid):
+                    continue
+            elif cid in original:
+                continue
+            lits = self._clauses[cid]
+            if len(lits) <= 2:
+                continue  # keep short clauses, they are cheap and strong
+            if self._reasons[lits[0] >> 1] == cid:
+                continue  # locked: currently the reason of an assignment
+            candidates.append(cid)
+        if not candidates:
+            return
+        candidates.sort(key=lambda cid: (self._activity[cid], -cid))
+        for cid in candidates[: len(candidates) // 2]:
+            self._detach_clause(cid)
+            self._deleted[cid] = True
+            self._active[cid] = False
+            self._num_live_learned -= 1
+            self.stats.deleted_clauses += 1
+
+    def _detach_clause(self, cid: int) -> None:
+        lits = self._clauses[cid]
+        for watched in (lits[0], lits[1]):
+            watch_list = self._watches[watched]
+            for i, entry in enumerate(watch_list):
+                if entry == cid:
+                    watch_list[i] = watch_list[-1]
+                    watch_list.pop()
+                    break
+
+    # ------------------------------------------------------------------
+    # Main search loop (the paper's Fig. 1, plus restarts and deletion).
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        strategy: Optional[DecisionStrategy] = None,
+    ) -> SolveOutcome:
+        """Run the CDCL search to completion (or budget exhaustion).
+
+        ``assumptions`` are literals forced as the first decisions; an
+        UNSAT answer then means "unsatisfiable under these assumptions"
+        and ``failed_assumptions`` lists the subset actually used.
+        Repeated calls are allowed; clauses and learning persist.
+        """
+        if self._solving:
+            raise RuntimeError("re-entrant solve() call")
+        for lit in assumptions:
+            if lit < 0 or (lit >> 1) >= self.num_vars:
+                raise ValueError(f"bad assumption literal {lit}")
+        if strategy is not None:
+            self.strategy = strategy
+        self._solving = True
+        self._assumptions = list(assumptions)
+        self.failed_assumptions = None
+        self.stats = SolverStats()
+        self.stats.propagations += self._pending_load_propagations
+        self._pending_load_propagations = 0
+        start = time.perf_counter()
+        try:
+            self._backtrack(0)
+            outcome = self._search()
+        finally:
+            self._solving = False
+        self.stats.solve_time = time.perf_counter() - start
+        outcome.stats = self.stats
+        return outcome
+
+    def _search(self) -> SolveOutcome:
+        if not self._ok:
+            return self._unsat_outcome()
+        config = self.config
+        self.strategy.attach(self)
+        restart_epoch = 1
+        conflicts_in_epoch = 0
+        epoch_limit = config.restart_base * luby(restart_epoch)
+        max_learned = config.reduce_base + len(self._original_ids) // 3
+
+        while True:
+            conflict = self._propagate()
+            if conflict != -1:
+                self.stats.conflicts += 1
+                conflicts_in_epoch += 1
+                if self._decision_level == 0:
+                    self._record_final_conflict(conflict)
+                    self._ok = False
+                    return self._unsat_outcome()
+                if self._decision_level <= len(self._assumptions):
+                    # The conflict is entirely above assumption decisions:
+                    # UNSAT under the current assumptions.
+                    return self._assumption_conflict_outcome(conflict)
+                learned, btlevel, antecedents = self._analyze(conflict)
+                self._activity_inc /= config.clause_activity_decay
+                # Backjumping below the assumption prefix is fine: the
+                # decision loop re-establishes assumptions level by level.
+                self._backtrack(btlevel)
+                cid = self._add_learned(learned, antecedents)
+                if self.value_of(learned[0]) == -1:
+                    self._enqueue(learned[0], cid)
+                    self.stats.propagations += 1
+                self.strategy.on_conflict(learned)
+                if (
+                    config.max_conflicts is not None
+                    and self.stats.conflicts >= config.max_conflicts
+                ):
+                    return SolveOutcome(status=SolveResult.UNKNOWN)
+                if (
+                    config.max_propagations is not None
+                    and self.stats.propagations >= config.max_propagations
+                ):
+                    return SolveOutcome(status=SolveResult.UNKNOWN)
+                continue
+
+            if (
+                config.use_restarts
+                and conflicts_in_epoch >= epoch_limit
+                and self._decision_level > len(self._assumptions)
+            ):
+                restart_epoch += 1
+                conflicts_in_epoch = 0
+                epoch_limit = config.restart_base * luby(restart_epoch)
+                self.stats.restarts += 1
+                self._backtrack(len(self._assumptions))
+                continue
+            if config.clause_deletion and self._num_live_learned > max_learned:
+                self._reduce_learned_db()
+                max_learned = int(max_learned * config.reduce_growth)
+
+            if self._decision_level < len(self._assumptions):
+                lit = self._assumptions[self._decision_level]
+                value = self.value_of(lit)
+                if value == 0:
+                    return self._failed_assumption_outcome(lit)
+                # Open a level even if already true, so level indices and
+                # assumption indices stay aligned.
+                self._trail_lim.append(len(self._trail))
+                self._decision_level += 1
+                if value == -1:
+                    self._enqueue(lit, -1)
+                continue
+
+            lit = self.strategy.decide()
+            if lit == -1:
+                return self._sat_outcome()
+            if self.assigns[lit >> 1] != -1:
+                raise AssertionError("strategy chose an assigned variable")
+            self.stats.decisions += 1
+            if (
+                config.max_decisions is not None
+                and self.stats.decisions > config.max_decisions
+            ):
+                return SolveOutcome(status=SolveResult.UNKNOWN)
+            self._trail_lim.append(len(self._trail))
+            self._decision_level += 1
+            if self._decision_level > self.stats.max_decision_level:
+                self.stats.max_decision_level = self._decision_level
+            self._enqueue(lit, -1)
+
+    # ------------------------------------------------------------------
+    # Outcome construction.
+    # ------------------------------------------------------------------
+
+    def _record_final_conflict(self, conflict_cid: int) -> None:
+        if self._cdg is None:
+            return
+        antecedents = [conflict_cid]
+        conflict_vars = [lit >> 1 for lit in self._clauses[conflict_cid]]
+        self._reason_closure(conflict_vars, antecedents)
+        self._cdg.set_final_conflict(antecedents)
+
+    def _relative_closure(self, seed_vars: Sequence[int]) -> Tuple[List[int], Set[int]]:
+        """Reason closure stopping at decision variables (assumptions).
+
+        Returns ``(antecedent clause ids, assumption vars encountered)``.
+        """
+        antecedents: List[int] = []
+        assumption_vars: Set[int] = set()
+        visited: Set[int] = set()
+        stack = list(seed_vars)
+        while stack:
+            var = stack.pop()
+            if var in visited:
+                continue
+            visited.add(var)
+            reason = self._reasons[var]
+            if reason == -1:
+                assumption_vars.add(var)
+                continue
+            antecedents.append(reason)
+            for lit in self._clauses[reason]:
+                other = lit >> 1
+                if other != var:
+                    stack.append(other)
+        return antecedents, assumption_vars
+
+    def _assumption_conflict_outcome(self, conflict_cid: int) -> SolveOutcome:
+        seed = [lit >> 1 for lit in self._clauses[conflict_cid]]
+        antecedents, assumption_vars = self._relative_closure(seed)
+        return self._relative_unsat_outcome([conflict_cid] + antecedents, assumption_vars)
+
+    def _failed_assumption_outcome(self, lit: int) -> SolveOutcome:
+        antecedents, assumption_vars = self._relative_closure([lit >> 1])
+        assumption_vars.add(lit >> 1)
+        return self._relative_unsat_outcome(antecedents, assumption_vars)
+
+    def _relative_unsat_outcome(
+        self, antecedents: List[int], assumption_vars: Set[int]
+    ) -> SolveOutcome:
+        self.failed_assumptions = frozenset(
+            lit for lit in self._assumptions if (lit >> 1) in assumption_vars
+        )
+        core_clauses = None
+        core_vars = None
+        if self._cdg is not None:
+            core: Set[int] = set()
+            visited: Set[int] = set()
+            stack = list(antecedents)
+            while stack:
+                cid = stack.pop()
+                if cid in visited:
+                    continue
+                visited.add(cid)
+                if self._cdg.is_original(cid):
+                    core.add(cid)
+                else:
+                    stack.extend(self._cdg.antecedents_of(cid))
+            core_clauses = frozenset(core)
+            var_set: Set[int] = set()
+            for cid in core_clauses:
+                var_set.update(lit >> 1 for lit in self._clauses[cid])
+            core_vars = frozenset(var_set)
+        return SolveOutcome(
+            status=SolveResult.UNSAT,
+            core_clauses=core_clauses,
+            core_vars=core_vars,
+            failed_assumptions=self.failed_assumptions,
+        )
+
+    def _sat_outcome(self) -> SolveOutcome:
+        model = [value if value != -1 else 0 for value in self.assigns]
+        if self.config.check_model and not self._model_check(model):
+            raise AssertionError("internal error: produced model does not satisfy formula")
+        return SolveOutcome(status=SolveResult.SAT, model=model)
+
+    def _model_check(self, model: List[int]) -> bool:
+        for cid in self._original_ids:
+            lits = self._clauses[cid]
+            if not lits and self._active[cid]:
+                return False
+            if not any(model[lit >> 1] ^ (lit & 1) for lit in lits):
+                if lits:  # empty original clauses handled above
+                    return False
+        return True
+
+    def _unsat_outcome(self) -> SolveOutcome:
+        core_clauses = None
+        core_vars = None
+        if self._cdg is not None and self._cdg.final_antecedents is not None:
+            core_clauses = self._cdg.unsat_core()
+            var_set: Set[int] = set()
+            for cid in core_clauses:
+                var_set.update(lit >> 1 for lit in self._clauses[cid])
+            core_vars = frozenset(var_set)
+        return SolveOutcome(
+            status=SolveResult.UNSAT,
+            core_clauses=core_clauses,
+            core_vars=core_vars,
+        )
+
+    def export_proof(self):
+        """Export the (global) refutation for independent checking.
+
+        Returns a :class:`repro.sat.proof.ResolutionProof`.  Requires CDG
+        recording and a completed *global* UNSAT answer (not merely UNSAT
+        under assumptions); deleted clauses are exportable because their
+        literal lists are retained outside the watch structures.
+        """
+        from repro.sat.proof import ResolutionProof
+
+        if self._cdg is None:
+            raise RuntimeError("CDG recording was disabled; no proof available")
+        if self._cdg.final_antecedents is None:
+            raise RuntimeError("no final conflict recorded (not proven UNSAT)")
+        learned = {}
+        extra_originals = {}
+        for cid in range(len(self._clauses)):
+            if self._cdg.is_original(cid):
+                if cid >= self._num_initial:
+                    extra_originals[cid] = tuple(self._clauses[cid])
+                continue
+            learned[cid] = (
+                tuple(self._clauses[cid]),
+                self._cdg.antecedents_of(cid),
+            )
+        return ResolutionProof(
+            num_original=self._num_initial,
+            learned=learned,
+            final_antecedents=self._cdg.final_antecedents,
+            extra_originals=extra_originals,
+        )
+
+
+def _is_tautology(lits: Sequence[int]) -> bool:
+    lit_set = set(lits)
+    return any(lit ^ 1 in lit_set for lit in lit_set)
+
+
+def solve_formula(
+    formula: CnfFormula,
+    strategy: Optional[DecisionStrategy] = None,
+    config: Optional[SolverConfig] = None,
+) -> SolveOutcome:
+    """Convenience one-call interface: build a solver and solve."""
+    return CdclSolver(formula, strategy=strategy, config=config).solve()

@@ -1,0 +1,37 @@
+"""Counters collected during a SAT solve.
+
+``decisions`` and ``propagations`` are the quantities plotted in the
+paper's Fig. 7 ("Number of Decisions" / "Number of Implications").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SolverStats:
+    """Per-solve counters; cheap plain ints, updated in the hot loops."""
+
+    decisions: int = 0
+    propagations: int = 0  # the paper's "implications"
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    max_decision_level: int = 0
+    cdg_entries: int = 0
+    solve_time: float = 0.0
+
+    def merge(self, other: "SolverStats") -> None:
+        """Accumulate another solve's counters into this one (used by the
+        BMC engine to aggregate over depths)."""
+        self.decisions += other.decisions
+        self.propagations += other.propagations
+        self.conflicts += other.conflicts
+        self.restarts += other.restarts
+        self.learned_clauses += other.learned_clauses
+        self.deleted_clauses += other.deleted_clauses
+        self.max_decision_level = max(self.max_decision_level, other.max_decision_level)
+        self.cdg_entries += other.cdg_entries
+        self.solve_time += other.solve_time

@@ -1,0 +1,55 @@
+"""Shared result types for the SAT layer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+from repro.sat.stats import SolverStats
+
+
+class SolveResult(enum.Enum):
+    """Outcome of a SAT call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"  # a resource budget was exhausted
+
+
+@dataclass
+class SolveOutcome:
+    """Everything a SAT call produces.
+
+    ``model`` is present iff ``status is SAT``: a list with ``model[var]``
+    in {0, 1} for every variable.
+
+    ``core_clauses`` / ``core_vars`` are present iff ``status is UNSAT``
+    and CDG recording was enabled: the unsatisfiable core as a set of
+    *original* clause indices, and the set of variables appearing in those
+    clauses (the paper's ``unsatVars``).
+
+    ``failed_assumptions`` is non-None iff the solve was UNSAT *under
+    assumptions* (incremental interface): the subset of assumption
+    literals that participated in the refutation.  The core is then
+    relative — unsatisfiable together with those assumptions.
+    """
+
+    status: SolveResult
+    model: Optional[List[int]] = None
+    core_clauses: Optional[FrozenSet[int]] = None
+    core_vars: Optional[FrozenSet[int]] = None
+    failed_assumptions: Optional[FrozenSet[int]] = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is SolveResult.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is SolveResult.UNSAT
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status is SolveResult.UNKNOWN

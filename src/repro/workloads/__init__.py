@@ -1,0 +1,61 @@
+"""Benchmark workloads: parameterized circuit generators, the
+37-instance Table 1 suite, and classic CNF families."""
+
+from repro.workloads.cnf_families import (
+    embedded_contradiction,
+    implication_ladder,
+    pigeonhole,
+    random_ksat,
+    xor_chain,
+)
+
+from repro.workloads.generators import (
+    attach_distractors,
+    counter_tripwire,
+    fifo_controller,
+    gray_counter,
+    handshake_chain,
+    lfsr_tripwire,
+    memory_controller,
+    pipeline_lockstep,
+    random_sequential,
+    round_robin_arbiter,
+    token_ring,
+    traffic_controller,
+)
+from repro.workloads.suite import (
+    FIG7_INSTANCE,
+    PaperRow,
+    SuiteInstance,
+    extended_suite,
+    instance_by_name,
+    small_suite,
+    table1_suite,
+)
+
+__all__ = [
+    "attach_distractors",
+    "counter_tripwire",
+    "token_ring",
+    "pipeline_lockstep",
+    "fifo_controller",
+    "traffic_controller",
+    "lfsr_tripwire",
+    "round_robin_arbiter",
+    "random_sequential",
+    "memory_controller",
+    "handshake_chain",
+    "gray_counter",
+    "SuiteInstance",
+    "PaperRow",
+    "table1_suite",
+    "small_suite",
+    "extended_suite",
+    "instance_by_name",
+    "FIG7_INSTANCE",
+    "pigeonhole",
+    "xor_chain",
+    "random_ksat",
+    "implication_ladder",
+    "embedded_contradiction",
+]

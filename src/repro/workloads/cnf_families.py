@@ -1,0 +1,98 @@
+"""Classic CNF benchmark families (pure SAT-level, no circuits).
+
+Used by the solver's tests and microbenchmarks, and useful on their own
+for exercising any DIMACS-level tool in the repository.  All generators
+are deterministic for a given parameterisation/seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.cnf.formula import CnfFormula
+from repro.cnf.literals import mk_lit
+
+
+def pigeonhole(num_holes: int) -> CnfFormula:
+    """PHP(n): n+1 pigeons into n holes — canonically UNSAT, with
+    exponential resolution proofs.  Variable ``p*n + h`` means pigeon
+    ``p`` sits in hole ``h``."""
+    if num_holes < 1:
+        raise ValueError("need at least one hole")
+    n = num_holes
+    formula = CnfFormula((n + 1) * n)
+    for p in range(n + 1):
+        formula.add_clause(mk_lit(p * n + h) for h in range(n))
+    for h in range(n):
+        for p1 in range(n + 1):
+            for p2 in range(p1 + 1, n + 1):
+                formula.add_clause([mk_lit(p1 * n + h, True), mk_lit(p2 * n + h, True)])
+    return formula
+
+
+def xor_chain(length: int, final_phase: bool) -> CnfFormula:
+    """A chain of "differ" constraints ``x_i != x_{i+1}`` with ``x_0``
+    forced true, ending with a unit on ``x_length``.
+
+    ``x_k`` is true iff ``k`` is even, so the formula is SAT iff
+    ``final_phase == (length % 2 == 0)``.  UNSAT instances have cores
+    spanning the whole chain — the anti-local case for core heuristics.
+    """
+    if length < 1:
+        raise ValueError("length must be positive")
+    formula = CnfFormula(length + 1)
+    for i in range(length):
+        formula.add_clause([mk_lit(i), mk_lit(i + 1)])
+        formula.add_clause([mk_lit(i, True), mk_lit(i + 1, True)])
+    formula.add_clause([mk_lit(0)])
+    formula.add_clause([mk_lit(length, not final_phase)])
+    return formula
+
+
+def random_ksat(
+    num_vars: int,
+    num_clauses: int,
+    width: int = 3,
+    seed: int = 0,
+) -> CnfFormula:
+    """Uniform random k-SAT.  At width 3, the SAT/UNSAT threshold sits
+    near ``num_clauses / num_vars = 4.26``."""
+    if num_vars < width:
+        raise ValueError("need at least `width` variables")
+    rng = random.Random(seed)
+    formula = CnfFormula(num_vars)
+    for _ in range(num_clauses):
+        chosen = rng.sample(range(num_vars), width)
+        formula.add_clause(2 * v + rng.randint(0, 1) for v in chosen)
+    return formula
+
+
+def implication_ladder(length: int) -> CnfFormula:
+    """``x0`` and ``x_i -> x_{i+1}``: a single unit triggers a
+    ``length``-step BCP chain.  SAT; used to measure raw propagation
+    throughput."""
+    if length < 1:
+        raise ValueError("length must be positive")
+    formula = CnfFormula(length + 1)
+    formula.add_clause([mk_lit(0)])
+    for i in range(length):
+        formula.add_clause([mk_lit(i, True), mk_lit(i + 1)])
+    return formula
+
+
+def embedded_contradiction(num_padding_vars: int) -> CnfFormula:
+    """A minimal 3-clause contradiction over variables 0/1 surrounded by
+    abundant satisfiable padding — the ideal case for core extraction
+    (the core must isolate exactly the 3 clauses, indices 0..2)."""
+    if num_padding_vars < 0:
+        raise ValueError("padding count must be non-negative")
+    formula = CnfFormula(2 + num_padding_vars)
+    formula.add_clause([mk_lit(0)])
+    formula.add_clause([mk_lit(0, True), mk_lit(1)])
+    formula.add_clause([mk_lit(1, True)])
+    for i in range(num_padding_vars):
+        var = 2 + i
+        other = 2 + (i + 1) % max(num_padding_vars, 1)
+        formula.add_clause([mk_lit(var), mk_lit(other)])
+    return formula

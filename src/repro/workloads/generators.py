@@ -1,0 +1,581 @@
+"""Parameterized benchmark circuit generators.
+
+The paper evaluates on the IBM Formal Verification Benchmarks — industrial
+netlists that are not redistributable (and would overwhelm a pure-Python
+CDCL anyway).  These generators synthesize the *structural regime* that
+makes the paper's technique work: each design couples a small
+property-relevant **control kernel** with large property-irrelevant
+**distractor logic**.  The distractors sit inside the encoded model (Eq. 1
+conjoins the full transition relation), carry high literal counts (which
+attract VSIDS's count-initialised scores), yet never enter an
+unsatisfiable core — exactly the locality that unsat-core-driven rankings
+exploit on real designs.
+
+Every generator returns ``(circuit, property_net)`` where the property is
+an invariant ``G property_net``.  Failing variants have a counterexample
+at a *precisely controlled depth* (documented per generator), so suite
+expectations are exact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit import words
+
+
+def attach_distractors(
+    circuit: Circuit,
+    num_words: int,
+    width: int,
+    seed: int = 1,
+) -> None:
+    """Add an interconnected register-mixing network, irrelevant to any
+    property: ``num_words`` registers of ``width`` bits, each updated with
+    xor/add mixes of itself, fresh inputs and its neighbour.
+
+    The network is deliberately input-rich and arithmetic-heavy: its gates
+    dominate the CNF's literal counts, so a count-initialised VSIDS spends
+    its early decisions here.
+    """
+    rng = random.Random(seed)
+    prev: Optional[List[int]] = None
+    for index in range(num_words):
+        init = rng.randrange(1 << width)
+        reg = words.word_latches(circuit, width, f"dist{index}_", init=init)
+        din = words.word_inputs(circuit, width, f"dx{index}_")
+        mixed = words.word_xor(circuit, reg, din)
+        if prev is not None:
+            mixed = words.word_add(circuit, mixed, prev)
+        nxt = words.word_add(circuit, mixed, reg)
+        words.connect_register(circuit, reg, nxt)
+        prev = reg
+
+
+def counter_tripwire(
+    counter_width: int = 4,
+    target: int = 15,
+    distractor_words: int = 6,
+    distractor_width: int = 8,
+    gated: bool = True,
+    seed: int = 1,
+) -> Tuple[Circuit, int]:
+    """An enable-gated up-counter with a tripwire comparator.
+
+    Property: ``G (counter != target)``.
+
+    * Fails at depth exactly ``target`` (hold enable high) when
+      ``target < 2**counter_width``.
+    * Checked to a bound below ``target``, every instance is UNSAT and the
+      solver must reason about the whole counter prefix — the "capped"
+      regime of the paper's parenthesized-depth rows.
+    """
+    circuit = Circuit(f"counter_tripwire_w{counter_width}_t{target}")
+    enable = circuit.add_input("en")
+    counter = words.word_latches(circuit, counter_width, "cnt", init=0)
+    incremented = words.word_increment(circuit, counter)
+    if gated:
+        nxt = words.word_mux(circuit, enable, incremented, counter)
+    else:
+        nxt = incremented
+    words.connect_register(circuit, counter, nxt)
+    bad = words.word_eq_const(circuit, counter, target)
+    prop = circuit.g_not(bad, name="prop")
+    circuit.set_output("prop", prop)
+    attach_distractors(circuit, distractor_words, distractor_width, seed=seed)
+    circuit.validate()
+    return circuit, prop
+
+
+def token_ring(
+    num_nodes: int = 6,
+    distractor_words: int = 5,
+    distractor_width: int = 8,
+    buggy_arm_depth: Optional[int] = None,
+    seed: int = 2,
+) -> Tuple[Circuit, int]:
+    """A one-hot token ring arbiter.
+
+    Each node holds the token in a latch; the token moves to the next node
+    when the holder's ``pass`` input is high.  Property: mutual exclusion —
+    ``G (at most one token)``, true by one-hot invariance.
+
+    With ``buggy_arm_depth = A``, an arming counter injects a second token
+    into node 1 after ``A`` consecutive cycles of the ``stress`` input:
+    the property then fails at depth exactly ``A + 1``.
+    """
+    circuit = Circuit(f"token_ring_n{num_nodes}")
+    passes = [circuit.add_input(f"pass{i}") for i in range(num_nodes)]
+    tokens = [
+        circuit.add_latch(f"tok{i}", init=1 if i == 0 else 0)
+        for i in range(num_nodes)
+    ]
+    inject = circuit.const(0)
+    if buggy_arm_depth is not None:
+        inject = _arming_counter(circuit, buggy_arm_depth, "stress")
+    for i in range(num_nodes):
+        prev_i = (i - 1) % num_nodes
+        keep = circuit.g_and(tokens[i], circuit.g_not(passes[i]))
+        take = circuit.g_and(tokens[prev_i], passes[prev_i])
+        nxt = circuit.g_or(keep, take)
+        if i == 1 and buggy_arm_depth is not None:
+            nxt = circuit.g_or(nxt, inject)  # the injected duplicate token
+        circuit.set_next(tokens[i], nxt)
+    pair_violations = [
+        circuit.g_and(tokens[i], tokens[j])
+        for i in range(num_nodes)
+        for j in range(i + 1, num_nodes)
+    ]
+    prop = circuit.g_nor(*pair_violations, name="prop")
+    circuit.set_output("prop", prop)
+    attach_distractors(circuit, distractor_words, distractor_width, seed=seed)
+    circuit.validate()
+    return circuit, prop
+
+
+def _arming_counter(circuit: Circuit, arm_depth: int, input_name: str) -> int:
+    """A saturating counter that outputs 1 once ``input_name`` has been
+    high for ``arm_depth`` consecutive cycles (and keeps counting while it
+    stays high; any low cycle resets).  The output first *can* be 1 at
+    cycle index ``arm_depth`` (0-based), i.e. frame ``arm_depth``.
+    """
+    stress = circuit.add_input(input_name)
+    width = max(1, (arm_depth + 1).bit_length())
+    count = words.word_latches(circuit, width, f"arm_{input_name}", init=0)
+    at_target = words.word_eq_const(circuit, count, arm_depth)
+    hold = circuit.g_and(at_target, stress)
+    incremented = words.word_increment(circuit, count)
+    advanced = words.word_mux(circuit, hold, count, incremented)
+    gated = words.word_mux(circuit, stress, advanced, words.word_const(circuit, width, 0))
+    words.connect_register(circuit, count, gated)
+    return at_target
+
+
+def pipeline_lockstep(
+    stages: int = 5,
+    width: int = 4,
+    buggy: bool = True,
+    distractor_words: int = 5,
+    distractor_width: int = 8,
+    seed: int = 3,
+) -> Tuple[Circuit, int]:
+    """Two pipelines fed the same data, checked for output agreement.
+
+    A ``stages``-deep pipeline duplicated; the property compares the final
+    stages: ``G (out_a == out_b)``.  With ``buggy=True`` the second
+    pipeline XORs a magic-pattern detector into its first stage, so
+    feeding the magic input pattern breaks lockstep — the property fails
+    at depth exactly ``stages`` (the corruption needs ``stages`` frames to
+    reach the outputs).  With ``buggy=False`` it is a true invariant.
+    """
+    circuit = Circuit(f"pipeline_lockstep_s{stages}")
+    data = words.word_inputs(circuit, width, "d")
+    magic = (0b1011 % (1 << width)) or 1
+    is_magic = words.word_eq_const(circuit, data, magic)
+
+    def build_pipe(tag: str, corrupt: Optional[int]) -> List[int]:
+        stage_words = []
+        current = data
+        for s in range(stages):
+            reg = words.word_latches(circuit, width, f"{tag}{s}_", init=0)
+            nxt = current
+            if s == 0 and corrupt is not None:
+                nxt = [circuit.g_xor(bit, corrupt) for bit in nxt]
+            words.connect_register(circuit, reg, nxt)
+            stage_words.append(reg)
+            current = reg
+        return current
+
+    out_a = build_pipe("pa", None)
+    out_b = build_pipe("pb", is_magic if buggy else None)
+    prop = words.word_eq(circuit, out_a, out_b)
+    circuit.set_name(prop, "prop")
+    circuit.set_output("prop", prop)
+    attach_distractors(circuit, distractor_words, distractor_width, seed=seed)
+    circuit.validate()
+    return circuit, prop
+
+
+def fifo_controller(
+    depth_log2: int = 3,
+    distractor_words: int = 5,
+    distractor_width: int = 8,
+    buggy_arm_depth: Optional[int] = None,
+    seed: int = 4,
+) -> Tuple[Circuit, int]:
+    """A FIFO occupancy controller.
+
+    A ``count`` register tracks occupancy (capacity ``2**depth_log2``);
+    pushes are ignored when full, pops when empty.  Property: the
+    occupancy never overflows — ``G (count <= capacity)``.  True by the
+    push gating, but proving it at depth ``k`` takes genuine search: the
+    solver must establish that ``count`` can gain at most one per cycle
+    and that pushes stop at ``full``.
+
+    With ``buggy_arm_depth = A``, an arming counter raises a spurious
+    violation once the ``stress`` input has been high ``A`` cycles while
+    the FIFO is empty: the property fails at depth exactly ``A``.
+    """
+    capacity = 1 << depth_log2
+    circuit = Circuit(f"fifo_ctrl_c{capacity}")
+    push = circuit.add_input("push")
+    pop = circuit.add_input("pop")
+    width = depth_log2 + 1
+    count = words.word_latches(circuit, width, "occ", init=0)
+    empty = words.word_is_zero(circuit, count)
+    full = words.word_eq_const(circuit, count, capacity)
+    do_push = circuit.g_and(push, circuit.g_not(full))
+    do_pop = circuit.g_and(pop, circuit.g_not(empty))
+    inc = circuit.g_and(do_push, circuit.g_not(do_pop))
+    dec = circuit.g_and(do_pop, circuit.g_not(do_push))
+    plus_one = words.word_increment(circuit, count)
+    minus_one = words.word_add(
+        circuit, count, words.word_const(circuit, width, (1 << width) - 1)
+    )
+    nxt = words.word_mux(circuit, inc, plus_one, count)
+    nxt = words.word_mux(circuit, dec, minus_one, nxt)
+    words.connect_register(circuit, count, nxt)
+    # count > capacity  <=>  MSB set and some lower bit set
+    # (capacity = 2**depth_log2 is exactly the MSB alone).
+    overflow = circuit.g_and(count[-1], circuit.g_or(*count[:-1]))
+    violation = overflow
+    if buggy_arm_depth is not None:
+        armed = _arming_counter(circuit, buggy_arm_depth, "stress")
+        violation = circuit.g_or(overflow, circuit.g_and(armed, empty))
+    prop = circuit.g_not(violation, name="prop")
+    circuit.set_output("prop", prop)
+    attach_distractors(circuit, distractor_words, distractor_width, seed=seed)
+    circuit.validate()
+    return circuit, prop
+
+
+def traffic_controller(
+    arm_depth: Optional[int] = None,
+    distractor_words: int = 4,
+    distractor_width: int = 8,
+    seed: int = 5,
+) -> Tuple[Circuit, int]:
+    """A two-road traffic-light FSM (one-hot: NS-green, EW-green, all-red).
+
+    Lights change only through the all-red state.  Property: never both
+    green — true by construction.  With ``arm_depth = A`` a stuck-sensor
+    bug forces EW green regardless of state once armed; the property then
+    fails at depth exactly ``A + 1`` (arm, then step into NS-green while
+    the forced EW green holds).
+    """
+    circuit = Circuit("traffic")
+    advance = circuit.add_input("advance")
+    ns_green = circuit.add_latch("ns_green", init=0)
+    ew_green = circuit.add_latch("ew_green", init=0)
+    all_red = circuit.add_latch("all_red", init=1)
+    turn = circuit.add_latch("turn", init=0)  # whose green is next
+    stay = circuit.g_not(advance)
+    circuit.set_next(
+        ns_green,
+        circuit.g_or(
+            circuit.g_and(ns_green, stay),
+            circuit.g_and(all_red, advance, circuit.g_not(turn)),
+        ),
+    )
+    forced_ew = circuit.const(0)
+    if arm_depth is not None:
+        forced_ew = _arming_counter(circuit, arm_depth, "sensor_stuck")
+    circuit.set_next(
+        ew_green,
+        circuit.g_or(
+            circuit.g_and(ew_green, stay),
+            circuit.g_and(all_red, advance, turn),
+            forced_ew,
+        ),
+    )
+    circuit.set_next(
+        all_red,
+        circuit.g_or(
+            circuit.g_and(all_red, stay),
+            circuit.g_and(circuit.g_or(ns_green, ew_green), advance),
+        ),
+    )
+    circuit.set_next(turn, circuit.g_xor(turn, advance))
+    violation = circuit.g_and(ns_green, ew_green)
+    prop = circuit.g_not(violation, name="prop")
+    circuit.set_output("prop", prop)
+    attach_distractors(circuit, distractor_words, distractor_width, seed=seed)
+    circuit.validate()
+    return circuit, prop
+
+
+def lfsr_tripwire(
+    width: int = 6,
+    steps_to_target: int = 12,
+    distractor_words: int = 4,
+    distractor_width: int = 8,
+    seed: int = 6,
+) -> Tuple[Circuit, int]:
+    """An enable-gated Fibonacci LFSR with a computed tripwire state.
+
+    The generator simulates the LFSR ``steps_to_target`` steps from its
+    seed state and uses the reached state as the tripwire.  Property:
+    ``G (lfsr != tripwire_state)`` — fails at depth exactly
+    ``steps_to_target`` (hold enable high), UNSAT below it.
+    """
+    taps = {2: (1, 0), 3: (2, 1), 4: (3, 2), 5: (4, 2), 6: (5, 4), 7: (6, 5), 8: (7, 5, 4, 3)}
+    if width not in taps:
+        raise ValueError(f"no tap table for width {width}")
+    state = 1
+    for _ in range(steps_to_target):
+        feedback = 0
+        for tap in taps[width]:
+            feedback ^= (state >> tap) & 1
+        state = ((state << 1) | feedback) & ((1 << width) - 1)
+    target = state
+
+    circuit = Circuit(f"lfsr_w{width}")
+    enable = circuit.add_input("en")
+    bits = words.word_latches(circuit, width, "lfsr", init=1)
+    feedback_net = circuit.g_xor(*[bits[tap] for tap in taps[width]]) if len(taps[width]) > 1 else bits[taps[width][0]]
+    shifted = [feedback_net] + list(bits[:-1])
+    nxt = words.word_mux(circuit, enable, shifted, bits)
+    words.connect_register(circuit, bits, nxt)
+    bad = words.word_eq_const(circuit, bits, target)
+    prop = circuit.g_not(bad, name="prop")
+    circuit.set_output("prop", prop)
+    attach_distractors(circuit, distractor_words, distractor_width, seed=seed)
+    circuit.validate()
+    return circuit, prop
+
+
+def round_robin_arbiter(
+    num_clients: int = 4,
+    buggy_arm_depth: Optional[int] = None,
+    distractor_words: int = 5,
+    distractor_width: int = 8,
+    seed: int = 7,
+) -> Tuple[Circuit, int]:
+    """A round-robin arbiter: one-hot priority token, grant to the
+    requesting client with the token; token rotates after a grant.
+
+    Property: ``G (at most one grant)`` — true by construction.  With
+    ``buggy_arm_depth = A`` (``A >= 1``), an armed override additionally
+    grants client 0 whenever client 1 holds the token and requests: two
+    grants become possible at depth exactly ``A`` (the token can reach
+    client 1 by frame 1 and wait there while the override arms).
+    """
+    circuit = Circuit(f"rr_arbiter_n{num_clients}")
+    requests = [circuit.add_input(f"req{i}") for i in range(num_clients)]
+    tokens = [
+        circuit.add_latch(f"prio{i}", init=1 if i == 0 else 0)
+        for i in range(num_clients)
+    ]
+    grants = [circuit.g_and(tokens[i], requests[i]) for i in range(num_clients)]
+    if buggy_arm_depth is not None:
+        armed = _arming_counter(circuit, buggy_arm_depth, "stress")
+        grants[0] = circuit.g_or(grants[0], circuit.g_and(armed, tokens[1], requests[1]))
+    granted = circuit.g_or(*grants)
+    for i in range(num_clients):
+        nxt_i = (i - 1) % num_clients
+        rotate = circuit.g_mux(granted, tokens[nxt_i], tokens[i])
+        circuit.set_next(tokens[i], rotate)
+    pair_violations = [
+        circuit.g_and(grants[i], grants[j])
+        for i in range(num_clients)
+        for j in range(i + 1, num_clients)
+    ]
+    prop = circuit.g_nor(*pair_violations, name="prop")
+    circuit.set_output("prop", prop)
+    attach_distractors(circuit, distractor_words, distractor_width, seed=seed)
+    circuit.validate()
+    return circuit, prop
+
+
+def memory_controller(
+    addr_bits: int = 3,
+    buggy_arm_depth: Optional[int] = None,
+    distractor_words: int = 4,
+    distractor_width: int = 8,
+    seed: int = 9,
+) -> Tuple[Circuit, int]:
+    """A request/refresh memory-controller FSM.
+
+    The controller alternates between serving requests and mandatory
+    refresh: a refresh-deadline counter counts up; when it saturates the
+    controller must enter refresh within one cycle.  Property:
+    ``G (deadline saturated -> not granting)`` — the controller never
+    grants a request past the refresh deadline.  True by construction.
+
+    With ``buggy_arm_depth = A`` (``A <= period``), an armed "performance
+    override" lets a request win even at the deadline: fails at depth
+    exactly ``period = 2**addr_bits - 1`` (the first saturation; the arm
+    is ready by then).
+    """
+    period = (1 << addr_bits) - 1
+    circuit = Circuit(f"mem_ctrl_a{addr_bits}")
+    request = circuit.add_input("req")
+    deadline = words.word_latches(circuit, addr_bits, "ddl", init=0)
+    saturated = words.word_eq_const(circuit, deadline, period)
+    in_refresh = circuit.add_latch("refresh", init=0)
+    grant = circuit.g_and(
+        request, circuit.g_not(saturated), circuit.g_not(in_refresh)
+    )
+    if buggy_arm_depth is not None:
+        armed = _arming_counter(circuit, buggy_arm_depth, "stress")
+        grant = circuit.g_or(
+            grant, circuit.g_and(armed, request, saturated)
+        )
+    circuit.set_next(in_refresh, saturated)
+    incremented = words.word_increment(circuit, deadline)
+    reset_word = words.word_const(circuit, addr_bits, 0)
+    # Priority: refresh resets the deadline; saturation holds it;
+    # otherwise it counts up.
+    advanced = words.word_mux(circuit, saturated, deadline, incremented)
+    nxt = words.word_mux(circuit, in_refresh, reset_word, advanced)
+    words.connect_register(circuit, deadline, nxt)
+    violation = circuit.g_and(saturated, grant)
+    prop = circuit.g_not(violation, name="prop")
+    circuit.set_output("prop", prop)
+    attach_distractors(circuit, distractor_words, distractor_width, seed=seed)
+    circuit.validate()
+    return circuit, prop
+
+
+def handshake_chain(
+    stages: int = 4,
+    buggy_arm_depth: Optional[int] = None,
+    distractor_words: int = 4,
+    distractor_width: int = 8,
+    seed: int = 10,
+) -> Tuple[Circuit, int]:
+    """A req/ack handshake pipeline with one-deep stage buffers.
+
+    Each stage holds a ``full`` bit; data advances when the next stage is
+    empty.  Property: no stage ever *overwrites* — ``G (full_i ->
+    not take_i)`` folded over stages, where ``take_i`` is the condition
+    under which stage i latches new data while already full and not
+    draining.  True by the flow-control logic.
+
+    With ``buggy_arm_depth = A`` an armed override forces stage 1 to
+    accept upstream data unconditionally: an overrun needs stages 0..2
+    simultaneously full, which only backpressure can cause — the
+    counterexample depth is ``max(A, 2*stages - 1)`` (sink stalled while
+    the source streams, filling the chain back to front).
+    """
+    circuit = Circuit(f"handshake_s{stages}")
+    source_valid = circuit.add_input("src_valid")
+    sink_ready = circuit.add_input("snk_ready")
+    fulls = [circuit.add_latch(f"full{i}", init=0) for i in range(stages)]
+    force = circuit.const(0)
+    if buggy_arm_depth is not None:
+        force = _arming_counter(circuit, buggy_arm_depth, "stress")
+    advances = []
+    overruns = []
+    for i in range(stages):
+        upstream_valid = source_valid if i == 0 else fulls[i - 1]
+        downstream_free = (
+            sink_ready if i == stages - 1
+            else circuit.g_not(fulls[i + 1])
+        )
+        drains = circuit.g_and(fulls[i], downstream_free)
+        accepts = circuit.g_and(upstream_valid, circuit.g_not(fulls[i]))
+        if i == 1 and buggy_arm_depth is not None:
+            accepts = circuit.g_or(accepts, circuit.g_and(force, upstream_valid))
+        overruns.append(circuit.g_and(accepts, fulls[i], circuit.g_not(drains)))
+        nxt = circuit.g_or(accepts, circuit.g_and(fulls[i], circuit.g_not(drains)))
+        circuit.set_next(fulls[i], nxt)
+        advances.append(accepts)
+    violation = circuit.g_or(*overruns)
+    prop = circuit.g_not(violation, name="prop")
+    circuit.set_output("prop", prop)
+    attach_distractors(circuit, distractor_words, distractor_width, seed=seed)
+    circuit.validate()
+    return circuit, prop
+
+
+def gray_counter(
+    width: int = 4,
+    distractor_words: int = 3,
+    distractor_width: int = 6,
+    seed: int = 12,
+) -> Tuple[Circuit, int]:
+    """A binary counter with a Gray-coded shadow output.
+
+    Property: consecutive Gray codes differ in exactly one bit — encoded
+    as ``G (popcount(gray ^ prev_gray) <= 1)`` via a registered copy of
+    the previous Gray value.  True for a correct binary-to-Gray stage;
+    exercises XOR-heavy cores quite unlike the control-dominated
+    families.
+    """
+    circuit = Circuit(f"gray_w{width}")
+    enable = circuit.add_input("en")
+    binary = words.word_latches(circuit, width, "bin", init=0)
+    incremented = words.word_increment(circuit, binary)
+    nxt = words.word_mux(circuit, enable, incremented, binary)
+    words.connect_register(circuit, binary, nxt)
+    gray = words.word_to_gray(circuit, binary)
+    prev = words.word_latches(circuit, width, "pg", init=0)
+    words.connect_register(circuit, prev, gray)
+    diff = words.word_xor(circuit, gray, prev)
+    # popcount(diff) <= 1  <=>  no two diff bits set simultaneously.
+    pairs = [
+        circuit.g_and(diff[i], diff[j])
+        for i in range(width)
+        for j in range(i + 1, width)
+    ]
+    violation = circuit.g_or(*pairs) if len(pairs) > 1 else pairs[0]
+    prop = circuit.g_not(violation, name="prop")
+    circuit.set_output("prop", prop)
+    attach_distractors(circuit, distractor_words, distractor_width, seed=seed)
+    circuit.validate()
+    return circuit, prop
+
+
+def random_sequential(
+    num_latches: int = 8,
+    num_gates: int = 40,
+    num_inputs: int = 4,
+    seed: int = 8,
+    distractor_words: int = 3,
+    distractor_width: int = 6,
+    guard_depth: Optional[int] = None,
+) -> Tuple[Circuit, int]:
+    """A seeded random sequential netlist with a random AND-tree property.
+
+    Structure is random: the invariant is the NOR of a few deep random
+    nets — a stand-in for messy industrial control logic.  Whether it
+    holds (and to what depth) depends on the seed.
+
+    With ``guard_depth = G``, the violation is additionally conjoined
+    with an arming counter that cannot fire before frame ``G``: instances
+    of depth ``< G`` are then guaranteed UNSAT, but proving them still
+    requires search through both the arming counter and the random logic
+    feeding the suspects (the capped-row regime).
+    """
+    rng = random.Random(seed)
+    circuit = Circuit(f"random_seq_s{seed}")
+    pool: List[int] = [circuit.add_input(f"i{j}") for j in range(num_inputs)]
+    latches = [
+        circuit.add_latch(f"l{j}", init=rng.randint(0, 1))
+        for j in range(num_latches)
+    ]
+    pool.extend(latches)
+    for _ in range(num_gates):
+        op = rng.choice(("and", "or", "xor", "not", "mux"))
+        if op == "not":
+            net = circuit.g_not(rng.choice(pool))
+        elif op == "mux":
+            net = circuit.g_mux(rng.choice(pool), rng.choice(pool), rng.choice(pool))
+        else:
+            a, b = rng.choice(pool), rng.choice(pool)
+            net = getattr(circuit, f"g_{op}")(a, b)
+        pool.append(net)
+    for latch in latches:
+        circuit.set_next(latch, rng.choice(pool))
+    suspects = [rng.choice(pool) for _ in range(3)]
+    if guard_depth is not None:
+        suspects.append(_arming_counter(circuit, guard_depth, "stress"))
+    violation = circuit.g_and(*suspects)
+    prop = circuit.g_not(violation, name="prop")
+    circuit.set_output("prop", prop)
+    attach_distractors(circuit, distractor_words, distractor_width, seed=seed + 100)
+    circuit.validate()
+    return circuit, prop

@@ -1,0 +1,80 @@
+"""Abstraction-from-core tests (paper Fig. 3/4): core locality is what
+makes the paper's ranking work — verify it directly."""
+
+from repro.bmc import BmcEngine, abstract_model, core_overlap
+from repro.circuit import cone_of_influence
+from repro.encode import Unroller
+from repro.sat import CdclSolver
+from repro.workloads import counter_tripwire
+
+
+def solved_instance(k=4, **kwargs):
+    defaults = dict(counter_width=4, target=15, distractor_words=3, distractor_width=6)
+    defaults.update(kwargs)
+    circuit, prop = counter_tripwire(**defaults)
+    unroller = Unroller(circuit, prop)
+    instance = unroller.instance(k)
+    outcome = CdclSolver(instance.formula).solve()
+    assert outcome.is_unsat
+    return circuit, prop, instance, outcome
+
+
+class TestAbstractModel:
+    def test_distractors_excluded_from_abstraction(self):
+        """The core must name only property-cone logic: none of the
+        distractor gates may appear (this is the paper's Fig. 3 claim)."""
+        circuit, prop, instance, outcome = solved_instance()
+        abstraction = abstract_model(instance, outcome.core_clauses)
+        relevant = cone_of_influence(circuit, [prop])
+        assert abstraction.gates, "empty abstraction"
+        assert abstraction.gates <= relevant
+        assert abstraction.latches <= relevant
+
+    def test_uses_property_clause(self):
+        _, _, instance, outcome = solved_instance()
+        abstraction = abstract_model(instance, outcome.core_clauses)
+        assert abstraction.uses_property_clause
+
+    def test_coverage_is_small(self):
+        circuit, prop, instance, outcome = solved_instance()
+        abstraction = abstract_model(instance, outcome.core_clauses)
+        assert abstraction.coverage_of(instance) < 0.5
+
+    def test_by_frame_breakdown_consistent(self):
+        _, _, instance, outcome = solved_instance()
+        abstraction = abstract_model(instance, outcome.core_clauses)
+        union = set()
+        for frame, nets in abstraction.gates_by_frame.items():
+            assert 0 <= frame <= instance.k
+            union |= nets
+        assert union == set(abstraction.gates)
+
+    def test_abstraction_alone_proves_unsat(self):
+        """The core subformula (the abstract model's constraints) must be
+        unsatisfiable on its own — the oracle argument of §3."""
+        _, _, instance, outcome = solved_instance()
+        core_formula = instance.formula.subformula(outcome.core_clauses)
+        assert CdclSolver(core_formula).solve().is_unsat
+
+
+class TestCoreCorrelation:
+    def test_successive_cores_overlap(self):
+        """The paper's premise: cores of successive BMC instances share
+        many clauses (prefix-stable indices make this measurable)."""
+        circuit, prop = counter_tripwire(
+            counter_width=4, target=15, distractor_words=3, distractor_width=6
+        )
+        unroller = Unroller(circuit, prop)
+        cores = []
+        for k in range(2, 6):
+            outcome = CdclSolver(unroller.instance(k).formula).solve()
+            assert outcome.is_unsat
+            cores.append(outcome.core_clauses)
+        overlaps = [core_overlap(a, b) for a, b in zip(cores, cores[1:])]
+        assert sum(overlaps) / len(overlaps) > 0.3
+
+    def test_core_overlap_bounds(self):
+        assert core_overlap([], []) == 1.0
+        assert core_overlap([1, 2], [1, 2]) == 1.0
+        assert core_overlap([1], [2]) == 0.0
+        assert core_overlap([1, 2], [2, 3]) == 1 / 3

@@ -1,0 +1,116 @@
+"""CEGAR tests: abstraction soundness, refinement convergence,
+counterexample concretization."""
+
+import pytest
+
+from repro.bmc import BmcEngine, BmcStatus
+from repro.bmc.cegar import CegarBmc, abstract_circuit
+from repro.circuit import GateOp
+from repro.sat import SolverConfig
+from repro.workloads import counter_tripwire, token_ring
+
+
+MEDIUM = dict(distractor_words=3, distractor_width=6)
+
+
+class TestAbstractCircuit:
+    def test_cut_latches_become_inputs(self):
+        circuit, prop = counter_tripwire(counter_width=3, target=5, **MEDIUM)
+        kept = list(circuit.latches[:2])
+        abstraction, net_map = abstract_circuit(circuit, kept)
+        assert len(abstraction.latches) == 2
+        cut = [l for l in circuit.latches if l not in kept]
+        for latch in cut:
+            assert abstraction.op_of(net_map[latch]) is GateOp.INPUT
+
+    def test_abstraction_preserves_gate_structure(self):
+        circuit, prop = counter_tripwire(counter_width=3, target=5, **MEDIUM)
+        abstraction, net_map = abstract_circuit(circuit, circuit.latches)
+        assert len(abstraction.gates()) == len(circuit.gates())
+        assert abstraction.op_of(net_map[prop]) is circuit.op_of(prop)
+
+    def test_non_latch_rejected(self):
+        circuit, prop = counter_tripwire(counter_width=3, target=5, **MEDIUM)
+        with pytest.raises(ValueError):
+            abstract_circuit(circuit, [circuit.inputs[0]])
+
+    def test_abstraction_is_overapproximation(self):
+        """Any concrete counterexample must survive abstraction: if the
+        concrete design fails at depth k, so does every abstraction."""
+        circuit, prop = counter_tripwire(counter_width=3, target=4, **MEDIUM)
+        concrete = BmcEngine(circuit, prop, max_depth=6).run()
+        assert concrete.status is BmcStatus.FAILED
+        abstraction, net_map = abstract_circuit(circuit, circuit.latches[:2])
+        abstract_result = BmcEngine(
+            abstraction, net_map[prop], max_depth=concrete.depth_reached
+        ).run()
+        assert abstract_result.status is BmcStatus.FAILED
+        assert abstract_result.depth_reached <= concrete.depth_reached
+
+
+class TestCegarVerdicts:
+    def test_agrees_with_plain_bmc_on_pass(self):
+        circuit, prop = counter_tripwire(counter_width=4, target=15, **MEDIUM)
+        result = CegarBmc(circuit, prop, max_depth=7).run()
+        assert result.status is BmcStatus.PASSED_BOUNDED
+        assert result.depth_reached == 7
+
+    def test_agrees_with_plain_bmc_on_fail(self):
+        circuit, prop = counter_tripwire(counter_width=4, target=6, **MEDIUM)
+        result = CegarBmc(circuit, prop, max_depth=10).run()
+        assert result.status is BmcStatus.FAILED
+        assert result.depth_reached == 6
+
+    def test_counterexample_is_concrete(self):
+        circuit, prop = counter_tripwire(counter_width=4, target=5, **MEDIUM)
+        result = CegarBmc(circuit, prop, max_depth=8).run()
+        frames = circuit.simulate(
+            result.trace.inputs, initial_state=result.trace.initial_state
+        )
+        assert frames[result.trace.depth][prop] == 0
+
+    def test_budget_exhaustion(self):
+        circuit, prop = counter_tripwire(counter_width=5, target=31, **MEDIUM)
+        result = CegarBmc(
+            circuit, prop, max_depth=10,
+            solver_config=SolverConfig(max_decisions=3),
+        ).run()
+        assert result.status is BmcStatus.BUDGET_EXHAUSTED
+
+    def test_requires_cdg(self):
+        circuit, prop = counter_tripwire(counter_width=3, target=5, **MEDIUM)
+        with pytest.raises(ValueError):
+            CegarBmc(
+                circuit, prop, max_depth=3,
+                solver_config=SolverConfig(record_cdg=False),
+            )
+
+
+class TestRefinement:
+    def test_distractor_latches_never_kept(self):
+        """The point of CEGAR here: the distractor registers must stay
+        abstracted away."""
+        circuit, prop = counter_tripwire(
+            counter_width=4, target=15, distractor_words=4, distractor_width=8
+        )
+        result = CegarBmc(circuit, prop, max_depth=8).run()
+        distractors = {
+            latch for latch in circuit.latches
+            if circuit.name_of(latch).startswith(("dist", "arm"))
+        }
+        assert not (set(result.kept_latches) & distractors)
+        assert result.final_abstraction_ratio < 0.5
+
+    def test_refinement_history_is_monotone(self):
+        circuit, prop = token_ring(num_nodes=5, **MEDIUM)
+        result = CegarBmc(circuit, prop, max_depth=6).run()
+        history = result.refinement_history
+        assert all(a <= b for a, b in zip(history, history[1:]))
+
+    def test_seeded_kept_set_respected(self):
+        circuit, prop = counter_tripwire(counter_width=3, target=7, **MEDIUM)
+        seed = list(circuit.latches[:1])
+        engine = CegarBmc(circuit, prop, max_depth=5, initial_latches=seed)
+        result = engine.run()
+        assert set(seed) <= set(result.kept_latches)
+        assert result.status is BmcStatus.PASSED_BOUNDED

@@ -1,0 +1,127 @@
+"""Engine option-matrix tests: COI, budgets, weightings, switch
+divisors across engines (interactions, not just defaults)."""
+
+import pytest
+
+from repro.bmc import (
+    BmcEngine,
+    BmcStatus,
+    IncrementalBmcEngine,
+    MultiPropertyBmc,
+    RefineOrderBmc,
+)
+from repro.sat import SolverConfig
+from repro.workloads import counter_tripwire, token_ring
+
+SMALL = dict(counter_width=3, target=5, distractor_words=2, distractor_width=4)
+
+
+class TestCoiInteractions:
+    @pytest.mark.parametrize("mode", ["static", "dynamic"])
+    def test_refined_with_coi(self, mode):
+        circuit, prop = counter_tripwire(**SMALL)
+        result = RefineOrderBmc(
+            circuit, prop, max_depth=7, mode=mode, use_coi=True
+        ).run()
+        assert result.status is BmcStatus.FAILED
+        assert result.depth_reached == 5
+
+    def test_incremental_with_coi(self):
+        circuit, prop = counter_tripwire(**SMALL)
+        result = IncrementalBmcEngine(
+            circuit, prop, max_depth=7, mode="dynamic", use_coi=True
+        ).run()
+        assert result.status is BmcStatus.FAILED
+        assert result.depth_reached == 5
+
+    def test_coi_trace_still_replays(self):
+        circuit, prop = counter_tripwire(**SMALL)
+        result = BmcEngine(circuit, prop, max_depth=7, use_coi=True).run()
+        frames = circuit.simulate(
+            result.trace.inputs, initial_state=result.trace.initial_state
+        )
+        assert frames[result.trace.depth][prop] == 0
+
+
+class TestWeightingMatrix:
+    @pytest.mark.parametrize("weighting", ["linear", "uniform", "last"])
+    @pytest.mark.parametrize("mode", ["static", "dynamic"])
+    def test_all_combinations_agree_on_verdict(self, weighting, mode):
+        circuit, prop = counter_tripwire(**SMALL)
+        result = RefineOrderBmc(
+            circuit, prop, max_depth=7, mode=mode, weighting=weighting
+        ).run()
+        assert result.status is BmcStatus.FAILED
+        assert result.depth_reached == 5
+
+    @pytest.mark.parametrize("weighting", ["linear", "uniform", "last"])
+    def test_incremental_weightings(self, weighting):
+        circuit, prop = token_ring(
+            num_nodes=4, distractor_words=2, distractor_width=4
+        )
+        result = IncrementalBmcEngine(
+            circuit, prop, max_depth=5, mode="static", weighting=weighting
+        ).run()
+        assert result.status is BmcStatus.PASSED_BOUNDED
+
+
+class TestSwitchDivisors:
+    @pytest.mark.parametrize("divisor", [4, 64, 1024])
+    def test_divisors_do_not_change_verdicts(self, divisor):
+        circuit, prop = counter_tripwire(**SMALL)
+        result = RefineOrderBmc(
+            circuit, prop, max_depth=7, mode="dynamic", switch_divisor=divisor
+        ).run()
+        assert result.status is BmcStatus.FAILED
+        assert result.depth_reached == 5
+
+
+class TestMultiPropertyBudgets:
+    def test_budget_marks_property_exhausted(self):
+        circuit, prop = counter_tripwire(
+            counter_width=5, target=31, distractor_words=3, distractor_width=6
+        )
+        engine = MultiPropertyBmc(
+            circuit, [prop], max_depth=10,
+            solver_config=SolverConfig(max_decisions=5),
+        )
+        outcomes = engine.run()
+        assert outcomes[prop].status is BmcStatus.BUDGET_EXHAUSTED
+
+    def test_unknown_property_stops_but_run_completes(self):
+        # One trivial property and one budget-starved property: the
+        # trivial one must still complete every depth.  (Shallow depths
+        # of the hard property solve by propagation alone, so the budget
+        # only trips once the unrolling gets deep enough.)
+        circuit, hard_prop = counter_tripwire(
+            counter_width=5, target=31, distractor_words=3, distractor_width=6
+        )
+        easy_prop = circuit.const(1)
+        engine = MultiPropertyBmc(
+            circuit, [hard_prop, easy_prop], max_depth=10,
+            solver_config=SolverConfig(max_decisions=3),
+        )
+        outcomes = engine.run()
+        assert outcomes[easy_prop].status is BmcStatus.PASSED_BOUNDED
+        assert outcomes[easy_prop].depth_reached == 10
+        assert outcomes[hard_prop].status is BmcStatus.BUDGET_EXHAUSTED
+
+
+class TestStartDepthMatrix:
+    def test_refined_with_start_depth(self):
+        circuit, prop = counter_tripwire(**SMALL)
+        result = RefineOrderBmc(
+            circuit, prop, max_depth=7, start_depth=2, mode="static"
+        ).run()
+        assert result.status is BmcStatus.FAILED
+        assert result.per_depth[0].k == 2
+
+    def test_start_depth_beyond_cex_finds_nothing_below(self):
+        # Starting above the (shortest) counterexample at depth 5: the
+        # exact-length encoding still catches it at 5 < start? No — the
+        # run begins at 6; depth-6 instances cannot express the length-5
+        # cex with the gated counter (it CAN: stall one cycle).  Verify.
+        circuit, prop = counter_tripwire(**SMALL)
+        result = BmcEngine(circuit, prop, max_depth=8, start_depth=6).run()
+        assert result.status is BmcStatus.FAILED
+        assert result.depth_reached == 6

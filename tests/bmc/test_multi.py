@@ -1,0 +1,108 @@
+"""Multi-property BMC tests."""
+
+import pytest
+
+from repro.bmc import BmcStatus, MultiPropertyBmc
+from repro.circuit import Circuit, words
+from repro.properties import compile_property
+from repro.sat import SolverConfig
+from repro.workloads import round_robin_arbiter
+
+
+def multi_bug_design():
+    """A counter with three tripwires at different depths: property i
+    fails at depth target_i."""
+    circuit = Circuit("multi")
+    en = circuit.add_input("en")
+    counter = words.word_latches(circuit, 4, "cnt", init=0)
+    inc = words.word_increment(circuit, counter)
+    words.connect_register(
+        circuit, counter, words.word_mux(circuit, en, inc, counter)
+    )
+    properties = []
+    for target in (3, 6, 20):  # 20 is unreachable within our depths
+        reachable = target < 16
+        bad = (
+            words.word_eq_const(circuit, counter, target)
+            if reachable
+            else circuit.const(0)
+        )
+        properties.append(circuit.g_not(bad, name=f"p{target}"))
+    return circuit, properties
+
+
+class TestMixedOutcomes:
+    def test_each_property_resolved_at_its_depth(self):
+        circuit, props = multi_bug_design()
+        outcomes = MultiPropertyBmc(circuit, props, max_depth=8).run()
+        assert outcomes[props[0]].status is BmcStatus.FAILED
+        assert outcomes[props[0]].depth_reached == 3
+        assert outcomes[props[1]].status is BmcStatus.FAILED
+        assert outcomes[props[1]].depth_reached == 6
+        assert outcomes[props[2]].status is BmcStatus.PASSED_BOUNDED
+        assert outcomes[props[2]].depth_reached == 8
+
+    def test_traces_replay(self):
+        circuit, props = multi_bug_design()
+        outcomes = MultiPropertyBmc(circuit, props, max_depth=8).run()
+        for net in props[:2]:
+            trace = outcomes[net].trace
+            frames = circuit.simulate(trace.inputs, initial_state=trace.initial_state)
+            assert frames[trace.depth][net] == 0
+
+    def test_failed_property_stops_consuming_depths(self):
+        circuit, props = multi_bug_design()
+        outcomes = MultiPropertyBmc(circuit, props, max_depth=8).run()
+        assert len(outcomes[props[0]].per_depth) == 4  # k = 0..3 only
+
+    @pytest.mark.parametrize("mode", ["vsids", "static", "dynamic"])
+    def test_modes_agree(self, mode):
+        circuit, props = multi_bug_design()
+        outcomes = MultiPropertyBmc(circuit, props, max_depth=8, mode=mode).run()
+        assert outcomes[props[0]].depth_reached == 3
+        assert outcomes[props[1]].depth_reached == 6
+
+
+class TestSharedLearning:
+    def test_arbiter_properties_share_model(self):
+        circuit, _ = round_robin_arbiter(
+            num_clients=3, distractor_words=2, distractor_width=4
+        )
+        pairwise = [
+            compile_property(circuit, "!(prio0 & prio1)"),
+            compile_property(circuit, "!(prio0 & prio2)"),
+            compile_property(circuit, "!(prio1 & prio2)"),
+        ]
+        outcomes = MultiPropertyBmc(circuit, pairwise, max_depth=5, mode="static").run()
+        assert all(o.status is BmcStatus.PASSED_BOUNDED for o in outcomes.values())
+
+    def test_per_property_ranks_are_separate(self):
+        circuit, props = multi_bug_design()
+        engine = MultiPropertyBmc(circuit, props, max_depth=8, mode="static")
+        engine.run()
+        assert set(engine.var_ranks) == set(props)
+
+
+class TestValidation:
+    def test_empty_property_list_rejected(self):
+        circuit, props = multi_bug_design()
+        with pytest.raises(ValueError):
+            MultiPropertyBmc(circuit, [], max_depth=3)
+
+    def test_duplicate_properties_rejected(self):
+        circuit, props = multi_bug_design()
+        with pytest.raises(ValueError):
+            MultiPropertyBmc(circuit, [props[0], props[0]], max_depth=3)
+
+    def test_bad_mode_rejected(self):
+        circuit, props = multi_bug_design()
+        with pytest.raises(ValueError):
+            MultiPropertyBmc(circuit, props, max_depth=3, mode="turbo")
+
+    def test_refined_requires_cdg(self):
+        circuit, props = multi_bug_design()
+        with pytest.raises(ValueError):
+            MultiPropertyBmc(
+                circuit, props, max_depth=3, mode="static",
+                solver_config=SolverConfig(record_cdg=False),
+            )

@@ -1,0 +1,107 @@
+"""Tests for the paper's refine-order algorithm (Fig. 5, §3.2-3.3)."""
+
+import pytest
+
+from repro.bmc import BmcEngine, BmcStatus, RefineOrderBmc, bmc_score_update
+from repro.sat import SolverConfig
+from repro.workloads import counter_tripwire
+
+
+class TestScoreUpdate:
+    def test_linear_weighting_adds_depth(self):
+        rank = {}
+        bmc_score_update(rank, {1, 2}, k=3)
+        bmc_score_update(rank, {2, 5}, k=4)
+        assert rank == {1: 3.0, 2: 7.0, 5: 4.0}
+
+    def test_depth_zero_core_ignored_by_linear(self):
+        rank = {}
+        bmc_score_update(rank, {1}, k=0)
+        assert rank == {}
+
+    def test_uniform_weighting(self):
+        rank = {}
+        bmc_score_update(rank, {1}, k=3, weighting="uniform")
+        bmc_score_update(rank, {1}, k=9, weighting="uniform")
+        assert rank == {1: 2.0}
+
+    def test_last_weighting_discards_history(self):
+        rank = {}
+        bmc_score_update(rank, {1, 2}, k=3, weighting="last")
+        bmc_score_update(rank, {5}, k=4, weighting="last")
+        assert rank == {5: 1.0}
+
+    def test_unknown_weighting_rejected(self):
+        with pytest.raises(ValueError):
+            bmc_score_update({}, {1}, 1, weighting="quadratic")
+
+
+class TestRefineOrderBmc:
+    def test_invalid_mode_rejected(self):
+        circuit, prop = counter_tripwire(distractor_words=1, distractor_width=3)
+        with pytest.raises(ValueError):
+            RefineOrderBmc(circuit, prop, max_depth=3, mode="hybrid")
+
+    def test_invalid_weighting_rejected(self):
+        circuit, prop = counter_tripwire(distractor_words=1, distractor_width=3)
+        with pytest.raises(ValueError):
+            RefineOrderBmc(circuit, prop, max_depth=3, weighting="bogus")
+
+    def test_requires_cdg(self):
+        circuit, prop = counter_tripwire(distractor_words=1, distractor_width=3)
+        with pytest.raises(ValueError):
+            RefineOrderBmc(
+                circuit, prop, max_depth=3,
+                solver_config=SolverConfig(record_cdg=False),
+            )
+
+    def test_var_rank_grows_across_depths(self):
+        circuit, prop = counter_tripwire(
+            counter_width=4, target=15, distractor_words=2, distractor_width=4
+        )
+        engine = RefineOrderBmc(circuit, prop, max_depth=5, mode="static")
+        assert engine.var_rank == {}
+        result = engine.run()
+        assert result.status is BmcStatus.PASSED_BOUNDED
+        assert engine.var_rank, "no core variables were ever recorded"
+        assert all(score > 0 for score in engine.var_rank.values())
+
+    def test_same_answers_as_baseline(self):
+        for target, max_depth in [(5, 8), (9, 6)]:
+            circuit, prop = counter_tripwire(
+                counter_width=4, target=target,
+                distractor_words=2, distractor_width=4,
+            )
+            baseline = BmcEngine(circuit, prop, max_depth=max_depth).run()
+            for mode in ("static", "dynamic"):
+                circuit2, prop2 = counter_tripwire(
+                    counter_width=4, target=target,
+                    distractor_words=2, distractor_width=4,
+                )
+                refined = RefineOrderBmc(circuit2, prop2, max_depth=max_depth, mode=mode).run()
+                assert refined.status == baseline.status
+                assert refined.depth_reached == baseline.depth_reached
+
+    def test_reduces_decisions_on_distractor_design(self):
+        """The paper's central effect: ranked ordering confines the search
+        to the property-relevant kernel."""
+        kwargs = dict(counter_width=4, target=15, distractor_words=5, distractor_width=8)
+        circuit, prop = counter_tripwire(**kwargs)
+        baseline = BmcEngine(circuit, prop, max_depth=10).run()
+        circuit2, prop2 = counter_tripwire(**kwargs)
+        refined = RefineOrderBmc(circuit2, prop2, max_depth=10, mode="static").run()
+        assert refined.total_decisions < baseline.total_decisions / 3
+
+    def test_dynamic_mode_records_switch_flag(self):
+        circuit, prop = counter_tripwire(
+            counter_width=4, target=15, distractor_words=2, distractor_width=4
+        )
+        result = RefineOrderBmc(circuit, prop, max_depth=4, mode="dynamic").run()
+        assert all(d.switched is not None for d in result.per_depth)
+
+    def test_static_mode_never_switches(self):
+        circuit, prop = counter_tripwire(
+            counter_width=4, target=15, distractor_words=2, distractor_width=4
+        )
+        result = RefineOrderBmc(circuit, prop, max_depth=4, mode="static").run()
+        assert all(d.switched is False for d in result.per_depth)

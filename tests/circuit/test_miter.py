@@ -1,0 +1,137 @@
+"""Miter construction and equivalence-checking tests."""
+
+import pytest
+
+from repro.bmc import BmcStatus, InductionStatus
+from repro.circuit import Circuit, words
+from repro.circuit.miter import build_miter, check_equivalence
+from repro.circuit.netlist import CircuitError
+
+
+def counter(width, name, use_mux_style=False):
+    """An enable-gated counter; two structurally different but
+    behaviourally identical implementations."""
+    circuit = Circuit(name)
+    en = circuit.add_input("en")
+    bits = words.word_latches(circuit, width, "c", init=0)
+    if use_mux_style:
+        inc = words.word_increment(circuit, bits)
+        nxt = words.word_mux(circuit, en, inc, bits)
+    else:
+        # Gate the carry chain instead of muxing the result.
+        carry = en
+        nxt = []
+        for bit in bits:
+            nxt.append(circuit.g_xor(bit, carry))
+            carry = circuit.g_and(bit, carry)
+    words.connect_register(circuit, bits, nxt)
+    circuit.set_output("count0", bits[0])
+    circuit.set_output("msb", bits[-1])
+    return circuit
+
+
+def broken_counter(width, name):
+    """Like ``counter`` but the MSB carry is dropped (differs once the
+    carry reaches the top bit)."""
+    circuit = Circuit(name)
+    en = circuit.add_input("en")
+    bits = words.word_latches(circuit, width, "c", init=0)
+    carry = en
+    nxt = []
+    for index, bit in enumerate(bits):
+        if index == width - 1:
+            nxt.append(bit)  # bug: MSB never toggles
+        else:
+            nxt.append(circuit.g_xor(bit, carry))
+        carry = circuit.g_and(bit, carry)
+    words.connect_register(circuit, bits, nxt)
+    circuit.set_output("count0", bits[0])
+    circuit.set_output("msb", bits[-1])
+    return circuit
+
+
+class TestBuildMiter:
+    def test_structure(self):
+        left = counter(3, "gold", use_mux_style=True)
+        right = counter(3, "impl")
+        miter, equal = build_miter(left, right)
+        assert len(miter.inputs) == 1
+        assert len(miter.latches) == 6  # both sides keep their state
+        assert miter.outputs["equal"] == equal
+
+    def test_inputs_matched_by_name(self):
+        left = counter(2, "a", use_mux_style=True)
+        right = counter(2, "b")
+        miter, _ = build_miter(left, right)
+        assert miter.name_of(miter.inputs[0]) == "en"
+
+    def test_output_selection(self):
+        left = counter(3, "a", use_mux_style=True)
+        right = broken_counter(3, "b")
+        miter, equal = build_miter(left, right, outputs=["count0"])
+        # Comparing only the LSB: identical despite the MSB bug.
+        from repro.bmc import BmcEngine
+
+        result = BmcEngine(miter, equal, max_depth=8).run()
+        assert result.status is BmcStatus.PASSED_BOUNDED
+
+    def test_no_common_outputs_rejected(self):
+        left = Circuit("l")
+        a = left.add_input("a")
+        left.set_output("x", a)
+        right = Circuit("r")
+        b = right.add_input("a")
+        right.set_output("y", b)
+        with pytest.raises(CircuitError):
+            build_miter(left, right)
+
+    def test_input_count_mismatch_rejected(self):
+        left = Circuit("l")
+        left.set_output("x", left.add_input("a"))
+        right = Circuit("r")
+        right.add_input("a")
+        right.set_output("x", right.add_input("b"))
+        with pytest.raises(CircuitError):
+            build_miter(left, right)
+
+
+class TestEquivalence:
+    def test_equivalent_implementations_proved(self):
+        left = counter(3, "gold", use_mux_style=True)
+        right = counter(3, "impl")
+        result = check_equivalence(left, right, max_depth=10)
+        assert result.status is InductionStatus.PROVED
+
+    def test_broken_implementation_refuted(self):
+        left = counter(3, "gold", use_mux_style=True)
+        right = broken_counter(3, "impl")
+        result = check_equivalence(left, right, max_depth=10)
+        assert result.status is InductionStatus.FAILED
+        # The MSB diverges when the carry first reaches it: count 3 -> 4,
+        # i.e. after 4 enabled cycles.
+        assert result.trace.depth == 4
+
+    def test_distinguishing_trace_replays_on_miter(self):
+        left = counter(3, "gold", use_mux_style=True)
+        right = broken_counter(3, "impl")
+        miter, equal = build_miter(left, right)
+        from repro.bmc import BmcEngine
+
+        result = BmcEngine(miter, equal, max_depth=10).run()
+        assert result.status is BmcStatus.FAILED
+        frames = miter.simulate(
+            result.trace.inputs, initial_state=result.trace.initial_state
+        )
+        assert frames[result.trace.depth][equal] == 0
+
+    def test_bounded_mode(self):
+        left = counter(3, "gold", use_mux_style=True)
+        right = counter(3, "impl")
+        result = check_equivalence(left, right, max_depth=6, prove=False)
+        assert result.status is BmcStatus.PASSED_BOUNDED
+
+    def test_self_equivalence(self):
+        circuit = counter(4, "self", use_mux_style=True)
+        other = counter(4, "self2", use_mux_style=True)
+        result = check_equivalence(circuit, other, max_depth=8)
+        assert result.status is InductionStatus.PROVED

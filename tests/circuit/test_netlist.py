@@ -1,0 +1,208 @@
+"""Circuit construction, validation and simulation tests."""
+
+import pytest
+
+from repro.circuit import Circuit, CircuitError, GateOp
+
+
+class TestConstruction:
+    def test_inputs_and_names(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        assert c.op_of(a) is GateOp.INPUT
+        assert c.find("a") == a
+        assert c.name_of(a) == "a"
+        assert c.inputs == (a,)
+
+    def test_unnamed_nets_get_default_names(self):
+        c = Circuit()
+        a = c.add_input()
+        assert c.name_of(a) == f"n{a}"
+
+    def test_duplicate_name_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError):
+            c.add_input("a")
+
+    def test_latch_init_values(self):
+        c = Circuit()
+        l0 = c.add_latch("l0", init=0)
+        l1 = c.add_latch("l1", init=1)
+        l2 = c.add_latch("l2", init=None)
+        assert c.init_of(l0) == 0
+        assert c.init_of(l1) == 1
+        assert c.init_of(l2) is None
+
+    def test_bad_latch_init_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit().add_latch(init=2)
+
+    def test_const_nets_are_cached(self):
+        c = Circuit()
+        assert c.const(0) == c.const(0)
+        assert c.const(1) == c.const(1)
+        assert c.const(0) != c.const(1)
+
+    def test_gate_arity_checks(self):
+        c = Circuit()
+        a, b = c.add_input(), c.add_input()
+        with pytest.raises(CircuitError):
+            c.add_gate(GateOp.NOT, (a, b))
+        with pytest.raises(CircuitError):
+            c.add_gate(GateOp.XOR, (a,))
+        with pytest.raises(CircuitError):
+            c.add_gate(GateOp.MUX, (a, b))
+        with pytest.raises(CircuitError):
+            c.add_gate(GateOp.AND, ())
+
+    def test_source_ops_not_gates(self):
+        c = Circuit()
+        with pytest.raises(CircuitError):
+            c.add_gate(GateOp.INPUT, ())
+
+    def test_fanin_must_exist(self):
+        c = Circuit()
+        with pytest.raises(CircuitError):
+            c.g_not(42)
+
+    def test_set_next_type_checks(self):
+        c = Circuit()
+        a = c.add_input()
+        with pytest.raises(CircuitError):
+            c.set_next(a, a)
+
+    def test_next_of_unset_raises(self):
+        c = Circuit()
+        latch = c.add_latch()
+        with pytest.raises(CircuitError):
+            c.next_of(latch)
+
+    def test_validate_requires_next_state(self):
+        c = Circuit()
+        c.add_latch("l")
+        with pytest.raises(CircuitError):
+            c.validate()
+
+    def test_xor_chain_expansion(self):
+        c = Circuit()
+        a, b, d = (c.add_input() for _ in range(3))
+        net = c.g_xor(a, b, d)
+        assert c.op_of(net) is GateOp.XOR
+        assert len(c.fanins_of(net)) == 2  # binary tree, not a 3-ary gate
+
+    def test_gates_listing(self):
+        c = Circuit()
+        a = c.add_input()
+        g = c.g_not(a)
+        assert c.gates() == [g]
+
+    def test_outputs(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.set_output("o", a)
+        assert c.outputs == {"o": a}
+        with pytest.raises(CircuitError):
+            c.set_output("bad", 99)
+
+    def test_str(self):
+        c = Circuit("demo")
+        c.add_input("a")
+        assert "demo" in str(c)
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "op,fanin_values,expected",
+        [
+            (GateOp.AND, (1, 1), 1),
+            (GateOp.AND, (1, 0), 0),
+            (GateOp.OR, (0, 0), 0),
+            (GateOp.OR, (0, 1), 1),
+            (GateOp.NAND, (1, 1), 0),
+            (GateOp.NOR, (0, 0), 1),
+            (GateOp.XOR, (1, 0), 1),
+            (GateOp.XOR, (1, 1), 0),
+            (GateOp.XNOR, (1, 1), 1),
+        ],
+    )
+    def test_binary_ops(self, op, fanin_values, expected):
+        c = Circuit()
+        ins = [c.add_input() for _ in fanin_values]
+        gate = c.add_gate(op, ins)
+        values = [0] * c.num_nets
+        for net, value in zip(ins, fanin_values):
+            values[net] = value
+        assert c.evaluate_net(gate, values) == expected
+
+    @pytest.mark.parametrize(
+        "sel,a,b,expected", [(1, 1, 0, 1), (1, 0, 1, 0), (0, 1, 0, 0), (0, 0, 1, 1)]
+    )
+    def test_mux(self, sel, a, b, expected):
+        c = Circuit()
+        s, x, y = (c.add_input() for _ in range(3))
+        gate = c.g_mux(s, x, y)
+        values = [0] * c.num_nets
+        values[s], values[x], values[y] = sel, a, b
+        assert c.evaluate_net(gate, values) == expected
+
+    def test_not_buf(self):
+        c = Circuit()
+        a = c.add_input()
+        n = c.g_not(a)
+        b = c.g_buf(a)
+        values = [0] * c.num_nets
+        values[a] = 1
+        assert c.evaluate_net(n, values) == 0
+        assert c.evaluate_net(b, values) == 1
+
+
+class TestSimulation:
+    def make_toggler(self):
+        c = Circuit("toggle")
+        en = c.add_input("en")
+        q = c.add_latch("q", init=0)
+        c.set_next(q, c.g_xor(q, en))
+        return c, en, q
+
+    def test_toggle_behaviour(self):
+        c, en, q = self.make_toggler()
+        frames = c.simulate([{en: 1}, {en: 0}, {en: 1}, {en: 1}])
+        assert [f[q] for f in frames] == [0, 1, 1, 0]
+
+    def test_missing_inputs_default_zero(self):
+        c, en, q = self.make_toggler()
+        frames = c.simulate([{}, {}])
+        assert [f[q] for f in frames] == [0, 0]
+
+    def test_initial_state_override(self):
+        c, en, q = self.make_toggler()
+        frames = c.simulate([{en: 0}], initial_state={q: 1})
+        assert frames[0][q] == 1
+
+    def test_unconstrained_latch_defaults_zero(self):
+        c = Circuit()
+        q = c.add_latch("q", init=None)
+        c.set_next(q, q)
+        frames = c.simulate([{}])
+        assert frames[0][q] == 0
+
+    def test_implies_gate(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        imp = c.g_implies(a, b)
+        values = [0] * c.num_nets
+        for va, vb, expected in [(0, 0, 1), (0, 1, 1), (1, 0, 0), (1, 1, 1)]:
+            values[a], values[b] = va, vb
+            # evaluate the NOT gate feeding the OR first
+            out = [0] * c.num_nets
+            out[a], out[b] = va, vb
+            for net in range(c.num_nets):
+                out[net] = c.evaluate_net(net, out)
+            assert out[imp] == expected
+
+    def test_simulation_validates_circuit(self):
+        c = Circuit()
+        c.add_latch("dangling")
+        with pytest.raises(CircuitError):
+            c.simulate([{}])

@@ -1,0 +1,81 @@
+"""Random-simulation screen tests."""
+
+import pytest
+
+from repro.circuit import Circuit, random_screen
+from repro.workloads import counter_tripwire, token_ring
+
+
+class TestScreen:
+    def test_finds_shallow_bug(self):
+        # Ungated counter: the bug is unavoidable at depth 3.
+        circuit, prop = counter_tripwire(
+            counter_width=3, target=3, gated=False,
+            distractor_words=1, distractor_width=3,
+        )
+        result = random_screen(circuit, prop, runs=4, cycles=8, seed=1)
+        assert result.falsified
+        assert result.trace.depth == 3
+
+    def test_biased_stimulus_finds_gated_bug(self):
+        # Gated counter needs en high every cycle: bias helps a lot.
+        circuit, prop = counter_tripwire(
+            counter_width=3, target=4, gated=True,
+            distractor_words=1, distractor_width=3,
+        )
+        result = random_screen(
+            circuit, prop, runs=32, cycles=12, seed=2, input_bias=0.95
+        )
+        assert result.falsified
+
+    def test_deep_armed_bug_survives_uniform_screen(self):
+        # The suite's arming-counter bugs are exactly what random
+        # simulation misses: 12 consecutive high cycles of one input.
+        circuit, prop = token_ring(
+            num_nodes=4, buggy_arm_depth=12,
+            distractor_words=1, distractor_width=3,
+        )
+        result = random_screen(circuit, prop, runs=64, cycles=16, seed=3)
+        assert not result.falsified
+
+    def test_true_property_never_falsified(self):
+        circuit, prop = token_ring(
+            num_nodes=4, distractor_words=1, distractor_width=3
+        )
+        result = random_screen(circuit, prop, runs=32, cycles=16, seed=4)
+        assert not result.falsified
+        assert result.trace is None
+
+    def test_trace_replays(self):
+        circuit, prop = counter_tripwire(
+            counter_width=3, target=3, gated=False,
+            distractor_words=1, distractor_width=3,
+        )
+        result = random_screen(circuit, prop, runs=2, cycles=8, seed=5)
+        frames = circuit.simulate(
+            result.trace.inputs, initial_state=result.trace.initial_state
+        )
+        assert frames[result.trace.depth][prop] == 0
+
+    def test_deterministic_for_seed(self):
+        circuit, prop = counter_tripwire(
+            counter_width=3, target=4, distractor_words=1, distractor_width=3
+        )
+        a = random_screen(circuit, prop, runs=8, cycles=8, seed=7, input_bias=0.9)
+        b = random_screen(circuit, prop, runs=8, cycles=8, seed=7, input_bias=0.9)
+        assert a.falsified == b.falsified
+        if a.falsified:
+            assert a.trace.depth == b.trace.depth
+
+    def test_bias_validation(self):
+        circuit, prop = counter_tripwire(distractor_words=1, distractor_width=3)
+        with pytest.raises(ValueError):
+            random_screen(circuit, prop, input_bias=1.5)
+
+    def test_unconstrained_latches_randomized(self):
+        circuit = Circuit()
+        q = circuit.add_latch("q", init=None)
+        circuit.set_next(q, q)
+        prop = circuit.g_not(q)  # fails iff q starts at 1
+        result = random_screen(circuit, prop, runs=32, cycles=2, seed=8)
+        assert result.falsified  # some run starts q=1

@@ -1,0 +1,158 @@
+"""Word-level helper semantics, cross-checked against Python ints."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, CircuitError, words
+
+
+def eval_all(circuit, input_values):
+    values = [0] * circuit.num_nets
+    for net, value in input_values.items():
+        values[net] = value
+    for net in range(circuit.num_nets):
+        values[net] = circuit.evaluate_net(net, values)
+    return values
+
+
+def drive(circuit, word, value):
+    return {bit: (value >> i) & 1 for i, bit in enumerate(word)}
+
+
+WIDTH = 5
+MASK = (1 << WIDTH) - 1
+values_st = st.integers(min_value=0, max_value=MASK)
+
+
+@given(values_st, values_st)
+@settings(max_examples=60, deadline=None)
+def test_word_add_matches_ints(a_value, b_value):
+    c = Circuit()
+    a = words.word_inputs(c, WIDTH, "a")
+    b = words.word_inputs(c, WIDTH, "b")
+    total = words.word_add(c, a, b)
+    out = eval_all(c, {**drive(c, a, a_value), **drive(c, b, b_value)})
+    assert words.word_value(total, out) == (a_value + b_value) & MASK
+
+
+@given(values_st)
+@settings(max_examples=40, deadline=None)
+def test_word_increment_matches_ints(a_value):
+    c = Circuit()
+    a = words.word_inputs(c, WIDTH, "a")
+    inc = words.word_increment(c, a)
+    out = eval_all(c, drive(c, a, a_value))
+    assert words.word_value(inc, out) == (a_value + 1) & MASK
+
+
+@given(values_st, values_st)
+@settings(max_examples=40, deadline=None)
+def test_word_eq_matches_ints(a_value, b_value):
+    c = Circuit()
+    a = words.word_inputs(c, WIDTH, "a")
+    b = words.word_inputs(c, WIDTH, "b")
+    eq = words.word_eq(c, a, b)
+    out = eval_all(c, {**drive(c, a, a_value), **drive(c, b, b_value)})
+    assert out[eq] == (1 if a_value == b_value else 0)
+
+
+@given(values_st, values_st)
+@settings(max_examples=40, deadline=None)
+def test_word_eq_const(a_value, const):
+    c = Circuit()
+    a = words.word_inputs(c, WIDTH, "a")
+    eq = words.word_eq_const(c, a, const)
+    out = eval_all(c, drive(c, a, a_value))
+    assert out[eq] == (1 if a_value == const else 0)
+
+
+@given(values_st)
+@settings(max_examples=30, deadline=None)
+def test_word_is_zero(a_value):
+    c = Circuit()
+    a = words.word_inputs(c, WIDTH, "a")
+    z = words.word_is_zero(c, a)
+    out = eval_all(c, drive(c, a, a_value))
+    assert out[z] == (1 if a_value == 0 else 0)
+
+
+@given(values_st, values_st, st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_word_mux(a_value, b_value, sel):
+    c = Circuit()
+    s = c.add_input("s")
+    a = words.word_inputs(c, WIDTH, "a")
+    b = words.word_inputs(c, WIDTH, "b")
+    m = words.word_mux(c, s, a, b)
+    out = eval_all(c, {s: int(sel), **drive(c, a, a_value), **drive(c, b, b_value)})
+    assert words.word_value(m, out) == (a_value if sel else b_value)
+
+
+@given(values_st, values_st)
+@settings(max_examples=30, deadline=None)
+def test_bitwise_ops(a_value, b_value):
+    c = Circuit()
+    a = words.word_inputs(c, WIDTH, "a")
+    b = words.word_inputs(c, WIDTH, "b")
+    and_w = words.word_and(c, a, b)
+    or_w = words.word_or(c, a, b)
+    xor_w = words.word_xor(c, a, b)
+    not_w = words.word_not(c, a)
+    out = eval_all(c, {**drive(c, a, a_value), **drive(c, b, b_value)})
+    assert words.word_value(and_w, out) == a_value & b_value
+    assert words.word_value(or_w, out) == a_value | b_value
+    assert words.word_value(xor_w, out) == a_value ^ b_value
+    assert words.word_value(not_w, out) == (~a_value) & MASK
+
+
+@given(values_st, st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_shift_left(a_value, fill):
+    c = Circuit()
+    a = words.word_inputs(c, WIDTH, "a")
+    f = c.const(1 if fill else 0)
+    shifted = words.word_shift_left(c, a, fill=f)
+    out = eval_all(c, drive(c, a, a_value))
+    expected = ((a_value << 1) | int(fill)) & MASK
+    assert words.word_value(shifted, out) == expected
+
+
+class TestConstructionChecks:
+    def test_width_mismatch_rejected(self):
+        c = Circuit()
+        a = words.word_inputs(c, 3, "a")
+        b = words.word_inputs(c, 4, "b")
+        with pytest.raises(CircuitError):
+            words.word_add(c, a, b)
+
+    def test_zero_width_rejected(self):
+        c = Circuit()
+        with pytest.raises(CircuitError):
+            words.word_eq(c, [], [])
+
+    def test_const_out_of_range_rejected(self):
+        c = Circuit()
+        a = words.word_inputs(c, 3, "a")
+        with pytest.raises(CircuitError):
+            words.word_eq_const(c, a, 8)
+        with pytest.raises(CircuitError):
+            words.word_const(c, 3, -1)
+
+    def test_latch_init_out_of_range(self):
+        c = Circuit()
+        with pytest.raises(CircuitError):
+            words.word_latches(c, 3, "l", init=8)
+
+    def test_word_latches_init_encoding(self):
+        c = Circuit()
+        latches = words.word_latches(c, 4, "l", init=0b1010)
+        assert [c.init_of(l) for l in latches] == [0, 1, 0, 1]
+
+    def test_connect_register(self):
+        c = Circuit()
+        reg = words.word_latches(c, 3, "r")
+        nxt = words.word_inputs(c, 3, "n")
+        words.connect_register(c, reg, nxt)
+        for latch, n in zip(reg, nxt):
+            assert c.next_of(latch) == n

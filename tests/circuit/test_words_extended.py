@@ -1,0 +1,71 @@
+"""Tests for the extended word operators (sub, decrement, lt, gray)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, words
+from tests.circuit.test_words import MASK, WIDTH, drive, eval_all, values_st
+
+
+@given(values_st, values_st)
+@settings(max_examples=50, deadline=None)
+def test_word_sub_matches_ints(a_value, b_value):
+    c = Circuit()
+    a = words.word_inputs(c, WIDTH, "a")
+    b = words.word_inputs(c, WIDTH, "b")
+    difference = words.word_sub(c, a, b)
+    out = eval_all(c, {**drive(c, a, a_value), **drive(c, b, b_value)})
+    assert words.word_value(difference, out) == (a_value - b_value) & MASK
+
+
+@given(values_st)
+@settings(max_examples=40, deadline=None)
+def test_word_decrement_matches_ints(a_value):
+    c = Circuit()
+    a = words.word_inputs(c, WIDTH, "a")
+    dec = words.word_decrement(c, a)
+    out = eval_all(c, drive(c, a, a_value))
+    assert words.word_value(dec, out) == (a_value - 1) & MASK
+
+
+@given(values_st, values_st)
+@settings(max_examples=60, deadline=None)
+def test_word_lt_matches_ints(a_value, b_value):
+    c = Circuit()
+    a = words.word_inputs(c, WIDTH, "a")
+    b = words.word_inputs(c, WIDTH, "b")
+    lt = words.word_lt(c, a, b)
+    out = eval_all(c, {**drive(c, a, a_value), **drive(c, b, b_value)})
+    assert out[lt] == (1 if a_value < b_value else 0)
+
+
+@given(values_st)
+@settings(max_examples=40, deadline=None)
+def test_word_to_gray_matches_formula(a_value):
+    c = Circuit()
+    a = words.word_inputs(c, WIDTH, "a")
+    gray = words.word_to_gray(c, a)
+    out = eval_all(c, drive(c, a, a_value))
+    assert words.word_value(gray, out) == a_value ^ (a_value >> 1)
+
+
+def test_gray_neighbours_differ_in_one_bit():
+    c = Circuit()
+    a = words.word_inputs(c, 4, "a")
+    gray = words.word_to_gray(c, a)
+    previous = None
+    for value in range(16):
+        out = eval_all(c, drive(c, a, value))
+        code = words.word_value(gray, out)
+        if previous is not None:
+            assert bin(code ^ previous).count("1") == 1
+        previous = code
+
+
+def test_decrement_then_increment_roundtrip():
+    c = Circuit()
+    a = words.word_inputs(c, 4, "a")
+    roundtrip = words.word_increment(c, words.word_decrement(c, a))
+    for value in range(16):
+        out = eval_all(c, drive(c, a, value))
+        assert words.word_value(roundtrip, out) == value

@@ -1,0 +1,121 @@
+"""DIMACS parsing/writing tests."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cnf import CnfFormula, mk_lit, parse_dimacs, write_dimacs
+from repro.cnf.dimacs import DimacsError, dimacs_str
+
+
+SIMPLE = """\
+c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+"""
+
+
+class TestParse:
+    def test_simple(self):
+        formula = parse_dimacs(SIMPLE)
+        assert formula.num_vars == 3
+        assert formula.num_clauses == 2
+        assert tuple(formula.clause(0)) == (mk_lit(0), mk_lit(1, True))
+        assert tuple(formula.clause(1)) == (mk_lit(1), mk_lit(2))
+
+    def test_multiline_clause(self):
+        formula = parse_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert formula.num_clauses == 1
+        assert len(formula.clause(0)) == 3
+
+    def test_missing_final_terminator_tolerated(self):
+        formula = parse_dimacs("p cnf 2 1\n1 2")
+        assert formula.num_clauses == 1
+
+    def test_empty_clause(self):
+        formula = parse_dimacs("p cnf 1 1\n0\n")
+        assert formula.num_clauses == 1
+        assert len(formula.clause(0)) == 0
+
+    def test_vars_beyond_header_grow(self):
+        formula = parse_dimacs("p cnf 1 1\n5 0\n")
+        assert formula.num_vars == 5
+
+    def test_percent_and_comment_lines_skipped(self):
+        formula = parse_dimacs("c x\np cnf 1 1\n%\n1 0\n")
+        assert formula.num_clauses == 1
+
+    def test_clause_count_mismatch_rejected(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 2\n1 0\n")
+
+    def test_clause_before_header_rejected(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("1 0\n")
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("c only comments\n")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\np cnf 1 1\n1 0\n")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p sat 3 2\n")
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\nx 0\n")
+
+
+class TestWrite:
+    def test_roundtrip_simple(self):
+        formula = parse_dimacs(SIMPLE)
+        text = dimacs_str(formula)
+        again = parse_dimacs(text)
+        assert [tuple(c) for c in again.clauses] == [tuple(c) for c in formula.clauses]
+        assert again.num_vars == formula.num_vars
+
+    def test_comment_written(self):
+        formula = CnfFormula(1)
+        formula.add_clause([mk_lit(0)])
+        text = dimacs_str(formula, comment="hello\nworld")
+        assert text.startswith("c hello\nc world\n")
+
+    def test_write_to_stream(self):
+        formula = CnfFormula(1)
+        formula.add_clause([mk_lit(0)])
+        buffer = io.StringIO()
+        write_dimacs(formula, buffer)
+        assert "p cnf 1 1" in buffer.getvalue()
+
+
+@given(
+    st.integers(min_value=1, max_value=8).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.lists(
+                    st.tuples(
+                        st.integers(min_value=0, max_value=n - 1), st.booleans()
+                    ),
+                    max_size=4,
+                ),
+                max_size=12,
+            ),
+        )
+    )
+)
+def test_roundtrip_random_formulas(spec):
+    num_vars, clause_specs = spec
+    formula = CnfFormula(num_vars)
+    for clause_spec in clause_specs:
+        formula.add_clause(mk_lit(var, neg) for var, neg in clause_spec)
+    again = parse_dimacs(dimacs_str(formula))
+    assert again.num_vars == formula.num_vars
+    assert [tuple(c) for c in again.clauses] == [tuple(c) for c in formula.clauses]

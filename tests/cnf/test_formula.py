@@ -1,0 +1,160 @@
+"""Unit tests for Clause and CnfFormula."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cnf import Clause, CnfFormula, mk_lit
+from repro.cnf.literals import lit_neg
+
+
+class TestClause:
+    def test_length_and_iteration(self):
+        clause = Clause((0, 3, 4))
+        assert len(clause) == 3
+        assert list(clause) == [0, 3, 4]
+
+    def test_contains(self):
+        clause = Clause((0, 3))
+        assert 3 in clause
+        assert 5 not in clause
+
+    def test_variables(self):
+        clause = Clause((mk_lit(0), mk_lit(3, True), mk_lit(7)))
+        assert clause.variables() == (0, 3, 7)
+
+    def test_tautology_detection(self):
+        assert Clause((mk_lit(2), mk_lit(2, True))).is_tautology()
+        assert not Clause((mk_lit(2), mk_lit(3, True))).is_tautology()
+
+    def test_empty_clause_is_not_tautology(self):
+        assert not Clause(()).is_tautology()
+
+    def test_rejects_negative_literal(self):
+        with pytest.raises(ValueError):
+            Clause((-1,))
+
+    def test_str(self):
+        assert str(Clause((mk_lit(0), mk_lit(1, True)))) == "(x0 | ~x1)"
+
+
+class TestCnfFormula:
+    def test_new_var_is_dense(self):
+        formula = CnfFormula()
+        assert formula.new_var() == 0
+        assert formula.new_var() == 1
+        assert formula.num_vars == 2
+
+    def test_new_vars_bulk(self):
+        formula = CnfFormula(2)
+        assert formula.new_vars(3) == [2, 3, 4]
+        assert formula.num_vars == 5
+
+    def test_new_vars_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            CnfFormula().new_vars(-1)
+
+    def test_add_clause_returns_stable_index(self):
+        formula = CnfFormula(3)
+        assert formula.add_clause([mk_lit(0)]) == 0
+        assert formula.add_clause([mk_lit(1), mk_lit(2)]) == 1
+        assert formula.clause(1) == Clause((mk_lit(1), mk_lit(2)))
+
+    def test_add_clause_rejects_unknown_variable(self):
+        formula = CnfFormula(1)
+        with pytest.raises(ValueError):
+            formula.add_clause([mk_lit(5)])
+
+    def test_rejects_negative_num_vars(self):
+        with pytest.raises(ValueError):
+            CnfFormula(-1)
+
+    def test_extend(self):
+        formula = CnfFormula(2)
+        indices = formula.extend([[mk_lit(0)], [mk_lit(1)]])
+        assert indices == [0, 1]
+
+    def test_num_literals(self):
+        formula = CnfFormula(3)
+        formula.add_clause([mk_lit(0), mk_lit(1)])
+        formula.add_clause([mk_lit(2)])
+        assert formula.num_literals() == 3
+
+    def test_evaluate_satisfied(self):
+        formula = CnfFormula(2)
+        formula.add_clause([mk_lit(0), mk_lit(1)])
+        assert formula.evaluate([1, 0])
+        assert formula.evaluate([0, 1])
+        assert not formula.evaluate([0, 0])
+
+    def test_evaluate_negative_phase(self):
+        formula = CnfFormula(1)
+        formula.add_clause([mk_lit(0, negated=True)])
+        assert formula.evaluate([0])
+        assert not formula.evaluate([1])
+
+    def test_evaluate_empty_clause_is_false(self):
+        formula = CnfFormula(1)
+        formula.add_clause([])
+        assert not formula.evaluate([0])
+
+    def test_evaluate_rejects_short_assignment(self):
+        formula = CnfFormula(3)
+        with pytest.raises(ValueError):
+            formula.evaluate([0, 1])
+
+    def test_evaluate_rejects_non_boolean(self):
+        formula = CnfFormula(1)
+        formula.add_clause([mk_lit(0)])
+        with pytest.raises(ValueError):
+            formula.evaluate([2])
+
+    def test_subformula_keeps_variables(self):
+        formula = CnfFormula(4)
+        formula.add_clause([mk_lit(0)])
+        formula.add_clause([mk_lit(1)])
+        formula.add_clause([mk_lit(2)])
+        sub = formula.subformula([0, 2])
+        assert sub.num_vars == 4
+        assert sub.num_clauses == 2
+        assert sub.clause(1) == Clause((mk_lit(2),))
+
+    def test_variables_of(self):
+        formula = CnfFormula(5)
+        formula.add_clause([mk_lit(0), mk_lit(3, True)])
+        formula.add_clause([mk_lit(4)])
+        assert formula.variables_of([0, 1]) == {0, 3, 4}
+
+    def test_copy_is_independent(self):
+        formula = CnfFormula(1)
+        formula.add_clause([mk_lit(0)])
+        dup = formula.copy()
+        dup.add_clause([mk_lit(0, True)])
+        assert formula.num_clauses == 1
+        assert dup.num_clauses == 2
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=19), min_size=1, max_size=5),
+        max_size=20,
+    )
+)
+def test_subformula_of_everything_equals_original(clause_specs):
+    formula = CnfFormula(10)
+    for spec in clause_specs:
+        formula.add_clause(spec)
+    sub = formula.subformula(range(formula.num_clauses))
+    assert sub.num_clauses == formula.num_clauses
+    assert [tuple(c) for c in sub.clauses] == [tuple(c) for c in formula.clauses]
+
+
+@given(st.lists(st.booleans(), min_size=4, max_size=4))
+def test_unit_clauses_pin_assignment(bits):
+    formula = CnfFormula(4)
+    for var, bit in enumerate(bits):
+        lit = mk_lit(var) if bit else mk_lit(var, negated=True)
+        formula.add_clause([lit])
+    assert formula.evaluate([1 if b else 0 for b in bits])
+    flipped = [0 if b else 1 for b in bits]
+    assert not formula.evaluate(flipped)

@@ -1,0 +1,93 @@
+"""Unit and property tests for the packed-literal helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cnf import (
+    lit_from_dimacs,
+    lit_is_negated,
+    lit_neg,
+    lit_sign,
+    lit_str,
+    lit_to_dimacs,
+    lit_var,
+    mk_lit,
+)
+
+
+class TestMkLit:
+    def test_positive_literal(self):
+        assert mk_lit(0) == 0
+        assert mk_lit(5) == 10
+
+    def test_negative_literal(self):
+        assert mk_lit(0, negated=True) == 1
+        assert mk_lit(5, negated=True) == 11
+
+    def test_rejects_negative_variable(self):
+        with pytest.raises(ValueError):
+            mk_lit(-1)
+
+    def test_default_phase_is_positive(self):
+        assert not lit_is_negated(mk_lit(7))
+
+
+class TestAccessors:
+    def test_var_of_positive(self):
+        assert lit_var(mk_lit(9)) == 9
+
+    def test_var_of_negative(self):
+        assert lit_var(mk_lit(9, negated=True)) == 9
+
+    def test_sign_values(self):
+        assert lit_sign(mk_lit(3)) == 0
+        assert lit_sign(mk_lit(3, negated=True)) == 1
+
+    def test_negation_flips_phase(self):
+        lit = mk_lit(4)
+        assert lit_neg(lit) == mk_lit(4, negated=True)
+        assert lit_neg(lit_neg(lit)) == lit
+
+    def test_str_forms(self):
+        assert lit_str(mk_lit(2)) == "x2"
+        assert lit_str(mk_lit(2, negated=True)) == "~x2"
+
+
+class TestDimacsConversion:
+    def test_to_dimacs_positive(self):
+        assert lit_to_dimacs(mk_lit(0)) == 1
+        assert lit_to_dimacs(mk_lit(4)) == 5
+
+    def test_to_dimacs_negative(self):
+        assert lit_to_dimacs(mk_lit(0, negated=True)) == -1
+        assert lit_to_dimacs(mk_lit(4, negated=True)) == -5
+
+    def test_from_dimacs(self):
+        assert lit_from_dimacs(3) == mk_lit(2)
+        assert lit_from_dimacs(-3) == mk_lit(2, negated=True)
+
+    def test_from_dimacs_rejects_zero(self):
+        with pytest.raises(ValueError):
+            lit_from_dimacs(0)
+
+
+@given(st.integers(min_value=0, max_value=10**6), st.booleans())
+def test_roundtrip_var_phase(var, negated):
+    lit = mk_lit(var, negated)
+    assert lit_var(lit) == var
+    assert lit_is_negated(lit) == negated
+
+
+@given(st.integers(min_value=0, max_value=10**6), st.booleans())
+def test_roundtrip_dimacs(var, negated):
+    lit = mk_lit(var, negated)
+    assert lit_from_dimacs(lit_to_dimacs(lit)) == lit
+
+
+@given(st.integers(min_value=0, max_value=10**6), st.booleans())
+def test_negation_is_involution(var, negated):
+    lit = mk_lit(var, negated)
+    assert lit_neg(lit) != lit
+    assert lit_neg(lit_neg(lit)) == lit
+    assert lit_var(lit_neg(lit)) == lit_var(lit)

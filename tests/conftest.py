@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.cnf import CnfFormula
+
+
+def brute_force_sat(formula: CnfFormula) -> Optional[List[int]]:
+    """Exhaustive SAT check for small formulas; returns a model or None.
+
+    The oracle the CDCL solver is validated against in unit and property
+    tests.  Only use with ~18 variables or fewer.
+    """
+    n = formula.num_vars
+    if n > 22:
+        raise ValueError(f"brute force with {n} variables is too slow")
+    for bits in itertools.product((0, 1), repeat=n):
+        assignment = list(bits)
+        if formula.evaluate(assignment):
+            return assignment
+    return None
+
+
+def random_formula(
+    rng: random.Random,
+    num_vars: int,
+    num_clauses: int,
+    clause_width: int = 3,
+) -> CnfFormula:
+    """A uniform random k-CNF formula (for cross-checking tests)."""
+    formula = CnfFormula(num_vars)
+    for _ in range(num_clauses):
+        width = rng.randint(1, clause_width)
+        chosen = rng.sample(range(num_vars), min(width, num_vars))
+        formula.add_clause(2 * v + rng.randint(0, 1) for v in chosen)
+    return formula
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20040607)  # DAC 2004 conference dates

@@ -1,0 +1,88 @@
+"""Exhaustive truth-table checks of the Tseitin gate templates."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import GateOp
+from repro.cnf import CnfFormula, mk_lit
+from repro.encode import gate_clauses
+
+
+def truth_of(op, fanin_values):
+    if op is GateOp.AND:
+        return int(all(fanin_values))
+    if op is GateOp.OR:
+        return int(any(fanin_values))
+    if op is GateOp.XOR:
+        return fanin_values[0] ^ fanin_values[1]
+    if op is GateOp.MUX:
+        sel, a, b = fanin_values
+        return a if sel else b
+    raise AssertionError(op)
+
+
+def clauses_satisfied(clauses, assignment):
+    for clause in clauses:
+        if not any(assignment[lit >> 1] ^ (lit & 1) for lit in clause):
+            return False
+    return True
+
+
+@pytest.mark.parametrize(
+    "op,arity",
+    [
+        (GateOp.AND, 1),
+        (GateOp.AND, 2),
+        (GateOp.AND, 3),
+        (GateOp.AND, 4),
+        (GateOp.OR, 1),
+        (GateOp.OR, 2),
+        (GateOp.OR, 3),
+        (GateOp.XOR, 2),
+        (GateOp.MUX, 3),
+    ],
+)
+def test_gate_clauses_characterize_function(op, arity):
+    """The clause set must be satisfied exactly when out == op(fanins)."""
+    out_var = arity  # fanin variables are 0..arity-1
+    fanin_lits = [mk_lit(v) for v in range(arity)]
+    clauses = gate_clauses(op, out_var, fanin_lits)
+    for bits in itertools.product((0, 1), repeat=arity + 1):
+        assignment = list(bits)
+        expected = truth_of(op, assignment[:arity]) == assignment[out_var]
+        assert clauses_satisfied(clauses, assignment) == expected, (bits,)
+
+
+@pytest.mark.parametrize("op", [GateOp.AND, GateOp.OR, GateOp.XOR])
+def test_gate_clauses_with_negated_fanins(op):
+    """Fanins may be negative literals (the NOT-aliasing contract)."""
+    arity = 2
+    out_var = arity
+    fanin_lits = [mk_lit(0, negated=True), mk_lit(1)]
+    clauses = gate_clauses(op, out_var, fanin_lits)
+    for bits in itertools.product((0, 1), repeat=3):
+        assignment = list(bits)
+        fanin_values = [1 - assignment[0], assignment[1]]
+        expected = truth_of(op, fanin_values) == assignment[out_var]
+        assert clauses_satisfied(clauses, assignment) == expected
+
+
+class TestErrors:
+    def test_unencodable_op_rejected(self):
+        with pytest.raises(ValueError):
+            gate_clauses(GateOp.NOT, 1, [mk_lit(0)])
+        with pytest.raises(ValueError):
+            gate_clauses(GateOp.NAND, 2, [mk_lit(0), mk_lit(1)])
+
+    def test_xor_arity_enforced(self):
+        with pytest.raises(ValueError):
+            gate_clauses(GateOp.XOR, 3, [mk_lit(0), mk_lit(1), mk_lit(2)])
+
+    def test_mux_arity_enforced(self):
+        with pytest.raises(ValueError):
+            gate_clauses(GateOp.MUX, 2, [mk_lit(0), mk_lit(1)])
+
+    def test_empty_fanins_rejected(self):
+        with pytest.raises(ValueError):
+            gate_clauses(GateOp.AND, 0, [])

@@ -1,0 +1,51 @@
+"""Core-correlation study tests — these check the paper's §3 premise on
+our suite, which the whole technique depends on."""
+
+import pytest
+
+from repro.experiments import run_correlation
+from repro.workloads import instance_by_name
+
+
+@pytest.fixture(scope="module")
+def report():
+    rows = [instance_by_name("02_1_b2"), instance_by_name("24_1_b1")]
+    return run_correlation(rows=rows)
+
+
+class TestPremise:
+    def test_cores_are_small(self, report):
+        """Premise 1: the abstract model is a small slice of the design."""
+        for row in report.rows:
+            assert row.mean_core_fraction < 0.25, row.name
+
+    def test_cores_are_correlated(self, report):
+        """Premise 2: successive cores share many clauses."""
+        for row in report.rows:
+            assert row.mean_overlap > 0.3, row.name
+
+    def test_all_depths_unsat_for_capped_rows(self, report):
+        for row in report.rows:
+            expected = instance_by_name(row.name).max_depth + 1
+            assert len(row.depths) == expected
+
+    def test_statistics_aligned(self, report):
+        for row in report.rows:
+            assert len(row.core_sizes) == len(row.depths)
+            assert len(row.formula_sizes) == len(row.depths)
+            assert len(row.overlaps) == len(row.depths) - 1
+
+    def test_render(self, report):
+        text = report.render()
+        assert "core frac" in text
+        assert "mean consecutive-core overlap" in text
+
+
+class TestDefaults:
+    def test_representatives_cover_families(self):
+        from repro.experiments.correlation import _representatives
+
+        rows = _representatives()
+        families = {row.family for row in rows}
+        assert len(rows) == len(families)
+        assert "counter" in families

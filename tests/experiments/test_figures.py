@@ -1,0 +1,86 @@
+"""Fig. 6 / Fig. 7 harness tests (rendering and data shape)."""
+
+import pytest
+
+from repro.experiments import (
+    fig6_csv,
+    fig7_csv,
+    render_fig6,
+    render_fig7,
+    run_fig7,
+    run_table1,
+    scatter_points,
+)
+from repro.experiments.fig6 import render_ascii_scatter
+from repro.workloads import instance_by_name
+
+
+@pytest.fixture(scope="module")
+def report():
+    rows = [instance_by_name("01_b"), instance_by_name("17_1_b2")]
+    return run_table1(rows=rows)
+
+
+@pytest.fixture(scope="module")
+def fig7_data():
+    # A quick analogue row instead of the (slower) default 02_3_b2.
+    return run_fig7(instance=instance_by_name("02_1_b2"))
+
+
+class TestFig6:
+    def test_scatter_points(self, report):
+        points = scatter_points(report, "dynamic")
+        assert len(points) == 2
+        names = {name for name, _, _ in points}
+        assert names == {"01_b", "17_1_b2"}
+        assert all(x > 0 and y > 0 for _, x, y in points)
+
+    def test_render_contains_both_panels(self, report):
+        text = render_fig6(report)
+        assert "static" in text
+        assert "dynamic" in text
+        assert "under the diagonal" in text
+
+    def test_ascii_scatter_marks_points(self):
+        text = render_ascii_scatter([("m", 1.0, 0.1)], "demo", size=10)
+        assert "*" in text
+        assert "." in text  # the diagonal
+
+    def test_ascii_scatter_empty(self):
+        assert "(no data)" in render_ascii_scatter([], "demo")
+
+    def test_csv(self, report):
+        lines = fig6_csv(report).strip().splitlines()
+        assert lines[0] == "model,bmc_s,static_s,dynamic_s"
+        assert len(lines) == 3
+
+
+class TestFig7:
+    def test_series_cover_every_depth(self, fig7_data):
+        expected = instance_by_name("02_1_b2").max_depth + 1
+        assert len(fig7_data.depths) == expected
+        assert len(fig7_data.bmc_decisions) == expected
+        assert len(fig7_data.ref_decisions) == expected
+
+    def test_shape_matches_paper(self, fig7_data):
+        """The paper's Fig. 7: refined ordering needs far fewer decisions
+        at the deeper unrollings."""
+        tail = range(len(fig7_data.depths) // 2, len(fig7_data.depths))
+        bmc_tail = sum(fig7_data.bmc_decisions[i] for i in tail)
+        ref_tail = sum(fig7_data.ref_decisions[i] for i in tail)
+        assert ref_tail < bmc_tail
+
+    def test_implications_positive(self, fig7_data):
+        # Load-time (level-0) unit propagation is credited to the solve,
+        # so every depth shows implications.
+        assert all(v > 0 for v in fig7_data.bmc_implications)
+
+    def test_render(self, fig7_data):
+        text = render_fig7(fig7_data)
+        assert "Number of Decisions" in text
+        assert "Number of Implications" in text
+
+    def test_csv(self, fig7_data):
+        lines = fig7_csv(fig7_data).strip().splitlines()
+        assert lines[0] == "k,bmc_decisions,ref_decisions,bmc_implications,ref_implications"
+        assert len(lines) == len(fig7_data.depths) + 1

@@ -1,0 +1,40 @@
+"""Smoke tests for the ``python -m repro.experiments`` entry point."""
+
+import os
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestMainEntry:
+    def test_fig7_runs_and_renders(self, capsys):
+        # fig7 is the fastest full experiment (one instance, two methods).
+        code = main(["fig7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Number of Decisions" in out
+        assert "Number of Implications" in out
+
+    def test_overhead_small(self, capsys):
+        code = main(["overhead", "--small"])
+        assert code == 0
+        assert "aggregate CDG overhead" in capsys.readouterr().out
+
+    def test_correlation_small(self, capsys):
+        code = main(["correlation", "--small"])
+        assert code == 0
+        assert "core frac" in capsys.readouterr().out
+
+    def test_csv_written(self, tmp_path, capsys):
+        csv_dir = str(tmp_path / "out")
+        code = main(["fig7", "--csv", csv_dir])
+        assert code == 0
+        assert os.path.exists(os.path.join(csv_dir, "fig7.csv"))
+        with open(os.path.join(csv_dir, "fig7.csv")) as handle:
+            header = handle.readline().strip()
+        assert header == "k,bmc_decisions,ref_decisions,bmc_implications,ref_implications"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,69 @@
+"""CDG-overhead and ablation harness tests on tiny subsets."""
+
+import pytest
+
+from repro.experiments import (
+    run_axis_ablation,
+    run_overhead,
+    run_threshold_ablation,
+    run_weighting_ablation,
+)
+from repro.workloads import instance_by_name
+
+
+@pytest.fixture(scope="module")
+def tiny_rows():
+    return [instance_by_name("01_b"), instance_by_name("17_1_b2")]
+
+
+class TestOverhead:
+    def test_report_shape(self, tiny_rows):
+        report = run_overhead(rows=tiny_rows)
+        assert len(report.rows) == 2
+        for row in report.rows:
+            assert row.time_with_cdg > 0
+            assert row.time_without_cdg > 0
+            assert row.cdg_entries >= 0
+
+    def test_overhead_is_moderate(self, tiny_rows):
+        """The paper reports ~5%; allow generous slack for timing noise on
+        sub-second runs, but catch pathological regressions."""
+        report = run_overhead(rows=tiny_rows)
+        assert report.total_overhead < 1.0  # less than 2x
+
+    def test_render(self, tiny_rows):
+        text = run_overhead(rows=tiny_rows).render()
+        assert "aggregate CDG overhead" in text
+        assert "paper: about 5%" in text
+
+
+class TestWeightingAblation:
+    def test_variants_present(self, tiny_rows):
+        report = run_weighting_ablation(rows=tiny_rows)
+        assert set(report.variants) == {"linear", "uniform", "last"}
+        for variant in report.variants:
+            assert len(report.per_instance[variant]) == 2
+            assert report.total_time(variant) > 0
+
+    def test_render(self, tiny_rows):
+        text = run_weighting_ablation(rows=tiny_rows).render()
+        assert "Core-weighting ablation" in text
+        assert "linear" in text
+
+
+class TestThresholdAblation:
+    def test_variants_present(self, tiny_rows):
+        report = run_threshold_ablation(rows=tiny_rows, divisors=(16, 64))
+        assert report.variants == ["bmc", "static", "dynamic/16", "dynamic/64"]
+        for variant in report.variants:
+            assert report.total_decisions(variant) >= 0
+
+
+class TestAxisAblation:
+    def test_all_orderings(self, tiny_rows):
+        report = run_axis_ablation(rows=tiny_rows)
+        assert report.variants == ["bmc", "berkmin", "shtrichman", "static", "dynamic"]
+        # Every variant must reach the same verdicts (checked inside
+        # run_instance), so totals are comparable.
+        for variant in report.variants:
+            assert len(report.per_instance[variant]) == 2

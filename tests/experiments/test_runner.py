@@ -1,0 +1,58 @@
+"""Experiment-runner tests on single fast suite rows."""
+
+import pytest
+
+from repro.experiments import run_instance, make_engine
+from repro.experiments.runner import STRATEGIES
+from repro.bmc import BmcEngine, RefineOrderBmc, ShtrichmanBmc
+from repro.sat import SolverConfig
+from repro.workloads import instance_by_name
+
+
+@pytest.fixture(scope="module")
+def fast_fail_row():
+    return instance_by_name("01_b")
+
+
+@pytest.fixture(scope="module")
+def fast_pass_row():
+    return instance_by_name("17_1_b2")
+
+
+class TestMakeEngine:
+    def test_engine_types(self, fast_fail_row):
+        assert isinstance(make_engine(fast_fail_row, "bmc"), BmcEngine)
+        assert isinstance(make_engine(fast_fail_row, "shtrichman"), ShtrichmanBmc)
+        static = make_engine(fast_fail_row, "static")
+        dynamic = make_engine(fast_fail_row, "dynamic")
+        assert isinstance(static, RefineOrderBmc) and static.mode == "static"
+        assert isinstance(dynamic, RefineOrderBmc) and dynamic.mode == "dynamic"
+
+    def test_unknown_strategy_rejected(self, fast_fail_row):
+        with pytest.raises(ValueError):
+            make_engine(fast_fail_row, "magic")
+
+
+class TestRunInstance:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_failing_row_all_strategies(self, fast_fail_row, strategy):
+        result = run_instance(fast_fail_row, strategy)
+        assert result.status == "failed"
+        assert result.depth_reached == fast_fail_row.cex_depth
+        assert result.solve_time > 0
+        assert result.solve_time <= result.wall_time
+        assert result.decisions >= 0
+        assert len(result.per_depth) == fast_fail_row.cex_depth + 1
+
+    def test_passing_row(self, fast_pass_row):
+        result = run_instance(fast_pass_row, "dynamic")
+        assert result.status == "passed-bounded"
+        assert result.depth_reached == fast_pass_row.max_depth
+
+    def test_expectation_violation_raises(self, fast_fail_row):
+        # Starve the solver so it cannot reach the counterexample.
+        with pytest.raises(AssertionError):
+            run_instance(
+                fast_fail_row, "bmc",
+                solver_config=SolverConfig(max_decisions=1),
+            )

@@ -1,0 +1,51 @@
+"""Table 1 harness tests on a 2-row subset (full runs live in
+benchmarks/ and EXPERIMENTS.md)."""
+
+import pytest
+
+from repro.experiments import run_table1
+from repro.workloads import instance_by_name
+
+
+@pytest.fixture(scope="module")
+def report():
+    rows = [instance_by_name("01_b"), instance_by_name("17_1_b2")]
+    return run_table1(rows=rows)
+
+
+class TestReport:
+    def test_row_count(self, report):
+        assert len(report.rows) == 2
+
+    def test_totals_are_sums(self, report):
+        for method in ("bmc", "static", "dynamic"):
+            assert report.total(method) == pytest.approx(
+                sum(row.time_of(method) for row in report.rows)
+            )
+
+    def test_ratio_of_baseline_is_one(self, report):
+        assert report.ratio("bmc") == pytest.approx(1.0)
+
+    def test_wins_bounded_by_rows(self, report):
+        assert 0 <= report.wins("static") <= 2
+        assert 0 <= report.wins("dynamic") <= 2
+
+    def test_render_contains_layout(self, report):
+        text = report.render()
+        assert "01_b" in text
+        assert "TOTAL" in text
+        assert "RATIO" in text
+        assert "(paper: 100% / 62% / 57%)" in text
+        assert "improved circuits" in text
+
+    def test_tf_labels(self, report):
+        labels = {row.instance.name: row.tf_label for row in report.rows}
+        assert labels["01_b"] == "F"
+        assert labels["17_1_b2"].startswith("(")
+
+    def test_csv_has_all_rows(self, report):
+        csv = report.to_csv()
+        lines = csv.strip().splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        assert lines[0].startswith("model,tf,bmc_s")
+        assert lines[1].split(",")[0] == "01_b"

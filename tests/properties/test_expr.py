@@ -1,0 +1,141 @@
+"""Property-expression parser and compiler tests."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit
+from repro.properties import PropertyError, compile_property, parse_property
+from repro.properties.expr import BinOp, Const, Name, Not
+
+
+def evaluate_text(text, env):
+    """Compile against a fresh 3-input circuit and evaluate."""
+    circuit = Circuit()
+    nets = {name: circuit.add_input(name) for name in ("a", "b", "c")}
+    root = compile_property(circuit, text)
+    values = [0] * circuit.num_nets
+    for name, net in nets.items():
+        values[net] = env[name]
+    for net in range(circuit.num_nets):
+        values[net] = circuit.evaluate_net(net, values)
+    return values[root]
+
+
+class TestParser:
+    def test_simple_name(self):
+        assert parse_property("a") == Name("a")
+
+    def test_constants(self):
+        assert parse_property("0") == Const(0)
+        assert parse_property("1") == Const(1)
+
+    def test_not(self):
+        assert parse_property("!a") == Not(Name("a"))
+        assert parse_property("!!a") == Not(Not(Name("a")))
+
+    def test_precedence_and_over_or(self):
+        ast = parse_property("a | b & c")
+        assert ast == BinOp("|", Name("a"), BinOp("&", Name("b"), Name("c")))
+
+    def test_xor_between_or_and_and(self):
+        ast = parse_property("a ^ b & c")
+        assert ast == BinOp("^", Name("a"), BinOp("&", Name("b"), Name("c")))
+
+    def test_implies_right_associative(self):
+        ast = parse_property("a -> b -> c")
+        assert ast == BinOp("->", Name("a"), BinOp("->", Name("b"), Name("c")))
+
+    def test_parentheses(self):
+        ast = parse_property("(a | b) & c")
+        assert ast == BinOp("&", BinOp("|", Name("a"), Name("b")), Name("c"))
+
+    def test_c_style_operators(self):
+        assert parse_property("a && b") == parse_property("a & b")
+        assert parse_property("a || b") == parse_property("a | b")
+
+    def test_identifier_charset(self):
+        ast = parse_property("top.u1.grant[3]")
+        assert ast == Name("top.u1.grant[3]")
+
+    @pytest.mark.parametrize(
+        "bad", ["", "a &", "& a", "(a", "a)", "a @ b", "a b", "-> a"]
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(PropertyError):
+            parse_property(bad)
+
+
+class TestCompiler:
+    @pytest.mark.parametrize(
+        "text,func",
+        [
+            ("a & b", lambda a, b, c: a & b),
+            ("a | b", lambda a, b, c: a | b),
+            ("a ^ b", lambda a, b, c: a ^ b),
+            ("!a", lambda a, b, c: 1 - a),
+            ("a -> b", lambda a, b, c: (1 - a) | b),
+            ("a <-> b", lambda a, b, c: 1 - (a ^ b)),
+            ("!(a & b) | c", lambda a, b, c: (1 - (a & b)) | c),
+            ("a -> b -> c", lambda a, b, c: (1 - a) | ((1 - b) | c)),
+            ("1", lambda a, b, c: 1),
+            ("0 | c", lambda a, b, c: c),
+        ],
+    )
+    def test_semantics_exhaustive(self, text, func):
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            env = {"a": a, "b": b, "c": c}
+            assert evaluate_text(text, env) == func(a, b, c), (text, env)
+
+    def test_unknown_signal(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        with pytest.raises(PropertyError):
+            compile_property(circuit, "a & ghost")
+
+    def test_named_root(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        net = compile_property(circuit, "!a", name="my_prop")
+        assert circuit.find("my_prop") == net
+
+    def test_end_to_end_with_bmc(self):
+        """Compile a mutual-exclusion property over a generated arbiter
+        and check it (the VIS-style flow)."""
+        from repro.bmc import BmcEngine, BmcStatus
+        from repro.workloads import round_robin_arbiter
+
+        circuit, _ = round_robin_arbiter(
+            num_clients=3, distractor_words=1, distractor_width=3
+        )
+        # prio tokens are one-hot: never two at once.
+        prop = compile_property(
+            circuit,
+            "!(prio0 & prio1) & !(prio0 & prio2) & !(prio1 & prio2)",
+        )
+        result = BmcEngine(circuit, prop, max_depth=5).run()
+        assert result.status is BmcStatus.PASSED_BOUNDED
+
+
+@st.composite
+def random_exprs(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        return draw(st.sampled_from(["a", "b", "c", "0", "1"]))
+    op = draw(st.sampled_from(["&", "|", "^", "->", "<->"]))
+    left = draw(random_exprs(depth=depth + 1))
+    right = draw(random_exprs(depth=depth + 1))
+    if draw(st.booleans()):
+        return f"!({left} {op} {right})"
+    return f"({left} {op} {right})"
+
+
+@given(random_exprs())
+@settings(max_examples=80, deadline=None)
+def test_parse_compile_never_crashes(text):
+    circuit = Circuit()
+    for name in ("a", "b", "c"):
+        circuit.add_input(name)
+    root = compile_property(circuit, text)
+    assert 0 <= root < circuit.num_nets

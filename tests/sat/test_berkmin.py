@@ -1,0 +1,55 @@
+"""BerkMin-style strategy tests."""
+
+import pytest
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import BerkMinStrategy, CdclSolver
+from tests.conftest import brute_force_sat, random_formula
+from tests.sat.test_solver_hard import pigeonhole
+
+
+class TestCorrectness:
+    def test_matches_brute_force(self, rng):
+        for trial in range(120):
+            formula = random_formula(rng, rng.randint(2, 9), rng.randint(2, 32))
+            expected = brute_force_sat(formula) is not None
+            outcome = CdclSolver(formula, strategy=BerkMinStrategy()).solve()
+            assert outcome.is_sat == expected, f"trial {trial}"
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_php_unsat(self, n):
+        outcome = CdclSolver(pigeonhole(n), strategy=BerkMinStrategy()).solve()
+        assert outcome.is_unsat
+
+    def test_models_valid(self, rng):
+        for _ in range(40):
+            formula = random_formula(rng, 8, 24)
+            outcome = CdclSolver(formula, strategy=BerkMinStrategy()).solve()
+            if outcome.is_sat:
+                assert formula.evaluate(outcome.model)
+
+
+class TestMechanics:
+    def test_recent_stack_bounded(self):
+        strategy = BerkMinStrategy(recent_limit=8)
+        for i in range(50):
+            strategy._scores = type("S", (), {"new_counts": [0] * 4})()
+            # Use the public path: feed conflicts through on_conflict via
+            # a real solve instead of poking internals.
+            break
+        solver = CdclSolver(pigeonhole(5), strategy=BerkMinStrategy(recent_limit=8))
+        assert solver.solve().is_unsat
+        assert len(solver.strategy._recent) <= 8
+
+    def test_invalid_recent_limit(self):
+        with pytest.raises(ValueError):
+            BerkMinStrategy(recent_limit=0)
+
+    def test_name(self):
+        assert BerkMinStrategy().name == "berkmin"
+
+    def test_falls_back_to_vsids_without_conflicts(self):
+        formula = CnfFormula(2)
+        formula.add_clause([mk_lit(0), mk_lit(1)])
+        outcome = CdclSolver(formula, strategy=BerkMinStrategy()).solve()
+        assert outcome.is_sat

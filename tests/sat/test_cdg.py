@@ -1,0 +1,87 @@
+"""Unit tests for the simplified Conflict Dependency Graph."""
+
+import pytest
+
+from repro.sat import ConflictDependencyGraph
+
+
+@pytest.fixture
+def cdg():
+    return ConflictDependencyGraph(num_original=5)
+
+
+class TestConstruction:
+    def test_original_ids(self, cdg):
+        assert cdg.num_original == 5
+        assert cdg.is_original(0)
+        assert cdg.is_original(4)
+        assert not cdg.is_original(5)
+        assert not cdg.is_original(-1)
+
+    def test_rejects_negative_original_count(self):
+        with pytest.raises(ValueError):
+            ConflictDependencyGraph(-1)
+
+    def test_add_and_lookup(self, cdg):
+        cdg.add(5, (0, 1))
+        assert cdg.antecedents_of(5) == (0, 1)
+        assert cdg.num_entries == 1
+
+    def test_add_rejects_original_id(self, cdg):
+        with pytest.raises(ValueError):
+            cdg.add(3, (0,))
+
+    def test_add_rejects_duplicate(self, cdg):
+        cdg.add(5, (0,))
+        with pytest.raises(ValueError):
+            cdg.add(5, (1,))
+
+    def test_add_rejects_unknown_antecedent(self, cdg):
+        with pytest.raises(ValueError):
+            cdg.add(5, (7,))
+
+    def test_add_rejects_forward_antecedent(self, cdg):
+        cdg.add(5, (0,))
+        with pytest.raises(ValueError):
+            cdg.add(6, (6,))  # self-reference
+
+
+class TestCoreExtraction:
+    def test_core_before_final_conflict_raises(self, cdg):
+        with pytest.raises(RuntimeError):
+            cdg.unsat_core()
+
+    def test_final_conflict_of_originals_only(self, cdg):
+        cdg.set_final_conflict((0, 2))
+        assert cdg.unsat_core() == frozenset({0, 2})
+        assert cdg.reachable_conflict_clauses() == frozenset()
+
+    def test_core_traverses_learned_chain(self, cdg):
+        cdg.add(5, (0, 1))
+        cdg.add(6, (5, 2))
+        cdg.set_final_conflict((6, 3))
+        assert cdg.unsat_core() == frozenset({0, 1, 2, 3})
+        assert cdg.reachable_conflict_clauses() == frozenset({5, 6})
+
+    def test_unreachable_learned_clauses_excluded(self, cdg):
+        cdg.add(5, (0,))
+        cdg.add(6, (4,))  # never used by the final conflict
+        cdg.set_final_conflict((5,))
+        assert cdg.unsat_core() == frozenset({0})
+        assert cdg.reachable_conflict_clauses() == frozenset({5})
+
+    def test_shared_antecedents_visited_once(self, cdg):
+        cdg.add(5, (0, 1))
+        cdg.add(6, (5, 0))
+        cdg.add(7, (5, 6))
+        cdg.set_final_conflict((7,))
+        assert cdg.unsat_core() == frozenset({0, 1})
+
+    def test_final_conflict_rejects_unknown_id(self, cdg):
+        with pytest.raises(ValueError):
+            cdg.set_final_conflict((9,))
+
+    def test_memory_footprint_counts_ids(self, cdg):
+        cdg.add(5, (0, 1))
+        cdg.add(6, (5,))
+        assert cdg.memory_footprint() == (1 + 2) + (1 + 1)

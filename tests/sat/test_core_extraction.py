@@ -1,0 +1,87 @@
+"""Unsat-core behaviours the paper relies on (§3.1–3.2)."""
+
+import pytest
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import CdclSolver, SolverConfig
+from tests.conftest import brute_force_sat
+from tests.sat.test_solver_hard import pigeonhole
+
+
+def embedded_contradiction(num_padding_vars):
+    """A formula with an isolated 3-clause contradiction plus abundant
+    satisfiable padding: the core must pick out just the contradiction."""
+    formula = CnfFormula(2 + num_padding_vars)
+    contradiction = [
+        formula.add_clause([mk_lit(0)]),
+        formula.add_clause([mk_lit(0, True), mk_lit(1)]),
+        formula.add_clause([mk_lit(1, True)]),
+    ]
+    for i in range(num_padding_vars):
+        var = 2 + i
+        other = 2 + (i + 1) % num_padding_vars
+        formula.add_clause([mk_lit(var), mk_lit(other)])
+    return formula, set(contradiction)
+
+
+class TestCoreLocality:
+    def test_core_isolates_contradiction(self):
+        formula, expected = embedded_contradiction(40)
+        outcome = CdclSolver(formula).solve()
+        assert outcome.is_unsat
+        assert set(outcome.core_clauses) == expected
+
+    def test_core_vars_match_core_clauses(self):
+        formula, _ = embedded_contradiction(20)
+        outcome = CdclSolver(formula).solve()
+        assert outcome.core_vars == frozenset({0, 1})
+
+    def test_padding_scales_but_core_does_not(self):
+        small, _ = embedded_contradiction(10)
+        large, _ = embedded_contradiction(200)
+        core_small = CdclSolver(small).solve().core_clauses
+        core_large = CdclSolver(large).solve().core_clauses
+        assert core_small == core_large
+
+
+class TestCoreUnderDeletion:
+    def test_core_complete_despite_clause_deletion(self):
+        """The paper's §3.1 point: deleting conflict clauses must not
+        break core reconstruction."""
+        formula = pigeonhole(6)
+        config = SolverConfig(reduce_base=25, reduce_growth=1.15, restart_base=20)
+        solver = CdclSolver(formula, config=config)
+        outcome = solver.solve()
+        assert outcome.is_unsat
+        assert solver.stats.deleted_clauses > 0
+        # The reported core must itself be unsatisfiable.  PHP(6) is too
+        # big for brute force, so re-solve the core subformula.
+        core_formula = formula.subformula(outcome.core_clauses)
+        assert CdclSolver(core_formula).solve().is_unsat
+
+    def test_cdg_unaffected_by_deletion(self):
+        formula = pigeonhole(5)
+        config = SolverConfig(reduce_base=20, reduce_growth=1.2)
+        solver = CdclSolver(formula, config=config)
+        solver.solve()
+        # Every learned clause is still present in the CDG even if deleted
+        # from the clause database.
+        assert solver.cdg.num_entries == solver.stats.learned_clauses
+
+
+class TestCoreResolveAgain:
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_php_core_resolves_unsat(self, n):
+        formula = pigeonhole(n)
+        outcome = CdclSolver(formula).solve()
+        core_formula = formula.subformula(outcome.core_clauses)
+        assert CdclSolver(core_formula).solve().is_unsat
+
+    def test_core_of_core_is_stable_for_minimal_contradiction(self):
+        formula, expected = embedded_contradiction(12)
+        first = CdclSolver(formula).solve()
+        second = CdclSolver(formula.subformula(first.core_clauses)).solve()
+        assert second.is_unsat
+        # The contradiction is already minimal: the second core keeps all
+        # three clauses.
+        assert len(second.core_clauses) == 3

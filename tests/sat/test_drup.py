@@ -1,0 +1,74 @@
+"""DRUP export tests: emitted lemmas must each be RUP with respect to
+the formula plus all earlier lemmas (the DRUP checking rule)."""
+
+import io
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.cnf.literals import lit_from_dimacs
+from repro.sat import CdclSolver
+from repro.sat.proof import _rup_holds, drup_str, write_drup
+from tests.conftest import random_formula
+from tests.sat.test_solver_hard import pigeonhole
+
+
+def drup_check(formula, drup_text):
+    """A reference DRUP checker: every lemma is RUP against the clause
+    database so far; the final lemma must be the empty clause."""
+    database = [tuple(c.literals) for c in formula.clauses]
+    lines = [line.split() for line in drup_text.strip().splitlines()]
+    assert lines, "empty DRUP file"
+    saw_empty = False
+    for tokens in lines:
+        assert tokens[-1] == "0", f"unterminated lemma {tokens}"
+        lits = tuple(lit_from_dimacs(int(t)) for t in tokens[:-1])
+        if not _rup_holds(lits, database):
+            return False
+        if not lits:
+            saw_empty = True
+            break
+        database.append(lits)
+    return saw_empty
+
+
+class TestDrupExport:
+    def test_simple_unsat(self):
+        formula = CnfFormula(2)
+        for lits in ([0, 2], [0, 3], [1, 2], [1, 3]):
+            formula.add_clause(lits)
+        solver = CdclSolver(formula)
+        assert solver.solve().is_unsat
+        assert drup_check(formula, drup_str(solver.export_proof()))
+
+    def test_pigeonhole(self):
+        formula = pigeonhole(4)
+        solver = CdclSolver(formula)
+        assert solver.solve().is_unsat
+        assert drup_check(formula, drup_str(solver.export_proof()))
+
+    def test_random_unsat(self, rng):
+        checked = 0
+        for _ in range(60):
+            formula = random_formula(rng, rng.randint(2, 7), rng.randint(6, 26))
+            solver = CdclSolver(formula)
+            if not solver.solve().is_unsat:
+                continue
+            assert drup_check(formula, drup_str(solver.export_proof()))
+            checked += 1
+        assert checked > 5
+
+    def test_ends_with_empty_clause(self):
+        formula = CnfFormula(1)
+        formula.add_clause([mk_lit(0)])
+        formula.add_clause([mk_lit(0, True)])
+        solver = CdclSolver(formula)
+        solver.solve()
+        text = drup_str(solver.export_proof())
+        assert text.strip().splitlines()[-1] == "0"
+
+    def test_write_to_stream(self):
+        formula = pigeonhole(3)
+        solver = CdclSolver(formula)
+        solver.solve()
+        buffer = io.StringIO()
+        write_drup(solver.export_proof(), buffer)
+        assert buffer.getvalue().endswith("0\n")

@@ -1,0 +1,119 @@
+"""Bounded variable elimination tests."""
+
+import pytest
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import CdclSolver
+from repro.sat.elimination import eliminate_variables
+from tests.conftest import brute_force_sat, random_formula
+
+
+def formula_of(num_vars, clauses):
+    formula = CnfFormula(num_vars)
+    for clause in clauses:
+        formula.add_clause(clause)
+    return formula
+
+
+class TestBasicElimination:
+    def test_pure_chain_collapses(self):
+        # x0 -> x1 -> x2; x1 is eliminable: resolvent (¬x0 | x2).
+        formula = formula_of(3, [
+            [mk_lit(0, True), mk_lit(1)],
+            [mk_lit(1, True), mk_lit(2)],
+        ])
+        result = eliminate_variables(formula)
+        eliminated_vars = {var for var, _ in result.eliminated}
+        assert 1 in eliminated_vars
+        assert all(
+            1 not in {lit >> 1 for lit in clause}
+            for clause in result.formula.clauses
+        )
+
+    def test_frozen_variables_kept(self):
+        formula = formula_of(3, [
+            [mk_lit(0, True), mk_lit(1)],
+            [mk_lit(1, True), mk_lit(2)],
+        ])
+        result = eliminate_variables(formula, frozen=[1])
+        assert all(var != 1 for var, _ in result.eliminated)
+
+    def test_growth_criterion_blocks_explosion(self):
+        # x0 occurs in many clauses both phases: eliminating it would
+        # produce 12 binary resolvents (24 literals) for 16 removed.
+        # Freeze the neighbours so side-eliminations cannot first shrink
+        # x0's occurrence lists.
+        clauses = []
+        for i in range(1, 5):
+            clauses.append([mk_lit(0), mk_lit(i)])
+            clauses.append([mk_lit(0, True), mk_lit(i, True)])
+        formula = formula_of(5, clauses)
+        result = eliminate_variables(formula, frozen=range(1, 5), growth_slack=0)
+        assert all(var != 0 for var, _ in result.eliminated)
+        assert result.num_eliminated == 0
+
+    def test_tautological_resolvents_dropped(self):
+        # (x0 | x1) and (~x0 | ~x1): the resolvent on x0 is a tautology.
+        formula = formula_of(2, [
+            [mk_lit(0), mk_lit(1)],
+            [mk_lit(0, True), mk_lit(1, True)],
+        ])
+        result = eliminate_variables(formula)
+        # Everything is eliminable: the two clauses resolve to nothing.
+        assert result.formula.num_clauses == 0
+        assert result.num_eliminated >= 1
+
+
+class TestEquisatisfiability:
+    def test_random_formulas_preserve_satisfiability(self, rng):
+        for trial in range(150):
+            formula = random_formula(rng, rng.randint(2, 8), rng.randint(2, 24))
+            result = eliminate_variables(formula)
+            original_sat = brute_force_sat(formula) is not None
+            simplified_sat = brute_force_sat(result.formula) is not None
+            assert original_sat == simplified_sat, f"trial {trial}"
+
+    def test_model_extension_satisfies_original(self, rng):
+        extended_count = 0
+        for trial in range(150):
+            formula = random_formula(rng, rng.randint(2, 8), rng.randint(2, 24))
+            result = eliminate_variables(formula)
+            outcome = CdclSolver(result.formula).solve()
+            if not outcome.is_sat:
+                continue
+            extended = result.extend_model(outcome.model)
+            assert formula.evaluate(extended), f"trial {trial}"
+            if result.num_eliminated:
+                extended_count += 1
+        assert extended_count > 20, "too few eliminations exercised"
+
+    def test_solver_agrees_after_elimination(self, rng):
+        for _ in range(60):
+            formula = random_formula(rng, rng.randint(3, 9), rng.randint(4, 30))
+            result = eliminate_variables(formula)
+            assert (
+                CdclSolver(formula).solve().is_sat
+                == CdclSolver(result.formula).solve().is_sat
+            )
+
+
+class TestOnBmcInstances:
+    def test_bmc_instance_shrinks_with_frozen_interface(self):
+        from repro.encode import Unroller
+        from repro.workloads import counter_tripwire
+
+        circuit, prop = counter_tripwire(
+            counter_width=3, target=7, distractor_words=2, distractor_width=4
+        )
+        unroller = Unroller(circuit, prop)
+        instance = unroller.instance(4)
+        frozen = {
+            instance.lit_of(net, frame) >> 1
+            for net in list(unroller.nets_inputs) + list(unroller.nets_latches)
+            for frame in range(5)
+        }
+        result = eliminate_variables(instance.formula, frozen=frozen)
+        assert result.num_eliminated > 0
+        assert result.formula.num_literals() < instance.formula.num_literals()
+        # Verdict preserved (UNSAT below the counterexample depth).
+        assert CdclSolver(result.formula).solve().is_unsat

@@ -1,0 +1,192 @@
+"""Incremental interface tests: assumptions, clause addition between
+solves, relative cores, persistent learning."""
+
+import pytest
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import CdclSolver, SolverConfig
+from tests.conftest import brute_force_sat, random_formula
+
+
+def simple_solver():
+    """(x0 | x1) & (~x0 | x2): satisfiable, with implication structure."""
+    formula = CnfFormula(3)
+    formula.add_clause([mk_lit(0), mk_lit(1)])
+    formula.add_clause([mk_lit(0, True), mk_lit(2)])
+    return CdclSolver(formula)
+
+
+class TestAssumptions:
+    def test_sat_respects_assumptions(self):
+        solver = simple_solver()
+        outcome = solver.solve(assumptions=[mk_lit(0)])
+        assert outcome.is_sat
+        assert outcome.model[0] == 1
+        assert outcome.model[2] == 1  # implied
+
+    def test_negative_assumption(self):
+        solver = simple_solver()
+        outcome = solver.solve(assumptions=[mk_lit(0, True)])
+        assert outcome.is_sat
+        assert outcome.model[0] == 0
+        assert outcome.model[1] == 1  # forced by the first clause
+
+    def test_unsat_under_assumptions_sat_without(self):
+        formula = CnfFormula(2)
+        formula.add_clause([mk_lit(0), mk_lit(1)])
+        solver = CdclSolver(formula)
+        unsat = solver.solve(assumptions=[mk_lit(0, True), mk_lit(1, True)])
+        assert unsat.is_unsat
+        assert unsat.failed_assumptions == {mk_lit(0, True), mk_lit(1, True)}
+        sat = solver.solve()
+        assert sat.is_sat
+        assert sat.failed_assumptions is None
+
+    def test_failed_assumptions_are_subset_used(self):
+        # x0 contradicts the clauses alone; x5 is irrelevant.
+        formula = CnfFormula(6)
+        formula.add_clause([mk_lit(0, True)])
+        solver = CdclSolver(formula)
+        outcome = solver.solve(assumptions=[mk_lit(5), mk_lit(0)])
+        assert outcome.is_unsat
+        assert mk_lit(0) in outcome.failed_assumptions
+        assert mk_lit(5) not in outcome.failed_assumptions
+
+    def test_contradictory_assumptions(self):
+        formula = CnfFormula(1)
+        solver = CdclSolver(formula)
+        outcome = solver.solve(assumptions=[mk_lit(0), mk_lit(0, True)])
+        assert outcome.is_unsat
+        assert len(outcome.failed_assumptions) == 2
+
+    def test_relative_core_with_assumptions_is_unsat(self):
+        formula = CnfFormula(3)
+        formula.add_clause([mk_lit(0, True), mk_lit(1)])
+        formula.add_clause([mk_lit(1, True), mk_lit(2)])
+        formula.add_clause([mk_lit(2, True)])
+        solver = CdclSolver(formula)
+        outcome = solver.solve(assumptions=[mk_lit(0)])
+        assert outcome.is_unsat
+        sub = formula.subformula(outcome.core_clauses)
+        for lit in outcome.failed_assumptions:
+            sub.add_clause([lit])
+        assert brute_force_sat(sub) is None
+
+    def test_bad_assumption_literal_rejected(self):
+        solver = simple_solver()
+        with pytest.raises(ValueError):
+            solver.solve(assumptions=[mk_lit(99)])
+
+    def test_global_unsat_beats_assumptions(self):
+        formula = CnfFormula(2)
+        formula.add_clause([mk_lit(0)])
+        formula.add_clause([mk_lit(0, True)])
+        solver = CdclSolver(formula)
+        outcome = solver.solve(assumptions=[mk_lit(1)])
+        assert outcome.is_unsat
+        # The refutation is assumption-free.
+        assert not (outcome.failed_assumptions or frozenset())
+
+
+class TestIncrementalClauses:
+    def test_add_clause_between_solves(self):
+        solver = simple_solver()
+        assert solver.solve().is_sat
+        solver.add_clause([mk_lit(0)])
+        outcome = solver.solve()
+        assert outcome.is_sat
+        assert outcome.model[0] == 1
+
+    def test_tightening_to_unsat(self):
+        solver = simple_solver()
+        solver.add_clause([mk_lit(0)])
+        solver.add_clause([mk_lit(2, True)])
+        outcome = solver.solve()
+        assert outcome.is_unsat
+        assert outcome.core_clauses is not None
+        sub_ids = sorted(outcome.core_clauses)
+        # The core cites the two added clauses and the implication.
+        assert len(sub_ids) >= 2
+
+    def test_new_var_growth(self):
+        solver = CdclSolver(CnfFormula(1))
+        v = solver.new_var()
+        assert v == 1
+        solver.add_clause([mk_lit(v)])
+        outcome = solver.solve()
+        assert outcome.model[v] == 1
+
+    def test_add_clause_with_unknown_var_rejected(self):
+        solver = CdclSolver(CnfFormula(1))
+        with pytest.raises(ValueError):
+            solver.add_clause([mk_lit(5)])
+
+    def test_add_clause_unit_false_under_facts(self):
+        solver = CdclSolver(CnfFormula(1))
+        solver.add_clause([mk_lit(0)])
+        solver.add_clause([mk_lit(0, True)])
+        assert solver.solve().is_unsat
+
+    def test_added_clause_effectively_unit(self):
+        # With x0 fixed at level 0, (x0' | x1) immediately implies x1.
+        solver = CdclSolver(CnfFormula(2))
+        solver.add_clause([mk_lit(0)])
+        solver.solve()
+        solver.add_clause([mk_lit(0, True), mk_lit(1)])
+        outcome = solver.solve()
+        assert outcome.model[1] == 1
+
+    def test_learning_persists_across_solves(self):
+        from tests.sat.test_solver_hard import pigeonhole
+
+        formula = pigeonhole(5)
+        solver = CdclSolver(formula)
+        first = solver.solve(assumptions=[mk_lit(0)])
+        assert first.is_unsat
+        conflicts_first = solver.stats.conflicts
+        # Second call re-proves with learned clauses available: usually
+        # far cheaper (and never incorrect).
+        second = solver.solve(assumptions=[mk_lit(0)])
+        assert second.is_unsat
+        assert solver.stats.conflicts <= conflicts_first
+
+    def test_incremental_matches_brute_force(self, rng):
+        for trial in range(60):
+            num_vars = rng.randint(2, 8)
+            solver = CdclSolver(CnfFormula(num_vars))
+            formula_so_far = CnfFormula(num_vars)
+            unsat_seen = False
+            for _ in range(4):
+                clause = [
+                    2 * v + rng.randint(0, 1)
+                    for v in rng.sample(
+                        range(num_vars), min(rng.randint(1, 3), num_vars)
+                    )
+                ]
+                solver.add_clause(clause)
+                formula_so_far.add_clause(clause)
+                outcome = solver.solve()
+                expected = brute_force_sat(formula_so_far) is not None
+                assert outcome.is_sat == expected, f"trial {trial}"
+                if not expected:
+                    unsat_seen = True
+                    break
+            if unsat_seen:
+                # Once globally UNSAT, it must stay UNSAT.
+                assert solver.solve().is_unsat
+
+
+class TestIncrementalProofs:
+    def test_proof_with_extra_originals(self):
+        solver = CdclSolver(CnfFormula(2))
+        solver.add_clause([mk_lit(0), mk_lit(1)])
+        solver.add_clause([mk_lit(0), mk_lit(1, True)])
+        solver.add_clause([mk_lit(0, True), mk_lit(1)])
+        solver.add_clause([mk_lit(0, True), mk_lit(1, True)])
+        outcome = solver.solve()
+        assert outcome.is_unsat
+        proof = solver.export_proof()
+        assert proof.extra_originals  # clauses added after construction
+        from repro.sat import check_proof
+
+        assert check_proof(CnfFormula(2), proof)

@@ -1,0 +1,111 @@
+"""Resolution-proof checker tests: accept genuine proofs, reject
+corrupted ones."""
+
+import pytest
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import CdclSolver, ProofError, ResolutionProof, check_proof
+from repro.sat.proof import _rup_holds
+
+
+def unsat_formula():
+    formula = CnfFormula(2)
+    formula.add_clause([mk_lit(0), mk_lit(1)])
+    formula.add_clause([mk_lit(0), mk_lit(1, True)])
+    formula.add_clause([mk_lit(0, True), mk_lit(1)])
+    formula.add_clause([mk_lit(0, True), mk_lit(1, True)])
+    return formula
+
+
+def solved_proof():
+    formula = unsat_formula()
+    solver = CdclSolver(formula)
+    assert solver.solve().is_unsat
+    return formula, solver.export_proof()
+
+
+class TestRup:
+    def test_direct_conflict(self):
+        # {} from (x0) and (~x0).
+        assert _rup_holds((), [(mk_lit(0),), (mk_lit(0, True),)])
+
+    def test_resolution_step(self):
+        # (x1) from (x0 x1) and (~x0 x1).
+        assert _rup_holds(
+            (mk_lit(1),),
+            [(mk_lit(0), mk_lit(1)), (mk_lit(0, True), mk_lit(1))],
+        )
+
+    def test_underivable(self):
+        assert not _rup_holds((mk_lit(1),), [(mk_lit(0), mk_lit(1))])
+
+    def test_tautological_target_holds(self):
+        assert _rup_holds((mk_lit(0), mk_lit(0, True)), [])
+
+
+class TestCheckProof:
+    def test_accepts_solver_proof(self):
+        formula, proof = solved_proof()
+        assert check_proof(formula, proof)
+
+    def test_rejects_wrong_original_count(self):
+        formula, proof = solved_proof()
+        bad = ResolutionProof(
+            num_original=proof.num_original + 1,
+            learned=proof.learned,
+            final_antecedents=proof.final_antecedents,
+        )
+        with pytest.raises(ProofError):
+            check_proof(formula, bad)
+
+    def test_rejects_corrupted_learned_clause(self):
+        formula, proof = solved_proof()
+        if not proof.learned:
+            pytest.skip("solver refuted at level 0 without learning")
+        cid = min(proof.learned)
+        lits, antecedents = proof.learned[cid]
+        corrupted = dict(proof.learned)
+        # Replace the clause with a stronger (unit, unrelated) claim.
+        corrupted[cid] = ((mk_lit(1),) if lits != (mk_lit(1),) else (mk_lit(0),), antecedents)
+        bad = ResolutionProof(proof.num_original, corrupted, proof.final_antecedents)
+        with pytest.raises(ProofError):
+            check_proof(formula, bad)
+
+    def test_rejects_dangling_final_antecedent(self):
+        formula, proof = solved_proof()
+        bad = ResolutionProof(proof.num_original, proof.learned, (99999,))
+        with pytest.raises(ProofError):
+            check_proof(formula, bad)
+
+    def test_rejects_unsupported_final_conflict(self):
+        formula, proof = solved_proof()
+        # Final conflict citing a single non-contradictory original clause.
+        bad = ResolutionProof(proof.num_original, proof.learned, (0,))
+        with pytest.raises(ProofError):
+            check_proof(formula, bad)
+
+    def test_rejects_forward_reference(self):
+        formula, proof = solved_proof()
+        if not proof.learned:
+            pytest.skip("no learned clauses")
+        cid = min(proof.learned)
+        lits, _ = proof.learned[cid]
+        corrupted = dict(proof.learned)
+        corrupted[cid] = (lits, (cid,))  # cites itself
+        bad = ResolutionProof(proof.num_original, corrupted, proof.final_antecedents)
+        with pytest.raises(ProofError):
+            check_proof(formula, bad)
+
+    def test_level_zero_elimination_is_covered(self):
+        # A formula whose refutation requires resolving away level-0
+        # literals: units force a chain, then a learned conflict.
+        formula = CnfFormula(4)
+        formula.add_clause([mk_lit(0)])  # unit
+        formula.add_clause([mk_lit(0, True), mk_lit(1), mk_lit(2)])
+        formula.add_clause([mk_lit(0, True), mk_lit(1), mk_lit(2, True)])
+        formula.add_clause([mk_lit(1, True), mk_lit(3)])
+        formula.add_clause([mk_lit(1, True), mk_lit(3, True)])
+        solver = CdclSolver(formula)
+        outcome = solver.solve()
+        assert outcome.is_unsat
+        assert check_proof(formula, solver.export_proof())

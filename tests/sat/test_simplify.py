@@ -1,0 +1,127 @@
+"""Preprocessing (subsumption / self-subsumption) tests."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import CdclSolver, simplify
+from tests.conftest import brute_force_sat, random_formula
+from tests.sat.test_solver_random import cnf_formulas
+
+
+def formula_of(num_vars, clauses):
+    formula = CnfFormula(num_vars)
+    for clause in clauses:
+        formula.add_clause(clause)
+    return formula
+
+
+class TestSubsumption:
+    def test_superset_clause_removed(self):
+        formula = formula_of(3, [
+            [mk_lit(0)],
+            [mk_lit(0), mk_lit(1)],
+            [mk_lit(0), mk_lit(1), mk_lit(2)],
+        ])
+        result = simplify(formula)
+        assert result.formula.num_clauses == 1
+        assert result.subsumed == 2
+        assert tuple(result.formula.clause(0)) == (mk_lit(0),)
+
+    def test_tautologies_removed(self):
+        formula = formula_of(2, [[mk_lit(0), mk_lit(0, True)], [mk_lit(1)]])
+        result = simplify(formula)
+        assert result.formula.num_clauses == 1
+        assert result.subsumed == 1
+
+    def test_duplicates_collapse(self):
+        formula = formula_of(2, [[mk_lit(0), mk_lit(1)], [mk_lit(1), mk_lit(0)]])
+        result = simplify(formula)
+        assert result.formula.num_clauses == 1
+
+
+class TestStrengthening:
+    def test_unit_strengthens(self):
+        # (x0) and (~x0 | x1): the second becomes (x1).
+        formula = formula_of(2, [[mk_lit(0)], [mk_lit(0, True), mk_lit(1)]])
+        result = simplify(formula)
+        clauses = {tuple(c) for c in result.formula.clauses}
+        assert (mk_lit(1),) in clauses
+        assert result.strengthened >= 1
+
+    def test_self_subsuming_resolution(self):
+        # (x0 | x1) and (~x0 | x1 | x2): strengthen the latter to (x1 | x2).
+        formula = formula_of(3, [
+            [mk_lit(0), mk_lit(1)],
+            [mk_lit(0, True), mk_lit(1), mk_lit(2)],
+        ])
+        result = simplify(formula)
+        clauses = {tuple(sorted(c)) for c in result.formula.clauses}
+        assert tuple(sorted((mk_lit(1), mk_lit(2)))) in clauses
+
+    def test_strengthening_can_expose_units_and_conflict(self):
+        # (x0), (~x0 | x1), (~x1): simplifies to a contradiction.
+        formula = formula_of(2, [
+            [mk_lit(0)],
+            [mk_lit(0, True), mk_lit(1)],
+            [mk_lit(1, True)],
+        ])
+        result = simplify(formula)
+        assert CdclSolver(result.formula).solve().is_unsat
+
+    def test_origin_tracking_includes_strengtheners(self):
+        formula = formula_of(2, [[mk_lit(0)], [mk_lit(0, True), mk_lit(1)]])
+        result = simplify(formula)
+        index_of_unit = next(
+            i for i, c in enumerate(result.formula.clauses)
+            if tuple(c) == (mk_lit(1),)
+        )
+        assert result.clause_origins[index_of_unit] >= {0, 1}
+
+
+class TestEquivalence:
+    @given(cnf_formulas())
+    @settings(max_examples=120, deadline=None)
+    def test_simplified_formula_equivalent(self, formula):
+        """Subsumption + strengthening preserve logical equivalence: the
+        two formulas agree on every assignment."""
+        result = simplify(formula)
+        import itertools
+
+        for bits in itertools.product((0, 1), repeat=formula.num_vars):
+            assignment = list(bits)
+            assert formula.evaluate(assignment) == result.formula.evaluate(assignment)
+
+    def test_core_translation_sound(self, rng):
+        checked = 0
+        for _ in range(120):
+            formula = random_formula(rng, rng.randint(2, 7), rng.randint(6, 28))
+            result = simplify(formula)
+            outcome = CdclSolver(result.formula).solve()
+            if not outcome.is_unsat:
+                continue
+            checked += 1
+            translated = result.translate_core(outcome.core_clauses)
+            sub = formula.subformula(translated)
+            assert brute_force_sat(sub) is None
+        assert checked > 10
+
+    def test_simplification_never_grows(self, rng):
+        for _ in range(40):
+            formula = random_formula(rng, rng.randint(2, 8), rng.randint(2, 30))
+            result = simplify(formula)
+            assert result.formula.num_clauses <= formula.num_clauses
+            assert result.formula.num_literals() <= formula.num_literals()
+
+    def test_bmc_instance_shrinks(self):
+        from repro.encode import Unroller
+        from repro.workloads import counter_tripwire
+
+        circuit, prop = counter_tripwire(
+            counter_width=3, target=7, distractor_words=1, distractor_width=3
+        )
+        instance = Unroller(circuit, prop).instance(4)
+        result = simplify(instance.formula)
+        assert result.formula.num_literals() < instance.formula.num_literals()
+        # Verdict preserved.
+        assert CdclSolver(result.formula).solve().is_unsat

@@ -1,0 +1,192 @@
+"""Basic CDCL solver behaviours: trivial formulas, load-time edge cases."""
+
+import pytest
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import CdclSolver, SolveResult, SolverConfig, solve_formula
+
+
+def formula_of(num_vars, clauses):
+    formula = CnfFormula(num_vars)
+    for clause in clauses:
+        formula.add_clause(clause)
+    return formula
+
+
+class TestTrivialFormulas:
+    def test_empty_formula_is_sat(self):
+        outcome = solve_formula(CnfFormula(0))
+        assert outcome.is_sat
+        assert outcome.model == []
+
+    def test_no_clauses_some_vars_is_sat(self):
+        outcome = solve_formula(CnfFormula(3))
+        assert outcome.is_sat
+        assert len(outcome.model) == 3
+
+    def test_single_unit(self):
+        outcome = solve_formula(formula_of(1, [[mk_lit(0)]]))
+        assert outcome.is_sat
+        assert outcome.model[0] == 1
+
+    def test_single_negative_unit(self):
+        outcome = solve_formula(formula_of(1, [[mk_lit(0, True)]]))
+        assert outcome.is_sat
+        assert outcome.model[0] == 0
+
+    def test_empty_clause_is_unsat(self):
+        outcome = solve_formula(formula_of(1, [[]]))
+        assert outcome.is_unsat
+        assert outcome.core_clauses == frozenset({0})
+
+    def test_conflicting_units_unsat(self):
+        outcome = solve_formula(formula_of(1, [[mk_lit(0)], [mk_lit(0, True)]]))
+        assert outcome.is_unsat
+        assert outcome.core_clauses == frozenset({0, 1})
+
+    def test_duplicate_unit_tolerated(self):
+        outcome = solve_formula(formula_of(1, [[mk_lit(0)], [mk_lit(0)]]))
+        assert outcome.is_sat
+
+    def test_tautology_ignored(self):
+        outcome = solve_formula(
+            formula_of(2, [[mk_lit(0), mk_lit(0, True)], [mk_lit(1)]])
+        )
+        assert outcome.is_sat
+        assert outcome.model[1] == 1
+
+    def test_duplicate_literals_in_clause(self):
+        outcome = solve_formula(formula_of(1, [[mk_lit(0), mk_lit(0)]]))
+        assert outcome.is_sat
+        assert outcome.model[0] == 1
+
+
+class TestPropagationChains:
+    def test_implication_chain(self):
+        # x0, x0->x1, x1->x2: all forced true with zero decisions.
+        formula = formula_of(
+            3,
+            [
+                [mk_lit(0)],
+                [mk_lit(0, True), mk_lit(1)],
+                [mk_lit(1, True), mk_lit(2)],
+            ],
+        )
+        solver = CdclSolver(formula)
+        outcome = solver.solve()
+        assert outcome.is_sat
+        assert outcome.model == [1, 1, 1]
+        assert solver.stats.decisions <= 0
+
+    def test_chain_ending_in_conflict(self):
+        formula = formula_of(
+            3,
+            [
+                [mk_lit(0)],
+                [mk_lit(0, True), mk_lit(1)],
+                [mk_lit(1, True), mk_lit(2)],
+                [mk_lit(2, True)],
+            ],
+        )
+        outcome = solve_formula(formula)
+        assert outcome.is_unsat
+        assert outcome.core_clauses == frozenset({0, 1, 2, 3})
+
+    def test_xor_style_unsat(self):
+        # All four clauses over two variables: unsatisfiable.
+        clauses = [
+            [mk_lit(0), mk_lit(1)],
+            [mk_lit(0), mk_lit(1, True)],
+            [mk_lit(0, True), mk_lit(1)],
+            [mk_lit(0, True), mk_lit(1, True)],
+        ]
+        outcome = solve_formula(formula_of(2, clauses))
+        assert outcome.is_unsat
+        assert len(outcome.core_clauses) >= 3
+
+    def test_model_satisfies_formula(self, rng):
+        from tests.conftest import random_formula
+
+        for _ in range(25):
+            formula = random_formula(rng, 8, 20)
+            outcome = solve_formula(formula)
+            if outcome.is_sat:
+                assert formula.evaluate(outcome.model)
+
+
+class TestRepeatedSolve:
+    def test_second_solve_consistent(self):
+        solver = CdclSolver(formula_of(1, [[mk_lit(0)]]))
+        first = solver.solve()
+        second = solver.solve()
+        assert first.is_sat and second.is_sat
+        assert first.model == second.model
+
+    def test_unsat_is_sticky(self):
+        solver = CdclSolver(formula_of(1, [[mk_lit(0)], [mk_lit(0, True)]]))
+        assert solver.solve().is_unsat
+        assert solver.solve().is_unsat
+
+
+class TestBudgets:
+    def _hard_formula(self):
+        # PHP(5): needs real search.
+        n = 5
+        formula = CnfFormula((n + 1) * n)
+        for p in range(n + 1):
+            formula.add_clause(mk_lit(p * n + h) for h in range(n))
+        for h in range(n):
+            for p1 in range(n + 1):
+                for p2 in range(p1 + 1, n + 1):
+                    formula.add_clause(
+                        [mk_lit(p1 * n + h, True), mk_lit(p2 * n + h, True)]
+                    )
+        return formula
+
+    def test_conflict_budget_returns_unknown(self):
+        outcome = solve_formula(
+            self._hard_formula(), config=SolverConfig(max_conflicts=3)
+        )
+        assert outcome.is_unknown
+
+    def test_decision_budget_returns_unknown(self):
+        outcome = solve_formula(
+            self._hard_formula(), config=SolverConfig(max_decisions=2)
+        )
+        assert outcome.is_unknown
+
+    def test_propagation_budget_returns_unknown(self):
+        outcome = solve_formula(
+            self._hard_formula(), config=SolverConfig(max_propagations=5)
+        )
+        assert outcome.is_unknown
+
+    def test_unknown_outcome_has_no_model_or_core(self):
+        outcome = solve_formula(
+            self._hard_formula(), config=SolverConfig(max_conflicts=3)
+        )
+        assert outcome.model is None
+        assert outcome.core_clauses is None
+
+
+class TestCdgDisabled:
+    def test_unsat_without_core(self):
+        formula = formula_of(1, [[mk_lit(0)], [mk_lit(0, True)]])
+        outcome = solve_formula(formula, config=SolverConfig(record_cdg=False))
+        assert outcome.is_unsat
+        assert outcome.core_clauses is None
+        assert outcome.core_vars is None
+
+    def test_export_proof_requires_cdg(self):
+        formula = formula_of(1, [[mk_lit(0)], [mk_lit(0, True)]])
+        solver = CdclSolver(formula, config=SolverConfig(record_cdg=False))
+        solver.solve()
+        with pytest.raises(RuntimeError):
+            solver.export_proof()
+
+    def test_export_proof_requires_unsat(self):
+        formula = formula_of(1, [[mk_lit(0)]])
+        solver = CdclSolver(formula)
+        solver.solve()
+        with pytest.raises(RuntimeError):
+            solver.export_proof()

@@ -1,0 +1,137 @@
+"""Structured hard instances: pigeonhole, parity chains; exercises
+learning, restarts, deletion, and core extraction under pressure."""
+
+import pytest
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import CdclSolver, SolverConfig, check_proof, luby
+
+
+def pigeonhole(n):
+    """PHP(n): n+1 pigeons into n holes — canonically UNSAT."""
+    formula = CnfFormula((n + 1) * n)
+    for p in range(n + 1):
+        formula.add_clause(mk_lit(p * n + h) for h in range(n))
+    for h in range(n):
+        for p1 in range(n + 1):
+            for p2 in range(p1 + 1, n + 1):
+                formula.add_clause([mk_lit(p1 * n + h, True), mk_lit(p2 * n + h, True)])
+    return formula
+
+
+def xor_chain(length, parity):
+    """x0 ^ x1, x1 ^ x2, ... encoded as CNF; UNSAT if parity impossible."""
+    formula = CnfFormula(length + 1)
+    for i in range(length):
+        formula.add_clause([mk_lit(i), mk_lit(i + 1)])
+        formula.add_clause([mk_lit(i, True), mk_lit(i + 1, True)])
+    formula.add_clause([mk_lit(0)])
+    last = mk_lit(length) if parity else mk_lit(length, True)
+    formula.add_clause([last])
+    return formula
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_php_is_unsat(self, n):
+        formula = pigeonhole(n)
+        solver = CdclSolver(formula)
+        outcome = solver.solve()
+        assert outcome.is_unsat
+        assert solver.stats.conflicts > 0
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_php_core_is_large(self, n):
+        # PHP cores genuinely need almost everything.
+        formula = pigeonhole(n)
+        outcome = CdclSolver(formula).solve()
+        assert len(outcome.core_clauses) > formula.num_clauses // 2
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_php_proof_checks(self, n):
+        formula = pigeonhole(n)
+        solver = CdclSolver(formula)
+        assert solver.solve().is_unsat
+        assert check_proof(formula, solver.export_proof())
+
+    def test_php6_with_aggressive_deletion(self):
+        # Clause deletion must not lose completeness or core soundness.
+        formula = pigeonhole(6)
+        config = SolverConfig(reduce_base=30, reduce_growth=1.2, restart_base=25)
+        solver = CdclSolver(formula, config=config)
+        outcome = solver.solve()
+        assert outcome.is_unsat
+        assert solver.stats.deleted_clauses > 0, "deletion never triggered"
+        assert check_proof(formula, solver.export_proof())
+
+
+class TestXorChains:
+    def test_even_chain_parity(self):
+        # x0=1 with "differ" constraints: x_k = 1 iff k even, so a chain
+        # of even length 30 ends at x30 = 1.
+        outcome = CdclSolver(xor_chain(30, parity=True)).solve()
+        assert outcome.is_sat
+
+    def test_odd_chain_contradiction(self):
+        # x31 = 0 by the alternation; demanding x31 = 1 contradicts.
+        outcome = CdclSolver(xor_chain(31, parity=True)).solve()
+        assert outcome.is_unsat
+
+    def test_chain_core_spans_chain(self):
+        formula = xor_chain(20, parity=False)  # contradicts the forced parity
+        outcome = CdclSolver(formula).solve()
+        assert outcome.is_unsat
+        # The contradiction needs the whole chain: every variable appears.
+        assert len(outcome.core_vars) == 21
+
+
+class TestRestartMachinery:
+    def test_luby_prefix(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [luby(i) for i in range(1, 16)] == expected
+
+    def test_luby_rejects_zero(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+    def test_restarts_triggered_on_php(self):
+        formula = pigeonhole(5)
+        config = SolverConfig(restart_base=5)
+        solver = CdclSolver(formula, config=config)
+        assert solver.solve().is_unsat
+        assert solver.stats.restarts > 0
+
+    def test_no_restarts_when_disabled(self):
+        formula = pigeonhole(5)
+        config = SolverConfig(use_restarts=False)
+        solver = CdclSolver(formula, config=config)
+        assert solver.solve().is_unsat
+        assert solver.stats.restarts == 0
+
+
+class TestStats:
+    def test_stats_are_populated(self):
+        formula = pigeonhole(4)
+        solver = CdclSolver(formula)
+        solver.solve()
+        stats = solver.stats
+        assert stats.decisions > 0
+        assert stats.propagations > 0
+        assert stats.conflicts > 0
+        # The final (level-0) conflict proves UNSAT without learning.
+        assert stats.learned_clauses == stats.conflicts - 1
+        assert stats.max_decision_level > 0
+        assert stats.solve_time > 0
+        assert stats.cdg_entries == stats.learned_clauses
+        assert solver.cdg.num_entries == stats.learned_clauses
+
+    def test_stats_merge(self):
+        from repro.sat import SolverStats
+
+        a = SolverStats(decisions=1, propagations=2, conflicts=3, max_decision_level=4)
+        b = SolverStats(decisions=10, propagations=20, conflicts=30, max_decision_level=2)
+        a.merge(b)
+        assert a.decisions == 11
+        assert a.propagations == 22
+        assert a.conflicts == 33
+        assert a.max_decision_level == 4

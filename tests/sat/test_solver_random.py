@@ -1,0 +1,113 @@
+"""Randomized cross-checks of the CDCL solver against brute force."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import CnfFormula
+from repro.sat import CdclSolver, RankedStrategy, SolverConfig, check_proof
+from tests.conftest import brute_force_sat, random_formula
+
+
+def test_solver_matches_brute_force_on_200_formulas(rng):
+    for trial in range(200):
+        formula = random_formula(rng, rng.randint(1, 9), rng.randint(1, 32))
+        solver = CdclSolver(formula)
+        outcome = solver.solve()
+        expected = brute_force_sat(formula)
+        assert (expected is not None) == outcome.is_sat, f"trial {trial}"
+        if outcome.is_sat:
+            assert formula.evaluate(outcome.model)
+
+
+def test_unsat_cores_are_unsat(rng):
+    checked = 0
+    for trial in range(300):
+        formula = random_formula(rng, rng.randint(1, 8), rng.randint(4, 30))
+        outcome = CdclSolver(formula).solve()
+        if outcome.is_unsat:
+            checked += 1
+            core = formula.subformula(outcome.core_clauses)
+            assert brute_force_sat(core) is None, f"trial {trial}: core is SAT"
+    assert checked > 20, "rng produced too few UNSAT formulas to be meaningful"
+
+
+def test_proofs_check_on_random_unsat(rng):
+    checked = 0
+    for _ in range(150):
+        formula = random_formula(rng, rng.randint(1, 8), rng.randint(4, 30))
+        solver = CdclSolver(formula)
+        outcome = solver.solve()
+        if outcome.is_unsat:
+            checked += 1
+            assert check_proof(formula, solver.export_proof())
+    assert checked > 10
+
+
+def test_ranked_strategy_preserves_answers(rng):
+    for trial in range(120):
+        formula = random_formula(rng, rng.randint(2, 9), rng.randint(2, 28))
+        expected = brute_force_sat(formula) is not None
+        rank = {
+            v: rng.uniform(0, 5)
+            for v in rng.sample(range(formula.num_vars), formula.num_vars // 2)
+        }
+        for dynamic in (False, True):
+            strategy = RankedStrategy(rank, dynamic=dynamic, switch_divisor=4)
+            outcome = CdclSolver(formula, strategy=strategy).solve()
+            assert outcome.is_sat == expected, f"trial {trial} dynamic={dynamic}"
+
+
+def test_tiny_config_still_correct(rng):
+    """Aggressive restarts + deletion must not change answers."""
+    config = SolverConfig(restart_base=3, reduce_base=5, reduce_growth=1.1)
+    for trial in range(100):
+        formula = random_formula(rng, rng.randint(2, 9), rng.randint(4, 34))
+        expected = brute_force_sat(formula) is not None
+        outcome = CdclSolver(formula, config=config).solve()
+        assert outcome.is_sat == expected, f"trial {trial}"
+
+
+@st.composite
+def cnf_formulas(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=7))
+    clauses = draw(
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=num_vars - 1),
+                    st.booleans(),
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            max_size=18,
+        )
+    )
+    formula = CnfFormula(num_vars)
+    for clause in clauses:
+        formula.add_clause(2 * var + (1 if neg else 0) for var, neg in clause)
+    return formula
+
+
+@given(cnf_formulas())
+@settings(max_examples=150, deadline=None)
+def test_hypothesis_solver_agrees_with_brute_force(formula):
+    outcome = CdclSolver(formula).solve()
+    expected = brute_force_sat(formula)
+    assert (expected is not None) == outcome.is_sat
+    if outcome.is_sat:
+        assert formula.evaluate(outcome.model)
+    else:
+        core = formula.subformula(outcome.core_clauses)
+        assert brute_force_sat(core) is None
+
+
+@given(cnf_formulas())
+@settings(max_examples=60, deadline=None)
+def test_hypothesis_core_is_subset_of_original(formula):
+    outcome = CdclSolver(formula).solve()
+    if outcome.is_unsat:
+        assert all(0 <= i < formula.num_clauses for i in outcome.core_clauses)
+        assert outcome.core_vars == formula.variables_of(outcome.core_clauses)

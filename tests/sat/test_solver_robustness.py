@@ -1,0 +1,146 @@
+"""Solver robustness: interactions between features (assumptions x
+restarts x deletion x incremental growth) that unit tests cover only in
+isolation."""
+
+import pytest
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import CdclSolver, RankedStrategy, SolverConfig, VsidsStrategy
+from repro.workloads import pigeonhole, random_ksat, xor_chain
+from tests.conftest import brute_force_sat, random_formula
+
+
+class TestAssumptionsUnderPressure:
+    def test_assumptions_with_aggressive_restarts(self, rng):
+        config = SolverConfig(restart_base=2)
+        for trial in range(40):
+            formula = random_formula(rng, rng.randint(3, 8), rng.randint(6, 28))
+            assumption = [2 * rng.randrange(formula.num_vars) + rng.randint(0, 1)]
+            solver = CdclSolver(formula, config=config)
+            outcome = solver.solve(assumptions=assumption)
+            expected = None
+            import itertools
+
+            for bits in itertools.product((0, 1), repeat=formula.num_vars):
+                a = list(bits)
+                lit = assumption[0]
+                if a[lit >> 1] != 1 - (lit & 1):
+                    continue
+                if formula.evaluate(a):
+                    expected = a
+                    break
+            assert (expected is not None) == outcome.is_sat, f"trial {trial}"
+
+    def test_assumptions_with_deletion(self):
+        formula = pigeonhole(5)
+        config = SolverConfig(reduce_base=20, reduce_growth=1.1)
+        solver = CdclSolver(formula, config=config)
+        for _ in range(3):
+            outcome = solver.solve(assumptions=[mk_lit(0)])
+            assert outcome.is_unsat
+        assert solver.stats.deleted_clauses >= 0  # no crash, stable verdicts
+
+    def test_alternating_assumption_phases(self):
+        formula = CnfFormula(3)
+        formula.add_clause([mk_lit(0), mk_lit(1)])
+        formula.add_clause([mk_lit(1, True), mk_lit(2)])
+        solver = CdclSolver(formula)
+        for phase in (0, 1, 0, 1):
+            lit = mk_lit(1, negated=bool(phase))
+            outcome = solver.solve(assumptions=[lit])
+            assert outcome.is_sat
+            assert outcome.model[1] == 1 - phase
+
+    def test_many_assumptions(self):
+        formula = random_ksat(20, 40, seed=3)
+        solver = CdclSolver(formula)
+        baseline = solver.solve()
+        if baseline.is_sat:
+            # Assume the full found model: must stay SAT.
+            assumptions = [
+                2 * var + (0 if value else 1)
+                for var, value in enumerate(baseline.model)
+            ]
+            assert solver.solve(assumptions=assumptions).is_sat
+
+
+class TestIncrementalGrowth:
+    def test_interleaved_vars_clauses_solves(self, rng):
+        solver = CdclSolver()
+        known_model_constraints = []
+        for step in range(30):
+            var = solver.new_var()
+            if step % 3 == 0:
+                solver.add_clause([mk_lit(var)])
+                known_model_constraints.append((var, 1))
+            elif step % 3 == 1 and var >= 1:
+                solver.add_clause([mk_lit(var - 1, True), mk_lit(var)])
+            outcome = solver.solve()
+            assert outcome.is_sat
+            for fixed_var, value in known_model_constraints:
+                assert outcome.model[fixed_var] == value
+
+    def test_strategy_swap_between_solves(self):
+        formula = pigeonhole(4)
+        solver = CdclSolver(formula)
+        assert solver.solve(strategy=VsidsStrategy()).is_unsat
+        # UNSAT is final: any later strategy must agree immediately.
+        assert solver.solve(strategy=RankedStrategy({0: 5.0})).is_unsat
+
+    def test_growing_xor_chain_flips_verdict(self):
+        # Build the chain incrementally; satisfiability alternates as the
+        # final unit constraint is replaced by growing the chain.
+        solver = CdclSolver()
+        v0 = solver.new_var()
+        solver.add_clause([mk_lit(v0)])
+        prev = v0
+        for i in range(1, 9):
+            var = solver.new_var()
+            solver.add_clause([mk_lit(prev), mk_lit(var)])
+            solver.add_clause([mk_lit(prev, True), mk_lit(var, True)])
+            # x_i is true iff i even; check via assumption, not clause.
+            expected_true = i % 2 == 0
+            assert solver.solve(assumptions=[mk_lit(var)]).is_sat == expected_true
+            assert solver.solve(assumptions=[mk_lit(var, True)]).is_sat != expected_true
+            prev = var
+
+
+class TestWatchIntegrity:
+    def test_verdicts_stable_across_heavy_deletion_cycles(self, rng):
+        config = SolverConfig(reduce_base=5, reduce_growth=1.05, restart_base=3)
+        for trial in range(25):
+            formula = random_formula(rng, rng.randint(4, 9), rng.randint(10, 36))
+            expected = brute_force_sat(formula) is not None
+            solver = CdclSolver(formula, config=config)
+            for _ in range(3):
+                assert solver.solve().is_sat == expected, f"trial {trial}"
+
+    def test_unit_only_formula_many_solves(self):
+        formula = CnfFormula(5)
+        for var in range(5):
+            formula.add_clause([mk_lit(var, negated=var % 2 == 0)])
+        solver = CdclSolver(formula)
+        for _ in range(4):
+            outcome = solver.solve()
+            assert outcome.model == [0, 1, 0, 1, 0]
+
+
+class TestBudgetBoundaries:
+    def test_budget_exactly_at_need(self):
+        # A solvable budget one conflict above the requirement must give
+        # the same verdict as unlimited.
+        formula = xor_chain(9, final_phase=False)
+        unlimited = CdclSolver(formula)
+        verdict = unlimited.solve()
+        needed = unlimited.stats.conflicts
+        budgeted = CdclSolver(
+            formula, config=SolverConfig(max_conflicts=needed + 1)
+        ).solve()
+        assert budgeted.status == verdict.status
+
+    def test_zero_budgets_yield_unknown_on_hard(self):
+        formula = pigeonhole(5)
+        outcome = CdclSolver(
+            formula, config=SolverConfig(max_conflicts=1)
+        ).solve()
+        assert outcome.is_unknown

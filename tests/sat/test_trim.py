@@ -1,0 +1,59 @@
+"""Core-trimming tests."""
+
+import pytest
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import CdclSolver, SolverConfig, trim_core
+from tests.conftest import brute_force_sat, random_formula
+from tests.sat.test_core_extraction import embedded_contradiction
+from tests.sat.test_solver_hard import pigeonhole
+
+
+class TestTrimCore:
+    def test_trimmed_core_is_unsat(self):
+        formula = pigeonhole(4)
+        result = trim_core(formula)
+        assert CdclSolver(formula.subformula(result.core)).solve().is_unsat
+
+    def test_trim_never_grows(self):
+        formula = pigeonhole(4)
+        initial = CdclSolver(formula).solve().core_clauses
+        result = trim_core(formula, core=initial)
+        assert len(result.core) <= len(initial)
+        assert result.core <= initial
+        assert 0.0 <= result.reduction <= 1.0
+
+    def test_minimal_core_is_fixpoint(self):
+        formula, expected = embedded_contradiction(15)
+        result = trim_core(formula)
+        assert result.core == expected
+        assert result.iterations <= 2
+
+    def test_sat_formula_rejected(self):
+        formula = CnfFormula(1)
+        formula.add_clause([mk_lit(0)])
+        with pytest.raises(ValueError):
+            trim_core(formula)
+
+    def test_bogus_core_rejected(self):
+        formula = pigeonhole(3)
+        with pytest.raises(ValueError):
+            trim_core(formula, core=frozenset({0}))  # single clause is SAT
+
+    def test_requires_cdg(self):
+        formula = pigeonhole(3)
+        with pytest.raises(ValueError):
+            trim_core(formula, solver_config=SolverConfig(record_cdg=False))
+
+    def test_random_unsat_formulas_trim_soundly(self, rng):
+        trimmed = 0
+        for _ in range(80):
+            formula = random_formula(rng, rng.randint(2, 8), rng.randint(6, 30))
+            outcome = CdclSolver(formula).solve()
+            if not outcome.is_unsat:
+                continue
+            result = trim_core(formula, core=outcome.core_clauses)
+            assert brute_force_sat(formula.subformula(result.core)) is None
+            assert result.core <= outcome.core_clauses
+            trimmed += 1
+        assert trimmed > 10

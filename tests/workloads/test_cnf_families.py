@@ -1,0 +1,83 @@
+"""CNF-family generator contracts."""
+
+import pytest
+
+from repro.sat import CdclSolver
+from repro.workloads import (
+    embedded_contradiction,
+    implication_ladder,
+    pigeonhole,
+    random_ksat,
+    xor_chain,
+)
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_always_unsat(self, n):
+        assert CdclSolver(pigeonhole(n)).solve().is_unsat
+
+    def test_sizes(self):
+        formula = pigeonhole(3)
+        assert formula.num_vars == 12
+        # 4 pigeon clauses + 3 holes * C(4,2) pair clauses.
+        assert formula.num_clauses == 4 + 3 * 6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            pigeonhole(0)
+
+
+class TestXorChain:
+    @pytest.mark.parametrize("length", [1, 2, 7, 16])
+    def test_sat_iff_parity_matches(self, length):
+        matching = length % 2 == 0
+        assert CdclSolver(xor_chain(length, matching)).solve().is_sat
+        assert CdclSolver(xor_chain(length, not matching)).solve().is_unsat
+
+    def test_unsat_core_spans_chain(self):
+        length = 10
+        outcome = CdclSolver(xor_chain(length, final_phase=False)).solve()
+        assert outcome.is_unsat
+        assert len(outcome.core_vars) == length + 1
+
+
+class TestRandomKsat:
+    def test_deterministic(self):
+        a = random_ksat(20, 60, seed=5)
+        b = random_ksat(20, 60, seed=5)
+        assert [tuple(c) for c in a.clauses] == [tuple(c) for c in b.clauses]
+
+    def test_seeds_differ(self):
+        a = random_ksat(20, 60, seed=5)
+        b = random_ksat(20, 60, seed=6)
+        assert [tuple(c) for c in a.clauses] != [tuple(c) for c in b.clauses]
+
+    def test_width_respected(self):
+        formula = random_ksat(10, 30, width=3, seed=1)
+        assert all(len(c) == 3 for c in formula.clauses)
+
+    def test_too_few_vars_rejected(self):
+        with pytest.raises(ValueError):
+            random_ksat(2, 5, width=3)
+
+
+class TestLadder:
+    def test_pure_propagation(self):
+        solver = CdclSolver(implication_ladder(200))
+        outcome = solver.solve()
+        assert outcome.is_sat
+        assert all(value == 1 for value in outcome.model)
+        assert solver.stats.decisions == 0
+
+
+class TestEmbeddedContradiction:
+    def test_core_isolates_contradiction(self):
+        formula = embedded_contradiction(30)
+        outcome = CdclSolver(formula).solve()
+        assert outcome.is_unsat
+        assert outcome.core_clauses == frozenset({0, 1, 2})
+
+    def test_zero_padding(self):
+        outcome = CdclSolver(embedded_contradiction(0)).solve()
+        assert outcome.is_unsat

@@ -1,0 +1,73 @@
+"""Contracts of the extended workload families (memory controller,
+handshake chain, Gray counter)."""
+
+import pytest
+
+from repro.bmc import BmcStatus, InductionStatus, KInductionEngine, RefineOrderBmc
+from repro.workloads import gray_counter, handshake_chain, memory_controller
+
+SMALL = dict(distractor_words=1, distractor_width=3)
+
+
+def run_bmc(circuit, prop, max_depth):
+    return RefineOrderBmc(circuit, prop, max_depth=max_depth, mode="dynamic").run()
+
+
+class TestMemoryController:
+    def test_refresh_deadline_invariant_holds(self):
+        circuit, prop = memory_controller(addr_bits=3, **SMALL)
+        result = run_bmc(circuit, prop, 10)
+        assert result.status is BmcStatus.PASSED_BOUNDED
+
+    @pytest.mark.parametrize("arm", [2, 5, 7])
+    def test_override_bug_fails_at_period(self, arm):
+        # period = 2**3 - 1 = 7 regardless of (smaller) arm depth.
+        circuit, prop = memory_controller(addr_bits=3, buggy_arm_depth=arm, **SMALL)
+        result = run_bmc(circuit, prop, 10)
+        assert result.status is BmcStatus.FAILED
+        assert result.depth_reached == 7
+
+    def test_smaller_period(self):
+        circuit, prop = memory_controller(addr_bits=2, buggy_arm_depth=3, **SMALL)
+        result = run_bmc(circuit, prop, 6)
+        assert result.status is BmcStatus.FAILED
+        assert result.depth_reached == 3  # period = 3
+
+
+class TestHandshakeChain:
+    def test_no_overrun_invariant_holds(self):
+        circuit, prop = handshake_chain(stages=4, **SMALL)
+        result = run_bmc(circuit, prop, 9)
+        assert result.status is BmcStatus.PASSED_BOUNDED
+
+    @pytest.mark.parametrize("stages,arm,expected", [(4, 2, 7), (3, 2, 5), (4, 9, 9)])
+    def test_overrun_depth_is_backpressure_fill(self, stages, arm, expected):
+        # max(arm, 2*stages - 1)
+        circuit, prop = handshake_chain(stages=stages, buggy_arm_depth=arm, **SMALL)
+        result = run_bmc(circuit, prop, expected + 2)
+        assert result.status is BmcStatus.FAILED
+        assert result.depth_reached == expected
+
+    def test_invariant_is_provable(self):
+        circuit, prop = handshake_chain(stages=3, **SMALL)
+        result = KInductionEngine(circuit, prop, max_k=4).run()
+        assert result.status is InductionStatus.PROVED
+
+
+class TestGrayCounter:
+    def test_single_bit_change_invariant(self):
+        circuit, prop = gray_counter(width=4, **SMALL)
+        result = run_bmc(circuit, prop, 10)
+        assert result.status is BmcStatus.PASSED_BOUNDED
+
+    def test_holds_across_wraparound(self):
+        # 2-bit counter wraps within 6 cycles: gray(3)=0b10 -> gray(0)=0.
+        circuit, prop = gray_counter(width=2, **SMALL)
+        result = run_bmc(circuit, prop, 8)
+        assert result.status is BmcStatus.PASSED_BOUNDED
+
+    def test_simulation_agrees(self):
+        circuit, prop = gray_counter(width=3, **SMALL)
+        en = circuit.find("en")
+        frames = circuit.simulate([{en: 1}] * 10)
+        assert all(frame[prop] == 1 for frame in frames)

@@ -1,0 +1,35 @@
+"""Extended-suite structural and expectation checks."""
+
+import pytest
+
+from repro.experiments.runner import run_instance
+from repro.workloads import extended_suite, table1_suite
+
+
+class TestStructure:
+    def test_names_disjoint_from_table1(self):
+        table1_names = {row.name for row in table1_suite()}
+        for row in extended_suite():
+            assert row.name not in table1_names
+            assert row.name.startswith("x_")
+
+    def test_families_are_new(self):
+        families = {row.family for row in extended_suite()}
+        assert families == {"memory", "handshake", "gray"}
+
+    def test_builders_valid(self):
+        for row in extended_suite():
+            circuit, prop = row.build()
+            circuit.validate()
+            assert 0 <= prop < circuit.num_nets
+
+
+class TestExpectations:
+    @pytest.mark.parametrize("row", extended_suite(), ids=lambda r: r.name)
+    def test_row_meets_expectation(self, row):
+        result = run_instance(row, "dynamic")
+        if row.expected == "fail":
+            assert result.status == "failed"
+            assert result.depth_reached == row.cex_depth
+        else:
+            assert result.status == "passed-bounded"

@@ -1,0 +1,171 @@
+"""Generator contracts: documented counterexample depths and true
+invariants, at small parameters."""
+
+import pytest
+
+from repro.bmc import BmcStatus, RefineOrderBmc
+from repro.circuit import circuit_stats, cone_of_influence
+from repro.workloads import (
+    attach_distractors,
+    counter_tripwire,
+    fifo_controller,
+    lfsr_tripwire,
+    pipeline_lockstep,
+    random_sequential,
+    round_robin_arbiter,
+    token_ring,
+    traffic_controller,
+)
+
+
+def run_bmc(circuit, prop, max_depth):
+    return RefineOrderBmc(circuit, prop, max_depth=max_depth, mode="dynamic").run()
+
+
+def assert_fails_at(circuit, prop, depth):
+    result = run_bmc(circuit, prop, depth + 2)
+    assert result.status is BmcStatus.FAILED
+    assert result.depth_reached == depth
+
+
+def assert_passes_to(circuit, prop, depth):
+    result = run_bmc(circuit, prop, depth)
+    assert result.status is BmcStatus.PASSED_BOUNDED
+
+
+SMALL = dict(distractor_words=1, distractor_width=3)
+
+
+class TestCounterTripwire:
+    def test_fails_at_target(self):
+        circuit, prop = counter_tripwire(counter_width=3, target=5, **SMALL)
+        assert_fails_at(circuit, prop, 5)
+
+    def test_unreachable_target_passes(self):
+        circuit, prop = counter_tripwire(counter_width=3, target=7, **SMALL)
+        assert_passes_to(circuit, prop, 6)
+
+    def test_ungated_counter(self):
+        # Without gating the counter is deterministic: still fails at
+        # exactly the target depth.
+        circuit, prop = counter_tripwire(
+            counter_width=3, target=4, gated=False, **SMALL
+        )
+        assert_fails_at(circuit, prop, 4)
+
+
+class TestTokenRing:
+    def test_mutual_exclusion_holds(self):
+        circuit, prop = token_ring(num_nodes=4, **SMALL)
+        assert_passes_to(circuit, prop, 7)
+
+    def test_bug_fails_at_arm_plus_one(self):
+        circuit, prop = token_ring(num_nodes=4, buggy_arm_depth=3, **SMALL)
+        assert_fails_at(circuit, prop, 4)
+
+
+class TestPipeline:
+    def test_lockstep_holds(self):
+        circuit, prop = pipeline_lockstep(stages=3, width=3, buggy=False, **SMALL)
+        assert_passes_to(circuit, prop, 6)
+
+    def test_bug_surfaces_after_stages(self):
+        circuit, prop = pipeline_lockstep(stages=3, width=3, buggy=True, **SMALL)
+        assert_fails_at(circuit, prop, 3)
+
+
+class TestFifo:
+    def test_occupancy_never_overflows(self):
+        circuit, prop = fifo_controller(depth_log2=2, **SMALL)
+        assert_passes_to(circuit, prop, 7)
+
+    def test_bug_fails_at_arm_depth(self):
+        circuit, prop = fifo_controller(depth_log2=2, buggy_arm_depth=4, **SMALL)
+        assert_fails_at(circuit, prop, 4)
+
+
+class TestTraffic:
+    def test_never_both_green(self):
+        circuit, prop = traffic_controller(**SMALL)
+        assert_passes_to(circuit, prop, 8)
+
+    def test_stuck_sensor_fails(self):
+        circuit, prop = traffic_controller(arm_depth=4, **SMALL)
+        assert_fails_at(circuit, prop, 5)
+
+
+class TestLfsr:
+    def test_reaches_computed_state(self):
+        circuit, prop = lfsr_tripwire(width=5, steps_to_target=6, **SMALL)
+        assert_fails_at(circuit, prop, 6)
+
+    def test_unsat_below_target(self):
+        circuit, prop = lfsr_tripwire(width=5, steps_to_target=9, **SMALL)
+        assert_passes_to(circuit, prop, 8)
+
+    def test_unknown_width_rejected(self):
+        with pytest.raises(ValueError):
+            lfsr_tripwire(width=23)
+
+
+class TestArbiter:
+    def test_single_grant_invariant(self):
+        circuit, prop = round_robin_arbiter(num_clients=3, **SMALL)
+        assert_passes_to(circuit, prop, 7)
+
+    def test_override_bug_fails_at_arm_depth(self):
+        circuit, prop = round_robin_arbiter(num_clients=3, buggy_arm_depth=4, **SMALL)
+        assert_fails_at(circuit, prop, 4)
+
+
+class TestRandomSequential:
+    def test_deterministic_for_seed(self):
+        c1, p1 = random_sequential(seed=42, **SMALL)
+        c2, p2 = random_sequential(seed=42, **SMALL)
+        assert c1.num_nets == c2.num_nets
+        assert p1 == p2
+        assert [c1.op_of(n) for n in range(c1.num_nets)] == [
+            c2.op_of(n) for n in range(c2.num_nets)
+        ]
+
+    def test_different_seeds_differ(self):
+        c1, _ = random_sequential(seed=1, **SMALL)
+        c2, _ = random_sequential(seed=2, **SMALL)
+        structures = [
+            [c.op_of(n) for n in range(c.num_nets)] for c in (c1, c2)
+        ]
+        assert structures[0] != structures[1] or c1.num_nets != c2.num_nets
+
+    def test_guard_depth_guarantees_unsat_below(self):
+        circuit, prop = random_sequential(seed=5, guard_depth=6, **SMALL)
+        assert_passes_to(circuit, prop, 5)
+
+
+class TestDistractors:
+    def test_distractors_are_outside_property_cone(self):
+        circuit, prop = counter_tripwire(
+            counter_width=3, target=5, distractor_words=3, distractor_width=5
+        )
+        cone = cone_of_influence(circuit, [prop])
+        distractor_latches = [
+            net for net in circuit.latches
+            if circuit.name_of(net).startswith("dist")
+        ]
+        assert distractor_latches
+        assert all(net not in cone for net in distractor_latches)
+
+    def test_distractors_dominate_circuit_size(self):
+        small, _ = counter_tripwire(counter_width=3, target=5, **SMALL)
+        big, _ = counter_tripwire(
+            counter_width=3, target=5, distractor_words=6, distractor_width=8
+        )
+        assert circuit_stats(big).num_gates > 3 * circuit_stats(small).num_gates
+
+    def test_attach_is_seed_deterministic(self):
+        from repro.circuit import Circuit
+
+        c1, c2 = Circuit(), Circuit()
+        attach_distractors(c1, 2, 4, seed=9)
+        attach_distractors(c2, 2, 4, seed=9)
+        assert c1.num_nets == c2.num_nets
+        assert [c1.init_of(l) for l in c1.latches] == [c2.init_of(l) for l in c2.latches]

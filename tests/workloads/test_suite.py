@@ -1,0 +1,96 @@
+"""Structural checks on the Table 1 suite (expectations themselves are
+exercised by the runner tests and the benchmarks)."""
+
+import pytest
+
+from repro.workloads import (
+    FIG7_INSTANCE,
+    instance_by_name,
+    small_suite,
+    table1_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return table1_suite()
+
+
+class TestStructure:
+    def test_has_37_rows(self, suite):
+        assert len(suite) == 37
+
+    def test_names_unique(self, suite):
+        names = [row.name for row in suite]
+        assert len(set(names)) == 37
+
+    def test_paper_f_rows_match(self, suite):
+        # The paper has exactly 10 failing-property rows.
+        f_rows = [row for row in suite if row.expected == "fail"]
+        assert len(f_rows) == 10
+        assert all(row.paper.is_failing for row in f_rows)
+        assert all(row.cex_depth is not None for row in f_rows)
+        assert all(row.max_depth > row.cex_depth for row in f_rows)
+
+    def test_capped_rows_have_paper_depths(self, suite):
+        capped = [row for row in suite if row.expected == "pass"]
+        assert len(capped) == 27
+        assert all(row.paper.paper_depth is not None for row in capped)
+        assert all(row.cex_depth is None for row in capped)
+
+    def test_paper_totals_match_published_table(self, suite):
+        # TOTAL row of the paper: 138k / 86k / 79k seconds (truncated).
+        bmc = sum(row.paper.bmc_s for row in suite)
+        static = sum(row.paper.static_s for row in suite)
+        dynamic = sum(row.paper.dynamic_s for row in suite)
+        assert int(bmc // 1000) == 138
+        assert int(static // 1000) == 86
+        assert int(dynamic // 1000) == 79
+
+    def test_paper_ratios(self, suite):
+        bmc = sum(row.paper.bmc_s for row in suite)
+        static = sum(row.paper.static_s for row in suite)
+        dynamic = sum(row.paper.dynamic_s for row in suite)
+        assert round(100 * static / bmc) == 62
+        assert round(100 * dynamic / bmc) == 57
+
+    def test_families_are_varied(self, suite):
+        families = {row.family for row in suite}
+        assert families >= {
+            "counter", "token_ring", "pipeline", "fifo",
+            "traffic", "lfsr", "arbiter", "random",
+        }
+
+    def test_builders_construct_valid_circuits(self, suite):
+        for row in suite:
+            circuit, prop = row.build()
+            circuit.validate()
+            assert 0 <= prop < circuit.num_nets
+
+    def test_builders_deterministic(self, suite):
+        row = suite[0]
+        c1, p1 = row.build()
+        c2, p2 = row.build()
+        assert c1.num_nets == c2.num_nets and p1 == p2
+
+
+class TestLookups:
+    def test_instance_by_name(self):
+        row = instance_by_name("02_3_b2")
+        assert row.name == "02_3_b2"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            instance_by_name("99_z")
+
+    def test_fig7_instance_exists(self):
+        assert instance_by_name(FIG7_INSTANCE).expected == "pass"
+
+    def test_small_suite_is_subset(self, suite):
+        names = {row.name for row in suite}
+        small = small_suite()
+        assert 4 <= len(small) <= 10
+        assert all(row.name in names for row in small)
+        # Contains both regimes.
+        assert any(row.expected == "fail" for row in small)
+        assert any(row.expected == "pass" for row in small)
