@@ -1,0 +1,162 @@
+"""Micro-benchmark harness for the CDCL hot path.
+
+Measures decision and propagation throughput (decisions/sec,
+propagations/sec) on three workload shapes that isolate the solver's
+inner loops from the BMC layer:
+
+* ``bcp_ladder`` — one unit clause triggering a 60k-step implication
+  chain: pure BCP, zero decisions.  The watcher/blocker restructuring
+  shows up here directly.
+* ``random_3cnf`` — near the 4.26 clause/var phase-transition ratio with
+  a conflict budget: a mix of decisions, propagation and first-UIP
+  analysis (the realistic hot-path blend).
+* ``pigeonhole`` — PHP(8) under a conflict budget: conflict-analysis and
+  learned-clause-DB heavy, exercising clause deletion and activity
+  bookkeeping over fixed work.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/solver_bench.py --output BENCH_solver.json
+    PYTHONPATH=src python benchmarks/solver_bench.py \
+        --baseline bench_before.json --output BENCH_solver.json
+
+With ``--baseline`` the emitted JSON contains both runs plus per-workload
+and aggregate speedup ratios, seeding the repo's performance trajectory
+(the PR acceptance bar is >=1.5x propagation throughput on BCP-bound
+instances).  Timing is best-of-``--repeat`` to damp scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import CdclSolver, SolverConfig
+
+
+def implication_ladder(length: int) -> CnfFormula:
+    """x0 -> x1 -> ... : one unit clause triggers a length-n BCP chain."""
+    formula = CnfFormula(length + 1)
+    formula.add_clause([mk_lit(0)])
+    for i in range(length):
+        formula.add_clause([mk_lit(i, True), mk_lit(i + 1)])
+    return formula
+
+
+def random_3cnf(num_vars: int, num_clauses: int, seed: int) -> CnfFormula:
+    rng = random.Random(seed)
+    formula = CnfFormula(num_vars)
+    for _ in range(num_clauses):
+        chosen = rng.sample(range(num_vars), 3)
+        formula.add_clause(2 * v + rng.randint(0, 1) for v in chosen)
+    return formula
+
+
+def pigeonhole(n: int) -> CnfFormula:
+    formula = CnfFormula((n + 1) * n)
+    for p in range(n + 1):
+        formula.add_clause(mk_lit(p * n + h) for h in range(n))
+    for h in range(n):
+        for p1 in range(n + 1):
+            for p2 in range(p1 + 1, n + 1):
+                formula.add_clause([mk_lit(p1 * n + h, True), mk_lit(p2 * n + h, True)])
+    return formula
+
+
+#: name -> (formula builder, solver config).  Conflict budgets make the
+#: random workload fixed-work so rates are comparable across solvers.
+WORKLOADS: Dict[str, Callable[[], tuple]] = {
+    "bcp_ladder": lambda: (implication_ladder(60000), SolverConfig(record_cdg=False)),
+    "random_3cnf": lambda: (
+        random_3cnf(200, 852, seed=7),
+        SolverConfig(record_cdg=False, max_conflicts=4000),
+    ),
+    "pigeonhole": lambda: (
+        pigeonhole(8),
+        SolverConfig(record_cdg=False, max_conflicts=4000),
+    ),
+}
+
+
+def measure_workload(name: str, repeat: int) -> Dict[str, float]:
+    """Run one workload ``repeat`` times; report rates from the best run."""
+    best: Optional[Dict[str, float]] = None
+    for _ in range(repeat):
+        formula, config = WORKLOADS[name]()
+        solver = CdclSolver(formula, config=config)
+        start = time.perf_counter()
+        solver.solve()
+        elapsed = time.perf_counter() - start
+        stats = solver.stats
+        sample = {
+            "time_s": elapsed,
+            "decisions": stats.decisions,
+            "propagations": stats.propagations,
+            "conflicts": stats.conflicts,
+            "decisions_per_sec": stats.decisions / elapsed if elapsed else 0.0,
+            "propagations_per_sec": stats.propagations / elapsed if elapsed else 0.0,
+        }
+        if best is None or sample["time_s"] < best["time_s"]:
+            best = sample
+    return best
+
+
+def run_bench(repeat: int) -> Dict[str, Dict[str, float]]:
+    results = {}
+    for name in WORKLOADS:
+        results[name] = measure_workload(name, repeat)
+        rate = results[name]["propagations_per_sec"]
+        print(f"{name:14s} {results[name]['time_s']:8.3f}s  "
+              f"{rate:12.0f} props/s  "
+              f"{results[name]['decisions_per_sec']:10.0f} dec/s")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_solver.json")
+    parser.add_argument(
+        "--baseline", metavar="JSON",
+        help="earlier run to embed as 'before' (this run becomes 'after')",
+    )
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    after = run_bench(args.repeat)
+    payload = {"after": after}
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            before_doc = json.load(handle)
+        before = before_doc.get("after", before_doc)
+        payload["before"] = before
+        speedups = {}
+        for name in after:
+            if name in before and before[name]["propagations_per_sec"]:
+                speedups[name] = {
+                    "propagation_throughput": (
+                        after[name]["propagations_per_sec"]
+                        / before[name]["propagations_per_sec"]
+                    ),
+                }
+                if before[name]["decisions_per_sec"]:
+                    speedups[name]["decision_throughput"] = (
+                        after[name]["decisions_per_sec"]
+                        / before[name]["decisions_per_sec"]
+                    )
+        payload["speedup"] = speedups
+        for name, ratio in speedups.items():
+            print(f"speedup {name:14s} propagation x{ratio['propagation_throughput']:.2f}")
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[wrote {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

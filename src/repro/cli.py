@@ -154,19 +154,40 @@ def _cmd_solve(args) -> int:
     return 0 if outcome.is_sat else 1
 
 
+def _checked_suite_run(row, method):
+    """Worker for ``suite --jobs``: capture expectation failures so one
+    bad row doesn't abort the whole pool map (module-level to pickle)."""
+    try:
+        return run_instance(row, method), None
+    except AssertionError as exc:
+        return None, str(exc)
+
+
 def _cmd_suite(args) -> int:
+    from repro.experiments.parallel import ParallelRunner
+
     rows = small_suite() if args.small else table1_suite()
-    failures = 0
-    for row in rows:
-        try:
-            result = run_instance(row, args.method)
+    row_iter = iter(rows)
+
+    def report(outcome) -> None:
+        # Results arrive in task order (serial and pool alike), so the
+        # row iterator stays aligned; prints stream as rows finish.
+        row = next(row_iter)
+        result, error = outcome
+        if error is not None:
+            print(f"FAIL {row.name:10s} {error}", flush=True)
+        else:
             print(
                 f"ok   {row.name:10s} {result.status:15s} k={result.depth_reached:3d} "
-                f"t={result.solve_time:.3f}s"
+                f"t={result.solve_time:.3f}s",
+                flush=True,
             )
-        except AssertionError as exc:
-            failures += 1
-            print(f"FAIL {row.name:10s} {exc}")
+
+    outcomes = ParallelRunner(args.jobs).map(
+        [(_checked_suite_run, (row, args.method), {}) for row in rows],
+        on_result=report,
+    )
+    failures = sum(1 for _, error in outcomes if error is not None)
     print(f"{len(rows) - failures}/{len(rows)} instances matched expectations")
     return 1 if failures else 0
 
@@ -222,6 +243,12 @@ def main(argv=None) -> int:
         "--method",
         choices=("bmc", "static", "dynamic", "shtrichman"),
         default="dynamic",
+    )
+    from repro.experiments.parallel import jobs_argument
+
+    suite.add_argument(
+        "--jobs", type=jobs_argument, default=None, metavar="N",
+        help="worker processes (0 = one per CPU; default serial)",
     )
     suite.set_defaults(func=_cmd_suite)
 

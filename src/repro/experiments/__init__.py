@@ -1,11 +1,13 @@
 """Experiment harnesses regenerating every table and figure of the paper
 (see DESIGN.md §5 for the experiment index)."""
 
+from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import (
     STRATEGIES,
     InstanceResult,
     make_engine,
     run_instance,
+    run_instances,
 )
 from repro.experiments.table1 import Table1Report, Table1Row, run_table1
 from repro.experiments.fig6 import fig6_csv, render_fig6, scatter_points
@@ -23,7 +25,9 @@ from repro.experiments.ablations import (
 __all__ = [
     "STRATEGIES",
     "InstanceResult",
+    "ParallelRunner",
     "run_instance",
+    "run_instances",
     "make_engine",
     "Table1Report",
     "Table1Row",

@@ -1,8 +1,11 @@
 """Command-line entry point: ``python -m repro.experiments <experiment>``.
 
 Experiments: ``table1``, ``fig6``, ``fig7``, ``overhead``, ``ablations``,
-``all``.  Use ``--small`` for the 6-row subset (quick smoke run) and
-``--csv DIR`` to also write CSV files.
+``all``.  Use ``--small`` for the 6-row subset (quick smoke run),
+``--csv DIR`` to also write CSV files, and ``--jobs N`` to spread the
+Table-1/ablation grids over N worker processes (0 = one per CPU; the
+reported numbers are identical to a serial run, see
+:mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
@@ -41,6 +44,13 @@ def main(argv=None) -> int:
         help="run on the 6-row subset instead of all 37 rows",
     )
     parser.add_argument("--csv", metavar="DIR", help="also write CSV output here")
+    from repro.experiments.parallel import jobs_argument
+
+    parser.add_argument(
+        "--jobs", type=jobs_argument, default=None, metavar="N",
+        help="worker processes for Table-1/ablation sweeps "
+        "(0 = one per CPU; default serial)",
+    )
     args = parser.parse_args(argv)
 
     rows = small_suite() if args.small else None
@@ -58,7 +68,7 @@ def main(argv=None) -> int:
     if want in ("table1", "fig6", "all"):
         print("running Table 1 (3 methods x "
               f"{len(rows) if rows else 37} instances)...", flush=True)
-        report = run_table1(rows=rows, verbose=True)
+        report = run_table1(rows=rows, verbose=True, jobs=args.jobs)
     if want in ("table1", "all"):
         print(report.render())
         save("table1.csv", report.to_csv())
@@ -80,10 +90,10 @@ def main(argv=None) -> int:
         print(run_overhead(rows=rows).render())
     if want in ("ablations", "all"):
         print("running ablations...", flush=True)
-        print(run_weighting_ablation(rows=rows).render())
-        print(run_threshold_ablation(rows=rows).render())
-        print(run_axis_ablation(rows=rows).render())
-        print(run_incremental_ablation(rows=rows).render())
+        print(run_weighting_ablation(rows=rows, jobs=args.jobs).render())
+        print(run_threshold_ablation(rows=rows, jobs=args.jobs).render())
+        print(run_axis_ablation(rows=rows, jobs=args.jobs).render())
+        print(run_incremental_ablation(rows=rows, jobs=args.jobs).render())
     return 0
 
 

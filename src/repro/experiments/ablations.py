@@ -12,6 +12,11 @@
 4. **Incremental composition** (§5 / related work [17, 5]): the paper
    claims its ordering composes with incremental SAT.  One-shot vs
    incremental engines, each with and without the refined ordering.
+
+Every ablation accepts ``jobs=N`` and fans its (instance, variant) grid
+out over a process pool (0 = one worker per CPU); per-variant result
+lists keep suite order and all search-derived numbers match a serial
+run (see :mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.bmc.refine import WEIGHTINGS
+from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import InstanceResult, run_instance
 from repro.workloads.suite import SuiteInstance, small_suite
 
@@ -54,51 +60,109 @@ class AblationReport:
         return out.getvalue()
 
 
+def _run_grid(
+    suite: Sequence[SuiteInstance],
+    grid: Sequence[tuple],
+    jobs: Optional[int],
+) -> Dict[str, List[InstanceResult]]:
+    """Run a (variant label, func, kwargs) grid over a suite.
+
+    Tasks are laid out instance-major so result regrouping is a simple
+    stride walk; per-variant lists keep suite order.
+    """
+    tasks = []
+    for instance in suite:
+        for _, func, kwargs in grid:
+            tasks.append((func, (instance,), dict(kwargs)))
+    flat = ParallelRunner(jobs).map(tasks)
+    per: Dict[str, List[InstanceResult]] = {label: [] for label, _, _ in grid}
+    cursor = 0
+    for _ in suite:
+        for label, _, _ in grid:
+            per[label].append(flat[cursor])
+            cursor += 1
+    return per
+
+
 def run_weighting_ablation(
     rows: Optional[Sequence[SuiteInstance]] = None,
+    jobs: Optional[int] = None,
 ) -> AblationReport:
     """Paper's linear-in-depth weighting vs uniform vs last-core-only."""
     suite = list(rows) if rows is not None else small_suite()
-    per: Dict[str, List[InstanceResult]] = {w: [] for w in WEIGHTINGS}
-    for instance in suite:
-        for weighting in WEIGHTINGS:
-            per[weighting].append(
-                run_instance(instance, "static", weighting=weighting)
-            )
+    grid = [
+        (w, run_instance, {"strategy": "static", "weighting": w})
+        for w in WEIGHTINGS
+    ]
     return AblationReport(
         title="Core-weighting ablation (static mode)",
         variants=list(WEIGHTINGS),
-        per_instance=per,
+        per_instance=_run_grid(suite, grid, jobs),
     )
 
 
 def run_threshold_ablation(
     rows: Optional[Sequence[SuiteInstance]] = None,
     divisors: Sequence[int] = (16, 64, 256),
+    jobs: Optional[int] = None,
 ) -> AblationReport:
     """The dynamic 1/64 switch threshold vs alternatives.
 
     ``static`` never switches; ``bmc`` is the always-VSIDS extreme.
     """
     suite = list(rows) if rows is not None else small_suite()
-    variants = ["bmc", "static"] + [f"dynamic/{d}" for d in divisors]
-    per: Dict[str, List[InstanceResult]] = {v: [] for v in variants}
-    for instance in suite:
-        per["bmc"].append(run_instance(instance, "bmc"))
-        per["static"].append(run_instance(instance, "static"))
-        for divisor in divisors:
-            per[f"dynamic/{divisor}"].append(
-                run_instance(instance, "dynamic", switch_divisor=divisor)
-            )
+    grid = [
+        ("bmc", run_instance, {"strategy": "bmc"}),
+        ("static", run_instance, {"strategy": "static"}),
+    ] + [
+        (f"dynamic/{d}", run_instance,
+         {"strategy": "dynamic", "switch_divisor": d})
+        for d in divisors
+    ]
     return AblationReport(
         title="Dynamic switch-threshold ablation",
-        variants=variants,
-        per_instance=per,
+        variants=[label for label, _, _ in grid],
+        per_instance=_run_grid(suite, grid, jobs),
+    )
+
+
+def _run_incremental_variant(instance: SuiteInstance, mode: str) -> InstanceResult:
+    """One incremental-engine run (module-level so it pickles to pool
+    workers), validated against the row's expectation."""
+    from repro.bmc.incremental import IncrementalBmcEngine
+    from repro.bmc.result import BmcStatus
+
+    circuit, prop = instance.build()
+    engine = IncrementalBmcEngine(
+        circuit, prop, max_depth=instance.max_depth, mode=mode
+    )
+    result = engine.run()
+    expected = (
+        BmcStatus.FAILED if instance.expected == "fail"
+        else BmcStatus.PASSED_BOUNDED
+    )
+    if result.status is not expected:
+        raise AssertionError(
+            f"{instance.name} incremental/{mode}: unexpected "
+            f"{result.status.value}"
+        )
+    return InstanceResult(
+        name=instance.name,
+        strategy=f"incr/{mode}",
+        status=result.status.value,
+        depth_reached=result.depth_reached,
+        solve_time=sum(d.solve_time for d in result.per_depth),
+        wall_time=result.total_time,
+        decisions=result.total_decisions,
+        implications=result.total_propagations,
+        conflicts=result.total_conflicts,
+        per_depth=result.per_depth,
     )
 
 
 def run_incremental_ablation(
     rows: Optional[Sequence[SuiteInstance]] = None,
+    jobs: Optional[int] = None,
 ) -> AblationReport:
     """One-shot vs incremental engines, plain and refined.
 
@@ -107,64 +171,31 @@ def run_incremental_ablation(
     so their reported time is wall time of the loop; decision counts are
     directly comparable across all four variants.
     """
-    from repro.bmc.incremental import IncrementalBmcEngine
-    from repro.bmc.result import BmcStatus
-
     suite = list(rows) if rows is not None else small_suite()
-    variants = ["oneshot/vsids", "oneshot/static", "incr/vsids", "incr/static"]
-    per: Dict[str, List[InstanceResult]] = {v: [] for v in variants}
-    for instance in suite:
-        per["oneshot/vsids"].append(run_instance(instance, "bmc"))
-        per["oneshot/static"].append(run_instance(instance, "static"))
-        for mode in ("vsids", "static"):
-            circuit, prop = instance.build()
-            engine = IncrementalBmcEngine(
-                circuit, prop, max_depth=instance.max_depth, mode=mode
-            )
-            result = engine.run()
-            expected = (
-                BmcStatus.FAILED if instance.expected == "fail"
-                else BmcStatus.PASSED_BOUNDED
-            )
-            if result.status is not expected:
-                raise AssertionError(
-                    f"{instance.name} incremental/{mode}: unexpected "
-                    f"{result.status.value}"
-                )
-            per[f"incr/{mode}"].append(
-                InstanceResult(
-                    name=instance.name,
-                    strategy=f"incr/{mode}",
-                    status=result.status.value,
-                    depth_reached=result.depth_reached,
-                    solve_time=sum(d.solve_time for d in result.per_depth),
-                    wall_time=result.total_time,
-                    decisions=result.total_decisions,
-                    implications=result.total_propagations,
-                    conflicts=result.total_conflicts,
-                    per_depth=result.per_depth,
-                )
-            )
+    grid = [
+        ("oneshot/vsids", run_instance, {"strategy": "bmc"}),
+        ("oneshot/static", run_instance, {"strategy": "static"}),
+        ("incr/vsids", _run_incremental_variant, {"mode": "vsids"}),
+        ("incr/static", _run_incremental_variant, {"mode": "static"}),
+    ]
     return AblationReport(
         title="Incremental-composition ablation (one-shot vs incremental)",
-        variants=variants,
-        per_instance=per,
+        variants=[label for label, _, _ in grid],
+        per_instance=_run_grid(suite, grid, jobs),
     )
 
 
 def run_axis_ablation(
     rows: Optional[Sequence[SuiteInstance]] = None,
+    jobs: Optional[int] = None,
 ) -> AblationReport:
     """Time-axis (Shtrichman) vs register-axis (cores) vs the generic
     solver orderings (VSIDS, BerkMin)."""
     suite = list(rows) if rows is not None else small_suite()
     variants = ["bmc", "berkmin", "shtrichman", "static", "dynamic"]
-    per: Dict[str, List[InstanceResult]] = {v: [] for v in variants}
-    for instance in suite:
-        for variant in variants:
-            per[variant].append(run_instance(instance, variant))
+    grid = [(v, run_instance, {"strategy": v}) for v in variants]
     return AblationReport(
         title="Decision-axis ablation (VSIDS vs time-axis vs register-axis)",
         variants=variants,
-        per_instance=per,
+        per_instance=_run_grid(suite, grid, jobs),
     )

@@ -6,12 +6,18 @@ per-depth solver times): Python-side CNF assembly is a constant-factor
 tax that the authors' C implementation does not pay, and it is identical
 across strategies, so including it would only dilute the comparison the
 table is about.  Wall time is recorded alongside for completeness.
+
+Batches of runs go through :func:`run_instances`, which accepts
+``jobs=N`` and fans the (instance, strategy) pairs out over a process
+pool (see :mod:`repro.experiments.parallel` for the determinism
+contract).  Timing fields are scheduling-dependent either way; every
+search-derived field is identical to a serial run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bmc.engine import BmcEngine
 from repro.bmc.refine import RefineOrderBmc
@@ -101,6 +107,22 @@ def run_instance(
         conflicts=result.total_conflicts,
         per_depth=result.per_depth,
     )
+
+
+def run_instances(
+    pairs: Sequence[Tuple[SuiteInstance, str]],
+    jobs: Optional[int] = None,
+    **engine_kwargs,
+) -> List[InstanceResult]:
+    """Run many (instance, strategy) pairs, optionally in parallel.
+
+    Results are returned in pair order; with ``jobs`` > 1 the pairs are
+    distributed over a process pool, with ``jobs=0`` meaning one worker
+    per CPU.  See :mod:`repro.experiments.parallel`.
+    """
+    from repro.experiments.parallel import run_instances as _run
+
+    return _run(pairs, jobs=jobs, **engine_kwargs)
 
 
 def _check_expectation(instance: SuiteInstance, result: BmcResult) -> None:

@@ -18,6 +18,22 @@ paper:
 
 All strategies share the Chaff mechanics: a periodically re-sorted literal
 order scanned with a moving pointer that is reset on backtrack.
+
+Performance invariants of the shared mechanics (the solver hot path
+depends on these):
+
+* Order rebuilds never call :func:`sorted` with a Python-callable key
+  over the ``2 * num_vars`` literal space.  Instead each strategy
+  exposes its comparison as a stack of precomputed per-literal key
+  arrays (:meth:`_ScanOrderStrategy._sort_passes`) applied as
+  successive stable descending ``list.sort`` passes whose key is the C
+  method ``list.__getitem__`` — least-significant pass first, ties
+  resolved toward lower literal index by stability.
+* Rebuilds are lazy: conflicts and the dynamic VSIDS fallback only mark
+  the order dirty; the sort runs at the next ``decide()`` that actually
+  consumes the order, so back-to-back invalidations (periodic decay +
+  strategy switch) cost one sort, and solves that finish by pure
+  propagation never sort at all.
 """
 
 from __future__ import annotations
@@ -52,11 +68,8 @@ class ChaffScores:
 
     def periodic_update(self) -> None:
         """Apply ``cha_score = cha_score / 2 + new_lit_counts``; reset counts."""
-        score = self.score
-        new_counts = self.new_counts
-        for lit in range(len(score)):
-            score[lit] = score[lit] / 2.0 + new_counts[lit]
-            new_counts[lit] = 0
+        self.score = [s * 0.5 + c for s, c in zip(self.score, self.new_counts)]
+        self.new_counts = [0] * len(self.new_counts)
 
 
 class DecisionStrategy(ABC):
@@ -84,7 +97,8 @@ class DecisionStrategy(ABC):
 
 
 class _ScanOrderStrategy(DecisionStrategy):
-    """Shared mechanics: a sorted literal order + scan pointer + rebuilds."""
+    """Shared mechanics: a sorted literal order + scan pointer + lazy
+    rebuilds driven by precomputed key arrays (see module docstring)."""
 
     def __init__(self, update_period: int = DEFAULT_UPDATE_PERIOD) -> None:
         super().__init__()
@@ -93,21 +107,29 @@ class _ScanOrderStrategy(DecisionStrategy):
         self._update_period = update_period
         self._scores: Optional[ChaffScores] = None
         self._order: list = []
+        self._order_dirty = True
         self._ptr = 0
         self._conflicts_since_update = 0
 
     def attach(self, solver: "CdclSolver") -> None:
         super().attach(solver)
         self._scores = ChaffScores(solver.num_vars, solver.original_literal_counts())
-        self._rebuild_order()
+        self._order_dirty = True
 
-    def _sort_key(self, lit: int):
-        """Sort key; higher sorts earlier.  Subclasses override."""
-        raise NotImplementedError
+    def _sort_passes(self) -> list:
+        """Per-literal key arrays, least-significant first; each is
+        applied as a stable descending sort.  Subclasses override."""
+        return [self._scores.score]
+
+    def _invalidate_order(self) -> None:
+        self._order_dirty = True
 
     def _rebuild_order(self) -> None:
-        num_lits = 2 * self._scores.num_vars
-        self._order = sorted(range(num_lits), key=self._sort_key)
+        order = list(range(2 * self._scores.num_vars))
+        for keys in self._sort_passes():
+            order.sort(key=keys.__getitem__, reverse=True)
+        self._order = order
+        self._order_dirty = False
         self._ptr = 0
 
     def on_conflict(self, learned_literals: Sequence[int]) -> None:
@@ -116,12 +138,14 @@ class _ScanOrderStrategy(DecisionStrategy):
         if self._conflicts_since_update >= self._update_period:
             self._conflicts_since_update = 0
             self._scores.periodic_update()
-            self._rebuild_order()
+            self._order_dirty = True
 
     def on_backtrack(self) -> None:
         self._ptr = 0
 
     def decide(self) -> int:
+        if self._order_dirty:
+            self._rebuild_order()
         assigns = self._solver.assigns
         order = self._order
         ptr = self._ptr
@@ -137,14 +161,11 @@ class _ScanOrderStrategy(DecisionStrategy):
 
 
 class VsidsStrategy(_ScanOrderStrategy):
-    """Chaff's VSIDS: sort all literals by ``cha_score`` alone."""
+    """Chaff's VSIDS: sort all literals by ``cha_score`` alone
+    (descending; stability breaks ties toward lower literal index so
+    runs are deterministic)."""
 
     name = "vsids"
-
-    def _sort_key(self, lit: int):
-        # Sort descending by score; break ties toward lower literal index
-        # so runs are deterministic.
-        return (-self._scores.score[lit], lit)
 
 
 class RankedStrategy(_ScanOrderStrategy):
@@ -171,6 +192,7 @@ class RankedStrategy(_ScanOrderStrategy):
         if switch_divisor <= 0:
             raise ValueError("switch_divisor must be positive")
         self._var_rank = dict(var_rank)
+        self._rank_keys: list = []
         self._dynamic = dynamic
         self._switch_divisor = switch_divisor
         self._switched = False
@@ -185,14 +207,18 @@ class RankedStrategy(_ScanOrderStrategy):
     def attach(self, solver: "CdclSolver") -> None:
         """Bind to a solver and compute the dynamic switch threshold."""
         self._switch_threshold = solver.num_original_literals() // self._switch_divisor
+        rank = self._var_rank
+        self._rank_keys = [
+            rank.get(lit >> 1, 0.0) for lit in range(2 * solver.num_vars)
+        ]
         super().attach(solver)
 
-    def _sort_key(self, lit: int):
-        score = self._scores.score[lit]
+    def _sort_passes(self) -> list:
         if self._switched:
-            return (-score, lit)
-        rank = self._var_rank.get(lit >> 1, 0.0)
-        return (-rank, -score, lit)
+            return [self._scores.score]
+        # cha_score pass first, then the stable bmc_score pass on top:
+        # net order is (bmc_score desc, cha_score desc, literal asc).
+        return [self._scores.score, self._rank_keys]
 
     def decide(self) -> int:
         """Next branch literal; may trigger the dynamic VSIDS fallback."""
@@ -202,7 +228,7 @@ class RankedStrategy(_ScanOrderStrategy):
             and self._solver.stats.decisions > self._switch_threshold
         ):
             self._switched = True
-            self._rebuild_order()
+            self._invalidate_order()
         return super().decide()
 
 
@@ -232,9 +258,6 @@ class BerkMinStrategy(_ScanOrderStrategy):
             raise ValueError("recent_limit must be positive")
         self._recent_limit = recent_limit
         self._recent: list = []  # newest last
-
-    def _sort_key(self, lit: int):
-        return (-self._scores.score[lit], lit)
 
     def on_conflict(self, learned_literals: Sequence[int]) -> None:
         """Record the clause on the recency stack and update scores."""

@@ -30,6 +30,20 @@ builds directly on this.
 Clause IDs: the initial formula's clauses keep their ``CnfFormula``
 indices ``0 .. m-1``; later ``add_clause`` calls and learned clauses share
 the tail of the ID space (the CDG distinguishes leaves from derivations).
+
+Hot-path invariants (the experiment layer's throughput depends on
+these; see ``benchmarks/solver_bench.py`` for the tracking numbers):
+
+* Watch entries are ``(clause_id, blocker)`` pairs — a satisfied
+  blocker skips the clause without touching its literal list.
+* Binary clauses live in dedicated watch lists storing the implied
+  literal directly; their watches never move and BCP on them performs
+  no clause-list access.
+* ``_propagate`` hoists every attribute into locals and assigns
+  inline; original-vs-learned queries go through the memoized
+  ``_original_id_set`` (never a list scan); tautological originals are
+  excluded from literal counts so ``cha_score`` seeds and the dynamic
+  1/64 switch threshold reflect only installed literals.
 """
 
 from __future__ import annotations
@@ -114,7 +128,14 @@ class CdclSolver:
         self._levels: List[int] = []
         self._reasons: List[int] = []
         self._seen = bytearray()
-        self._watches: List[List[int]] = []
+        # Watch lists hold (clause_id, blocker) pairs; the blocker is a
+        # literal of the clause (initially the other watched literal)
+        # whose satisfaction lets BCP skip the clause without touching
+        # its literal list.  Binary clauses live in their own lists of
+        # (clause_id, implied_literal) pairs: their watches never move,
+        # so BCP handles them without any clause-list access.
+        self._watches: List[List[Tuple[int, int]]] = []
+        self._watches_bin: List[List[Tuple[int, int]]] = []
         self._lit_counts: List[int] = []  # original-clause literal counts
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
@@ -124,6 +145,7 @@ class CdclSolver:
         self._num_initial = self._formula.num_clauses
         self._clauses: List[List[int]] = []
         self._original_ids: List[int] = []
+        self._original_id_set: Set[int] = set()
         self._active: List[bool] = []
         self._deleted: List[bool] = []
         self._activity: List[float] = []
@@ -167,6 +189,8 @@ class CdclSolver:
             self._seen.append(0)
             self._watches.append([])
             self._watches.append([])
+            self._watches_bin.append([])
+            self._watches_bin.append([])
             self._lit_counts.append(0)
             self._lit_counts.append(0)
             self.num_vars += 1
@@ -198,17 +222,19 @@ class CdclSolver:
         self._deleted.append(False)
         self._activity.append(0.0)
         self._original_ids.append(cid)
-        if hasattr(self, "_original_id_set"):
-            self._original_id_set.add(cid)
+        self._original_id_set.add(cid)
         if not initial and self._cdg is not None:
             self._cdg.register_original(cid)
+
+        if _is_tautology(lits):
+            # Never attached, so its literals must not feed the initial
+            # cha_score array or the dynamic strategy's 1/64 switch
+            # threshold (paper §3.3): count only installed literals.
+            self._active.append(False)
+            return cid
         for lit in lits:
             self._lit_counts[lit] += 1
         self._num_original_literals += len(lits)
-
-        if _is_tautology(lits):
-            self._active.append(False)
-            return cid
         self._active.append(True)
         if not self._ok:
             return cid
@@ -238,8 +264,12 @@ class CdclSolver:
                 lits.insert(0, target)
                 self._enqueue(target, cid)
                 self._pending_load_propagations += 1
-            self._watches[lits[0]].append(cid)
-            self._watches[lits[1]].append(cid)
+            if len(lits) == 2:
+                self._watches_bin[lits[0]].append((cid, lits[1]))
+                self._watches_bin[lits[1]].append((cid, lits[0]))
+            else:
+                self._watches[lits[0]].append((cid, lits[1]))
+                self._watches[lits[1]].append((cid, lits[0]))
         return cid
 
     def _load_unit(self, clause_id: int, lit: int) -> None:
@@ -294,12 +324,13 @@ class CdclSolver:
 
     def is_original_clause(self, clause_id: int) -> bool:
         """True if the clause ID denotes an original (non-learned) clause."""
-        if self._cdg is not None:
-            return self._cdg.is_original(clause_id)
-        return clause_id < self._num_initial or not self._looks_learned(clause_id)
+        return clause_id in self._original_id_set
 
-    def _looks_learned(self, clause_id: int) -> bool:  # CDG-less fallback
-        return clause_id not in self._original_ids
+    def _looks_learned(self, clause_id: int) -> bool:
+        # O(1) via the set maintained by _install_clause; the ID spaces
+        # of original and learned clauses interleave incrementally, so a
+        # plain range check is not enough.
+        return clause_id not in self._original_id_set
 
     # ------------------------------------------------------------------
     # Assignment trail.
@@ -337,44 +368,86 @@ class CdclSolver:
 
     def _propagate(self) -> int:
         """Exhaust the implication queue; returns a conflicting clause ID
-        or -1."""
+        or -1.
+
+        Hot-path invariants: every name used in the inner loop is a
+        local (attribute lookups are hoisted once per call — the
+        decision level is constant for the call's duration, and
+        assignments are written inline rather than via
+        :meth:`_enqueue`); each watch entry carries a *blocker* literal
+        whose satisfaction skips the clause without loading its literal
+        list; propagation counts accumulate locally and are flushed to
+        ``stats`` once on exit.
+        """
         assigns = self.assigns
         clauses = self._clauses
         watches = self._watches
+        watches_bin = self._watches_bin
         trail = self._trail
-        while self._qhead < len(trail):
-            lit = trail[self._qhead]
-            self._qhead += 1
+        levels = self._levels
+        reasons = self._reasons
+        level = self._decision_level
+        qhead = self._qhead
+        props = 0
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
             false_lit = lit ^ 1
+            for cid, implied in watches_bin[false_lit]:
+                var = implied >> 1
+                value = assigns[var]
+                if value == -1:
+                    props += 1
+                    assigns[var] = 1 ^ (implied & 1)
+                    levels[var] = level
+                    reasons[var] = cid
+                    trail.append(implied)
+                elif value ^ (implied & 1) == 0:
+                    self._qhead = qhead
+                    self.stats.propagations += props
+                    return cid
             watch_list = watches[false_lit]
+            if not watch_list:
+                continue
             i = 0
             j = 0
             n = len(watch_list)
             while i < n:
-                cid = watch_list[i]
+                entry = watch_list[i]
                 i += 1
+                blocker = entry[1]
+                blocker_value = assigns[blocker >> 1]
+                if blocker_value != -1 and blocker_value ^ (blocker & 1) == 1:
+                    watch_list[j] = entry
+                    j += 1
+                    continue
+                cid = entry[0]
                 lits = clauses[cid]
                 if lits[0] == false_lit:
                     lits[0], lits[1] = lits[1], lits[0]
                 first = lits[0]
                 first_value = assigns[first >> 1]
                 if first_value != -1 and first_value ^ (first & 1) == 1:
-                    watch_list[j] = cid
+                    watch_list[j] = (cid, first)
                     j += 1
                     continue
                 for k in range(2, len(lits)):
                     other = lits[k]
                     other_value = assigns[other >> 1]
                     if other_value == -1 or other_value ^ (other & 1) == 1:
-                        lits[1], lits[k] = lits[k], lits[1]
-                        watches[other].append(cid)
+                        lits[1], lits[k] = other, lits[1]
+                        watches[other].append((cid, first))
                         break
                 else:
-                    watch_list[j] = cid
+                    watch_list[j] = entry
                     j += 1
                     if first_value == -1:
-                        self.stats.propagations += 1
-                        self._enqueue(first, cid)
+                        props += 1
+                        var = first >> 1
+                        assigns[var] = 1 ^ (first & 1)
+                        levels[var] = level
+                        reasons[var] = cid
+                        trail.append(first)
                     else:
                         # Conflict: keep the untouched tail of the list.
                         while i < n:
@@ -382,8 +455,12 @@ class CdclSolver:
                             j += 1
                             i += 1
                         del watch_list[j:]
+                        self._qhead = qhead
+                        self.stats.propagations += props
                         return cid
             del watch_list[j:]
+        self._qhead = qhead
+        self.stats.propagations += props
         return -1
 
     # ------------------------------------------------------------------
@@ -486,14 +563,9 @@ class CdclSolver:
         return learned, btlevel, antecedents
 
     def _active_original(self, cid: int) -> bool:
-        if self._cdg is not None:
-            return self._cdg.is_original(cid)
-        return cid in self._original_set()
-
-    def _original_set(self) -> Set[int]:
-        if not hasattr(self, "_original_id_set"):
-            self._original_id_set: Set[int] = set(self._original_ids)
-        return self._original_id_set
+        # The set agrees with the CDG's is_original (both track initial
+        # plus incrementally added clauses) and is O(1) either way.
+        return cid in self._original_id_set
 
     def _bump_clause_activity(self, cid: int) -> None:
         self._activity[cid] += self._activity_inc
@@ -514,9 +586,12 @@ class CdclSolver:
         if self._cdg is not None:
             self._cdg.add(cid, antecedents)
             self.stats.cdg_entries += 1
-        if len(learned) > 1:
-            self._watches[learned[0]].append(cid)
-            self._watches[learned[1]].append(cid)
+        if len(learned) == 2:
+            self._watches_bin[learned[0]].append((cid, learned[1]))
+            self._watches_bin[learned[1]].append((cid, learned[0]))
+        elif len(learned) > 2:
+            self._watches[learned[0]].append((cid, learned[1]))
+            self._watches[learned[1]].append((cid, learned[0]))
         return cid
 
     # ------------------------------------------------------------------
@@ -524,15 +599,14 @@ class CdclSolver:
     # ------------------------------------------------------------------
 
     def _reduce_learned_db(self) -> None:
-        original = self._original_set() if self._cdg is None else None
+        # No per-call re-derivation of the original-ID set: the memoized
+        # set is maintained eagerly by _install_clause.
+        original = self._original_id_set
         candidates = []
         for cid in range(self._num_initial, len(self._clauses)):
             if self._deleted[cid] or not self._active[cid]:
                 continue
-            if self._cdg is not None:
-                if self._cdg.is_original(cid):
-                    continue
-            elif cid in original:
+            if cid in original:
                 continue
             lits = self._clauses[cid]
             if len(lits) <= 2:
@@ -552,10 +626,11 @@ class CdclSolver:
 
     def _detach_clause(self, cid: int) -> None:
         lits = self._clauses[cid]
+        table = self._watches_bin if len(lits) == 2 else self._watches
         for watched in (lits[0], lits[1]):
-            watch_list = self._watches[watched]
+            watch_list = table[watched]
             for i, entry in enumerate(watch_list):
-                if entry == cid:
+                if entry[0] == cid:
                     watch_list[i] = watch_list[-1]
                     watch_list.pop()
                     break
@@ -776,13 +851,22 @@ class CdclSolver:
         return SolveOutcome(status=SolveResult.SAT, model=model)
 
     def _model_check(self, model: List[int]) -> bool:
+        # Walks the maintained original-ID list directly (nothing is
+        # re-derived); tautological originals are inactive but still
+        # satisfied by any model since they hold both phases of a var.
+        clauses = self._clauses
+        active = self._active
         for cid in self._original_ids:
-            lits = self._clauses[cid]
-            if not lits and self._active[cid]:
-                return False
-            if not any(model[lit >> 1] ^ (lit & 1) for lit in lits):
-                if lits:  # empty original clauses handled above
+            lits = clauses[cid]
+            if not lits:
+                if active[cid]:
                     return False
+                continue
+            for lit in lits:
+                if model[lit >> 1] ^ (lit & 1):
+                    break
+            else:
+                return False
         return True
 
     def _unsat_outcome(self) -> SolveOutcome:

@@ -6,6 +6,8 @@ import pytest
 
 from repro.experiments.__main__ import main
 
+pytestmark = pytest.mark.slow  # seconds-scale full experiment passes
+
 
 class TestMainEntry:
     def test_fig7_runs_and_renders(self, capsys):

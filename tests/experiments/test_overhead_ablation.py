@@ -10,6 +10,8 @@ from repro.experiments import (
 )
 from repro.workloads import instance_by_name
 
+pytestmark = pytest.mark.slow  # seconds-scale full experiment passes
+
 
 @pytest.fixture(scope="module")
 def tiny_rows():

@@ -1,0 +1,78 @@
+"""``--jobs`` equivalence: a parallel experiment run must produce the
+same ``InstanceResult`` stream as a serial one — same order, identical
+search-derived fields (timing fields are scheduling noise by nature)."""
+
+import pytest
+
+from repro.experiments import ParallelRunner, run_instances, run_table1
+from repro.experiments.parallel import resolve_jobs
+from repro.workloads import instance_by_name
+
+
+def _search_key(result):
+    """Every deterministic field of an InstanceResult."""
+    return (
+        result.name,
+        result.strategy,
+        result.status,
+        result.depth_reached,
+        result.decisions,
+        result.implications,
+        result.conflicts,
+        tuple(
+            (d.k, d.status, d.num_vars, d.num_clauses,
+             d.decisions, d.propagations, d.conflicts)
+            for d in result.per_depth
+        ),
+    )
+
+
+class TestResolveJobs:
+    def test_none_means_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestJobsEquivalence:
+    @pytest.fixture(scope="class")
+    def pairs(self):
+        row = instance_by_name("01_b")
+        return [(row, "bmc"), (row, "static"), (row, "dynamic")]
+
+    def test_parallel_matches_serial_stream(self, pairs):
+        serial = run_instances(pairs, jobs=None)
+        parallel = run_instances(pairs, jobs=2)
+        assert [_search_key(r) for r in serial] == [
+            _search_key(r) for r in parallel
+        ]
+
+    def test_results_keep_pair_order(self, pairs):
+        results = run_instances(pairs, jobs=2)
+        assert [r.strategy for r in results] == ["bmc", "static", "dynamic"]
+
+    def test_table1_jobs_equivalent(self):
+        rows = [instance_by_name("01_b")]
+        serial = run_table1(rows=rows)
+        parallel = run_table1(rows=rows, jobs=2)
+        for row_s, row_p in zip(serial.rows, parallel.rows):
+            for method in ("bmc", "static", "dynamic"):
+                assert _search_key(row_s.results[method]) == _search_key(
+                    row_p.results[method]
+                )
+
+
+class TestRunnerMechanics:
+    def test_map_preserves_order_and_results(self):
+        runner = ParallelRunner(jobs=2)
+        tasks = [(divmod, (n, 3), {}) for n in range(20)]
+        assert runner.map(tasks) == [divmod(n, 3) for n in range(20)]
+
+    def test_serial_fallback_for_single_task(self):
+        runner = ParallelRunner(jobs=4)
+        assert runner.map([(divmod, (7, 3), {})]) == [(2, 1)]

@@ -10,6 +10,8 @@ import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
 
+pytestmark = pytest.mark.slow  # each example is a full subprocess run
+
 
 def run_example(name, *args, timeout=240):
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))

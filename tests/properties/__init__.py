@@ -1,0 +1,1 @@
+"""Package marker so pytest imports under unique module names (duplicate test basenames exist across tests/ and benchmarks/)."""

@@ -1,0 +1,47 @@
+"""Regression test for the seed's pytest-collection blocker.
+
+The repo has duplicate test basenames across trees —
+``tests/experiments/test_table1.py`` vs ``benchmarks/test_table1.py``
+and ``tests/sat/test_incremental.py`` vs ``tests/bmc/test_incremental.py``
+— which abort collection with "import file mismatch" unless every test
+directory is a real package.  This test deliberately pollutes
+``__pycache__`` with bytecode for both trees, then asserts that a fresh
+pytest still collects everything cleanly.
+"""
+
+import compileall
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_collection_survives_duplicate_basenames_with_stale_pycache():
+    # Pre-compile both trees so __pycache__ holds bytecode for the
+    # colliding basenames before collection starts.
+    assert compileall.compile_dir(str(ROOT / "tests"), quiet=2)
+    assert compileall.compile_dir(str(ROOT / "benchmarks"), quiet=2)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "--collect-only", "-q",
+         "tests", "benchmarks"],
+        cwd=str(ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    output = proc.stdout + proc.stderr
+    assert proc.returncode == 0, output
+    assert "import file mismatch" not in output, output
+    assert "ERROR" not in output, output
+
+
+def test_every_test_directory_is_a_package():
+    for tree in ("tests", "benchmarks"):
+        for dirpath, dirnames, filenames in os.walk(ROOT / tree):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            assert "__init__.py" in filenames, f"{dirpath} is not a package"
