@@ -14,16 +14,33 @@ inner loops from the BMC layer:
   learned-clause-DB heavy, exercising clause deletion and activity
   bookkeeping over fixed work.
 
+Each sample also reports conflict-analysis quality: learned-clause
+counts, mean learned-clause length (pre- and post-minimization), and how
+many literals the self-subsumption minimizer deleted.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/solver_bench.py --output BENCH_solver.json
     PYTHONPATH=src python benchmarks/solver_bench.py \
         --baseline bench_before.json --output BENCH_solver.json
+    PYTHONPATH=src python benchmarks/solver_bench.py --smoke
 
 With ``--baseline`` the emitted JSON contains both runs plus per-workload
 and aggregate speedup ratios, seeding the repo's performance trajectory
 (the PR acceptance bar is >=1.5x propagation throughput on BCP-bound
 instances).  Timing is best-of-``--repeat`` to damp scheduler noise.
+
+``--smoke`` is the CI regression gate: it re-measures the
+conflict-analysis-bound workloads (``random_3cnf``, ``pigeonhole``) and
+exits non-zero if propagation throughput regressed more than
+``--smoke-threshold`` (default 20%) against the checked-in
+``BENCH_solver.json`` — nothing is written in smoke mode.  Because the
+checked-in numbers come from whatever machine emitted them, the gate
+does not compare absolute rates: both sides are normalized by the
+``bcp_ladder`` throughput of the *same* run (pure BCP, no conflict
+analysis), so host speed cancels and only the conflict-analysis cost
+relative to raw BCP is guarded.  A uniform slowdown that hits BCP and
+conflict analysis equally is out of this gate's scope by design.
 """
 
 from __future__ import annotations
@@ -84,15 +101,31 @@ WORKLOADS: Dict[str, Callable[[], tuple]] = {
 
 
 def measure_workload(name: str, repeat: int) -> Dict[str, float]:
-    """Run one workload ``repeat`` times; report rates from the best run."""
+    """Run one workload ``repeat`` times; report rates from the best run.
+
+    The cyclic collector is paused around the timed solve: collection
+    pauses triggered by garbage from *earlier* workloads would otherwise
+    be billed to whichever solve they interrupt (the solver itself
+    allocates no reference cycles on its hot path).
+    """
+    import gc
+
     best: Optional[Dict[str, float]] = None
     for _ in range(repeat):
         formula, config = WORKLOADS[name]()
         solver = CdclSolver(formula, config=config)
-        start = time.perf_counter()
-        solver.solve()
-        elapsed = time.perf_counter() - start
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            solver.solve()
+            elapsed = time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         stats = solver.stats
+        learned = stats.learned_clauses
         sample = {
             "time_s": elapsed,
             "decisions": stats.decisions,
@@ -100,6 +133,19 @@ def measure_workload(name: str, repeat: int) -> Dict[str, float]:
             "conflicts": stats.conflicts,
             "decisions_per_sec": stats.decisions / elapsed if elapsed else 0.0,
             "propagations_per_sec": stats.propagations / elapsed if elapsed else 0.0,
+            # Conflict-analysis quality: how short the learning pipeline
+            # keeps its clauses, and what minimization deleted.
+            "learned_clauses": learned,
+            "mean_learned_len": stats.mean_learned_length,
+            "mean_learned_len_premin": (
+                stats.learned_literals_before_min / learned if learned else 0.0
+            ),
+            "minimized_literals": stats.minimized_literals,
+            "minimized_literals_per_conflict": (
+                stats.minimized_literals / stats.conflicts
+                if stats.conflicts
+                else 0.0
+            ),
         }
         if best is None or sample["time_s"] < best["time_s"]:
             best = sample
@@ -113,8 +159,65 @@ def run_bench(repeat: int) -> Dict[str, Dict[str, float]]:
         rate = results[name]["propagations_per_sec"]
         print(f"{name:14s} {results[name]['time_s']:8.3f}s  "
               f"{rate:12.0f} props/s  "
-              f"{results[name]['decisions_per_sec']:10.0f} dec/s")
+              f"{results[name]['decisions_per_sec']:10.0f} dec/s  "
+              f"learned-len {results[name]['mean_learned_len']:5.2f} "
+              f"(pre-min {results[name]['mean_learned_len_premin']:5.2f})")
     return results
+
+
+#: Workloads whose throughput the CI smoke gate guards (the
+#: conflict-analysis-bound pair ISSUE 2 targets).
+SMOKE_WORKLOADS = ("random_3cnf", "pigeonhole")
+
+#: Pure-BCP workload used to calibrate the smoke gate: its throughput
+#: tracks host speed but not conflict-analysis cost, so dividing by it
+#: makes the gated ratios hardware-independent.
+SMOKE_CALIBRATION = "bcp_ladder"
+
+
+def run_smoke(baseline_path: str, threshold: float, repeat: int) -> int:
+    """Fail (exit 1) if conflict-bound propagation throughput regressed
+    more than ``threshold`` against the checked-in benchmark JSON.
+
+    The checked-in JSON was measured on some other machine, so absolute
+    rates are not comparable; instead both the fresh run and the
+    baseline are normalized by their own ``bcp_ladder`` throughput
+    before comparing.  Host speed cancels out of the normalized ratio;
+    what remains is how much conflict analysis costs relative to raw
+    BCP, which is exactly what this gate guards.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    baseline = doc.get("after", doc)
+    ref_cal = baseline[SMOKE_CALIBRATION]["propagations_per_sec"]
+    now_cal = measure_workload(SMOKE_CALIBRATION, repeat)["propagations_per_sec"]
+    if not ref_cal or not now_cal:
+        print(f"smoke FAILED: calibration workload {SMOKE_CALIBRATION} "
+              f"reported zero throughput")
+        return 1
+    print(f"smoke {SMOKE_CALIBRATION:14s} {now_cal:12.0f} props/s  "
+          f"baseline {ref_cal:12.0f}  (calibration)")
+    failures = []
+    for name in SMOKE_WORKLOADS:
+        sample = measure_workload(name, repeat)
+        now = sample["propagations_per_sec"]
+        reference = baseline[name]["propagations_per_sec"]
+        if not reference:
+            ratio = float("inf")
+        else:
+            ratio = (now / now_cal) / (reference / ref_cal)
+        status = "ok" if ratio >= 1.0 - threshold else "REGRESSED"
+        print(f"smoke {name:14s} {now:12.0f} props/s  "
+              f"baseline {reference:12.0f}  normalized ratio {ratio:.2f}  "
+              f"{status}")
+        if ratio < 1.0 - threshold:
+            failures.append(name)
+    if failures:
+        print(f"smoke FAILED: {', '.join(failures)} regressed more than "
+              f"{threshold:.0%} vs {baseline_path} (BCP-normalized)")
+        return 1
+    print("smoke passed")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -125,7 +228,20 @@ def main(argv=None) -> int:
         help="earlier run to embed as 'before' (this run becomes 'after')",
     )
     parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: compare conflict-bound throughput against the "
+             "checked-in benchmark and fail on >threshold regression",
+    )
+    parser.add_argument(
+        "--smoke-threshold", type=float, default=0.20,
+        help="allowed fractional regression in smoke mode (default 0.20)",
+    )
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke(args.baseline or args.output, args.smoke_threshold,
+                         args.repeat)
 
     after = run_bench(args.repeat)
     payload = {"after": after}

@@ -3,6 +3,7 @@ refine-order algorithm, the Shtrichman baseline, and core-to-abstraction
 mapping."""
 
 from repro.bmc.cegar import CegarBmc, CegarResult, abstract_circuit
+from repro.bmc.cnf_cache import EncodingCache
 from repro.bmc.engine import BmcEngine, StrategyFactory, vsids_factory
 from repro.bmc.incremental import IncrementalBmcEngine
 from repro.bmc.induction import (
@@ -19,6 +20,7 @@ from repro.bmc.abstraction import AbstractModel, abstract_model, core_overlap
 
 __all__ = [
     "BmcEngine",
+    "EncodingCache",
     "StrategyFactory",
     "vsids_factory",
     "RefineOrderBmc",

@@ -29,6 +29,37 @@ def vsids_factory(instance: BmcInstance, k: int) -> DecisionStrategy:
     return VsidsStrategy()
 
 
+def resolve_unroller(
+    circuit: Circuit,
+    property_net: int,
+    use_coi: bool,
+    unroller: Optional[Unroller],
+    constrain_init: bool = True,
+) -> Unroller:
+    """Validate an injected (shared) unroller or build a private one.
+
+    An injected unroller must encode exactly the formula a private one
+    would — same circuit object, property, cone-of-influence setting and
+    initial-state constraint — otherwise cache sharing would silently
+    change results.
+    """
+    if unroller is None:
+        return Unroller(
+            circuit, property_net, use_coi=use_coi, constrain_init=constrain_init
+        )
+    if (
+        unroller.circuit is not circuit
+        or unroller.property_net != property_net
+        or unroller.use_coi != use_coi
+        or unroller.constrain_init != constrain_init
+    ):
+        raise ValueError(
+            "injected unroller does not match "
+            "circuit/property_net/use_coi/constrain_init"
+        )
+    return unroller
+
+
 class BmcEngine:
     """Bounded model checking of an invariant property ``G property_net``.
 
@@ -51,6 +82,13 @@ class BmcEngine:
     verify_traces:
         Re-simulate counterexamples before returning them (cheap, on by
         default).
+    unroller:
+        Optional pre-built (possibly shared) unroller for this circuit
+        and property — the CNF-cache hook (see ``repro.bmc.cnf_cache``).
+        Must match ``circuit``/``property_net``/``use_coi`` exactly;
+        frames already encoded in it are reused, frames it lacks are
+        encoded on demand.  Instances assembled from a shared unroller
+        are byte-identical to ones from a private unroller.
     """
 
     def __init__(
@@ -64,6 +102,7 @@ class BmcEngine:
         start_depth: int = 0,
         time_budget: Optional[float] = None,
         verify_traces: bool = True,
+        unroller: Optional[Unroller] = None,
     ) -> None:
         if max_depth < start_depth:
             raise ValueError("max_depth must be >= start_depth")
@@ -75,7 +114,7 @@ class BmcEngine:
         self.solver_config = solver_config or SolverConfig()
         self.time_budget = time_budget
         self.verify_traces = verify_traces
-        self.unroller = Unroller(circuit, property_net, use_coi=use_coi)
+        self.unroller = resolve_unroller(circuit, property_net, use_coi, unroller)
 
     # Subclass hook: called after each UNSAT depth with its outcome.
     def on_unsat(self, k: int, instance: BmcInstance, outcome: SolveOutcome) -> None:

@@ -34,6 +34,7 @@ from repro.encode.unroll import Unroller
 from repro.sat.heuristics import DecisionStrategy, RankedStrategy, VsidsStrategy
 from repro.sat.solver import CdclSolver, SolverConfig
 from repro.sat.types import SolveResult
+from repro.bmc.engine import resolve_unroller
 from repro.bmc.refine import WEIGHTINGS, bmc_score_update
 from repro.bmc.result import BmcResult, BmcStatus, DepthStats, Trace
 
@@ -60,6 +61,7 @@ class IncrementalBmcEngine:
         use_coi: bool = False,
         time_budget: Optional[float] = None,
         verify_traces: bool = True,
+        unroller: Optional[Unroller] = None,
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -79,18 +81,25 @@ class IncrementalBmcEngine:
         self.solver_config = config
         self.time_budget = time_budget
         self.verify_traces = verify_traces
-        self.unroller = Unroller(circuit, property_net, use_coi=use_coi)
+        self.unroller = resolve_unroller(circuit, property_net, use_coi, unroller)
         self.var_rank: Dict[int, float] = {}
         self._solver = CdclSolver(config=config)
         self._clauses_fed = 0
 
     def _feed_frames(self, k: int) -> None:
-        """Stream frames up to ``k`` into the persistent solver."""
-        self.unroller.ensure_frames(k)
-        self._solver.ensure_num_vars(self.unroller.num_encoded_vars)
-        for lits, _origin in self.unroller.clauses_since(self._clauses_fed):
+        """Stream frames up to ``k`` into the persistent solver.
+
+        The feed is bounded by the depth-``k`` watermarks, not by
+        whatever the unroller happens to hold: a shared unroller (the
+        ``unroller=`` hook / encoding cache) may already have encoded
+        deeper frames for another engine, and ingesting those early
+        would change every search-derived statistic.  Bounded this way,
+        the clause stream is byte-identical warm or cold."""
+        stop = self.unroller.clause_watermark(k)
+        self._solver.ensure_num_vars(self.unroller.var_watermark(k))
+        for lits, _origin in self.unroller.clauses_since(self._clauses_fed, stop):
             self._solver.add_clause(lits)
-        self._clauses_fed = self.unroller.num_encoded_clauses
+        self._clauses_fed = stop
 
     def _strategy_for_depth(self) -> DecisionStrategy:
         if self.mode == "vsids":

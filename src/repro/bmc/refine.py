@@ -85,6 +85,7 @@ class RefineOrderBmc(BmcEngine):
         start_depth: int = 0,
         time_budget: Optional[float] = None,
         verify_traces: bool = True,
+        unroller=None,
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -111,6 +112,7 @@ class RefineOrderBmc(BmcEngine):
             start_depth=start_depth,
             time_budget=time_budget,
             verify_traces=verify_traces,
+            unroller=unroller,
         )
 
     def _make_strategy(self, instance: BmcInstance, k: int) -> DecisionStrategy:

@@ -27,7 +27,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit, GateOp
 from repro.circuit.ops import cone_of_influence
-from repro.cnf.formula import CnfFormula
+from repro.cnf.formula import Clause, CnfFormula
 from repro.cnf.literals import lit_neg, mk_lit
 from repro.encode.tseitin import gate_clauses
 
@@ -113,6 +113,7 @@ class Unroller:
         property_net: int,
         use_coi: bool = False,
         constrain_init: bool = True,
+        memoize_instances: bool = False,
     ) -> None:
         circuit.validate()
         if not 0 <= property_net < circuit.num_nets:
@@ -130,15 +131,27 @@ class Unroller:
         self.nets_inputs = tuple(n for n in circuit.inputs if n in net_set)
         self.nets_latches = tuple(n for n in circuit.latches if n in net_set)
 
-        # Variable 0 is constant-true; clause 0 asserts it.
+        # Variable 0 is constant-true; clause 0 asserts it.  Clauses are
+        # stored as ready-made immutable Clause objects so that every
+        # depth-k instance assembly shares them (CnfFormula.add_clause
+        # stores Clause inputs as-is) instead of re-wrapping each tuple
+        # per depth.
         self._num_vars = 1
-        self._clauses: List[Tuple[int, ...]] = [(mk_lit(0),)]
+        self._clauses: List[Clause] = [Clause((mk_lit(0),))]
         self._origins: List[ClauseOrigin] = [ClauseOrigin("const", -1, -1)]
         self._lit_cache: Dict[Tuple[int, int], int] = {}
         self._var_frame: List[int] = [-1]  # allocation frame per variable
         self._frames_built = 0
         self._vars_after_frame: List[int] = []
         self._clauses_after_frame: List[int] = []
+        # With memoize_instances, assembled BmcInstance objects are kept
+        # per depth and handed out shared.  Safe because instance(k) is
+        # deterministic and consumers treat instances as read-only (the
+        # solver copies clause literals into its own arena) — the basis
+        # of the cross-strategy CNF cache (repro.bmc.cnf_cache).
+        self._instance_memo: Optional[Dict[int, "BmcInstance"]] = (
+            {} if memoize_instances else None
+        )
 
     # -- variable management -------------------------------------------
 
@@ -168,7 +181,7 @@ class Unroller:
     # -- frame construction ----------------------------------------------
 
     def _add_clause(self, lits: Sequence[int], origin: ClauseOrigin) -> None:
-        self._clauses.append(tuple(lits))
+        self._clauses.append(Clause(tuple(lits)))
         self._origins.append(origin)
 
     def ensure_frames(self, k: int) -> None:
@@ -229,11 +242,29 @@ class Unroller:
         """Variable watermark over all built frames."""
         return self._num_vars
 
-    def clauses_since(self, index: int) -> List[Tuple[Tuple[int, ...], ClauseOrigin]]:
+    def clauses_since(
+        self, index: int, stop: Optional[int] = None
+    ) -> List[Tuple[Tuple[int, ...], ClauseOrigin]]:
         """Clauses (with provenance) added at or after cumulative index
         ``index`` — the delta an incremental solver must ingest after
-        ``ensure_frames`` advanced."""
-        return list(zip(self._clauses[index:], self._origins[index:]))
+        ``ensure_frames`` advanced.  ``stop`` bounds the delta at a
+        cumulative index (e.g. a frame watermark): a *shared* unroller
+        may hold frames beyond the consumer's current depth, and feeding
+        those early would change search behaviour."""
+        return list(zip(self._clauses[index:stop], self._origins[index:stop]))
+
+    def clause_watermark(self, k: int) -> int:
+        """Cumulative clause count covering exactly frames ``0..k``
+        (builds the frames if needed).  Independent of how many further
+        frames a shared unroller has already encoded."""
+        self.ensure_frames(k)
+        return self._clauses_after_frame[k]
+
+    def var_watermark(self, k: int) -> int:
+        """Variable watermark covering exactly frames ``0..k`` (builds
+        the frames if needed)."""
+        self.ensure_frames(k)
+        return self._vars_after_frame[k]
 
     def origin_of_clause(self, index: int) -> ClauseOrigin:
         """Provenance of a cumulative clause index (identical to the
@@ -256,9 +287,14 @@ class Unroller:
 
     def instance(self, k: int) -> BmcInstance:
         """The depth-``k`` BMC instance (deterministic for every ``k``,
-        independent of what was built before)."""
+        independent of what was built before; memoized when the unroller
+        was created with ``memoize_instances=True``)."""
         if k < 0:
             raise ValueError("depth must be non-negative")
+        if self._instance_memo is not None:
+            memo = self._instance_memo.get(k)
+            if memo is not None:
+                return memo
         self.ensure_frames(k)
         num_vars = self._vars_after_frame[k]
         num_clauses = self._clauses_after_frame[k]
@@ -269,7 +305,10 @@ class Unroller:
         property_lit = self.lit_of(self.property_net, k)
         property_index = formula.add_clause([lit_neg(property_lit)])
         origins.append(ClauseOrigin("property", self.property_net, k))
-        return BmcInstance(self, k, formula, origins, property_index)
+        built = BmcInstance(self, k, formula, origins, property_index)
+        if self._instance_memo is not None:
+            self._instance_memo[k] = built
+        return built
 
 
 _ALIAS = {

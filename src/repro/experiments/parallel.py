@@ -1,10 +1,10 @@
 """Process-parallel execution of (instance, strategy) experiment runs.
 
 Table-1 and ablation sweeps are embarrassingly parallel: every
-``run_instance(instance, strategy)`` call builds its own circuit, CNF and
-solver, shares no state with any other, and is fully deterministic.
-:class:`ParallelRunner` fans such calls out over a ``multiprocessing``
-pool and merges results deterministically.
+``run_instance(instance, strategy)`` call owns its solver and mutable
+search state, shares nothing mutable with any other, and is fully
+deterministic.  :class:`ParallelRunner` fans such calls out over a
+``multiprocessing`` pool and merges results deterministically.
 
 Determinism contract
 --------------------
@@ -15,8 +15,23 @@ Determinism contract
   InstanceResult` — status, depth reached, decisions, implications,
   conflicts, per-depth statistics — is **identical to a serial run**,
   because each task runs exactly the same deterministic code on private
-  state.  Only wall-clock fields (``solve_time``, ``wall_time``) vary
-  with scheduling, as they do between any two serial runs.
+  state.  Only wall-clock fields (``solve_time``, ``wall_time``,
+  ``build_time``) vary with scheduling, as they do between any two
+  serial runs.
+
+Cache sharing
+-------------
+
+Circuit builds and CNF frame encodings are memoized **per process**
+through ``repro.experiments.runner.default_encoding_cache()``: the
+serial path reuses one cache across the whole batch, and every pool
+worker lazily creates its own on first task (under the ``fork`` start
+method a worker also inherits whatever the parent had already built).
+The cache holds only immutable/monotone data (clause tuples, circuits,
+frame watermarks), so which worker warmed it — or whether it was warm
+at all — cannot change any search-derived field; it only moves
+``build_time``/``wall_time``.  Workers never exchange cache state, so
+the pool needs no locks and stays deterministic.
 
 Usage
 -----

@@ -22,7 +22,13 @@ from repro.sat.heuristics import (
     VsidsStrategy,
 )
 from repro.sat.proof import ProofError, ResolutionProof, check_proof
-from repro.sat.solver import CdclSolver, SolverConfig, luby, solve_formula
+from repro.sat.solver import (
+    MINIMIZE_MODES,
+    CdclSolver,
+    SolverConfig,
+    luby,
+    solve_formula,
+)
 from repro.sat.elimination import EliminationResult, eliminate_variables
 from repro.sat.proof import drup_str, write_drup
 from repro.sat.simplify import SimplifyResult, simplify
@@ -33,6 +39,7 @@ from repro.sat.types import SolveOutcome, SolveResult
 __all__ = [
     "CdclSolver",
     "SolverConfig",
+    "MINIMIZE_MODES",
     "solve_formula",
     "luby",
     "SolveOutcome",

@@ -66,11 +66,21 @@ class ConflictDependencyGraph:
 
         Every antecedent must be either an original clause or a previously
         recorded conflict clause (derivations are acyclic by construction).
+
+        The antecedent list may cite *more* clauses than a strict
+        trivial-resolution chain: learned-clause minimization appends
+        the reason clauses its removal proofs consumed, and level-0
+        elimination appends defining-unit chains.  Extra antecedents
+        never hurt — reverse unit propagation only gets stronger with
+        more clauses, and core extraction stays a sound over-
+        approximation — so they are accepted here and merely deduplicated
+        (first occurrence kept) to bound the pseudo-ID overhead.
         """
         if self.is_original(clause_id):
             raise ValueError(f"clause id {clause_id} collides with original clauses")
         if clause_id in self._antecedents:
             raise ValueError(f"clause id {clause_id} already recorded")
+        antecedents = tuple(dict.fromkeys(antecedents))
         for ant in antecedents:
             if not self.is_original(ant) and ant not in self._antecedents:
                 raise ValueError(
@@ -80,7 +90,7 @@ class ConflictDependencyGraph:
                 raise ValueError(
                     f"antecedent {ant} of clause {clause_id} is not older"
                 )
-        self._antecedents[clause_id] = tuple(antecedents)
+        self._antecedents[clause_id] = antecedents
 
     def antecedents_of(self, clause_id: int) -> Tuple[int, ...]:
         """Antecedent tuple of a recorded conflict clause."""

@@ -10,6 +10,16 @@ and demand a conflict.  RUP subsumes trivial-resolution replay and is
 insensitive to resolution order, which keeps the checker independent of
 the solver's internals.
 
+RUP is also what keeps the checker compatible with learned-clause
+*minimization* (PR 2): a minimized clause omits literals that the
+first-UIP resolution chain alone cannot resolve away, and its antecedent
+list therefore carries the extra reason clauses the removal proofs
+consumed.  Because the implication graph is acyclic in trail order,
+propagating over the extended antecedent set rederives every removed
+literal's assignment and still reaches the conflict — no checker change
+is needed, and superfluous antecedents (e.g. from abandoned proofs) are
+harmless, since propagation with more clauses only derives more.
+
 The checker is deliberately naive (counter-based propagation, no watched
 literals): slow but simple enough to audit, which is the point of an
 independent verifier.

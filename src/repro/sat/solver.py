@@ -34,16 +34,26 @@ the tail of the ID space (the CDG distinguishes leaves from derivations).
 Hot-path invariants (the experiment layer's throughput depends on
 these; see ``benchmarks/solver_bench.py`` for the tracking numbers):
 
-* Watch entries are ``(clause_id, blocker)`` pairs — a satisfied
-  blocker skips the clause without touching its literal list.
-* Binary clauses live in dedicated watch lists storing the implied
-  literal directly; their watches never move and BCP on them performs
-  no clause-list access.
+* Binary and ternary clauses live in dedicated, *static* watch lists
+  (binary: the implied literal; ternary: both other literals), with
+  variable index and target assignment precomputed per entry — BCP on
+  them is pure index-and-compare, no clause-list access, no watch
+  moves.
+* Long-clause watch entries are ``(clause_id, blocker, blocker_var,
+  blocker_value)`` — a satisfied blocker skips the clause without
+  touching its literal list.
 * ``_propagate`` hoists every attribute into locals and assigns
   inline; original-vs-learned queries go through the memoized
   ``_original_id_set`` (never a list scan); tautological originals are
   excluded from literal counts so ``cha_score`` seeds and the dynamic
   1/64 switch threshold reflect only installed literals.
+* ``_analyze`` reuses persistent scratch arrays (``_seen`` plus the
+  touched/zero lists) — no per-conflict set allocations — and runs
+  learned-clause self-subsumption minimization (one-step ``local`` by
+  default, budgeted-recursive via ``SolverConfig.minimize_learned``)
+  before installing the clause, citing every reason clause a removal
+  proof consumed as an extra CDG antecedent so proof replay stays
+  complete.
 """
 
 from __future__ import annotations
@@ -74,12 +84,38 @@ class SolverConfig:
     use_restarts: bool = True
     restart_base: int = 100
     clause_deletion: bool = True
-    reduce_base: int = 2000
-    reduce_growth: float = 1.5
+    # Aggressive learned-DB reduction: the watch lists of live learned
+    # clauses dominate BCP cost in conflict-bound workloads, so the DB
+    # ceiling starts low and grows slowly (PR 2 measured ~1.4x
+    # conflict-bound throughput from this alone; bounded solves lose
+    # nothing since deleted clauses stay exportable for proofs).
+    reduce_base: int = 150
+    reduce_growth: float = 1.05
     clause_activity_decay: float = 0.999
+    #: Learned-clause minimization: ``"local"`` (one self-subsumption
+    #: resolution step per literal — the default: it captures most of
+    #: the clause shrinkage for near-zero overhead), ``"recursive"``
+    #: (MiniSat-style budgeted DFS over reason chains — shortest
+    #: clauses, but on this pure-Python substrate the extra proof
+    #: search costs about what the shorter clauses save), or ``"off"``.
+    minimize_learned: str = "local"
+    #: Budget for one recursive redundancy proof: the DFS gives up (the
+    #: literal is kept) after exploring this many reason-side variables.
+    #: Keeps pathological reason chains from costing more than the
+    #: shorter clause saves; real solvers bound this the same way.
+    minimize_budget: int = 20
     max_conflicts: Optional[int] = None
     max_decisions: Optional[int] = None
     max_propagations: Optional[int] = None
+
+
+#: Valid values of :attr:`SolverConfig.minimize_learned`.
+MINIMIZE_MODES = ("off", "local", "recursive")
+
+#: Clause-activity magnitude that triggers a rescale.  Single source of
+#: truth for both the inlined bump in ``_analyze`` and the out-of-line
+#: :meth:`CdclSolver._bump_clause_activity`.
+ACTIVITY_RESCALE_LIMIT = 1e20
 
 
 def luby(index: int) -> int:
@@ -120,6 +156,11 @@ class CdclSolver:
     ) -> None:
         self._formula = formula if formula is not None else CnfFormula(0)
         self.config = config or SolverConfig()
+        if self.config.minimize_learned not in MINIMIZE_MODES:
+            raise ValueError(
+                f"minimize_learned must be one of {MINIMIZE_MODES}, "
+                f"got {self.config.minimize_learned!r}"
+            )
         self.strategy = strategy or VsidsStrategy()
         self.num_vars = 0
         self.stats = SolverStats()
@@ -134,8 +175,19 @@ class CdclSolver:
         # its literal list.  Binary clauses live in their own lists of
         # (clause_id, implied_literal) pairs: their watches never move,
         # so BCP handles them without any clause-list access.
-        self._watches: List[List[Tuple[int, int]]] = []
-        self._watches_bin: List[List[Tuple[int, int]]] = []
+        # Long-clause watch entries are (clause_id, blocker_lit,
+        # blocker_var, blocker_value): a satisfied blocker skips the
+        # clause on an index-and-compare, without loading its literals.
+        self._watches: List[List[Tuple[int, int, int, int]]] = []
+        # Binary entries are (clause_id, implied_lit, implied_var,
+        # implied_value): variable index and target assignment are
+        # precomputed so BCP tests are a plain list index and compare.
+        self._watches_bin: List[List[Tuple[int, int, int, int]]] = []
+        # Ternary clauses are watched statically on all three literals,
+        # each entry carrying the other two with the same precomputed
+        # (lit, var, value) triples: BCP on them needs no clause-list
+        # access and no watch moves.
+        self._watches_tern: List[List[Tuple[int, ...]]] = []
         self._lit_counts: List[int] = []  # original-clause literal counts
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
@@ -146,12 +198,23 @@ class CdclSolver:
         self._clauses: List[List[int]] = []
         self._original_ids: List[int] = []
         self._original_id_set: Set[int] = set()
+        self._learned_ids: List[int] = []
         self._active: List[bool] = []
         self._deleted: List[bool] = []
         self._activity: List[float] = []
         self._activity_inc = 1.0
         self._num_live_learned = 0
         self._num_original_literals = 0
+        # Defining original unit clause per variable (var -> (lit, cid)):
+        # the fallback _reason_closure resolves level-0 facts against when
+        # a front end discharged their trail reason (reason == -1).
+        self._root_unit_of: Dict[int, Tuple[int, int]] = {}
+        # Conflict-analysis scratch, reused across conflicts so the hot
+        # path allocates no per-conflict sets (_seen doubles as the
+        # marker array; these lists record what must be unmarked).
+        self._touched_scratch: List[int] = []
+        self._zero_scratch: List[int] = []
+        self._min_stack: List[int] = []
 
         self._cdg = (
             ConflictDependencyGraph(self._num_initial)
@@ -167,8 +230,7 @@ class CdclSolver:
         self._pending_load_propagations = 0
 
         self.ensure_num_vars(self._formula.num_vars)
-        for clause in self._formula.clauses:
-            self._install_clause(list(clause.literals), initial=True)
+        self._install_initial()
 
     # ------------------------------------------------------------------
     # Incremental interface.
@@ -182,18 +244,22 @@ class CdclSolver:
 
     def ensure_num_vars(self, count: int) -> None:
         """Grow the variable space to at least ``count`` variables."""
-        while self.num_vars < count:
-            self.assigns.append(-1)
-            self._levels.append(-1)
-            self._reasons.append(-1)
-            self._seen.append(0)
-            self._watches.append([])
-            self._watches.append([])
-            self._watches_bin.append([])
-            self._watches_bin.append([])
-            self._lit_counts.append(0)
-            self._lit_counts.append(0)
-            self.num_vars += 1
+        grow = count - self.num_vars
+        if grow <= 0:
+            return
+        self.assigns.extend([-1] * grow)
+        self._levels.extend([-1] * grow)
+        self._reasons.extend([-1] * grow)
+        self._seen.extend(bytes(grow))
+        self._lit_counts.extend([0] * (2 * grow))
+        watches = self._watches
+        watches_bin = self._watches_bin
+        watches_tern = self._watches_tern
+        for _ in range(2 * grow):
+            watches.append([])
+            watches_bin.append([])
+            watches_tern.append([])
+        self.num_vars = count
 
     def add_clause(self, literals: Sequence[int]) -> int:
         """Add an original clause (allowed between solves); returns its ID.
@@ -215,6 +281,107 @@ class CdclSolver:
                 )
         return self._install_clause(list(literals), initial=False)
 
+    def _install_initial(self) -> None:
+        """Bulk-install the constructor formula.
+
+        This is the hottest path of the *experiment* layer: every
+        (strategy, depth) BMC run builds a fresh solver over the full
+        depth-k CNF, so clause installation runs tens of thousands of
+        times per Table-1 row.  Compared to the generic
+        :meth:`_install_clause` it hoists every per-clause attribute
+        access, specializes dedupe/tautology checks for the 2-3 literal
+        clauses Tseitin encodings consist of, and stores short clauses
+        as the formula's own immutable tuples (only clauses longer than
+        three literals are ever reordered by BCP, and only those get a
+        private list).
+        """
+        clauses_append = self._clauses.append
+        deleted_append = self._deleted.append
+        activity_append = self._activity.append
+        active_append = self._active.append
+        original_append = self._original_ids.append
+        original_add = self._original_id_set.add
+        lit_counts = self._lit_counts
+        assigns = self.assigns
+        watches_bin = self._watches_bin
+        watches_tern = self._watches_tern
+        watches = self._watches
+        num_literals = 0
+        next_cid = len(self._clauses)
+        for clause in self._formula.clauses:
+            lits = clause.literals
+            n = len(lits)
+            taut = False
+            if n == 2:
+                a, b = lits
+                if a == b:
+                    lits = (a,)
+                    n = 1
+                else:
+                    taut = a ^ 1 == b
+            elif n == 3:
+                a, b, c = lits
+                if a == b or a == c or b == c:
+                    lits = tuple(dict.fromkeys(lits))
+                    n = len(lits)
+                    taut = _is_tautology(lits)
+                else:
+                    taut = a ^ 1 == b or a ^ 1 == c or b ^ 1 == c
+            elif n > 3:
+                lits = list(dict.fromkeys(lits))
+                n = len(lits)
+                taut = _is_tautology(lits)
+            cid = next_cid
+            next_cid += 1
+            deleted_append(False)
+            activity_append(0.0)
+            original_append(cid)
+            original_add(cid)
+            if taut:
+                clauses_append(lits)
+                active_append(False)
+                continue
+            for lit in lits:
+                lit_counts[lit] += 1
+            num_literals += n
+            active_append(True)
+            if not self._ok or n <= 1:
+                clauses_append(list(lits))
+                if self._ok:
+                    if n == 0:
+                        self._mark_root_unsat([cid])
+                    else:
+                        self._load_unit(cid, lits[0])
+                continue
+            clean = True
+            for lit in lits:
+                if assigns[lit >> 1] != -1:
+                    clean = False
+                    break
+            if not clean:
+                lits = list(lits)
+                clauses_append(lits)
+                self._install_assigned(cid, lits)
+                continue
+            clauses_append(lits)
+            if n == 2:
+                a, b = lits
+                watches_bin[a].append((cid, b, b >> 1, 1 ^ (b & 1)))
+                watches_bin[b].append((cid, a, a >> 1, 1 ^ (a & 1)))
+            elif n == 3:
+                a, b, c = lits
+                va, pa = a >> 1, 1 ^ (a & 1)
+                vb, pb = b >> 1, 1 ^ (b & 1)
+                vc, pc = c >> 1, 1 ^ (c & 1)
+                watches_tern[a].append((cid, b, vb, pb, c, vc, pc))
+                watches_tern[b].append((cid, a, va, pa, c, vc, pc))
+                watches_tern[c].append((cid, a, va, pa, b, vb, pb))
+            else:
+                a, b = lits[0], lits[1]
+                watches[a].append((cid, b, b >> 1, 1 ^ (b & 1)))
+                watches[b].append((cid, a, a >> 1, 1 ^ (a & 1)))
+        self._num_original_literals += num_literals
+
     def _install_clause(self, lits: List[int], initial: bool) -> int:
         cid = len(self._clauses)
         lits = list(dict.fromkeys(lits))  # dedupe, keep order
@@ -232,8 +399,9 @@ class CdclSolver:
             # threshold (paper §3.3): count only installed literals.
             self._active.append(False)
             return cid
+        lit_counts = self._lit_counts
         for lit in lits:
-            self._lit_counts[lit] += 1
+            lit_counts[lit] += 1
         self._num_original_literals += len(lits)
         self._active.append(True)
         if not self._ok:
@@ -243,36 +411,76 @@ class CdclSolver:
         elif len(lits) == 1:
             self._load_unit(cid, lits[0])
         else:
-            # Late-added clauses may be unit/false under level-0 facts;
-            # watches on false literals are fine because solve() replays
-            # propagation from the start of the trail after each restart
-            # to level 0.  To keep the invariant simple, prefer watching
-            # non-false literals when available.
-            lits.sort(key=lambda lit: self.value_of(lit) == 0)
-            false_count = sum(1 for lit in lits if self.value_of(lit) == 0)
-            unassigned = [lit for lit in lits if self.value_of(lit) == -1]
-            satisfied = any(self.value_of(lit) == 1 for lit in lits)
-            if not satisfied and false_count == len(lits):
+            # Fast path (the bulk of solver construction over a BMC
+            # formula): a clause with no assigned literal needs none of
+            # the level-0 unit/conflict handling — attach as-is.
+            assigns = self.assigns
+            for lit in lits:
+                if assigns[lit >> 1] != -1:
+                    self._install_assigned(cid, lits)
+                    return cid
+            self._attach_clause(cid, lits)
+        return cid
+
+    def _install_assigned(self, cid: int, lits: List[int]) -> None:
+        """Install a clause some of whose literals are already assigned
+        (level-0 facts): it may be satisfied, effectively unit, or
+        falsified; one pass classifies it.  Long clauses get two
+        non-false literals moved to the watch positions (a clause
+        satisfied at level 0 stays satisfied forever, so its watch
+        placement is irrelevant; binary/ternary watches are static and
+        position-independent)."""
+        assigns = self.assigns
+        satisfied = False
+        first_un = -1
+        second_un = -1
+        for lit in lits:
+            value = assigns[lit >> 1]
+            if value == -1:
+                if first_un < 0:
+                    first_un = lit
+                elif second_un < 0:
+                    second_un = lit
+            elif value ^ (lit & 1) == 1:
+                satisfied = True
+                break
+        if not satisfied:
+            if first_un == -1:  # every literal false at level 0
                 antecedents = [cid]
                 self._reason_closure([lit >> 1 for lit in lits], antecedents)
                 self._mark_root_unsat(antecedents)
-                return cid
-            if not satisfied and len(unassigned) == 1 and false_count == len(lits) - 1:
-                # Effectively unit at level 0.
-                target = unassigned[0]
-                lits.remove(target)
-                lits.insert(0, target)
-                self._enqueue(target, cid)
+                return
+            if second_un == -1:  # effectively unit at level 0
+                lits.remove(first_un)
+                lits.insert(0, first_un)
+                self._enqueue(first_un, cid)
                 self._pending_load_propagations += 1
-            if len(lits) == 2:
-                self._watches_bin[lits[0]].append((cid, lits[1]))
-                self._watches_bin[lits[1]].append((cid, lits[0]))
-            else:
-                self._watches[lits[0]].append((cid, lits[1]))
-                self._watches[lits[1]].append((cid, lits[0]))
-        return cid
+            elif len(lits) > 3:
+                lits.remove(first_un)
+                lits.remove(second_un)
+                lits[:0] = (first_un, second_un)
+        self._attach_clause(cid, lits)
+
+    def _attach_clause(self, cid: int, lits: List[int]) -> None:
+        if len(lits) == 2:
+            a, b = lits
+            self._watches_bin[a].append((cid, b, b >> 1, 1 ^ (b & 1)))
+            self._watches_bin[b].append((cid, a, a >> 1, 1 ^ (a & 1)))
+        elif len(lits) == 3:
+            a, b, c = lits
+            va, pa = a >> 1, 1 ^ (a & 1)
+            vb, pb = b >> 1, 1 ^ (b & 1)
+            vc, pc = c >> 1, 1 ^ (c & 1)
+            self._watches_tern[a].append((cid, b, vb, pb, c, vc, pc))
+            self._watches_tern[b].append((cid, a, va, pa, c, vc, pc))
+            self._watches_tern[c].append((cid, a, va, pa, b, vb, pb))
+        else:
+            a, b = lits[0], lits[1]
+            self._watches[a].append((cid, b, b >> 1, 1 ^ (b & 1)))
+            self._watches[b].append((cid, a, a >> 1, 1 ^ (a & 1)))
 
     def _load_unit(self, clause_id: int, lit: int) -> None:
+        self._root_unit_of.setdefault(lit >> 1, (lit, clause_id))
         value = self.value_of(lit)
         if value == 1:
             return  # redundant duplicate unit
@@ -351,8 +559,8 @@ class CdclSolver:
         levels = self._levels
         reasons = self._reasons
         trail = self._trail
-        for i in range(len(trail) - 1, limit - 1, -1):
-            var = trail[i] >> 1
+        for lit in trail[limit:]:
+            var = lit >> 1
             assigns[var] = -1
             levels[var] = -1
             reasons[var] = -1
@@ -383,29 +591,65 @@ class CdclSolver:
         clauses = self._clauses
         watches = self._watches
         watches_bin = self._watches_bin
+        watches_tern = self._watches_tern
         trail = self._trail
+        trail_append = trail.append
         levels = self._levels
         reasons = self._reasons
         level = self._decision_level
         qhead = self._qhead
         props = 0
-        while qhead < len(trail):
+        # Literal truth tests are single xor-compares: with assigns in
+        # {-1, 0, 1}, ``assigns[var] ^ phase`` is 1 iff the literal is
+        # true, 0 iff false, and negative iff unassigned — so satisfied
+        # is ``== 1``, non-false is ``!= 0``, unassigned is ``< 0``.
+        trail_len = len(trail)
+        while qhead < trail_len:
             lit = trail[qhead]
             qhead += 1
             false_lit = lit ^ 1
-            for cid, implied in watches_bin[false_lit]:
-                var = implied >> 1
-                value = assigns[var]
-                if value == -1:
-                    props += 1
-                    assigns[var] = 1 ^ (implied & 1)
-                    levels[var] = level
-                    reasons[var] = cid
-                    trail.append(implied)
-                elif value ^ (implied & 1) == 0:
-                    self._qhead = qhead
-                    self.stats.propagations += props
-                    return cid
+            entries = watches_bin[false_lit]
+            if entries:
+                for cid, implied, var, want in entries:
+                    value = assigns[var]
+                    if value == -1:
+                        props += 1
+                        assigns[var] = want
+                        levels[var] = level
+                        reasons[var] = cid
+                        trail_append(implied)
+                        trail_len += 1
+                    elif value != want:
+                        self._qhead = qhead
+                        self.stats.propagations += props
+                        return cid
+            entries = watches_tern[false_lit]
+            if entries:
+                for cid, lit_a, var_a, want_a, lit_b, var_b, want_b in entries:
+                    value_a = assigns[var_a]
+                    if value_a == want_a:
+                        continue
+                    value_b = assigns[var_b]
+                    if value_b == want_b:
+                        continue
+                    if value_a >= 0:  # a is false (assigned, not want)
+                        if value_b >= 0:
+                            self._qhead = qhead
+                            self.stats.propagations += props
+                            return cid
+                        props += 1
+                        assigns[var_b] = want_b
+                        levels[var_b] = level
+                        reasons[var_b] = cid
+                        trail_append(lit_b)
+                        trail_len += 1
+                    elif value_b >= 0:  # b is false, a unassigned
+                        props += 1
+                        assigns[var_a] = want_a
+                        levels[var_a] = level
+                        reasons[var_a] = cid
+                        trail_append(lit_a)
+                        trail_len += 1
             watch_list = watches[false_lit]
             if not watch_list:
                 continue
@@ -415,9 +659,7 @@ class CdclSolver:
             while i < n:
                 entry = watch_list[i]
                 i += 1
-                blocker = entry[1]
-                blocker_value = assigns[blocker >> 1]
-                if blocker_value != -1 and blocker_value ^ (blocker & 1) == 1:
+                if assigns[entry[2]] == entry[3]:
                     watch_list[j] = entry
                     j += 1
                     continue
@@ -426,28 +668,30 @@ class CdclSolver:
                 if lits[0] == false_lit:
                     lits[0], lits[1] = lits[1], lits[0]
                 first = lits[0]
-                first_value = assigns[first >> 1]
-                if first_value != -1 and first_value ^ (first & 1) == 1:
-                    watch_list[j] = (cid, first)
+                first_truth = assigns[first >> 1] ^ (first & 1)
+                if first_truth == 1:
+                    watch_list[j] = (cid, first, first >> 1, 1 ^ (first & 1))
                     j += 1
                     continue
                 for k in range(2, len(lits)):
                     other = lits[k]
-                    other_value = assigns[other >> 1]
-                    if other_value == -1 or other_value ^ (other & 1) == 1:
+                    if assigns[other >> 1] ^ (other & 1) != 0:
                         lits[1], lits[k] = other, lits[1]
-                        watches[other].append((cid, first))
+                        watches[other].append(
+                            (cid, first, first >> 1, 1 ^ (first & 1))
+                        )
                         break
                 else:
                     watch_list[j] = entry
                     j += 1
-                    if first_value == -1:
+                    if first_truth != 0:
                         props += 1
                         var = first >> 1
                         assigns[var] = 1 ^ (first & 1)
                         levels[var] = level
                         reasons[var] = cid
-                        trail.append(first)
+                        trail_append(first)
+                        trail_len += 1
                     else:
                         # Conflict: keep the untouched tail of the list.
                         while i < n:
@@ -472,6 +716,15 @@ class CdclSolver:
 
         Level-0 literals are dropped from learned clauses, so a complete
         resolution derivation must also cite the clauses that forced them.
+
+        A level-0 variable may legitimately carry no trail reason
+        (``reason == -1``): front ends that install root-level unit
+        clauses incrementally can discharge or never record the
+        implication (the incremental BMC engines re-feed facts between
+        ``solve()`` calls).  Such variables resolve against their
+        defining original unit clause instead of crashing; only a
+        variable with neither a reason nor a consistent defining unit is
+        a genuine internal error.
         """
         visited: Set[int] = set()
         stack = list(start_vars)
@@ -482,40 +735,77 @@ class CdclSolver:
             visited.add(var)
             reason = self._reasons[var]
             if reason == -1:
-                raise AssertionError(
-                    f"level-0 variable {var} has no reason clause"
-                )
+                reason = self._defining_unit(var)
+                if reason == -1:
+                    raise AssertionError(
+                        f"level-0 variable {var} has no reason clause "
+                        f"and no defining unit"
+                    )
+                antecedents.append(reason)
+                continue  # a unit clause closes the chain for this var
             antecedents.append(reason)
             for lit in self._clauses[reason]:
                 other = lit >> 1
                 if other != var:
                     stack.append(other)
 
+    def _defining_unit(self, var: int) -> int:
+        """Clause ID of an original unit clause matching ``var``'s current
+        assignment, or -1."""
+        entry = self._root_unit_of.get(var)
+        if entry is not None and self.value_of(entry[0]) == 1:
+            return entry[1]
+        return -1
+
     def _analyze(self, conflict_cid: int) -> Tuple[List[int], int, List[int]]:
-        """First-UIP analysis.
+        """First-UIP analysis with learned-clause minimization.
 
         Returns ``(learned_literals, backjump_level, antecedent_ids)`` with
         the asserting literal at ``learned_literals[0]`` and (when the
         clause is not unit) a literal of the backjump level at position 1.
+
+        Hot-path invariants: the only marker structure is the persistent
+        ``_seen`` bytearray; level-0 variables and marked variables are
+        recorded in the reusable ``_zero_scratch`` / ``_touched_scratch``
+        lists, so a conflict allocates no sets.  Clause-activity bumps
+        are inlined (the rescale path is the out-of-line rarity).
+
+        After the first-UIP clause is formed, redundant literals are
+        removed by self-subsumption over reason chains (see
+        :meth:`_minimize_learned`); every reason clause consumed by a
+        removal proof is appended to ``antecedents`` so the CDG entry
+        remains a complete resolution derivation that
+        ``repro.sat.proof`` can replay.
         """
         seen = self._seen
         levels = self._levels
+        reasons = self._reasons
+        clauses = self._clauses
         trail = self._trail
+        original = self._original_id_set
+        activity = self._activity
+        inc = self._activity_inc
         current = self._decision_level
         learned: List[int] = [0]
         antecedents: List[int] = [conflict_cid]
-        zero_vars: Set[int] = set()
-        touched: List[int] = []
+        zero = self._zero_scratch
+        touched = self._touched_scratch
+        touched_append = touched.append
+        learned_append = learned.append
         counter = 0
         p = -1
         cid = conflict_cid
         idx = len(trail) - 1
-        btlevel = 0
+        rescale_limit = ACTIVITY_RESCALE_LIMIT
 
         while True:
-            if cid != conflict_cid and not self._active_original(cid):
-                self._bump_clause_activity(cid)
-            for q in self._clauses[cid]:
+            if cid != conflict_cid and cid not in original:
+                bumped = activity[cid] + inc
+                activity[cid] = bumped
+                if bumped > rescale_limit:
+                    self._rescale_clause_activity()
+                    inc = self._activity_inc
+            for q in clauses[cid]:
                 if q == p:
                     continue
                 var = q >> 1
@@ -523,16 +813,16 @@ class CdclSolver:
                     continue
                 level = levels[var]
                 if level == 0:
-                    zero_vars.add(var)
+                    seen[var] = 1
+                    touched_append(var)
+                    zero.append(var)
                     continue
                 seen[var] = 1
-                touched.append(var)
+                touched_append(var)
                 if level >= current:
                     counter += 1
                 else:
-                    learned.append(q)
-                    if level > btlevel:
-                        btlevel = level
+                    learned_append(q)
             while not seen[trail[idx] >> 1]:
                 idx -= 1
             p = trail[idx]
@@ -540,14 +830,26 @@ class CdclSolver:
             counter -= 1
             if counter == 0:
                 break
-            cid = self._reasons[p >> 1]
+            cid = reasons[p >> 1]
             antecedents.append(cid)
 
         learned[0] = p ^ 1
+        stats = self.stats
+        stats.learned_literals_before_min += len(learned)
+        mode = self.config.minimize_learned
+        if mode != "off" and len(learned) > 2:
+            self._minimize_learned(learned, antecedents, mode == "recursive")
+        stats.learned_literals += len(learned)
+
+        # While the seen marks are still set, close over the level-0
+        # chains (minimization may have added zero-level variables).
+        if zero:
+            self._reason_closure(zero, antecedents)
         for var in touched:
             seen[var] = 0
-        if zero_vars:
-            self._reason_closure(sorted(zero_vars), antecedents)
+        del touched[:]
+        del zero[:]
+
         if len(learned) > 1:
             max_i = 1
             max_level = levels[learned[1] >> 1]
@@ -562,18 +864,188 @@ class CdclSolver:
             btlevel = 0
         return learned, btlevel, antecedents
 
+    def _minimize_learned(
+        self, learned: List[int], antecedents: List[int], recursive: bool
+    ) -> None:
+        """Self-subsumption minimization of a freshly learned clause.
+
+        A non-asserting literal ``q`` is *redundant* when its reason
+        clause resolves away against the rest of the learned clause:
+        every other literal of ``reason(var(q))`` is a level-0 fact, an
+        already-marked variable, or (in recursive mode) transitively
+        redundant itself.  Removing redundant literals shortens the
+        clause — cutting downstream BCP work — without weakening it.
+
+        Soundness bookkeeping: each reason clause consumed by a
+        successful redundancy proof is appended to ``antecedents`` (the
+        implication graph is acyclic in trail order, so reverse unit
+        propagation over the extended antecedent list still derives the
+        minimized clause), and level-0 variables met along the way join
+        the zero-scratch list for the usual reason-chain closure.
+        """
+        levels = self._levels
+        reasons = self._reasons
+        seen = self._seen
+        clauses = self._clauses
+        budget = self.config.minimize_budget
+        mask = 0
+        for i in range(1, len(learned)):
+            mask |= 1 << (levels[learned[i] >> 1] & 31)
+        j = 1
+        for i in range(1, len(learned)):
+            q = learned[i]
+            var = q >> 1
+            reason = reasons[var]
+            if reason == -1:
+                learned[j] = q
+                j += 1
+                continue
+            # Inline fast path: one resolution step.  Most candidates
+            # are decided here; only reasons that meet unseen variables
+            # fall through to the recursive DFS.  Seen codes: 1 = in the
+            # clause or proven covered, 3 = proven (or assumed, after a
+            # budget abort) non-redundant — both memoized per conflict.
+            verdict = 1  # 1 redundant, 0 not, -1 needs recursion
+            for r in clauses[reason]:
+                u = r >> 1
+                if u == var:
+                    continue
+                s = seen[u]
+                if s == 1:
+                    continue
+                if s == 3:
+                    verdict = 0
+                    break
+                lu = levels[u]
+                if lu == 0:
+                    seen[u] = 1
+                    self._touched_scratch.append(u)
+                    self._zero_scratch.append(u)
+                    continue
+                if (
+                    not recursive
+                    or reasons[u] == -1
+                    or not (mask >> (lu & 31)) & 1
+                ):
+                    # A decision variable or a level outside the clause
+                    # can never be resolved away; memoize the failure so
+                    # later candidates skip it in one lookup.
+                    seen[u] = 3
+                    self._touched_scratch.append(u)
+                    verdict = 0
+                    break
+                verdict = -1
+                break
+            if verdict == 1:
+                antecedents.append(reason)
+                continue
+            if verdict == -1 and self._lit_redundant(
+                var, mask, antecedents, budget
+            ):
+                continue
+            learned[j] = q
+            j += 1
+        removed = len(learned) - j
+        if removed:
+            del learned[j:]
+            self.stats.minimized_literals += removed
+
+    def _lit_redundant(
+        self, var0: int, mask: int, antecedents: List[int], budget: int
+    ) -> bool:
+        """True if ``var0``'s literal is redundant in the current learned
+        clause; on success the consumed reason clauses join ``antecedents``.
+
+        ``mask`` is the abstraction of decision levels present in the
+        clause (MiniSat's ``abstract_levels``): a reason touching a level
+        outside it can never be covered, which prunes most failures in
+        one bit test.  Proofs that would explore more than
+        ``config.minimize_budget`` variables are abandoned (literal
+        kept) — soundness never depends on a proof being found.
+        """
+        seen = self._seen
+        levels = self._levels
+        reasons = self._reasons
+        clauses = self._clauses
+        touched = self._touched_scratch
+        zero = self._zero_scratch
+        stack = self._min_stack
+        del stack[:]
+        stack.append(var0)
+        top = len(touched)
+        while stack:
+            v = stack.pop()
+            for q in clauses[reasons[v]]:
+                u = q >> 1
+                if u == v:
+                    continue
+                lu = levels[u]
+                if lu == 0:
+                    if not seen[u]:
+                        seen[u] = 1
+                        touched.append(u)
+                        zero.append(u)
+                    continue
+                s = seen[u]
+                if s == 1:
+                    continue
+                failed = s == 3
+                if not failed:
+                    budget -= 1
+                    failed = (
+                        budget < 0
+                        or reasons[u] == -1
+                        or not (mask >> (lu & 31)) & 1
+                    )
+                if failed:
+                    # Memoize the failure: every level>0 variable this
+                    # proof explored is re-marked "non-redundant", so
+                    # later candidates fail on it in one lookup rather
+                    # than re-running the DFS.  (Level-0 marks stay:
+                    # their chains are harmless extra antecedents and
+                    # keep the zero list in sync.)
+                    for k in range(top, len(touched)):
+                        w = touched[k]
+                        if levels[w] != 0:
+                            seen[w] = 3
+                    return False
+                seen[u] = 1
+                touched.append(u)
+                stack.append(u)
+        antecedents.append(reasons[var0])
+        for k in range(top, len(touched)):
+            w = touched[k]
+            if levels[w] != 0:
+                antecedents.append(reasons[w])
+        return True
+
     def _active_original(self, cid: int) -> bool:
         # The set agrees with the CDG's is_original (both track initial
         # plus incrementally added clauses) and is O(1) either way.
         return cid in self._original_id_set
 
     def _bump_clause_activity(self, cid: int) -> None:
+        # Out-of-line form of the bump inlined in _analyze (same
+        # threshold constant); kept as the maintained utility entry
+        # point for tests and future non-hot-path callers.
         self._activity[cid] += self._activity_inc
-        if self._activity[cid] > 1e20:
-            scale = 1e-20
-            for other in range(len(self._clauses)):
-                self._activity[other] *= scale
-            self._activity_inc *= scale
+        if self._activity[cid] > ACTIVITY_RESCALE_LIMIT:
+            self._rescale_clause_activity()
+
+    def _rescale_clause_activity(self) -> None:
+        """Rescale on overflow — learned-clause activities only.
+
+        Original clauses never accumulate activity (bumps are gated on
+        the learned side), so scaling them is at best wasted work over
+        the whole clause DB and would corrupt any externally assigned
+        original-clause activity.  Relative ordering among learned
+        clauses is preserved exactly (one common factor).
+        """
+        scale = 1e-20
+        activity = self._activity
+        for cid in self._learned_ids:
+            activity[cid] *= scale
+        self._activity_inc *= scale
 
     def _add_learned(self, learned: List[int], antecedents: List[int]) -> int:
         cid = len(self._clauses)
@@ -581,17 +1053,14 @@ class CdclSolver:
         self._active.append(True)
         self._deleted.append(False)
         self._activity.append(self._activity_inc)
+        self._learned_ids.append(cid)
         self._num_live_learned += 1
         self.stats.learned_clauses += 1
         if self._cdg is not None:
             self._cdg.add(cid, antecedents)
             self.stats.cdg_entries += 1
-        if len(learned) == 2:
-            self._watches_bin[learned[0]].append((cid, learned[1]))
-            self._watches_bin[learned[1]].append((cid, learned[0]))
-        elif len(learned) > 2:
-            self._watches[learned[0]].append((cid, learned[1]))
-            self._watches[learned[1]].append((cid, learned[0]))
+        if len(learned) >= 2:
+            self._attach_clause(cid, learned)
         return cid
 
     # ------------------------------------------------------------------
@@ -611,7 +1080,16 @@ class CdclSolver:
             lits = self._clauses[cid]
             if len(lits) <= 2:
                 continue  # keep short clauses, they are cheap and strong
-            if self._reasons[lits[0] >> 1] == cid:
+            if len(lits) == 3:
+                # Ternary watches never reorder literals, so the implied
+                # literal of a reason clause may sit at any position.
+                if (
+                    self._reasons[lits[0] >> 1] == cid
+                    or self._reasons[lits[1] >> 1] == cid
+                    or self._reasons[lits[2] >> 1] == cid
+                ):
+                    continue  # locked: currently the reason of an assignment
+            elif self._reasons[lits[0] >> 1] == cid:
                 continue  # locked: currently the reason of an assignment
             candidates.append(cid)
         if not candidates:
@@ -626,9 +1104,14 @@ class CdclSolver:
 
     def _detach_clause(self, cid: int) -> None:
         lits = self._clauses[cid]
-        table = self._watches_bin if len(lits) == 2 else self._watches
-        for watched in (lits[0], lits[1]):
-            watch_list = table[watched]
+        if len(lits) == 2:
+            table, watched = self._watches_bin, (lits[0], lits[1])
+        elif len(lits) == 3:
+            table, watched = self._watches_tern, tuple(lits)
+        else:
+            table, watched = self._watches, (lits[0], lits[1])
+        for lit in watched:
+            watch_list = table[lit]
             for i, entry in enumerate(watch_list):
                 if entry[0] == cid:
                     watch_list[i] = watch_list[-1]
@@ -683,11 +1166,17 @@ class CdclSolver:
         conflicts_in_epoch = 0
         epoch_limit = config.restart_base * luby(restart_epoch)
         max_learned = config.reduce_base + len(self._original_ids) // 3
+        # Per-conflict hoists (the conflict path runs thousands of times
+        # per second; budget fields are read-only during a solve).
+        activity_decay = config.clause_activity_decay
+        max_conflicts = config.max_conflicts
+        max_propagations = config.max_propagations
+        stats = self.stats
 
         while True:
             conflict = self._propagate()
             if conflict != -1:
-                self.stats.conflicts += 1
+                stats.conflicts += 1
                 conflicts_in_epoch += 1
                 if self._decision_level == 0:
                     self._record_final_conflict(conflict)
@@ -698,23 +1187,20 @@ class CdclSolver:
                     # UNSAT under the current assumptions.
                     return self._assumption_conflict_outcome(conflict)
                 learned, btlevel, antecedents = self._analyze(conflict)
-                self._activity_inc /= config.clause_activity_decay
+                self._activity_inc /= activity_decay
                 # Backjumping below the assumption prefix is fine: the
                 # decision loop re-establishes assumptions level by level.
                 self._backtrack(btlevel)
                 cid = self._add_learned(learned, antecedents)
                 if self.value_of(learned[0]) == -1:
                     self._enqueue(learned[0], cid)
-                    self.stats.propagations += 1
+                    stats.propagations += 1
                 self.strategy.on_conflict(learned)
-                if (
-                    config.max_conflicts is not None
-                    and self.stats.conflicts >= config.max_conflicts
-                ):
+                if max_conflicts is not None and stats.conflicts >= max_conflicts:
                     return SolveOutcome(status=SolveResult.UNKNOWN)
                 if (
-                    config.max_propagations is not None
-                    and self.stats.propagations >= config.max_propagations
+                    max_propagations is not None
+                    and stats.propagations >= max_propagations
                 ):
                     return SolveOutcome(status=SolveResult.UNKNOWN)
                 continue
@@ -792,6 +1278,14 @@ class CdclSolver:
             visited.add(var)
             reason = self._reasons[var]
             if reason == -1:
+                if self._levels[var] == 0:
+                    # Root fact whose trail reason was discharged by an
+                    # incremental front end: cite its defining unit, do
+                    # not misreport it as a failed assumption.
+                    unit = self._defining_unit(var)
+                    if unit != -1:
+                        antecedents.append(unit)
+                        continue
                 assumption_vars.add(var)
                 continue
             antecedents.append(reason)
@@ -918,6 +1412,16 @@ class CdclSolver:
 
 
 def _is_tautology(lits: Sequence[int]) -> bool:
+    # Specialized for the 2-3 literal clauses that dominate Tseitin
+    # encodings; the set-based general case only runs for longer ones.
+    n = len(lits)
+    if n <= 1:
+        return False
+    if n == 2:
+        return lits[0] ^ 1 == lits[1]
+    if n == 3:
+        a, b, c = lits
+        return a ^ 1 == b or a ^ 1 == c or b ^ 1 == c
     lit_set = set(lits)
     return any(lit ^ 1 in lit_set for lit in lit_set)
 

@@ -22,6 +22,19 @@ class SolverStats:
     max_decision_level: int = 0
     cdg_entries: int = 0
     solve_time: float = 0.0
+    # Learned-clause length accounting (conflict-analysis quality):
+    # literal totals before and after self-subsumption minimization,
+    # plus the literals the minimizer deleted.
+    learned_literals_before_min: int = 0
+    learned_literals: int = 0
+    minimized_literals: int = 0
+
+    @property
+    def mean_learned_length(self) -> float:
+        """Mean length of learned clauses as installed (post-minimization)."""
+        if not self.learned_clauses:
+            return 0.0
+        return self.learned_literals / self.learned_clauses
 
     def merge(self, other: "SolverStats") -> None:
         """Accumulate another solve's counters into this one (used by the
@@ -35,3 +48,6 @@ class SolverStats:
         self.max_decision_level = max(self.max_decision_level, other.max_decision_level)
         self.cdg_entries += other.cdg_entries
         self.solve_time += other.solve_time
+        self.learned_literals_before_min += other.learned_literals_before_min
+        self.learned_literals += other.learned_literals
+        self.minimized_literals += other.minimized_literals

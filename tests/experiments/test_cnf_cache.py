@@ -1,0 +1,189 @@
+"""The cross-strategy CNF/encoding cache (PR 2 tentpole, experiment side).
+
+Contract under test (see ``repro.experiments.runner`` docstring): cache
+state must never change a search-derived field — only ``build_time`` /
+``wall_time`` move — and the per-process default cache must actually be
+hit when a Table-1 row runs under several strategies.
+"""
+
+import pytest
+
+from repro.bmc import BmcEngine, EncodingCache
+from repro.encode.unroll import Unroller
+from repro.experiments import run_instance, run_instances
+from repro.experiments.runner import default_encoding_cache
+from repro.workloads import instance_by_name
+
+
+def search_key(result):
+    return (
+        result.name,
+        result.strategy,
+        result.status,
+        result.depth_reached,
+        result.decisions,
+        result.implications,
+        result.conflicts,
+        tuple(
+            (d.k, d.status, d.num_vars, d.num_clauses,
+             d.decisions, d.propagations, d.conflicts)
+            for d in result.per_depth
+        ),
+    )
+
+
+class TestEncodingCache:
+    def test_hits_across_strategies(self):
+        cache = EncodingCache()
+        row = instance_by_name("01_b")
+        results = [
+            run_instance(row, strategy, encoding_cache=cache)
+            for strategy in ("bmc", "static", "dynamic")
+        ]
+        assert cache.misses == 1
+        assert cache.hits == 2
+        assert len({r.status for r in results}) == 1
+
+    def test_shared_unroller_identity(self):
+        cache = EncodingCache()
+        row = instance_by_name("01_b")
+        circuit1, prop1, unroller1 = cache.unroller_for(row)
+        circuit2, prop2, unroller2 = cache.unroller_for(row)
+        assert circuit1 is circuit2 and unroller1 is unroller2
+        # use_coi keys separately
+        _, _, unroller3 = cache.unroller_for(row, use_coi=True)
+        assert unroller3 is not unroller1
+
+    def test_same_name_different_builder_not_served_stale(self):
+        # Two rows sharing a name but built differently must not share
+        # an entry — the fingerprint check forces a rebuild.
+        import dataclasses
+
+        cache = EncodingCache()
+        row = instance_by_name("01_b")
+        other = instance_by_name("27_b")  # different circuit entirely
+        impostor = dataclasses.replace(other, name=row.name)
+        circuit_a, _, _ = cache.unroller_for(row)
+        circuit_b, _, _ = cache.unroller_for(impostor)
+        assert cache.misses == 2
+        assert circuit_a is not circuit_b
+        assert circuit_a.num_nets != circuit_b.num_nets
+
+    def test_lru_eviction(self):
+        cache = EncodingCache(capacity=1)
+        cache.unroller_for(instance_by_name("01_b"))
+        cache.unroller_for(instance_by_name("15_b"))
+        assert len(cache) == 1
+        cache.unroller_for(instance_by_name("01_b"))
+        assert cache.misses == 3  # re-built after eviction
+
+    def test_cached_vs_uncached_results_identical(self):
+        row = instance_by_name("01_b")
+        cache = EncodingCache()
+        for strategy in ("bmc", "static", "dynamic"):
+            cached = run_instance(row, strategy, encoding_cache=cache)
+            plain = run_instance(row, strategy, encoding_cache=None)
+            assert search_key(cached) == search_key(plain)
+
+    def test_warm_cache_collapses_build_time(self):
+        cache = EncodingCache()
+        row = instance_by_name("01_b")
+        cold = run_instance(row, "bmc", encoding_cache=cache)
+        warm = run_instance(row, "static", encoding_cache=cache)
+        assert cold.build_time > 0
+        assert warm.build_time <= cold.build_time
+        # wall_time covers build + run for both (satellite fix: build
+        # is no longer silently excluded from the wall clock).
+        assert warm.wall_time >= warm.solve_time
+        assert cold.wall_time >= cold.build_time
+
+    def test_default_cache_is_per_process_and_used(self):
+        default = default_encoding_cache()
+        assert default is default_encoding_cache()
+        hits_before = default.hits + default.misses
+        run_instance(instance_by_name("15_b"), "bmc")
+        assert default.hits + default.misses == hits_before + 1
+
+
+class TestUnrollerInjection:
+    def test_matching_unroller_accepted_and_reused(self):
+        row = instance_by_name("01_b")
+        circuit, prop = row.build()
+        unroller = Unroller(circuit, prop)
+        engine = BmcEngine(circuit, prop, max_depth=2, unroller=unroller)
+        assert engine.unroller is unroller
+
+    def test_mismatched_unroller_rejected(self):
+        row = instance_by_name("01_b")
+        circuit, prop = row.build()
+        other_circuit, other_prop = row.build()
+        unroller = Unroller(other_circuit, other_prop)
+        with pytest.raises(ValueError):
+            BmcEngine(circuit, prop, max_depth=2, unroller=unroller)
+
+    def test_constrain_init_mismatch_rejected(self):
+        # An unroller without the initial-state constraint encodes a
+        # different formula; injection must refuse it.
+        row = instance_by_name("01_b")
+        circuit, prop = row.build()
+        unroller = Unroller(circuit, prop, constrain_init=False)
+        with pytest.raises(ValueError):
+            BmcEngine(circuit, prop, max_depth=2, unroller=unroller)
+
+    def test_incremental_engine_warm_unroller_identical(self):
+        # A shared unroller may already hold frames deeper than the
+        # incremental engine's current depth; the frame feed is bounded
+        # by per-depth watermarks, so a warm unroller must reproduce the
+        # cold run's search-derived stats exactly (not stream future
+        # frames into the depth-0 solve).
+        from repro.bmc import IncrementalBmcEngine
+
+        row = instance_by_name("01_b")
+        circuit, prop = row.build()
+        cold = IncrementalBmcEngine(circuit, prop, max_depth=row.max_depth)
+        cold_result = cold.run()
+
+        warm_unroller = Unroller(circuit, prop)
+        warm_unroller.ensure_frames(row.max_depth)  # pre-encode everything
+        warm = IncrementalBmcEngine(
+            circuit, prop, max_depth=row.max_depth, unroller=warm_unroller
+        )
+        warm_result = warm.run()
+
+        assert warm_result.status is cold_result.status
+        assert warm_result.depth_reached == cold_result.depth_reached
+        assert [
+            (d.k, d.status, d.num_vars, d.num_clauses,
+             d.decisions, d.propagations, d.conflicts)
+            for d in warm_result.per_depth
+        ] == [
+            (d.k, d.status, d.num_vars, d.num_clauses,
+             d.decisions, d.propagations, d.conflicts)
+            for d in cold_result.per_depth
+        ]
+
+    def test_memoized_instances_are_shared_and_equal(self):
+        row = instance_by_name("01_b")
+        circuit, prop = row.build()
+        memo = Unroller(circuit, prop, memoize_instances=True)
+        plain = Unroller(circuit, prop)
+        assert memo.instance(3) is memo.instance(3)
+        inst_a, inst_b = memo.instance(3), plain.instance(3)
+        assert inst_a.formula.num_vars == inst_b.formula.num_vars
+        assert [c.literals for c in inst_a.formula.clauses] == [
+            c.literals for c in inst_b.formula.clauses
+        ]
+
+
+class TestJobsEquivalenceWithCache:
+    def test_jobs_vs_serial_with_cache_enabled(self):
+        # Satellite test: the per-worker memo must not perturb the
+        # deterministic merge — strategies of one row land in different
+        # workers with differently warmed caches.
+        row = instance_by_name("01_b")
+        pairs = [(row, s) for s in ("bmc", "static", "dynamic", "shtrichman")]
+        serial = run_instances(pairs, jobs=None)
+        parallel = run_instances(pairs, jobs=3)
+        assert [search_key(r) for r in serial] == [
+            search_key(r) for r in parallel
+        ]

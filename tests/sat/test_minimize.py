@@ -1,0 +1,207 @@
+"""Learned-clause minimization: soundness and bookkeeping.
+
+The two soundness obligations (PR 2's tentpole):
+
+* every minimized learned clause must still be *implied by the original
+  formula* — checked two independent ways: replaying the solver's own
+  resolution proof (``repro.sat.proof``), and asking a fresh one-shot
+  solver (minimization off) whether ``formula ∧ ¬clause`` is UNSAT;
+* the CDG entry of a minimized clause must remain a complete
+  derivation, i.e. the reason clauses consumed by removal proofs must
+  have been appended to its antecedent list (this is exactly what the
+  proof replay validates clause by clause).
+"""
+
+import random
+
+import pytest
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import CdclSolver, SolverConfig
+from repro.sat.heuristics import FixedOrderStrategy
+from repro.sat.proof import check_proof
+from repro.sat.solver import MINIMIZE_MODES
+from repro.sat.types import SolveResult
+
+MODES = ("off", "local", "recursive")
+
+
+def random_3cnf(num_vars, num_clauses, seed):
+    rng = random.Random(seed)
+    formula = CnfFormula(num_vars)
+    for _ in range(num_clauses):
+        chosen = rng.sample(range(num_vars), 3)
+        formula.add_clause(2 * v + rng.randint(0, 1) for v in chosen)
+    return formula
+
+
+def pigeonhole(n):
+    formula = CnfFormula((n + 1) * n)
+    for p in range(n + 1):
+        formula.add_clause(mk_lit(p * n + h) for h in range(n))
+    for h in range(n):
+        for p1 in range(n + 1):
+            for p2 in range(p1 + 1, n + 1):
+                formula.add_clause(
+                    [mk_lit(p1 * n + h, True), mk_lit(p2 * n + h, True)]
+                )
+    return formula
+
+
+def implied_by(formula: CnfFormula, literals) -> bool:
+    """True if ``formula`` implies the disjunction of ``literals``,
+    decided by an independent one-shot solve of formula ∧ ¬clause."""
+    check = CnfFormula(formula.num_vars)
+    for clause in formula.clauses:
+        check.add_clause(clause.literals)
+    for lit in literals:
+        check.add_clause([lit ^ 1])
+    out = CdclSolver(
+        check,
+        config=SolverConfig(record_cdg=False, minimize_learned="off"),
+    ).solve()
+    return out.status is SolveResult.UNSAT
+
+
+class TestConfigKnob:
+    def test_modes_exposed(self):
+        assert set(MODES) == set(MINIMIZE_MODES)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CdclSolver(CnfFormula(1), config=SolverConfig(minimize_learned="maybe"))
+
+    def test_off_never_minimizes(self):
+        solver = CdclSolver(
+            pigeonhole(6), config=SolverConfig(minimize_learned="off")
+        )
+        solver.solve()
+        assert solver.stats.minimized_literals == 0
+        assert (
+            solver.stats.learned_literals
+            == solver.stats.learned_literals_before_min
+        )
+
+
+class TestMinimizationHappens:
+    def test_crafted_redundant_literal_removed(self):
+        # a=0, b=1, d=2, e=3, g=4: deciding a then d forces a conflict
+        # whose first-UIP clause contains ¬b, redundant given ¬a
+        # (reason(b) = ¬a ∨ b).
+        def build():
+            f = CnfFormula(5)
+            f.add_clause([mk_lit(0, True), mk_lit(1)])
+            f.add_clause([mk_lit(2, True), mk_lit(3)])
+            f.add_clause(
+                [mk_lit(3, True), mk_lit(0, True), mk_lit(1, True), mk_lit(4)]
+            )
+            f.add_clause([mk_lit(3, True), mk_lit(1, True), mk_lit(4, True)])
+            return f
+
+        lengths = {}
+        for mode in MODES:
+            solver = CdclSolver(
+                build(),
+                strategy=FixedOrderStrategy([mk_lit(0), mk_lit(2)]),
+                config=SolverConfig(minimize_learned=mode),
+            )
+            solver.solve()
+            first_learned = solver._clauses[solver._learned_ids[0]]
+            lengths[mode] = len(first_learned)
+        assert lengths["off"] == 3
+        assert lengths["local"] == 2
+        assert lengths["recursive"] == 2
+
+    def test_mean_length_drops_on_random_instances(self):
+        # Aggregate over seeds: minimization must strictly shorten the
+        # learned-clause stream somewhere, and never lengthen a run's
+        # clauses relative to its own pre-minimization total.
+        removed_total = 0
+        for seed in range(8):
+            formula = random_3cnf(120, 505, seed)
+            solver = CdclSolver(
+                formula,
+                config=SolverConfig(
+                    record_cdg=False,
+                    max_conflicts=600,
+                    minimize_learned="recursive",
+                ),
+            )
+            solver.solve()
+            stats = solver.stats
+            assert (
+                stats.learned_literals
+                == stats.learned_literals_before_min - stats.minimized_literals
+            )
+            removed_total += stats.minimized_literals
+        assert removed_total > 0
+
+
+class TestMinimizationSoundness:
+    @pytest.mark.parametrize("mode", ("local", "recursive"))
+    def test_unsat_proofs_replay(self, mode):
+        # Proof replay validates every learned clause (minimized ones
+        # included) against its recorded antecedents via RUP.
+        formula = pigeonhole(6)
+        solver = CdclSolver(formula, config=SolverConfig(minimize_learned=mode))
+        outcome = solver.solve()
+        assert outcome.status is SolveResult.UNSAT
+        assert check_proof(formula, solver.export_proof())
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_instances_proofs_replay(self, seed):
+        formula = random_3cnf(40, 180, seed)
+        statuses = set()
+        for mode in MODES:
+            solver = CdclSolver(
+                formula, config=SolverConfig(minimize_learned=mode)
+            )
+            outcome = solver.solve()
+            statuses.add(outcome.status)
+            if outcome.status is SolveResult.UNSAT:
+                assert check_proof(formula, solver.export_proof())
+        assert len(statuses) == 1  # modes agree on satisfiability
+
+    @pytest.mark.parametrize(
+        "formula", [pigeonhole(4)] + [random_3cnf(30, 133, seed) for seed in range(5)],
+        ids=["php4", "rnd0", "rnd1", "rnd2", "rnd3", "rnd4"],
+    )
+    def test_minimized_clauses_implied_one_shot(self, formula):
+        # Independent implication check: each learned clause of a
+        # minimizing run must be implied by the original formula alone.
+        solver = CdclSolver(
+            formula,
+            config=SolverConfig(
+                record_cdg=False,
+                max_conflicts=60,
+                minimize_learned="recursive",
+            ),
+        )
+        solver.solve()
+        learned = [list(solver._clauses[cid]) for cid in solver._learned_ids]
+        for clause in learned:
+            assert implied_by(formula, clause), clause
+
+    def test_one_shot_check_exercises_learned_clauses(self):
+        # Anchor for the parametrized check above: the pigeonhole run is
+        # guaranteed to conflict, so the implication check is not vacuous.
+        solver = CdclSolver(
+            pigeonhole(4),
+            config=SolverConfig(
+                record_cdg=False, max_conflicts=60, minimize_learned="recursive"
+            ),
+        )
+        solver.solve()
+        assert solver._learned_ids
+
+    def test_budget_zero_is_sound(self):
+        # A zero DFS budget degrades recursive mode to (at most) the
+        # inline one-step proofs; results must stay sound.
+        formula = pigeonhole(5)
+        solver = CdclSolver(
+            formula,
+            config=SolverConfig(minimize_learned="recursive", minimize_budget=0),
+        )
+        outcome = solver.solve()
+        assert outcome.status is SolveResult.UNSAT
+        assert check_proof(formula, solver.export_proof())
