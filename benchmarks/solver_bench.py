@@ -13,10 +13,51 @@ inner loops from the BMC layer:
 * ``pigeonhole`` — PHP(8) under a conflict budget: conflict-analysis and
   learned-clause-DB heavy, exercising clause deletion and activity
   bookkeeping over fixed work.
+* ``decision_overhead`` — PR 3's decision-engine microbenchmark, see
+  below.
 
 Each sample also reports conflict-analysis quality: learned-clause
 counts, mean learned-clause length (pre- and post-minimization), and how
 many literals the self-subsumption minimizer deleted.
+
+The decision_overhead workload
+------------------------------
+
+``decision_overhead`` isolates the cost of the decision engine itself
+(decide + score bump/decay) the way ``bcp_ladder`` isolates BCP: a
+small unsatisfiable PHP(7) kernel — constant per-conflict analysis and
+propagation work — is embedded in a large padding variable space
+(75 000 extra variables in a binary chain that never propagates, since
+its variables are never decided).  Per conflict, the only cost that
+*scales with instance size* is order maintenance, so the measured
+decision rate tracks the decision engine's complexity: the scan-order
+machinery pays an O(n) pointer rescan and, on every periodic score
+update, a full stable sort over the ``2n`` literal space, while the
+activity heap pays O(log n) per decision and re-keys only bumped
+literals.  ``update_period=32`` amplifies the decay frequency so the
+order-maintenance term dominates the (deliberately tiny) kernel cost —
+the ordering semantics are unchanged (heap and scan run byte-identical
+searches, see ``tests/properties/test_solver_differential.py``).
+
+The workload is measured twice — once with the production
+:class:`~repro.sat.heuristics.VsidsStrategy` (heap) and once with the
+retained :class:`~repro.sat.heuristics.ScanOrderVsidsStrategy`
+reference — and the emitted JSON carries the heap/scan decision-rate
+ratio as ``decision_overhead_vs_scan`` (the PR 3 acceptance bar is
+>= 2x).
+
+Fuzzer seeds
+------------
+
+The differential fuzzing suite shares this file's spirit of
+reproducibility: every instance in
+``tests/properties/test_solver_differential.py`` is generated from
+``random.Random(FUZZ_SEED + index)`` where ``FUZZ_SEED`` defaults to
+20040607 (the DAC 2004 conference date, like the test suite's ``rng``
+fixture) and ``index`` enumerates the instances.  A failure report
+names the index, so any counterexample regenerates in isolation from
+its seed; the CI ``fuzz-smoke`` job pins ``FUZZ_SEED`` and a reduced
+``FUZZ_INSTANCES`` so its instances are a prefix of the local run.
 
 Usage::
 
@@ -53,7 +94,12 @@ import time
 from typing import Callable, Dict, Optional
 
 from repro.cnf import CnfFormula, mk_lit
-from repro.sat import CdclSolver, SolverConfig
+from repro.sat import (
+    CdclSolver,
+    ScanOrderVsidsStrategy,
+    SolverConfig,
+    VsidsStrategy,
+)
 
 
 def implication_ladder(length: int) -> CnfFormula:
@@ -85,8 +131,27 @@ def pigeonhole(n: int) -> CnfFormula:
     return formula
 
 
-#: name -> (formula builder, solver config).  Conflict budgets make the
-#: random workload fixed-work so rates are comparable across solvers.
+def kernel_in_padding(kernel_holes: int, padding_vars: int) -> CnfFormula:
+    """PHP(kernel_holes) over the lowest variable indices, plus a large
+    binary chain of padding variables that is never decided nor
+    propagated — the ``decision_overhead`` instance shape (see module
+    docstring)."""
+    formula = pigeonhole(kernel_holes)
+    base = formula.num_vars
+    formula.new_vars(padding_vars)
+    for i in range(padding_vars - 1):
+        formula.add_clause([mk_lit(base + i), mk_lit(base + i + 1)])
+    return formula
+
+
+#: update_period of the decision_overhead strategies: amplifies decay
+#: frequency so order-maintenance cost dominates the tiny kernel cost.
+DECISION_OVERHEAD_PERIOD = 32
+
+#: name -> (formula builder, solver config[, strategy factory]).
+#: Conflict budgets make the random workload fixed-work so rates are
+#: comparable across solvers.  The optional third element selects a
+#: non-default decision strategy (used by the decision_overhead pair).
 WORKLOADS: Dict[str, Callable[[], tuple]] = {
     "bcp_ladder": lambda: (implication_ladder(60000), SolverConfig(record_cdg=False)),
     "random_3cnf": lambda: (
@@ -96,6 +161,16 @@ WORKLOADS: Dict[str, Callable[[], tuple]] = {
     "pigeonhole": lambda: (
         pigeonhole(8),
         SolverConfig(record_cdg=False, max_conflicts=4000),
+    ),
+    "decision_overhead": lambda: (
+        kernel_in_padding(7, 75000),
+        SolverConfig(record_cdg=False, max_conflicts=3000),
+        lambda: VsidsStrategy(update_period=DECISION_OVERHEAD_PERIOD),
+    ),
+    "decision_overhead_scanorder": lambda: (
+        kernel_in_padding(7, 75000),
+        SolverConfig(record_cdg=False, max_conflicts=3000),
+        lambda: ScanOrderVsidsStrategy(update_period=DECISION_OVERHEAD_PERIOD),
     ),
 }
 
@@ -112,8 +187,10 @@ def measure_workload(name: str, repeat: int) -> Dict[str, float]:
 
     best: Optional[Dict[str, float]] = None
     for _ in range(repeat):
-        formula, config = WORKLOADS[name]()
-        solver = CdclSolver(formula, config=config)
+        spec = WORKLOADS[name]()
+        formula, config = spec[0], spec[1]
+        strategy = spec[2]() if len(spec) > 2 else None
+        solver = CdclSolver(formula, strategy=strategy, config=config)
         gc.collect()
         gc_was_enabled = gc.isenabled()
         gc.disable()
@@ -245,6 +322,11 @@ def main(argv=None) -> int:
 
     after = run_bench(args.repeat)
     payload = {"after": after}
+    scan_rate = after.get("decision_overhead_scanorder", {}).get("decisions_per_sec")
+    if scan_rate:
+        ratio = after["decision_overhead"]["decisions_per_sec"] / scan_rate
+        payload["decision_overhead_vs_scan"] = ratio
+        print(f"decision_overhead heap vs scan-order: x{ratio:.2f} decision throughput")
     if args.baseline:
         with open(args.baseline, "r", encoding="utf-8") as handle:
             before_doc = json.load(handle)

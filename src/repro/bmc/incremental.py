@@ -147,6 +147,7 @@ class IncrementalBmcEngine:
                 switched=(
                     strategy.switched if isinstance(strategy, RankedStrategy) else None
                 ),
+                root_pruned=outcome.stats.root_pruned_clauses,
             )
             result.per_depth.append(depth_stats)
             if outcome.status is SolveResult.UNKNOWN:

@@ -39,7 +39,9 @@ class DepthStats:
     ``decisions`` and ``propagations`` are the series of the paper's
     Fig. 7; ``core_clauses``/``core_vars`` are sizes of the extracted
     unsatisfiable core (UNSAT depths only); ``switched`` reports whether a
-    dynamic strategy fell back to VSIDS at this depth.
+    dynamic strategy fell back to VSIDS at this depth; ``root_pruned``
+    counts clauses the solver's root-level watch pruning detached during
+    this depth's solve (PR 3 observability hook).
     """
 
     k: int
@@ -53,6 +55,7 @@ class DepthStats:
     core_clauses: Optional[int] = None
     core_vars: Optional[int] = None
     switched: Optional[bool] = None
+    root_pruned: int = 0
 
 
 @dataclass

@@ -24,6 +24,7 @@ from repro.experiments.fig6 import fig6_csv, render_fig6
 from repro.experiments.fig7 import fig7_csv, render_fig7, run_fig7
 from repro.experiments.overhead import run_overhead
 from repro.experiments.table1 import run_table1
+from repro.sat.solver import PHASE_MODES
 from repro.workloads.suite import small_suite, table1_suite
 
 
@@ -51,6 +52,11 @@ def main(argv=None) -> int:
         help="worker processes for Table-1/ablation sweeps "
         "(0 = one per CPU; default serial)",
     )
+    parser.add_argument(
+        "--phase-mode", choices=PHASE_MODES, default=None,
+        help="decision-phase policy for Table-1 runs (default: the "
+        "solver default, phase saving)",
+    )
     args = parser.parse_args(argv)
 
     rows = small_suite() if args.small else None
@@ -68,7 +74,9 @@ def main(argv=None) -> int:
     if want in ("table1", "fig6", "all"):
         print("running Table 1 (3 methods x "
               f"{len(rows) if rows else 37} instances)...", flush=True)
-        report = run_table1(rows=rows, verbose=True, jobs=args.jobs)
+        report = run_table1(
+            rows=rows, verbose=True, jobs=args.jobs, phase_mode=args.phase_mode
+        )
     if want in ("table1", "all"):
         print(report.render())
         save("table1.csv", report.to_csv())

@@ -39,7 +39,7 @@ identical to a serial run.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bmc.cnf_cache import EncodingCache
@@ -99,14 +99,20 @@ def make_engine(
     weighting: str = "linear",
     use_coi: bool = False,
     encoding_cache=_DEFAULT_CACHE,
+    phase_mode: Optional[str] = None,
 ) -> BmcEngine:
     """Build the BMC engine for a suite row under a named strategy.
 
     ``encoding_cache`` defaults to the per-process cache (see module
-    docstring); pass ``None`` to force a private build.
+    docstring); pass ``None`` to force a private build.  ``phase_mode``
+    overlays :attr:`SolverConfig.phase_mode` on whatever configuration
+    is in effect (the experiment CLI's ``--phase-mode`` lands here).
     """
     if encoding_cache is _DEFAULT_CACHE:
         encoding_cache = default_encoding_cache()
+    if phase_mode is not None:
+        base = solver_config if solver_config is not None else SolverConfig()
+        solver_config = replace(base, phase_mode=phase_mode)
     if encoding_cache is None:
         circuit, prop = instance.build()
         unroller = None

@@ -139,15 +139,19 @@ def run_table1(
     methods: Sequence[str] = _METHODS,
     verbose: bool = False,
     jobs: Optional[int] = None,
+    phase_mode: Optional[str] = None,
 ) -> Table1Report:
     """Run the full Table 1 experiment (or a subset of rows).
 
     ``jobs`` > 1 spreads the (instance, method) grid over a process
     pool (0 = one worker per CPU); the report's rows and every
     search-derived number are identical to a serial run.
+    ``phase_mode`` overrides the solver's decision-phase policy for
+    every run (default: the :class:`SolverConfig` default).
     """
     suite = list(rows) if rows is not None else table1_suite()
     pairs = [(instance, method) for instance in suite for method in methods]
+    extra = {} if phase_mode is None else {"phase_mode": phase_mode}
 
     def progress(r: InstanceResult) -> None:
         print(
@@ -156,7 +160,9 @@ def run_table1(
             flush=True,
         )
 
-    flat = run_instances(pairs, jobs=jobs, on_result=progress if verbose else None)
+    flat = run_instances(
+        pairs, jobs=jobs, on_result=progress if verbose else None, **extra
+    )
     table_rows: List[Table1Row] = []
     cursor = 0
     for instance in suite:

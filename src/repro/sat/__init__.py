@@ -6,12 +6,17 @@ Public surface:
 * :class:`SolverConfig` — tunables and budgets.
 * :class:`SolveOutcome`, :class:`SolveResult` — results.
 * Strategies: :class:`VsidsStrategy`, :class:`RankedStrategy`,
-  :class:`FixedOrderStrategy` (see ``repro.sat.heuristics``).
+  :class:`BerkMinStrategy`, :class:`FixedOrderStrategy` — heap-backed
+  via :class:`VariableActivityHeap` — plus the scan-order reference
+  implementations :class:`ScanOrderVsidsStrategy` /
+  :class:`ScanOrderRankedStrategy` used by the differential fuzzer
+  (see ``repro.sat.heuristics``).
 * :class:`ConflictDependencyGraph` — the paper's §3.1 structure.
 * :func:`check_proof` / :class:`ResolutionProof` — independent UNSAT
   verification.
 """
 
+from repro.sat.activity_heap import VariableActivityHeap
 from repro.sat.cdg import ConflictDependencyGraph
 from repro.sat.heuristics import (
     BerkMinStrategy,
@@ -19,11 +24,14 @@ from repro.sat.heuristics import (
     DecisionStrategy,
     FixedOrderStrategy,
     RankedStrategy,
+    ScanOrderRankedStrategy,
+    ScanOrderVsidsStrategy,
     VsidsStrategy,
 )
 from repro.sat.proof import ProofError, ResolutionProof, check_proof
 from repro.sat.solver import (
     MINIMIZE_MODES,
+    PHASE_MODES,
     CdclSolver,
     SolverConfig,
     luby,
@@ -40,6 +48,10 @@ __all__ = [
     "CdclSolver",
     "SolverConfig",
     "MINIMIZE_MODES",
+    "PHASE_MODES",
+    "VariableActivityHeap",
+    "ScanOrderVsidsStrategy",
+    "ScanOrderRankedStrategy",
     "solve_formula",
     "luby",
     "SolveOutcome",

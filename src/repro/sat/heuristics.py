@@ -16,30 +16,51 @@ paper:
   ``1/64`` of the number of original literals (a sign the prediction is
   inaccurate and the instance is hard).
 
-All strategies share the Chaff mechanics: a periodically re-sorted literal
-order scanned with a moving pointer that is reset on backtrack.
+Decision engine (PR 3)
+----------------------
 
-Performance invariants of the shared mechanics (the solver hot path
-depends on these):
+All production strategies share an **indexed binary max-heap over
+variable activity** (:class:`repro.sat.activity_heap
+.VariableActivityHeap`): ``decide()`` pops the maximum variable (keyed
+by its better polarity) in O(log n) and branches on that stored
+literal, and the periodic score update re-keys only the literals that
+actually appeared in learned clauses — there is no full rebuild,
+neither a sort nor a scan.  Each strategy expresses its paper ordering
+as a stack of per-literal key arrays (most significant first; ties
+always break toward the lower literal index), so the heap's total
+order is *identical* to the stable-sorted scan order the pre-heap
+implementation used.
 
-* Order rebuilds never call :func:`sorted` with a Python-callable key
-  over the ``2 * num_vars`` literal space.  Instead each strategy
-  exposes its comparison as a stack of precomputed per-literal key
-  arrays (:meth:`_ScanOrderStrategy._sort_passes`) applied as
-  successive stable descending ``list.sort`` passes whose key is the C
-  method ``list.__getitem__`` — least-significant pass first, ties
-  resolved toward lower literal index by stability.
-* Rebuilds are lazy: conflicts and the dynamic VSIDS fallback only mark
-  the order dirty; the sort runs at the next ``decide()`` that actually
-  consumes the order, so back-to-back invalidations (periodic decay +
-  strategy switch) cost one sort, and solves that finish by pure
-  propagation never sort at all.
+The heap's score array holds ``cha_score * 2^u`` (``u`` = number of
+periodic updates so far).  Under the paper's rule
+``s' = s/2 + new_counts`` the scaled score only *grows*:
+``K' = K + new_counts * 2^(u+1)``, so a periodic update is a handful of
+O(log n) increase-key operations instead of touching all ``2n``
+literals.  Powers of two are exact in binary floating point, so the
+scaled comparison is bit-for-bit the comparison of the paper's scores;
+when the scale factor threatens the float range (once per ~84k
+conflicts) the array is renormalised in place, which preserves the
+order exactly.
+
+The pre-heap machinery — a periodically re-sorted literal list scanned
+with a moving pointer — is retained verbatim as
+:class:`ScanOrderVsidsStrategy` / :class:`ScanOrderRankedStrategy`.
+They are **reference implementations** for the differential fuzzing
+suite (``tests/properties/test_solver_differential.py``), which
+cross-checks heap and scan-order verdicts on thousands of instances;
+they are not wired into the experiment layer.
+
+Protocol note: the solver tells strategies which literals a backtrack
+unassigned (:meth:`DecisionStrategy.on_unassigned`) so heap strategies
+can re-insert popped variables; scan strategies ignore it.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Mapping, Optional, Sequence
+
+from repro.sat.activity_heap import VariableActivityHeap
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sat.solver import CdclSolver
@@ -48,6 +69,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: Chaff used an update period of this order; the paper just says
 #: "periodically".
 DEFAULT_UPDATE_PERIOD = 256
+
+#: Scaled-score magnitude that triggers an in-place renormalisation of
+#: the heap key array (see the module docstring).  2^333 < 1e101, so
+#: renormalising here keeps every ``K + c * 2^(u+1)`` exact.
+_KEY_RESCALE_LIMIT = 1e100
 
 
 class ChaffScores:
@@ -95,10 +121,286 @@ class DecisionStrategy(ABC):
     def on_backtrack(self) -> None:
         """Called whenever the solver undoes assignments (incl. restarts)."""
 
+    def on_unassigned(self, literals: Sequence[int]) -> None:
+        """Called by the solver's backtrack with the trail literals being
+        undone (heap strategies re-insert their variables; the default —
+        and every scan strategy — ignores it)."""
+
+
+class _HeapOrderStrategy(DecisionStrategy):
+    """Shared heap mechanics: scaled activity keys + an indexed max-heap
+    (see the module docstring for the ordering and exactness argument)."""
+
+    def __init__(self, update_period: int = DEFAULT_UPDATE_PERIOD) -> None:
+        super().__init__()
+        if update_period <= 0:
+            raise ValueError("update_period must be positive")
+        self._update_period = update_period
+        self._kscore: List[float] = []
+        self._kinc = 1.0  # 2^u, the current score scale factor
+        self._new_counts: List[int] = []
+        self._bumped: List[int] = []  # literals with a nonzero new count
+        self._heap: Optional[VariableActivityHeap] = None
+        self._conflicts_since_update = 0
+
+    def attach(self, solver: "CdclSolver") -> None:
+        super().attach(solver)
+        counts = solver.original_literal_counts()
+        self._kscore = [float(c) for c in counts]
+        self._kinc = 1.0
+        self._new_counts = [0] * len(counts)
+        del self._bumped[:]
+        # _conflicts_since_update deliberately persists across attaches,
+        # matching the scan-order reference (fresh scores, but the decay
+        # countdown carries over between solve() calls on one solver).
+        self._heap = VariableActivityHeap(self._key_arrays())
+        num_vars = solver.num_vars
+        # Root facts enqueued before the search starts (unit clauses,
+        # incremental re-solves) are permanent: leave their variables
+        # out of the heap instead of lazily discarding them later.
+        assigns = solver.assigns
+        self._heap.rebuild(
+            (var for var in range(num_vars) if assigns[var] == -1), num_vars
+        )
+
+    def _key_arrays(self) -> list:
+        """Key arrays, most significant first; subclasses override."""
+        return [self._kscore]
+
+    def on_conflict(self, learned_literals: Sequence[int]) -> None:
+        counts = self._new_counts
+        bumped = self._bumped
+        for lit in learned_literals:
+            if not counts[lit]:
+                bumped.append(lit)
+            counts[lit] += 1
+        self._conflicts_since_update += 1
+        if self._conflicts_since_update >= self._update_period:
+            self._conflicts_since_update = 0
+            self._periodic_update()
+
+    def _periodic_update(self) -> None:
+        """The paper's decay, in scaled form: double the scale factor and
+        add ``new_counts * scale`` to exactly the bumped literals — each
+        an O(log n) increase-key, never a rebuild."""
+        kinc = self._kinc * 2.0
+        if kinc > _KEY_RESCALE_LIMIT:
+            self._renormalise()
+            kinc = 2.0
+        self._kinc = kinc
+        kscore = self._kscore
+        counts = self._new_counts
+        heap = self._heap
+        for lit in self._bumped:
+            kscore[lit] += counts[lit] * kinc
+            counts[lit] = 0
+            heap.increase(lit)
+        del self._bumped[:]
+
+    def _renormalise(self) -> None:
+        """Divide the whole key array by the scale factor (back to the
+        unscaled ``cha_score``) and re-key the heap entries in place —
+        a uniform positive scaling, so the heap order is untouched."""
+        scale = 1.0 / self._kinc
+        kscore = self._kscore
+        for lit in range(len(kscore)):
+            kscore[lit] *= scale
+        self._kinc = 1.0
+        self._heap.refresh()
+
+    def on_unassigned(self, literals: Sequence[int]) -> None:
+        """Re-insert the unassigned variables (popped ones do not come
+        back by themselves; the heap filters the still-present majority
+        at C speed)."""
+        heap = self._heap
+        if heap is None:
+            return  # not attached yet (pre-solve backtracks); attach rebuilds
+        heap.reinsert(literals)
+
+    def decide(self) -> int:
+        assigns = self._solver.assigns
+        pop = self._heap.pop
+        while True:
+            lit = pop()
+            if lit < 0 or assigns[lit >> 1] == -1:
+                return lit
+
+
+class VsidsStrategy(_HeapOrderStrategy):
+    """Chaff's VSIDS: order all literals by ``cha_score`` alone
+    (descending; ties break toward the lower literal index so runs are
+    deterministic)."""
+
+    name = "vsids"
+
+
+class RankedStrategy(_HeapOrderStrategy):
+    """The paper's refined ordering over a pre-computed variable ranking.
+
+    ``var_rank`` maps variable index to its ``bmc_score`` (missing
+    variables score 0).  In *static* mode the ordering is
+    ``(bmc_score, cha_score)`` for the entire solve.  In *dynamic* mode the
+    strategy watches the solver's decision counter and permanently reverts
+    to pure VSIDS once it exceeds ``num_original_literals / switch_divisor``
+    (the paper uses a divisor of 64).
+    """
+
+    name = "ranked"
+
+    def __init__(
+        self,
+        var_rank: Mapping[int, float],
+        dynamic: bool = False,
+        switch_divisor: int = 64,
+        update_period: int = DEFAULT_UPDATE_PERIOD,
+    ) -> None:
+        super().__init__(update_period=update_period)
+        if switch_divisor <= 0:
+            raise ValueError("switch_divisor must be positive")
+        self._var_rank = dict(var_rank)
+        self._rank_keys: list = []
+        self._dynamic = dynamic
+        self._switch_divisor = switch_divisor
+        self._switched = False
+        self._switch_threshold = 0
+        self.name = "ranked-dynamic" if dynamic else "ranked-static"
+
+    @property
+    def switched(self) -> bool:
+        """True once the dynamic fallback to VSIDS has triggered."""
+        return self._switched
+
+    def attach(self, solver: "CdclSolver") -> None:
+        """Bind to a solver and compute the dynamic switch threshold."""
+        self._switch_threshold = solver.num_original_literals() // self._switch_divisor
+        rank = self._var_rank
+        self._rank_keys = [
+            rank.get(lit >> 1, 0.0) for lit in range(2 * solver.num_vars)
+        ]
+        super().attach(solver)
+
+    def _key_arrays(self) -> list:
+        if self._switched:
+            return [self._kscore]
+        # Net order: (bmc_score desc, cha_score desc, literal asc).
+        return [self._rank_keys, self._kscore]
+
+    def decide(self) -> int:
+        """Next branch literal; may trigger the dynamic VSIDS fallback."""
+        if (
+            self._dynamic
+            and not self._switched
+            and self._solver.stats.decisions > self._switch_threshold
+        ):
+            self._switched = True
+            # One-time comparator change: re-heapify the current
+            # membership under pure VSIDS keys.
+            self._heap.set_key_arrays(self._key_arrays())
+        return super().decide()
+
+
+class BerkMinStrategy(_HeapOrderStrategy):
+    """A BerkMin-flavoured ordering (Goldberg & Novikov, DATE'02 — the
+    paper's reference [7]).
+
+    BerkMin organises conflict clauses chronologically and branches on a
+    literal of the *most recent unresolved* conflict clause, falling back
+    to a global activity order when every conflict clause is satisfied.
+    This implementation keeps the solver-side mechanics identical to the
+    other strategies (so comparisons isolate the ordering): a bounded
+    stack of recent learned clauses is scanned newest-first for an
+    unresolved one, choosing its highest-``cha_score`` free literal;
+    otherwise the VSIDS heap decides.
+    """
+
+    name = "berkmin"
+
+    def __init__(
+        self,
+        update_period: int = DEFAULT_UPDATE_PERIOD,
+        recent_limit: int = 512,
+    ) -> None:
+        super().__init__(update_period=update_period)
+        if recent_limit <= 0:
+            raise ValueError("recent_limit must be positive")
+        self._recent_limit = recent_limit
+        self._recent: list = []  # newest last
+
+    def on_conflict(self, learned_literals: Sequence[int]) -> None:
+        """Record the clause on the recency stack and update scores."""
+        super().on_conflict(learned_literals)
+        self._recent.append(tuple(learned_literals))
+        if len(self._recent) > self._recent_limit:
+            del self._recent[: len(self._recent) // 2]
+
+    def decide(self) -> int:
+        """Branch from the newest unresolved conflict clause, else VSIDS.
+
+        The tie-break key uses the scaled heap scores — the scale factor
+        is a common positive constant, so the order is the ``cha_score``
+        order.  A literal chosen here is *not* popped from the heap;
+        later pops discard it lazily once its variable is assigned.
+        """
+        solver = self._solver
+        assigns = solver.assigns
+        for clause in reversed(self._recent):
+            satisfied = False
+            free = []
+            for lit in clause:
+                value = assigns[lit >> 1]
+                if value == -1:
+                    free.append(lit)
+                elif value ^ (lit & 1) == 1:
+                    satisfied = True
+                    break
+            if satisfied or not free:
+                continue
+            score = self._kscore
+            return max(free, key=lambda lit: (score[lit], -lit))
+        return super().decide()
+
+
+class FixedOrderStrategy(DecisionStrategy):
+    """Branch on an explicit literal sequence, then fall back to the
+    first unassigned variable.  Useful in tests and for reproducing
+    hand-constructed search trees.
+
+    The fallback proposes the positive phase, but no longer forces it:
+    the solver's phase policy (``SolverConfig.phase_mode``) applies to
+    every decision this strategy returns, so under ``save`` a variable
+    the fallback reaches is re-assigned its last-seen polarity.
+    """
+
+    name = "fixed"
+
+    def __init__(self, literal_order: Sequence[int]) -> None:
+        super().__init__()
+        self._literal_order = list(literal_order)
+
+    def decide(self) -> int:
+        """Follow the fixed order, then first unassigned variable."""
+        assigns = self._solver.assigns
+        for lit in self._literal_order:
+            if assigns[lit >> 1] == -1:
+                return lit
+        for var in range(self._solver.num_vars):
+            if assigns[var] == -1:
+                return 2 * var
+        return -1
+
+
+# ----------------------------------------------------------------------
+# Scan-order reference implementations (pre-PR-3 machinery, retained for
+# differential testing only — see the module docstring).
+# ----------------------------------------------------------------------
+
 
 class _ScanOrderStrategy(DecisionStrategy):
-    """Shared mechanics: a sorted literal order + scan pointer + lazy
-    rebuilds driven by precomputed key arrays (see module docstring)."""
+    """Reference mechanics: a sorted literal order + scan pointer + lazy
+    rebuilds driven by precomputed key arrays.  Order rebuilds apply each
+    key array as a stable descending ``list.sort`` pass (least
+    significant first), so ties resolve toward the lower literal index —
+    the exact total order the heap strategies reproduce."""
 
     def __init__(self, update_period: int = DEFAULT_UPDATE_PERIOD) -> None:
         super().__init__()
@@ -160,26 +462,17 @@ class _ScanOrderStrategy(DecisionStrategy):
         return -1
 
 
-class VsidsStrategy(_ScanOrderStrategy):
-    """Chaff's VSIDS: sort all literals by ``cha_score`` alone
-    (descending; stability breaks ties toward lower literal index so
-    runs are deterministic)."""
+class ScanOrderVsidsStrategy(_ScanOrderStrategy):
+    """Seed (pre-heap) VSIDS: the differential-fuzzing reference."""
 
-    name = "vsids"
+    name = "vsids-scan"
 
 
-class RankedStrategy(_ScanOrderStrategy):
-    """The paper's refined ordering over a pre-computed variable ranking.
+class ScanOrderRankedStrategy(_ScanOrderStrategy):
+    """Seed (pre-heap) ranked ordering: the differential-fuzzing
+    reference for :class:`RankedStrategy` (both modes)."""
 
-    ``var_rank`` maps variable index to its ``bmc_score`` (missing
-    variables score 0).  In *static* mode the ordering is
-    ``(bmc_score, cha_score)`` for the entire solve.  In *dynamic* mode the
-    strategy watches the solver's decision counter and permanently reverts
-    to pure VSIDS once it exceeds ``num_original_literals / switch_divisor``
-    (the paper uses a divisor of 64).
-    """
-
-    name = "ranked"
+    name = "ranked-scan"
 
     def __init__(
         self,
@@ -197,15 +490,13 @@ class RankedStrategy(_ScanOrderStrategy):
         self._switch_divisor = switch_divisor
         self._switched = False
         self._switch_threshold = 0
-        self.name = "ranked-dynamic" if dynamic else "ranked-static"
+        self.name = "ranked-dynamic-scan" if dynamic else "ranked-static-scan"
 
     @property
     def switched(self) -> bool:
-        """True once the dynamic fallback to VSIDS has triggered."""
         return self._switched
 
     def attach(self, solver: "CdclSolver") -> None:
-        """Bind to a solver and compute the dynamic switch threshold."""
         self._switch_threshold = solver.num_original_literals() // self._switch_divisor
         rank = self._var_rank
         self._rank_keys = [
@@ -221,7 +512,6 @@ class RankedStrategy(_ScanOrderStrategy):
         return [self._scores.score, self._rank_keys]
 
     def decide(self) -> int:
-        """Next branch literal; may trigger the dynamic VSIDS fallback."""
         if (
             self._dynamic
             and not self._switched
@@ -230,81 +520,3 @@ class RankedStrategy(_ScanOrderStrategy):
             self._switched = True
             self._invalidate_order()
         return super().decide()
-
-
-class BerkMinStrategy(_ScanOrderStrategy):
-    """A BerkMin-flavoured ordering (Goldberg & Novikov, DATE'02 — the
-    paper's reference [7]).
-
-    BerkMin organises conflict clauses chronologically and branches on a
-    literal of the *most recent unresolved* conflict clause, falling back
-    to a global activity order when every conflict clause is satisfied.
-    This implementation keeps the solver-side mechanics identical to the
-    other strategies (so comparisons isolate the ordering): a bounded
-    stack of recent learned clauses is scanned newest-first for an
-    unresolved one, choosing its highest-``cha_score`` free literal;
-    otherwise the VSIDS scan order decides.
-    """
-
-    name = "berkmin"
-
-    def __init__(
-        self,
-        update_period: int = DEFAULT_UPDATE_PERIOD,
-        recent_limit: int = 512,
-    ) -> None:
-        super().__init__(update_period=update_period)
-        if recent_limit <= 0:
-            raise ValueError("recent_limit must be positive")
-        self._recent_limit = recent_limit
-        self._recent: list = []  # newest last
-
-    def on_conflict(self, learned_literals: Sequence[int]) -> None:
-        """Record the clause on the recency stack and update scores."""
-        super().on_conflict(learned_literals)
-        self._recent.append(tuple(learned_literals))
-        if len(self._recent) > self._recent_limit:
-            del self._recent[: len(self._recent) // 2]
-
-    def decide(self) -> int:
-        """Branch from the newest unresolved conflict clause, else VSIDS."""
-        solver = self._solver
-        assigns = solver.assigns
-        for clause in reversed(self._recent):
-            satisfied = False
-            free = []
-            for lit in clause:
-                value = assigns[lit >> 1]
-                if value == -1:
-                    free.append(lit)
-                elif value ^ (lit & 1) == 1:
-                    satisfied = True
-                    break
-            if satisfied or not free:
-                continue
-            score = self._scores.score
-            return max(free, key=lambda lit: (score[lit], -lit))
-        return super().decide()
-
-
-class FixedOrderStrategy(DecisionStrategy):
-    """Branch on an explicit literal sequence, then fall back to first
-    unassigned variable (positive phase).  Useful in tests and for
-    reproducing hand-constructed search trees."""
-
-    name = "fixed"
-
-    def __init__(self, literal_order: Sequence[int]) -> None:
-        super().__init__()
-        self._literal_order = list(literal_order)
-
-    def decide(self) -> int:
-        """Follow the fixed order, then first unassigned variable."""
-        assigns = self._solver.assigns
-        for lit in self._literal_order:
-            if assigns[lit >> 1] == -1:
-                return lit
-        for var in range(self._solver.num_vars):
-            if assigns[var] == -1:
-                return 2 * var
-        return -1

@@ -54,6 +54,19 @@ these; see ``benchmarks/solver_bench.py`` for the tracking numbers):
   before installing the clause, citing every reason clause a removal
   proof consumed as an extra CDG antecedent so proof replay stays
   complete.
+* Decisions come from an indexed activity heap
+  (``repro.sat.activity_heap``) — O(log n) per decision and score
+  bump, no periodic order rebuilds; ``_backtrack`` reports the undone
+  literals to the strategy (``on_unassigned``) so popped variables
+  re-enter the heap.
+* Decision phases follow ``SolverConfig.phase_mode``: by default each
+  re-decided variable is re-assigned its last-seen polarity (phase
+  saving), captured in ``_backtrack`` as assignments are undone.
+* Clauses satisfied at decision level 0 are pruned from the watch
+  lists (``SolverConfig.prune_root_satisfied``): skipped at install
+  time, and swept after each restart as learned units accumulate —
+  their literal lists and CDG entries remain, so cores and proof
+  replay are unaffected.
 """
 
 from __future__ import annotations
@@ -104,6 +117,25 @@ class SolverConfig:
     #: Keeps pathological reason chains from costing more than the
     #: shorter clause saves; real solvers bound this the same way.
     minimize_budget: int = 20
+    #: Decision-phase policy applied to every literal a strategy
+    #: returns: ``"save"`` (re-assign the variable's last-seen polarity,
+    #: falling back to the strategy's choice for never-assigned
+    #: variables — the modern default, it keeps the search near
+    #: previously explored satisfying fragments after backjumps and
+    #: restarts), ``"default"`` (the strategy's literal untouched — the
+    #: pre-PR-3 behaviour), or ``"inverted"`` (the strategy's phase
+    #: flipped; mostly a fuzzing/diagnostic mode).  Assumption literals
+    #: are forced verbatim and never rephased.
+    phase_mode: str = "save"
+    #: Detach clauses satisfied at decision level 0 from the watch lists
+    #: after each restart (and skip attaching clauses already satisfied
+    #: at install time).  A level-0 assignment is permanent for the
+    #: solver's lifetime, so such clauses can never propagate or
+    #: conflict again — BCP only stops scanning them.  Their literal
+    #: lists, CDG entries and proof exports are untouched, so core
+    #: extraction and proof replay are unaffected; the count is recorded
+    #: in ``stats.root_pruned_clauses``.
+    prune_root_satisfied: bool = True
     max_conflicts: Optional[int] = None
     max_decisions: Optional[int] = None
     max_propagations: Optional[int] = None
@@ -112,10 +144,17 @@ class SolverConfig:
 #: Valid values of :attr:`SolverConfig.minimize_learned`.
 MINIMIZE_MODES = ("off", "local", "recursive")
 
+#: Valid values of :attr:`SolverConfig.phase_mode`.
+PHASE_MODES = ("default", "save", "inverted")
+
 #: Clause-activity magnitude that triggers a rescale.  Single source of
 #: truth for both the inlined bump in ``_analyze`` and the out-of-line
 #: :meth:`CdclSolver._bump_clause_activity`.
 ACTIVITY_RESCALE_LIMIT = 1e20
+
+#: Minimum number of new level-0 facts before a root-satisfied watch
+#: sweep runs (see :meth:`CdclSolver._prune_root_satisfied`).
+_PRUNE_MIN_NEW_FACTS = 16
 
 
 def luby(index: int) -> int:
@@ -161,6 +200,11 @@ class CdclSolver:
                 f"minimize_learned must be one of {MINIMIZE_MODES}, "
                 f"got {self.config.minimize_learned!r}"
             )
+        if self.config.phase_mode not in PHASE_MODES:
+            raise ValueError(
+                f"phase_mode must be one of {PHASE_MODES}, "
+                f"got {self.config.phase_mode!r}"
+            )
         self.strategy = strategy or VsidsStrategy()
         self.num_vars = 0
         self.stats = SolverStats()
@@ -168,6 +212,9 @@ class CdclSolver:
         self.assigns: List[int] = []  # -1 unassigned, else 0/1
         self._levels: List[int] = []
         self._reasons: List[int] = []
+        # Last value each variable held before it was unassigned
+        # (-1 = never assigned); the phase_mode="save" source.
+        self._saved_phase: List[int] = []
         self._seen = bytearray()
         # Watch lists hold (clause_id, blocker) pairs; the blocker is a
         # literal of the clause (initially the other watched literal)
@@ -209,6 +256,17 @@ class CdclSolver:
         # the fallback _reason_closure resolves level-0 facts against when
         # a front end discharged their trail reason (reason == -1).
         self._root_unit_of: Dict[int, Tuple[int, int]] = {}
+        # Root-level watch pruning (config.prune_root_satisfied): IDs of
+        # clauses detached because a level-0 assignment satisfies them
+        # forever, plus the trail watermark up to which level-0 facts
+        # have been processed.  Pruned clauses keep their literal lists
+        # and CDG entries — only their watch entries are dropped.
+        self._root_pruned: Set[int] = set()
+        self._root_prune_watermark = 0
+        # Install-time prunes happen outside solve(); like
+        # _pending_load_propagations they are credited to the next
+        # solve's statistics.
+        self._pending_root_pruned = 0
         # Conflict-analysis scratch, reused across conflicts so the hot
         # path allocates no per-conflict sets (_seen doubles as the
         # marker array; these lists record what must be unmarked).
@@ -250,6 +308,7 @@ class CdclSolver:
         self.assigns.extend([-1] * grow)
         self._levels.extend([-1] * grow)
         self._reasons.extend([-1] * grow)
+        self._saved_phase.extend([-1] * grow)
         self._seen.extend(bytes(grow))
         self._lit_counts.extend([0] * (2 * grow))
         watches = self._watches
@@ -426,10 +485,12 @@ class CdclSolver:
         """Install a clause some of whose literals are already assigned
         (level-0 facts): it may be satisfied, effectively unit, or
         falsified; one pass classifies it.  Long clauses get two
-        non-false literals moved to the watch positions (a clause
-        satisfied at level 0 stays satisfied forever, so its watch
-        placement is irrelevant; binary/ternary watches are static and
-        position-independent)."""
+        non-false literals moved to the watch positions; a clause
+        already *satisfied* at level 0 stays satisfied forever, so under
+        ``config.prune_root_satisfied`` it is never attached at all
+        (pruned at birth — recorded so introspection agrees with the
+        restart-time sweep).  Installation always happens at decision
+        level 0, so every assigned literal seen here is a root fact."""
         assigns = self.assigns
         satisfied = False
         first_un = -1
@@ -444,7 +505,12 @@ class CdclSolver:
             elif value ^ (lit & 1) == 1:
                 satisfied = True
                 break
-        if not satisfied:
+        if satisfied:
+            if self.config.prune_root_satisfied:
+                self._root_pruned.add(cid)
+                self._pending_root_pruned += 1
+                return
+        else:
             if first_un == -1:  # every literal false at level 0
                 antecedents = [cid]
                 self._reason_closure([lit >> 1 for lit in lits], antecedents)
@@ -558,9 +624,12 @@ class CdclSolver:
         assigns = self.assigns
         levels = self._levels
         reasons = self._reasons
+        saved = self._saved_phase
         trail = self._trail
-        for lit in trail[limit:]:
+        undone = trail[limit:]
+        for lit in undone:
             var = lit >> 1
+            saved[var] = assigns[var]
             assigns[var] = -1
             levels[var] = -1
             reasons[var] = -1
@@ -568,6 +637,7 @@ class CdclSolver:
         del self._trail_lim[level:]
         self._qhead = limit
         self._decision_level = level
+        self.strategy.on_unassigned(undone)
         self.strategy.on_backtrack()
 
     # ------------------------------------------------------------------
@@ -653,9 +723,20 @@ class CdclSolver:
             watch_list = watches[false_lit]
             if not watch_list:
                 continue
-            i = 0
-            j = 0
             n = len(watch_list)
+            # Fast scan: while every entry's blocker is satisfied the
+            # list needs no compaction — no stores, just reads.  The
+            # first entry that needs real work switches to the copying
+            # loop below (j trails i from that point on).
+            i = 0
+            while i < n:
+                entry = watch_list[i]
+                if assigns[entry[2]] != entry[3]:
+                    break
+                i += 1
+            else:
+                continue
+            j = i
             while i < n:
                 entry = watch_list[i]
                 i += 1
@@ -1095,12 +1176,79 @@ class CdclSolver:
         if not candidates:
             return
         candidates.sort(key=lambda cid: (self._activity[cid], -cid))
+        root_pruned = self._root_pruned
         for cid in candidates[: len(candidates) // 2]:
-            self._detach_clause(cid)
+            if cid not in root_pruned:  # pruned clauses are already detached
+                self._detach_clause(cid)
             self._deleted[cid] = True
             self._active[cid] = False
             self._num_live_learned -= 1
             self.stats.deleted_clauses += 1
+
+    def _prune_root_satisfied(self) -> None:
+        """Detach every clause a level-0 assignment satisfies (paper-side
+        motivation: root-satisfied clauses still get scanned by BCP on
+        every watch hit, and on conflict-bound workloads learned units
+        keep growing the root-satisfied population).
+
+        Called after each restart.  Level-0 assignments are never undone
+        for the lifetime of the solver — assumptions live at levels
+        >= 1 — so a clause
+        satisfied at level 0 can never become unit or conflicting again
+        and its watch entries are dead weight.  Only the watch entries
+        go: literal lists, activity, CDG entries and proof export stay,
+        which keeps core extraction, ``_reason_closure`` and replay
+        byte-identical with pruning on or off.
+
+        Cost: one pass over the clause DB plus one compaction pass over
+        the watch tables, gated by a trail watermark so restarts without
+        new root facts pay one comparison.  The sweep only runs once a
+        batch of at least ``_PRUNE_MIN_NEW_FACTS`` new root facts has
+        accumulated: a lone learned unit rarely satisfies enough clauses
+        to repay two full passes (facts below the threshold are not
+        lost — they stay below the watermark and count toward the next
+        batch).
+        """
+        trail = self._trail
+        limit = self._trail_lim[0] if self._trail_lim else len(trail)
+        if limit - self._root_prune_watermark < _PRUNE_MIN_NEW_FACTS:
+            return
+        self._root_prune_watermark = limit
+        assigns = self.assigns
+        levels = self._levels
+        clauses = self._clauses
+        deleted = self._deleted
+        active = self._active
+        pruned = self._root_pruned
+        newly = []
+        for cid in range(len(clauses)):
+            if deleted[cid] or not active[cid] or cid in pruned:
+                continue
+            lits = clauses[cid]
+            if len(lits) < 2:
+                continue
+            for lit in lits:
+                var = lit >> 1
+                value = assigns[var]
+                if value >= 0 and value ^ (lit & 1) and levels[var] == 0:
+                    newly.append(cid)
+                    break
+        if not newly:
+            return
+        pruned.update(newly)
+        self.stats.root_pruned_clauses += len(newly)
+        for table in (self._watches, self._watches_bin, self._watches_tern):
+            for watch_list in table:
+                if watch_list:
+                    kept = [e for e in watch_list if e[0] not in pruned]
+                    if len(kept) != len(watch_list):
+                        watch_list[:] = kept
+
+    @property
+    def root_pruned_clauses(self) -> int:
+        """Total clauses detached as root-satisfied over the solver's
+        lifetime (install-time skips included)."""
+        return len(self._root_pruned)
 
     def _detach_clause(self, cid: int) -> None:
         lits = self._clauses[cid]
@@ -1147,6 +1295,8 @@ class CdclSolver:
         self.stats = SolverStats()
         self.stats.propagations += self._pending_load_propagations
         self._pending_load_propagations = 0
+        self.stats.root_pruned_clauses += self._pending_root_pruned
+        self._pending_root_pruned = 0
         start = time.perf_counter()
         try:
             self._backtrack(0)
@@ -1171,6 +1321,10 @@ class CdclSolver:
         activity_decay = config.clause_activity_decay
         max_conflicts = config.max_conflicts
         max_propagations = config.max_propagations
+        prune_enabled = config.prune_root_satisfied
+        save_phase = config.phase_mode == "save"
+        invert_phase = config.phase_mode == "inverted"
+        saved_phase = self._saved_phase
         stats = self.stats
 
         while True:
@@ -1215,6 +1369,8 @@ class CdclSolver:
                 epoch_limit = config.restart_base * luby(restart_epoch)
                 self.stats.restarts += 1
                 self._backtrack(len(self._assumptions))
+                if prune_enabled:
+                    self._prune_root_satisfied()
                 continue
             if config.clause_deletion and self._num_live_learned > max_learned:
                 self._reduce_learned_db()
@@ -1233,11 +1389,27 @@ class CdclSolver:
                     self._enqueue(lit, -1)
                 continue
 
+            if len(self._trail) == self.num_vars:
+                # Every variable is assigned: SAT without asking the
+                # strategy (saves draining the whole decision heap of
+                # its propagation-assigned variables one pop at a time).
+                return self._sat_outcome()
             lit = self.strategy.decide()
             if lit == -1:
                 return self._sat_outcome()
-            if self.assigns[lit >> 1] != -1:
+            var = lit >> 1
+            if self.assigns[var] != -1:
                 raise AssertionError("strategy chose an assigned variable")
+            # Phase policy: the strategy picks the variable; the phase is
+            # the saved polarity (phase_mode="save", when one exists),
+            # the strategy's literal ("default"), or its complement
+            # ("inverted").  Assumptions bypass this block entirely.
+            if save_phase:
+                polarity = saved_phase[var]
+                if polarity >= 0:
+                    lit = (var << 1) | (polarity ^ 1)
+            elif invert_phase:
+                lit ^= 1
             self.stats.decisions += 1
             if (
                 config.max_decisions is not None

@@ -28,6 +28,10 @@ class SolverStats:
     learned_literals_before_min: int = 0
     learned_literals: int = 0
     minimized_literals: int = 0
+    # Clauses detached by root-level watch pruning during this solve
+    # (satisfied forever by a level-0 assignment; see
+    # SolverConfig.prune_root_satisfied).
+    root_pruned_clauses: int = 0
 
     @property
     def mean_learned_length(self) -> float:
@@ -51,3 +55,4 @@ class SolverStats:
         self.learned_literals_before_min += other.learned_literals_before_min
         self.learned_literals += other.learned_literals
         self.minimized_literals += other.minimized_literals
+        self.root_pruned_clauses += other.root_pruned_clauses

@@ -1,0 +1,255 @@
+"""Differential fuzzing of the CDCL solver (PR 3 test subsystem).
+
+Every configuration cell — (strategy x phase_mode x minimize_learned) —
+is exercised on a stream of seeded random instances drawn from three
+families (random k-CNF near the phase transition, pigeonhole, and
+implication/xor chains), and each result is cross-checked three ways:
+
+* SAT answers must carry a model that satisfies the formula;
+* UNSAT answers must agree with a brute-force reference (bit-parallel
+  evaluation of all ``2^n`` assignments, ``n <= 14``) or with the
+  family's constructed verdict, and must export a resolution proof
+  that replays through ``repro.sat.proof.check_proof``;
+* the production heap strategies must return the same verdict as the
+  retained seed scan-order reference strategies
+  (``ScanOrderVsidsStrategy`` / ``ScanOrderRankedStrategy``) under the
+  same solver configuration.
+
+Seed derivation (documented in ``benchmarks/solver_bench.py``): the
+instance with index ``i`` is generated from
+``random.Random(FUZZ_SEED + i)``, where ``FUZZ_SEED`` defaults to
+20040607 (the DAC 2004 conference date).  Failures report ``i`` so any
+counterexample can be regenerated in isolation.  The environment knobs:
+
+``FUZZ_INSTANCES``
+    Total instance count (default 2000; the CI ``fuzz-smoke`` job runs
+    200, a prefix of the local run).
+``FUZZ_SEED``
+    Base seed (default 20040607).
+
+The total instance count is printed at the end of the run ("count
+logged" — run with ``-s`` to see it live).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+from functools import lru_cache
+
+import pytest
+
+from repro.cnf import CnfFormula
+from repro.sat import (
+    BerkMinStrategy,
+    CdclSolver,
+    MINIMIZE_MODES,
+    PHASE_MODES,
+    RankedStrategy,
+    ScanOrderRankedStrategy,
+    ScanOrderVsidsStrategy,
+    SolverConfig,
+    VsidsStrategy,
+    check_proof,
+)
+from repro.sat.types import SolveResult
+
+FUZZ_INSTANCES = int(os.environ.get("FUZZ_INSTANCES", "2000"))
+FUZZ_SEED = int(os.environ.get("FUZZ_SEED", "20040607"))
+
+#: How many chunks the run is split into (separate pytest cases, so a
+#: failure localises to a ~FUZZ_INSTANCES/CHUNKS window of indices).
+CHUNKS = 8
+
+#: Largest variable count the brute-force reference accepts.
+BRUTE_FORCE_MAX_VARS = 14
+
+_count_log = {"instances": 0}
+
+
+# ----------------------------------------------------------------------
+# Bit-parallel brute force: evaluate all 2^n assignments at once.
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _var_masks(num_vars: int):
+    """``masks[v]`` has bit ``a`` set iff assignment ``a`` sets var ``v``
+    (assignment index bits are variable values)."""
+    size = 1 << num_vars
+    masks = []
+    for v in range(num_vars):
+        period = 1 << (v + 1)
+        half = 1 << v
+        block = ((1 << half) - 1) << half
+        mask = 0
+        for start in range(0, size, period):
+            mask |= block << start
+        masks.append(mask)
+    return tuple(masks)
+
+
+def brute_force_is_sat(formula: CnfFormula) -> bool:
+    """True iff some assignment satisfies the formula (n <= 14)."""
+    n = formula.num_vars
+    if n > BRUTE_FORCE_MAX_VARS:
+        raise ValueError(f"brute force limited to {BRUTE_FORCE_MAX_VARS} vars")
+    masks = _var_masks(n)
+    full = (1 << (1 << n)) - 1
+    remaining = full
+    for clause in formula.clauses:
+        clause_mask = 0
+        for lit in clause.literals:
+            var_mask = masks[lit >> 1]
+            clause_mask |= (full ^ var_mask) if (lit & 1) else var_mask
+        remaining &= clause_mask
+        if not remaining:
+            return False
+    return True
+
+
+def test_brute_force_oracle_matches_exhaustive_reference(rng):
+    from tests.conftest import brute_force_sat, random_formula
+
+    for _ in range(60):
+        formula = random_formula(rng, rng.randint(1, 8), rng.randint(1, 24))
+        assert brute_force_is_sat(formula) == (brute_force_sat(formula) is not None)
+
+
+# ----------------------------------------------------------------------
+# Instance families.
+# ----------------------------------------------------------------------
+
+
+def _random_kcnf(rng: random.Random) -> CnfFormula:
+    num_vars = rng.randint(4, 12)
+    # Around the 3-CNF phase transition so SAT and UNSAT both occur;
+    # the occasional short clause exercises the unit/binary paths.
+    num_clauses = max(2, int(num_vars * rng.uniform(2.8, 4.8)))
+    formula = CnfFormula(num_vars)
+    for _ in range(num_clauses):
+        width = 3 if rng.random() < 0.85 else rng.randint(1, 2)
+        chosen = rng.sample(range(num_vars), min(width, num_vars))
+        formula.add_clause(2 * v + rng.randint(0, 1) for v in chosen)
+    return formula
+
+
+def _pigeonhole(rng: random.Random):
+    from repro.workloads.cnf_families import pigeonhole
+
+    return pigeonhole(rng.randint(2, 4)), False  # always UNSAT
+
+
+def _chain(rng: random.Random):
+    from repro.workloads.cnf_families import xor_chain
+
+    final_phase = rng.random() < 0.5
+    length = rng.randint(2, 24)
+    # xor_chain forces x_0 true and x_k = (k even): SAT iff the forced
+    # final phase matches the chain parity.
+    return xor_chain(length, final_phase), final_phase == (length % 2 == 0)
+
+
+def make_instance(index: int):
+    """(formula, expected_sat_or_None) for instance ``index``.
+
+    ``expected`` is the constructed verdict for the structured families
+    and ``None`` (unknown — use brute force) for random ones.
+    """
+    rng = random.Random(FUZZ_SEED + index)
+    kind = index % 10
+    if kind == 8:
+        return _pigeonhole(rng)
+    if kind == 9:
+        return _chain(rng)
+    return _random_kcnf(rng), None
+
+
+# ----------------------------------------------------------------------
+# Configuration cells.
+# ----------------------------------------------------------------------
+
+
+def _strategy_pairs(rng: random.Random, num_vars: int, kind: int):
+    """(production strategy, scan-order reference strategy)."""
+    if kind == 0:
+        return VsidsStrategy(), ScanOrderVsidsStrategy()
+    if kind == 1:
+        # BerkMin has no scan twin; the reference is scan VSIDS (verdict
+        # comparison only — any complete strategy must agree).
+        return BerkMinStrategy(), ScanOrderVsidsStrategy()
+    rank = {v: float(rng.randint(0, 4)) for v in range(num_vars)}
+    dynamic = kind == 3
+    return (
+        RankedStrategy(rank, dynamic=dynamic),
+        ScanOrderRankedStrategy(rank, dynamic=dynamic),
+    )
+
+
+#: All (strategy kind, phase_mode, minimize_learned) cells.
+CELLS = list(itertools.product(range(4), PHASE_MODES, MINIMIZE_MODES))
+
+
+def run_one(index: int):
+    formula, expected = make_instance(index)
+    strategy_kind, phase_mode, minimize = CELLS[index % len(CELLS)]
+    rng = random.Random(FUZZ_SEED + index + 1_000_000)
+    production, reference = _strategy_pairs(rng, formula.num_vars, strategy_kind)
+    config = SolverConfig(phase_mode=phase_mode, minimize_learned=minimize)
+
+    solver = CdclSolver(formula, strategy=production, config=config)
+    outcome = solver.solve()
+    ctx = (
+        f"instance {index} (kind {index % 10}, cell "
+        f"{(production.name, phase_mode, minimize)})"
+    )
+
+    if outcome.status is SolveResult.SAT:
+        assert formula.evaluate(outcome.model), f"{ctx}: model does not satisfy"
+        is_sat = True
+    else:
+        assert outcome.status is SolveResult.UNSAT, f"{ctx}: unexpected {outcome.status}"
+        is_sat = False
+        # Every UNSAT answer must export a replayable refutation.
+        check_proof(formula, solver.export_proof())
+
+    if expected is not None:
+        assert is_sat == expected, f"{ctx}: family verdict mismatch"
+    elif formula.num_vars <= BRUTE_FORCE_MAX_VARS:
+        assert is_sat == brute_force_is_sat(formula), (
+            f"{ctx}: brute-force mismatch"
+        )
+
+    # Differential leg: seed scan-order machinery, same configuration.
+    ref_outcome = CdclSolver(formula, strategy=reference, config=config).solve()
+    assert (ref_outcome.status is SolveResult.SAT) == is_sat, (
+        f"{ctx}: heap vs scan-order verdict mismatch "
+        f"({outcome.status} vs {ref_outcome.status})"
+    )
+    return is_sat
+
+
+@pytest.mark.parametrize("chunk", range(CHUNKS))
+def test_differential_fuzz(chunk):
+    start = chunk * FUZZ_INSTANCES // CHUNKS
+    stop = (chunk + 1) * FUZZ_INSTANCES // CHUNKS
+    sat = unsat = 0
+    for index in range(start, stop):
+        if run_one(index):
+            sat += 1
+        else:
+            unsat += 1
+    _count_log["instances"] += sat + unsat
+    print(
+        f"differential fuzzer chunk {chunk}: instances {start}..{stop - 1}, "
+        f"{sat} SAT / {unsat} UNSAT, cumulative {_count_log['instances']}"
+    )
+    assert sat + unsat == stop - start
+
+
+def test_differential_fuzz_count_logged():
+    """Runs after the chunks (file order): the advertised instance count
+    was actually executed."""
+    assert _count_log["instances"] == FUZZ_INSTANCES
+    print(f"differential fuzzer: {_count_log['instances']} instances total")

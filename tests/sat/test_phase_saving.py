@@ -1,0 +1,146 @@
+"""Phase-policy tests (``SolverConfig.phase_mode``, PR 3).
+
+Covers the three modes on every strategy shape, the
+``FixedOrderStrategy`` fallback fix (it used to hard-code the positive
+phase), and the rule that assumption literals are never rephased.
+"""
+
+import random
+
+import pytest
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import (
+    CdclSolver,
+    FixedOrderStrategy,
+    SolverConfig,
+    VsidsStrategy,
+)
+from repro.sat.types import SolveResult
+from tests.conftest import brute_force_sat, random_formula
+
+
+def _free_pair_formula():
+    """(x0 or x1): either phase of x0 satisfies, so the chosen phase is
+    observable in the model."""
+    formula = CnfFormula(2)
+    formula.add_clause([mk_lit(0), mk_lit(1)])
+    return formula
+
+
+def _solver_with_saved_negative_x0(strategy, phase_mode):
+    """Prime a solver so x0 has saved phase 0 (it was assigned false
+    under an assumption, then unassigned by the next solve's
+    backtrack), then re-solve without assumptions."""
+    solver = CdclSolver(
+        _free_pair_formula(),
+        strategy=strategy,
+        config=SolverConfig(phase_mode=phase_mode),
+    )
+    first = solver.solve([mk_lit(0, True)])
+    assert first.status is SolveResult.SAT
+    assert first.model[0] == 0
+    return solver
+
+
+class TestPhaseModes:
+    def test_save_reuses_last_polarity(self):
+        solver = _solver_with_saved_negative_x0(VsidsStrategy(), "save")
+        outcome = solver.solve()
+        # VSIDS would propose the positive literal (counts 1 vs 0); the
+        # saved polarity overrides it.
+        assert outcome.status is SolveResult.SAT
+        assert outcome.model[0] == 0
+
+    def test_default_keeps_strategy_choice(self):
+        solver = _solver_with_saved_negative_x0(VsidsStrategy(), "default")
+        outcome = solver.solve()
+        assert outcome.status is SolveResult.SAT
+        assert outcome.model[0] == 1
+
+    def test_inverted_flips_strategy_choice(self):
+        solver = CdclSolver(
+            _free_pair_formula(),
+            strategy=VsidsStrategy(),
+            config=SolverConfig(phase_mode="inverted"),
+        )
+        outcome = solver.solve()
+        # VSIDS proposes x0 positive (count 1 vs 0); inverted assigns 0.
+        assert outcome.status is SolveResult.SAT
+        assert outcome.model[0] == 0
+
+    def test_save_without_history_uses_strategy_choice(self):
+        solver = CdclSolver(
+            _free_pair_formula(),
+            strategy=VsidsStrategy(),
+            config=SolverConfig(phase_mode="save"),
+        )
+        outcome = solver.solve()
+        assert outcome.status is SolveResult.SAT
+        assert outcome.model[0] == 1
+
+    def test_invalid_phase_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CdclSolver(_free_pair_formula(), config=SolverConfig(phase_mode="flip"))
+
+    def test_assumptions_are_never_rephased(self):
+        for mode in ("save", "default", "inverted"):
+            solver = CdclSolver(
+                _free_pair_formula(),
+                strategy=VsidsStrategy(),
+                config=SolverConfig(phase_mode=mode),
+            )
+            outcome = solver.solve([mk_lit(0, True)])
+            assert outcome.status is SolveResult.SAT
+            assert outcome.model[0] == 0, mode
+
+    def test_all_modes_preserve_verdicts(self, rng):
+        for trial in range(40):
+            formula = random_formula(rng, rng.randint(2, 9), rng.randint(2, 32))
+            expected = brute_force_sat(formula) is not None
+            for mode in ("save", "default", "inverted"):
+                outcome = CdclSolver(
+                    formula, config=SolverConfig(phase_mode=mode)
+                ).solve()
+                assert outcome.is_sat == expected, (trial, mode)
+                if outcome.is_sat:
+                    assert formula.evaluate(outcome.model)
+
+
+class TestFixedOrderPhase:
+    """The satellite fix: FixedOrderStrategy's fallback used to force
+    the positive phase; it now follows the solver's phase policy."""
+
+    def test_fallback_honors_saved_phase(self):
+        solver = _solver_with_saved_negative_x0(FixedOrderStrategy([]), "save")
+        outcome = solver.solve()
+        assert outcome.status is SolveResult.SAT
+        assert outcome.model[0] == 0  # saved polarity, not the old +1
+
+    def test_fallback_default_mode_keeps_positive_phase(self):
+        solver = _solver_with_saved_negative_x0(FixedOrderStrategy([]), "default")
+        outcome = solver.solve()
+        assert outcome.status is SolveResult.SAT
+        assert outcome.model[0] == 1  # the historical behaviour
+
+    def test_explicit_order_still_followed(self):
+        formula = CnfFormula(3)
+        formula.add_clause([mk_lit(0), mk_lit(1), mk_lit(2)])
+        strategy = FixedOrderStrategy([mk_lit(1, True), mk_lit(0)])
+        outcome = CdclSolver(
+            formula, strategy=strategy, config=SolverConfig(phase_mode="save")
+        ).solve()
+        assert outcome.status is SolveResult.SAT
+        assert outcome.model[1] == 0  # first fixed decision was ~x1
+
+    def test_fallback_correct_under_all_modes(self, rng):
+        for trial in range(20):
+            formula = random_formula(rng, rng.randint(2, 8), rng.randint(2, 24))
+            expected = brute_force_sat(formula) is not None
+            for mode in ("save", "default", "inverted"):
+                outcome = CdclSolver(
+                    formula,
+                    strategy=FixedOrderStrategy([]),
+                    config=SolverConfig(phase_mode=mode),
+                ).solve()
+                assert outcome.is_sat == expected, (trial, mode)
