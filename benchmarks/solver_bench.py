@@ -18,7 +18,10 @@ inner loops from the BMC layer:
 
 Each sample also reports conflict-analysis quality: learned-clause
 counts, mean learned-clause length (pre- and post-minimization), and how
-many literals the self-subsumption minimizer deleted.
+many literals the self-subsumption minimizer deleted — plus the flat
+clause-store footprint (PR 4): arena literal words, dead (tombstoned)
+words and their ratio, words reclaimed by in-place compaction during the
+solve, and the process peak RSS.
 
 The decision_overhead workload
 ------------------------------
@@ -203,6 +206,15 @@ def measure_workload(name: str, repeat: int) -> Dict[str, float]:
                 gc.enable()
         stats = solver.stats
         learned = stats.learned_clauses
+        footprint = solver.arena_footprint()
+        try:
+            import resource
+
+            peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            if sys.platform == "darwin":
+                peak_rss_kb //= 1024  # macOS reports ru_maxrss in bytes
+        except ImportError:  # non-POSIX fallback
+            peak_rss_kb = 0
         sample = {
             "time_s": elapsed,
             "decisions": stats.decisions,
@@ -223,6 +235,16 @@ def measure_workload(name: str, repeat: int) -> Dict[str, float]:
                 if stats.conflicts
                 else 0.0
             ),
+            # Flat clause-store footprint at end of solve (the arena
+            # reclaims tombstoned learned clauses in place when no CDG
+            # pins them; these workloads run record_cdg=False).
+            "arena_literal_words": footprint["literal_words"],
+            "arena_dead_words": footprint["dead_words"],
+            "arena_tombstone_ratio": footprint["tombstone_ratio"],
+            "arena_bytes": footprint["bytes"],
+            "arena_reclaimed_words": stats.arena_reclaimed_words,
+            "arena_compactions": stats.arena_compactions,
+            "peak_rss_kb": peak_rss_kb,
         }
         if best is None or sample["time_s"] < best["time_s"]:
             best = sample
@@ -242,9 +264,17 @@ def run_bench(repeat: int) -> Dict[str, Dict[str, float]]:
     return results
 
 
-#: Workloads whose throughput the CI smoke gate guards (the
-#: conflict-analysis-bound pair ISSUE 2 targets).
-SMOKE_WORKLOADS = ("random_3cnf", "pigeonhole")
+#: Workloads the CI smoke gate guards, each with the rate field it is
+#: judged on: the conflict-analysis-bound pair (propagation throughput,
+#: ISSUE 2) plus the decision-engine kernel (decision throughput,
+#: ISSUE 4) — all normalized by the same run's ``bcp_ladder``
+#: propagation rate so the checked-in baseline stays
+#: hardware-independent.
+SMOKE_WORKLOADS = (
+    ("random_3cnf", "propagations_per_sec"),
+    ("pigeonhole", "propagations_per_sec"),
+    ("decision_overhead", "decisions_per_sec"),
+)
 
 #: Pure-BCP workload used to calibrate the smoke gate: its throughput
 #: tracks host speed but not conflict-analysis cost, so dividing by it
@@ -275,16 +305,20 @@ def run_smoke(baseline_path: str, threshold: float, repeat: int) -> int:
     print(f"smoke {SMOKE_CALIBRATION:14s} {now_cal:12.0f} props/s  "
           f"baseline {ref_cal:12.0f}  (calibration)")
     failures = []
-    for name in SMOKE_WORKLOADS:
+    for name, metric in SMOKE_WORKLOADS:
+        if name not in baseline:
+            print(f"smoke {name:14s} missing from baseline, skipped")
+            continue
         sample = measure_workload(name, repeat)
-        now = sample["propagations_per_sec"]
-        reference = baseline[name]["propagations_per_sec"]
+        now = sample[metric]
+        reference = baseline[name][metric]
         if not reference:
             ratio = float("inf")
         else:
             ratio = (now / now_cal) / (reference / ref_cal)
         status = "ok" if ratio >= 1.0 - threshold else "REGRESSED"
-        print(f"smoke {name:14s} {now:12.0f} props/s  "
+        unit = "dec/s" if metric.startswith("decisions") else "props/s"
+        print(f"smoke {name:14s} {now:12.0f} {unit:7s}  "
               f"baseline {reference:12.0f}  normalized ratio {ratio:.2f}  "
               f"{status}")
         if ratio < 1.0 - threshold:

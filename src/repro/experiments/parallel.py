@@ -19,8 +19,8 @@ Determinism contract
   ``build_time``) vary with scheduling, as they do between any two
   serial runs.
 
-Cache sharing
--------------
+Cache sharing and worker affinity
+---------------------------------
 
 Circuit builds and CNF frame encodings are memoized **per process**
 through ``repro.experiments.runner.default_encoding_cache()``: the
@@ -32,6 +32,17 @@ frame watermarks), so which worker warmed it — or whether it was warm
 at all — cannot change any search-derived field; it only moves
 ``build_time``/``wall_time``.  Workers never exchange cache state, so
 the pool needs no locks and stays deterministic.
+
+Per-worker caches only pay off when the tasks that share an encoding
+actually land in the same worker.  ``map`` therefore accepts an
+``affinity`` key per task: tasks with equal keys are submitted as one
+unit and run serially inside a single worker, so all five strategies of
+a Table-1 row hit the worker's cache instead of five workers each
+paying one cold build (``run_pairs`` defaults the key to the suite
+instance's name).  Grouping changes *placement only*: results are still
+reassembled into task order, and ``on_result`` still fires in task
+order, so the merged output is byte-identical to a serial run and to
+the previous dynamic assignment.
 
 Usage
 -----
@@ -56,6 +67,12 @@ def _invoke(task: Task) -> Any:
     """Pool worker: apply one task (module-level, hence picklable)."""
     func, args, kwargs = task
     return func(*args, **kwargs)
+
+
+def _invoke_group(tasks: Sequence[Task]) -> List[Any]:
+    """Pool worker: apply an affinity group's tasks, in order, in one
+    process (so they share that process's encoding cache)."""
+    return [func(*args, **kwargs) for func, args, kwargs in tasks]
 
 
 def jobs_argument(text: str) -> int:
@@ -101,14 +118,29 @@ class ParallelRunner:
         self,
         tasks: Iterable[Task],
         on_result: Optional[Callable[[Any], None]] = None,
+        affinity: Optional[Sequence[Any]] = None,
     ) -> List[Any]:
         """Run all tasks; results are returned in task order.
 
         ``on_result`` is invoked once per result, in task order, as
         results become available — progress printing stays live in both
         serial and pool runs.
+
+        ``affinity`` (optional, one hashable key per task) pins tasks
+        with equal keys to the same pool worker: each key's tasks run
+        serially in one process, in task order, so per-process state
+        (the encoding cache) is shared within the group.  Scheduling
+        only — the returned list and the ``on_result`` sequence are
+        unchanged.
         """
         tasks = list(tasks)
+        if affinity is not None and len(affinity) != len(tasks):
+            # Validated on every path: a mis-built affinity sequence
+            # must fail identically whether or not a pool is used.
+            raise ValueError(
+                f"affinity must have one key per task "
+                f"({len(affinity)} keys for {len(tasks)} tasks)"
+            )
         if self.jobs <= 1 or len(tasks) <= 1:
             results = []
             for task in tasks:
@@ -127,6 +159,8 @@ class ParallelRunner:
         # spawn pickles them fine.
         method = "fork" if sys.platform == "linux" else "spawn"
         context = get_context(method)
+        if affinity is not None:
+            return self._map_grouped(tasks, affinity, on_result, context)
         results = []
         with context.Pool(processes=min(self.jobs, len(tasks))) as pool:
             # imap (not map) yields in task order as results complete.
@@ -136,21 +170,73 @@ class ParallelRunner:
                 results.append(result)
         return results
 
+    def _map_grouped(
+        self,
+        tasks: List[Task],
+        affinity: Sequence[Any],
+        on_result: Optional[Callable[[Any], None]],
+        context,
+    ) -> List[Any]:
+        """Affinity-grouped pool map (see :meth:`map`).
+
+        Groups are formed in first-appearance order and dispatched with
+        ``imap`` (which yields in submission order); results are placed
+        back into their original task slots, and ``on_result`` fires for
+        every completed prefix — so consumers observe exactly the serial
+        order even though whole groups complete out of task order.
+        """
+        groups: Dict[Any, List[int]] = {}
+        for index, key in enumerate(affinity):
+            groups.setdefault(key, []).append(index)
+        index_groups = list(groups.values())
+        task_groups = [[tasks[i] for i in group] for group in index_groups]
+        results: List[Any] = [None] * len(tasks)
+        done = [False] * len(tasks)
+        emitted = 0
+        with context.Pool(processes=min(self.jobs, len(task_groups))) as pool:
+            for group, group_results in zip(
+                index_groups, pool.imap(_invoke_group, task_groups, chunksize=1)
+            ):
+                for index, result in zip(group, group_results):
+                    results[index] = result
+                    done[index] = True
+                if on_result is not None:
+                    while emitted < len(tasks) and done[emitted]:
+                        on_result(results[emitted])
+                        emitted += 1
+        return results
+
     def run_pairs(
         self,
         pairs: Sequence[Tuple[Any, str]],
         on_result: Optional[Callable[[Any], None]] = None,
+        affinity: Optional[Sequence[Any]] = None,
         **engine_kwargs: Any,
     ) -> List[Any]:
-        """Run ``run_instance`` over (instance, strategy) pairs."""
+        """Run ``run_instance`` over (instance, strategy) pairs.
+
+        ``affinity`` defaults to the instance names, so every strategy
+        of one suite row runs in the same pool worker and shares its
+        per-process encoding cache (one circuit build + frame encoding
+        per row instead of one per strategy).  Pass an explicit sequence
+        to override, or ``affinity=()`` to restore dynamic assignment.
+        """
         from repro.experiments.runner import run_instance
 
+        if affinity is None:
+            affinity = [
+                getattr(instance, "name", repr(instance))
+                for instance, _strategy in pairs
+            ]
+        elif len(affinity) == 0:
+            affinity = None
         return self.map(
             [
                 (run_instance, (instance, strategy), dict(engine_kwargs))
                 for instance, strategy in pairs
             ],
             on_result=on_result,
+            affinity=affinity,
         )
 
 
@@ -158,7 +244,10 @@ def run_instances(
     pairs: Sequence[Tuple[Any, str]],
     jobs: Optional[int] = None,
     on_result: Optional[Callable[[Any], None]] = None,
+    affinity: Optional[Sequence[Any]] = None,
     **engine_kwargs: Any,
 ) -> List[Any]:
     """Convenience wrapper: ``ParallelRunner(jobs).run_pairs(pairs)``."""
-    return ParallelRunner(jobs).run_pairs(pairs, on_result=on_result, **engine_kwargs)
+    return ParallelRunner(jobs).run_pairs(
+        pairs, on_result=on_result, affinity=affinity, **engine_kwargs
+    )

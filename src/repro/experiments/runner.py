@@ -31,9 +31,12 @@ Batches of runs go through :func:`run_instances`, which accepts
 ``jobs=N`` and fans the (instance, strategy) pairs out over a process
 pool (see :mod:`repro.experiments.parallel` for the determinism
 contract).  Each worker process memoizes through its own
-per-process default cache — no cross-process state.  Timing fields are
-scheduling-dependent either way; every search-derived field is
-identical to a serial run.
+per-process default cache — no cross-process state.  Since PR 4 the
+pool pins all strategies of one suite row to the same worker (affinity
+keyed on the instance name), so the per-worker cache hits for every
+strategy after the first instead of depending on dynamic assignment.
+Timing fields are scheduling-dependent either way; every
+search-derived field is identical to a serial run.
 """
 
 from __future__ import annotations

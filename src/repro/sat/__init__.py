@@ -14,9 +14,12 @@ Public surface:
 * :class:`ConflictDependencyGraph` — the paper's §3.1 structure.
 * :func:`check_proof` / :class:`ResolutionProof` — independent UNSAT
   verification.
+* :class:`ClauseArena` — the flat literal store every clause lives in
+  (see ``docs/architecture.md`` for the memory layout).
 """
 
 from repro.sat.activity_heap import VariableActivityHeap
+from repro.sat.arena import ClauseArena
 from repro.sat.cdg import ConflictDependencyGraph
 from repro.sat.heuristics import (
     BerkMinStrategy,
@@ -46,6 +49,7 @@ from repro.sat.types import SolveOutcome, SolveResult
 
 __all__ = [
     "CdclSolver",
+    "ClauseArena",
     "SolverConfig",
     "MINIMIZE_MODES",
     "PHASE_MODES",

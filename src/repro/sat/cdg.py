@@ -17,11 +17,22 @@ This module is that structure.  Clause IDs are assigned by the solver:
 Deleting a conflict clause from the solver's database leaves its CDG entry
 untouched, so the backward traversal from the final conflict always
 reconstructs a complete core.
+
+Flat storage (PR 4): the per-entry antecedent tuples now live in one
+``array('i')`` — each entry is a length word followed by its antecedent
+IDs, addressed by an offset map — mirroring the solver's clause arena.
+A Table-1 row records tens of thousands of entries per depth; storing
+them as boxed-int tuples cost ~90 bytes per antecedent where the flat
+array costs 4.  The paper's "pseudo ID overhead"
+(:meth:`memory_footprint`) is now literally the word count of that
+array.  The public surface (``antecedents_of`` returning a tuple, the
+validation rules) is unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+from array import array
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 
 class ConflictDependencyGraph:
@@ -32,7 +43,11 @@ class ConflictDependencyGraph:
             raise ValueError("num_original must be non-negative")
         self._num_original = num_original
         self._extra_originals: set = set()
-        self._antecedents: Dict[int, Tuple[int, ...]] = {}
+        # Flat antecedent store: entry for clause ``c`` occupies
+        # ``_data[_offsets[c] - 1]`` (the antecedent count) followed by
+        # that many antecedent IDs starting at ``_data[_offsets[c]]``.
+        self._data = array("i")
+        self._offsets: Dict[int, int] = {}
         self._final_antecedents: Optional[Tuple[int, ...]] = None
 
     @property
@@ -43,7 +58,7 @@ class ConflictDependencyGraph:
     @property
     def num_entries(self) -> int:
         """Number of recorded conflict clauses."""
-        return len(self._antecedents)
+        return len(self._offsets)
 
     def register_original(self, clause_id: int) -> None:
         """Declare a later-added clause (incremental interface) a leaf.
@@ -51,7 +66,7 @@ class ConflictDependencyGraph:
         Incremental solving interleaves original and conflict clause IDs;
         leaves added after construction are registered here.
         """
-        if clause_id in self._antecedents:
+        if clause_id in self._offsets:
             raise ValueError(f"clause id {clause_id} is a recorded conflict clause")
         if clause_id < self._num_original:
             raise ValueError(f"clause id {clause_id} is already original")
@@ -78,11 +93,18 @@ class ConflictDependencyGraph:
         """
         if self.is_original(clause_id):
             raise ValueError(f"clause id {clause_id} collides with original clauses")
-        if clause_id in self._antecedents:
+        offsets = self._offsets
+        if clause_id in offsets:
             raise ValueError(f"clause id {clause_id} already recorded")
         antecedents = tuple(dict.fromkeys(antecedents))
+        num_original = self._num_original
+        extra = self._extra_originals
         for ant in antecedents:
-            if not self.is_original(ant) and ant not in self._antecedents:
+            if (
+                not (0 <= ant < num_original)
+                and ant not in extra
+                and ant not in offsets
+            ):
                 raise ValueError(
                     f"antecedent {ant} of clause {clause_id} is unknown"
                 )
@@ -90,16 +112,20 @@ class ConflictDependencyGraph:
                 raise ValueError(
                     f"antecedent {ant} of clause {clause_id} is not older"
                 )
-        self._antecedents[clause_id] = antecedents
+        data = self._data
+        data.append(len(antecedents))
+        offsets[clause_id] = len(data)
+        data.extend(antecedents)
 
     def antecedents_of(self, clause_id: int) -> Tuple[int, ...]:
         """Antecedent tuple of a recorded conflict clause."""
-        return self._antecedents[clause_id]
+        offset = self._offsets[clause_id]
+        return tuple(self._data[offset:offset + self._data[offset - 1]])
 
     def set_final_conflict(self, antecedents: Sequence[int]) -> None:
         """Record the antecedents of the final (empty-clause) conflict."""
         for ant in antecedents:
-            if not self.is_original(ant) and ant not in self._antecedents:
+            if not self.is_original(ant) and ant not in self._offsets:
                 raise ValueError(f"final-conflict antecedent {ant} is unknown")
         self._final_antecedents = tuple(antecedents)
 
@@ -116,6 +142,8 @@ class ConflictDependencyGraph:
         """
         if self._final_antecedents is None:
             raise RuntimeError("no final conflict recorded (formula not proven UNSAT)")
+        data = self._data
+        offsets = self._offsets
         core = set()
         visited = set()
         stack = list(self._final_antecedents)
@@ -127,7 +155,8 @@ class ConflictDependencyGraph:
             if self.is_original(clause_id):
                 core.add(clause_id)
             else:
-                stack.extend(self._antecedents[clause_id])
+                offset = offsets[clause_id]
+                stack.extend(data[offset:offset + data[offset - 1]])
         return frozenset(core)
 
     def reachable_conflict_clauses(self) -> FrozenSet[int]:
@@ -135,6 +164,8 @@ class ConflictDependencyGraph:
         replay and for measuring how much of the learning was relevant)."""
         if self._final_antecedents is None:
             raise RuntimeError("no final conflict recorded")
+        data = self._data
+        offsets = self._offsets
         used = set()
         visited = set()
         stack = list(self._final_antecedents)
@@ -145,10 +176,13 @@ class ConflictDependencyGraph:
             visited.add(clause_id)
             if not self.is_original(clause_id):
                 used.add(clause_id)
-                stack.extend(self._antecedents[clause_id])
+                offset = offsets[clause_id]
+                stack.extend(data[offset:offset + data[offset - 1]])
         return frozenset(used)
 
     def memory_footprint(self) -> int:
         """Approximate entry count (IDs stored), the paper's "pseudo ID
-        overhead" — used by the CDG-overhead benchmark."""
-        return sum(1 + len(ants) for ants in self._antecedents.values())
+        overhead" — used by the CDG-overhead benchmark.  With the flat
+        store this is exactly the antecedent array's word count (one
+        length word plus the IDs per entry)."""
+        return len(self._data)

@@ -18,7 +18,7 @@ the refine-order machinery would freeze ranked variables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.cnf.formula import CnfFormula
 
@@ -114,18 +114,20 @@ def eliminate_variables(
     changed = True
     while changed:
         changed = False
-        occurs: Dict[int, List[int]] = {}
+        # Flat literal-indexed occurrence table (packed literals are
+        # dense small ints; mirrors the solver's watch-table layout).
+        occurs: List[List[int]] = [[] for _ in range(2 * formula.num_vars)]
         for index, lits in enumerate(clauses):
             if lits is None:
                 continue
             for lit in lits:
-                occurs.setdefault(lit, []).append(index)
+                occurs[lit].append(index)
 
         for var in range(formula.num_vars):
             if var in frozen_set:
                 continue
-            pos_indices = [i for i in occurs.get(2 * var, ()) if clauses[i] is not None]
-            neg_indices = [i for i in occurs.get(2 * var + 1, ()) if clauses[i] is not None]
+            pos_indices = [i for i in occurs[2 * var] if clauses[i] is not None]
+            neg_indices = [i for i in occurs[2 * var + 1] if clauses[i] is not None]
             if not pos_indices and not neg_indices:
                 continue  # var already absent
             old_literals = sum(

@@ -145,10 +145,15 @@ class _HeapOrderStrategy(DecisionStrategy):
 
     def attach(self, solver: "CdclSolver") -> None:
         super().attach(solver)
-        counts = solver.original_literal_counts()
-        self._kscore = [float(c) for c in counts]
+        # Keys MUST be floats: the scaled-score scheme is defined to
+        # round exactly as the paper's halved float cha_score does
+        # (beyond ~53 periodic updates the low-order contributions are
+        # deliberately absorbed — exact integer sums would tie-break
+        # differently from the scan-order reference on long runs).
+        # map(float, ...) is the cheapest C-level conversion.
+        self._kscore = list(map(float, solver.original_literal_counts()))
         self._kinc = 1.0
-        self._new_counts = [0] * len(counts)
+        self._new_counts = [0] * (2 * solver.num_vars)
         del self._bumped[:]
         # _conflicts_since_update deliberately persists across attaches,
         # matching the scan-order reference (fresh scores, but the decay
@@ -158,9 +163,9 @@ class _HeapOrderStrategy(DecisionStrategy):
         # Root facts enqueued before the search starts (unit clauses,
         # incremental re-solves) are permanent: leave their variables
         # out of the heap instead of lazily discarding them later.
-        assigns = solver.assigns
+        truth = solver.lit_truth
         self._heap.rebuild(
-            (var for var in range(num_vars) if assigns[var] == -1), num_vars
+            (var for var in range(num_vars) if truth[var + var] == 2), num_vars
         )
 
     def _key_arrays(self) -> list:
@@ -218,11 +223,14 @@ class _HeapOrderStrategy(DecisionStrategy):
         heap.reinsert(literals)
 
     def decide(self) -> int:
-        assigns = self._solver.assigns
+        # One subscript per lazily discarded pop: a literal's truth is
+        # 2 exactly when its variable is unassigned (lit < 0 is the
+        # heap's empty sentinel, not a truth value).
+        truth = self._solver.lit_truth
         pop = self._heap.pop
         while True:
             lit = pop()
-            if lit < 0 or assigns[lit >> 1] == -1:
+            if lit < 0 or truth[lit] == 2:
                 return lit
 
 
@@ -342,15 +350,15 @@ class BerkMinStrategy(_HeapOrderStrategy):
         later pops discard it lazily once its variable is assigned.
         """
         solver = self._solver
-        assigns = solver.assigns
+        truth = solver.lit_truth
         for clause in reversed(self._recent):
             satisfied = False
             free = []
             for lit in clause:
-                value = assigns[lit >> 1]
-                if value == -1:
+                value = truth[lit]
+                if value == 2:
                     free.append(lit)
-                elif value ^ (lit & 1) == 1:
+                elif value == 1:
                     satisfied = True
                     break
             if satisfied or not free:
@@ -379,12 +387,12 @@ class FixedOrderStrategy(DecisionStrategy):
 
     def decide(self) -> int:
         """Follow the fixed order, then first unassigned variable."""
-        assigns = self._solver.assigns
+        truth = self._solver.lit_truth
         for lit in self._literal_order:
-            if assigns[lit >> 1] == -1:
+            if truth[lit] == 2:
                 return lit
         for var in range(self._solver.num_vars):
-            if assigns[var] == -1:
+            if truth[var + var] == 2:
                 return 2 * var
         return -1
 
@@ -448,13 +456,13 @@ class _ScanOrderStrategy(DecisionStrategy):
     def decide(self) -> int:
         if self._order_dirty:
             self._rebuild_order()
-        assigns = self._solver.assigns
+        truth = self._solver.lit_truth
         order = self._order
         ptr = self._ptr
         n = len(order)
         while ptr < n:
             lit = order[ptr]
-            if assigns[lit >> 1] == -1:
+            if truth[lit] == 2:
                 self._ptr = ptr
                 return lit
             ptr += 1

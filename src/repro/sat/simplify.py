@@ -23,7 +23,7 @@ redundancy, not the distractor structure VSIDS gets lost in).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import FrozenSet, List, Optional, Set
 
 from repro.cnf.formula import CnfFormula
 
@@ -54,7 +54,12 @@ class SimplifyResult:
 
 def simplify(formula: CnfFormula, max_rounds: int = 10) -> SimplifyResult:
     """Apply subsumption and self-subsuming resolution to a fixpoint
-    (bounded by ``max_rounds``)."""
+    (bounded by ``max_rounds``).
+
+    The occurrence index is a flat literal-indexed table (one list per
+    packed literal, like the solver's watch tables) rather than a dict
+    keyed by literal — packed literals *are* small dense integers.
+    """
     clauses: List[Optional[Set[int]]] = []
     deps: List[Set[int]] = []  # original indices each live clause cites
     for index, clause in enumerate(formula.clauses):
@@ -67,14 +72,15 @@ def simplify(formula: CnfFormula, max_rounds: int = 10) -> SimplifyResult:
 
     subsumed = sum(1 for c in clauses if c is None)
     strengthened = 0
+    num_lits = 2 * formula.num_vars
 
-    def occurrence_index() -> Dict[int, List[int]]:
-        occurs: Dict[int, List[int]] = {}
+    def occurrence_index() -> List[List[int]]:
+        occurs: List[List[int]] = [[] for _ in range(num_lits)]
         for i, lits in enumerate(clauses):
             if lits is None:
                 continue
             for lit in lits:
-                occurs.setdefault(lit, []).append(i)
+                occurs[lit].append(i)
         return occurs
 
     for _ in range(max_rounds):
@@ -90,8 +96,8 @@ def simplify(formula: CnfFormula, max_rounds: int = 10) -> SimplifyResult:
             lits = clauses[i]
             if lits is None or not lits:
                 continue
-            pivot = min(lits, key=lambda lit: len(occurs.get(lit, ())))
-            for j in occurs.get(pivot, ()):
+            pivot = min(lits, key=lambda lit: len(occurs[lit]))
+            for j in occurs[pivot]:
                 if j == i:
                     continue
                 other = clauses[j]
@@ -113,10 +119,10 @@ def simplify(formula: CnfFormula, max_rounds: int = 10) -> SimplifyResult:
                     continue  # clause was strengthened meanwhile
                 rest = lits - {lit}
                 if not rest:
-                    candidates = list(occurs.get(lit ^ 1, ()))
+                    candidates = list(occurs[lit ^ 1])
                 else:
-                    pivot = min(rest, key=lambda l: len(occurs.get(l, ())))
-                    candidates = list(occurs.get(pivot, ()))
+                    pivot = min(rest, key=lambda l: len(occurs[l]))
+                    candidates = list(occurs[pivot])
                 for j in candidates:
                     if j == i:
                         continue

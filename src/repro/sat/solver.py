@@ -31,22 +31,49 @@ Clause IDs: the initial formula's clauses keep their ``CnfFormula``
 indices ``0 .. m-1``; later ``add_clause`` calls and learned clauses share
 the tail of the ID space (the CDG distinguishes leaves from derivations).
 
+Flat-memory data plane (PR 4)
+-----------------------------
+
+The clause database and the watch tables no longer hold per-clause
+Python lists and wide tuples; see ``docs/architecture.md`` for the
+memory layout and the measured CPython tradeoffs.
+
+* Every clause's literals live in one :class:`~repro.sat.arena
+  .ClauseArena` — a single ``array('i')`` of blocks addressed by
+  ``refs[cid]``, with header words carrying the learned flag, the
+  tombstone bit and the length, plus parallel ``refs``/``activity``
+  header columns.  Learned-DB reduction tombstones blocks and (when no
+  CDG pins deleted clauses for proof export) an in-place compaction
+  slides live blocks left, so dead clauses stop costing memory instead
+  of lingering as unreachable lists.
+* Assignments are kept **per literal**: ``lit_truth[lit]`` is 1/0/2
+  (true/false/unassigned — 2, not -1, so the ternary scan's dominant
+  "neither companion is false" case collapses to one truthiness test)
+  for every packed literal, maintained in pairs as the trail grows and
+  shrinks.  Every watch test in BCP is then a single subscript — no
+  variable-index shift, no phase xor — which is what let the watch
+  entries shrink.
+* Watch entries are packed pairs/triples: long clauses ``(cid,
+  blocker)``, binary clauses ``(cid, implied)``, ternary clauses
+  ``(cid, other_a, other_b)``.  The ``(var, want)`` columns PR 1 baked
+  into each entry are subsumed by the ``lit_truth`` column, which is
+  shared across every entry instead of copied into each.
+
 Hot-path invariants (the experiment layer's throughput depends on
 these; see ``benchmarks/solver_bench.py`` for the tracking numbers):
 
 * Binary and ternary clauses live in dedicated, *static* watch lists
-  (binary: the implied literal; ternary: both other literals), with
-  variable index and target assignment precomputed per entry — BCP on
-  them is pure index-and-compare, no clause-list access, no watch
-  moves.
-* Long-clause watch entries are ``(clause_id, blocker, blocker_var,
-  blocker_value)`` — a satisfied blocker skips the clause without
-  touching its literal list.
+  (binary: the implied literal; ternary: both other literals) — BCP on
+  them is one ``lit_truth`` subscript per test, no clause access, no
+  watch moves.
+* Long-clause watch entries carry a *blocker* literal whose
+  satisfaction (``lit_truth[blocker] == 1``) skips the clause without
+  touching the arena.
 * ``_propagate`` hoists every attribute into locals and assigns
-  inline; original-vs-learned queries go through the memoized
-  ``_original_id_set`` (never a list scan); tautological originals are
-  excluded from literal counts so ``cha_score`` seeds and the dynamic
-  1/64 switch threshold reflect only installed literals.
+  inline; learned-vs-original queries in ``_analyze`` are one arena
+  flag-byte read; tautological originals are excluded from literal
+  counts so ``cha_score`` seeds and the dynamic 1/64 switch threshold
+  reflect only installed literals.
 * ``_analyze`` reuses persistent scratch arrays (``_seen`` plus the
   touched/zero lists) — no per-conflict set allocations — and runs
   learned-clause self-subsumption minimization (one-step ``local`` by
@@ -65,7 +92,7 @@ these; see ``benchmarks/solver_bench.py`` for the tracking numbers):
 * Clauses satisfied at decision level 0 are pruned from the watch
   lists (``SolverConfig.prune_root_satisfied``): skipped at install
   time, and swept after each restart as learned units accumulate —
-  their literal lists and CDG entries remain, so cores and proof
+  their literal blocks and CDG entries remain, so cores and proof
   replay are unaffected.
 """
 
@@ -76,6 +103,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cnf.formula import CnfFormula
+from repro.sat.arena import (
+    ClauseArena,
+    INACTIVE,
+    LEARNED,
+    STORAGE_MODES,
+    TOMBSTONE,
+)
 from repro.sat.cdg import ConflictDependencyGraph
 from repro.sat.heuristics import DecisionStrategy, VsidsStrategy
 from repro.sat.stats import SolverStats
@@ -132,10 +166,16 @@ class SolverConfig:
     #: at install time).  A level-0 assignment is permanent for the
     #: solver's lifetime, so such clauses can never propagate or
     #: conflict again — BCP only stops scanning them.  Their literal
-    #: lists, CDG entries and proof exports are untouched, so core
+    #: blocks, CDG entries and proof exports are untouched, so core
     #: extraction and proof replay are unaffected; the count is recorded
     #: in ``stats.root_pruned_clauses``.
     prune_root_satisfied: bool = True
+    #: Element store of the clause arena: ``"fast"`` (Python-list words
+    #: — the CPython-speed default) or ``"compact"`` (``array('i')``
+    #: words — half the memory per literal and the layout a C/memoryview
+    #: propagation backend consumes zero-copy).  Search behaviour is
+    #: identical in both modes; see ``repro.sat.arena``.
+    arena_storage: str = "fast"
     max_conflicts: Optional[int] = None
     max_decisions: Optional[int] = None
     max_propagations: Optional[int] = None
@@ -147,6 +187,10 @@ MINIMIZE_MODES = ("off", "local", "recursive")
 #: Valid values of :attr:`SolverConfig.phase_mode`.
 PHASE_MODES = ("default", "save", "inverted")
 
+#: Valid values of :attr:`SolverConfig.arena_storage` (re-exported from
+#: the arena module).
+ARENA_STORAGE_MODES = STORAGE_MODES
+
 #: Clause-activity magnitude that triggers a rescale.  Single source of
 #: truth for both the inlined bump in ``_analyze`` and the out-of-line
 #: :meth:`CdclSolver._bump_clause_activity`.
@@ -155,6 +199,11 @@ ACTIVITY_RESCALE_LIMIT = 1e20
 #: Minimum number of new level-0 facts before a root-satisfied watch
 #: sweep runs (see :meth:`CdclSolver._prune_root_satisfied`).
 _PRUNE_MIN_NEW_FACTS = 16
+
+#: Arena compaction trigger: reclaim tombstoned literal blocks once they
+#: are at least this many words *and* at least half the arena (amortized
+#: O(1) per word; see :meth:`CdclSolver._maybe_compact_arena`).
+_COMPACT_MIN_DEAD_WORDS = 1024
 
 
 def luby(index: int) -> int:
@@ -205,36 +254,46 @@ class CdclSolver:
                 f"phase_mode must be one of {PHASE_MODES}, "
                 f"got {self.config.phase_mode!r}"
             )
+        if self.config.arena_storage not in STORAGE_MODES:
+            raise ValueError(
+                f"arena_storage must be one of {STORAGE_MODES}, "
+                f"got {self.config.arena_storage!r}"
+            )
         self.strategy = strategy or VsidsStrategy()
         self.num_vars = 0
         self.stats = SolverStats()
 
-        self.assigns: List[int] = []  # -1 unassigned, else 0/1
+        #: Per-*literal* truth values: 1 true, 0 false, 2 unassigned
+        #: (2 rather than -1 so "not false" is plain truthiness).  The
+        #: two entries of a variable are written together whenever the
+        #: trail grows or shrinks, so every literal test anywhere in
+        #: the solver (and in the decision strategies) is one subscript.
+        #: Public accessors (``value_of``, ``assigns``) translate the
+        #: internal 2 back to the conventional -1.
+        self.lit_truth: List[int] = []
         self._levels: List[int] = []
         self._reasons: List[int] = []
         # Last value each variable held before it was unassigned
         # (-1 = never assigned); the phase_mode="save" source.
         self._saved_phase: List[int] = []
         self._seen = bytearray()
-        # Watch lists hold (clause_id, blocker) pairs; the blocker is a
-        # literal of the clause (initially the other watched literal)
-        # whose satisfaction lets BCP skip the clause without touching
-        # its literal list.  Binary clauses live in their own lists of
-        # (clause_id, implied_literal) pairs: their watches never move,
-        # so BCP handles them without any clause-list access.
-        # Long-clause watch entries are (clause_id, blocker_lit,
-        # blocker_var, blocker_value): a satisfied blocker skips the
-        # clause on an index-and-compare, without loading its literals.
-        self._watches: List[List[Tuple[int, int, int, int]]] = []
-        # Binary entries are (clause_id, implied_lit, implied_var,
-        # implied_value): variable index and target assignment are
-        # precomputed so BCP tests are a plain list index and compare.
+        #: Physical size of the per-var/per-lit arrays (grown
+        #: geometrically by :meth:`ensure_num_vars`; ``num_vars`` is the
+        #: logical size).
+        self._var_capacity = 0
+        # Watch tables, one list per packed literal.  Entries are packed
+        # tuples: long clauses (clause_id, blocker) — a satisfied
+        # blocker skips the clause without touching the arena; ternary
+        # clauses (clause_id, other_a, other_b) — watched statically on
+        # all three literals.  Binary clauses — whose watches never
+        # move and whose every scan may propagate — keep the implied
+        # literal's complement and variable precomputed,
+        # (clause_id, implied, ~implied, var): pure BCP chains assign
+        # on almost every scanned entry, and the two extra tuple fields
+        # are cheaper there than an xor+shift per assignment.
+        self._watches: List[List[Tuple[int, int]]] = []
         self._watches_bin: List[List[Tuple[int, int, int, int]]] = []
-        # Ternary clauses are watched statically on all three literals,
-        # each entry carrying the other two with the same precomputed
-        # (lit, var, value) triples: BCP on them needs no clause-list
-        # access and no watch moves.
-        self._watches_tern: List[List[Tuple[int, ...]]] = []
+        self._watches_tern: List[List[Tuple[int, int, int]]] = []
         self._lit_counts: List[int] = []  # original-clause literal counts
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
@@ -242,13 +301,25 @@ class CdclSolver:
         self._decision_level = 0
 
         self._num_initial = self._formula.num_clauses
-        self._clauses: List[List[int]] = []
+        #: The flat clause store: every clause's literals live here as
+        #: one block; ``_arena.refs[cid]`` addresses them and
+        #: ``_arena.activity`` is the per-clause activity column.
+        self._arena = ClauseArena(self.config.arena_storage)
+        # Analysis-side literal views, one immutable tuple per clause.
+        # Conflict analysis is literal-ORDER-blind (seen-marking makes
+        # duplicates and permutations irrelevant), and a clause's
+        # literal SET never changes after install — watch moves only
+        # permute the arena block — so these views never go stale.
+        # Original clauses share the formula's own tuples (one
+        # reference, no copy); learned clauses pay one tuple while
+        # live, freed at deletion.  The arena stays the store of
+        # record: propagation, watch positions, proofs and
+        # clause_literals() all read it, analysis iterates the view.
+        self._lits_view: List[Tuple[int, ...]] = []
         self._original_ids: List[int] = []
         self._original_id_set: Set[int] = set()
         self._learned_ids: List[int] = []
-        self._active: List[bool] = []
-        self._deleted: List[bool] = []
-        self._activity: List[float] = []
+        self._activity = self._arena.activity
         self._activity_inc = 1.0
         self._num_live_learned = 0
         self._num_original_literals = 0
@@ -259,7 +330,7 @@ class CdclSolver:
         # Root-level watch pruning (config.prune_root_satisfied): IDs of
         # clauses detached because a level-0 assignment satisfies them
         # forever, plus the trail watermark up to which level-0 facts
-        # have been processed.  Pruned clauses keep their literal lists
+        # have been processed.  Pruned clauses keep their literal blocks
         # and CDG entries — only their watch entries are dropped.
         self._root_pruned: Set[int] = set()
         self._root_prune_watermark = 0
@@ -281,6 +352,9 @@ class CdclSolver:
         )
         self._ok = True
         self._solving = False
+        # Lazy index of the constructor formula's literal tuples (model
+        # checking); references the formula's own immutable tuples.
+        self._formula_literal_index: Optional[List[Tuple[int, ...]]] = None
         self._assumptions: List[int] = []
         self.failed_assumptions: Optional[frozenset] = None
         # Implications derived while installing clauses (eager level-0
@@ -295,29 +369,47 @@ class CdclSolver:
     # ------------------------------------------------------------------
 
     def new_var(self) -> int:
-        """Allocate a fresh variable and return its index."""
+        """Allocate a fresh variable and return its index.
+
+        Like :meth:`ensure_num_vars`, must not be called mid-search.
+        """
         var = self.num_vars
         self.ensure_num_vars(var + 1)
         return var
 
     def ensure_num_vars(self, count: int) -> None:
-        """Grow the variable space to at least ``count`` variables."""
-        grow = count - self.num_vars
-        if grow <= 0:
+        """Grow the variable space to at least ``count`` variables.
+
+        Must not be called during an active :meth:`solve`: the watch
+        tables, trail and strategy state are sized at search entry, and
+        growing them mid-search would silently corrupt propagation.
+        The physical arrays grow geometrically (at least doubling), so
+        the one-variable-at-a-time pattern front ends use costs
+        amortized O(1) per variable instead of one resize per call.
+        """
+        if count <= self.num_vars:
             return
-        self.assigns.extend([-1] * grow)
-        self._levels.extend([-1] * grow)
-        self._reasons.extend([-1] * grow)
-        self._saved_phase.extend([-1] * grow)
-        self._seen.extend(bytes(grow))
-        self._lit_counts.extend([0] * (2 * grow))
-        watches = self._watches
-        watches_bin = self._watches_bin
-        watches_tern = self._watches_tern
-        for _ in range(2 * grow):
-            watches.append([])
-            watches_bin.append([])
-            watches_tern.append([])
+        if self._solving:
+            raise RuntimeError(
+                "ensure_num_vars/new_var may not be called during solve()"
+            )
+        if count > self._var_capacity:
+            new_cap = max(count, 2 * self._var_capacity, 16)
+            grow = new_cap - self._var_capacity
+            self.lit_truth.extend([2] * (2 * grow))
+            self._levels.extend([-1] * grow)
+            self._reasons.extend([-1] * grow)
+            self._saved_phase.extend([-1] * grow)
+            self._seen.extend(bytes(grow))
+            self._lit_counts.extend([0] * (2 * grow))
+            watches = self._watches
+            watches_bin = self._watches_bin
+            watches_tern = self._watches_tern
+            for _ in range(2 * grow):
+                watches.append([])
+                watches_bin.append([])
+                watches_tern.append([])
+            self._var_capacity = new_cap
         self.num_vars = count
 
     def add_clause(self, literals: Sequence[int]) -> int:
@@ -348,25 +440,30 @@ class CdclSolver:
         depth-k CNF, so clause installation runs tens of thousands of
         times per Table-1 row.  Compared to the generic
         :meth:`_install_clause` it hoists every per-clause attribute
-        access, specializes dedupe/tautology checks for the 2-3 literal
-        clauses Tseitin encodings consist of, and stores short clauses
-        as the formula's own immutable tuples (only clauses longer than
-        three literals are ever reordered by BCP, and only those get a
-        private list).
+        access and specializes dedupe/tautology checks for the 2-3
+        literal clauses Tseitin encodings consist of.  Clause literals
+        go straight into the arena (one ``extend`` per clause); only
+        clauses that meet pre-assigned variables take the slow
+        classification path.
         """
-        clauses_append = self._clauses.append
-        deleted_append = self._deleted.append
-        activity_append = self._activity.append
-        active_append = self._active.append
+        arena = self._arena
+        adata = arena.data
+        adata_append = adata.append
+        adata_extend = adata.extend
+        arefs = arena.refs
+        arefs_append = arefs.append
+        aflags_append = arena.flags.append
+        activity_append = arena.activity.append
+        view_append = self._lits_view.append
         original_append = self._original_ids.append
         original_add = self._original_id_set.add
         lit_counts = self._lit_counts
-        assigns = self.assigns
+        truth = self.lit_truth
         watches_bin = self._watches_bin
         watches_tern = self._watches_tern
         watches = self._watches
         num_literals = 0
-        next_cid = len(self._clauses)
+        next_cid = len(arefs)
         for clause in self._formula.clauses:
             lits = clause.literals
             n = len(lits)
@@ -387,25 +484,27 @@ class CdclSolver:
                 else:
                     taut = a ^ 1 == b or a ^ 1 == c or b ^ 1 == c
             elif n > 3:
-                lits = list(dict.fromkeys(lits))
+                lits = tuple(dict.fromkeys(lits))
                 n = len(lits)
                 taut = _is_tautology(lits)
             cid = next_cid
             next_cid += 1
-            deleted_append(False)
-            activity_append(0.0)
             original_append(cid)
             original_add(cid)
+            flags = INACTIVE if taut else 0
+            adata_append(flags)
+            adata_append(n)
+            arefs_append(len(adata))
+            adata_extend(lits)
+            aflags_append(flags)
+            activity_append(0.0)
+            view_append(lits)
             if taut:
-                clauses_append(lits)
-                active_append(False)
                 continue
             for lit in lits:
                 lit_counts[lit] += 1
             num_literals += n
-            active_append(True)
             if not self._ok or n <= 1:
-                clauses_append(list(lits))
                 if self._ok:
                     if n == 0:
                         self._mark_root_unsat([cid])
@@ -414,55 +513,44 @@ class CdclSolver:
                 continue
             clean = True
             for lit in lits:
-                if assigns[lit >> 1] != -1:
+                if truth[lit] != 2:
                     clean = False
                     break
             if not clean:
-                lits = list(lits)
-                clauses_append(lits)
-                self._install_assigned(cid, lits)
+                self._install_assigned(cid, list(lits))
                 continue
-            clauses_append(lits)
             if n == 2:
                 a, b = lits
-                watches_bin[a].append((cid, b, b >> 1, 1 ^ (b & 1)))
-                watches_bin[b].append((cid, a, a >> 1, 1 ^ (a & 1)))
+                watches_bin[a].append((cid, b, b ^ 1, b >> 1))
+                watches_bin[b].append((cid, a, a ^ 1, a >> 1))
             elif n == 3:
                 a, b, c = lits
-                va, pa = a >> 1, 1 ^ (a & 1)
-                vb, pb = b >> 1, 1 ^ (b & 1)
-                vc, pc = c >> 1, 1 ^ (c & 1)
-                watches_tern[a].append((cid, b, vb, pb, c, vc, pc))
-                watches_tern[b].append((cid, a, va, pa, c, vc, pc))
-                watches_tern[c].append((cid, a, va, pa, b, vb, pb))
+                watches_tern[a].append((cid, b, c))
+                watches_tern[b].append((cid, a, c))
+                watches_tern[c].append((cid, a, b))
             else:
-                a, b = lits[0], lits[1]
-                watches[a].append((cid, b, b >> 1, 1 ^ (b & 1)))
-                watches[b].append((cid, a, a >> 1, 1 ^ (a & 1)))
+                watches[lits[0]].append((cid, lits[1]))
+                watches[lits[1]].append((cid, lits[0]))
         self._num_original_literals += num_literals
 
     def _install_clause(self, lits: List[int], initial: bool) -> int:
-        cid = len(self._clauses)
         lits = list(dict.fromkeys(lits))  # dedupe, keep order
-        self._clauses.append(lits)
-        self._deleted.append(False)
-        self._activity.append(0.0)
+        taut = _is_tautology(lits)
+        cid = self._arena.add(lits, INACTIVE if taut else 0)
+        self._lits_view.append(tuple(lits))
         self._original_ids.append(cid)
         self._original_id_set.add(cid)
         if not initial and self._cdg is not None:
             self._cdg.register_original(cid)
-
-        if _is_tautology(lits):
+        if taut:
             # Never attached, so its literals must not feed the initial
             # cha_score array or the dynamic strategy's 1/64 switch
             # threshold (paper §3.3): count only installed literals.
-            self._active.append(False)
             return cid
         lit_counts = self._lit_counts
         for lit in lits:
             lit_counts[lit] += 1
         self._num_original_literals += len(lits)
-        self._active.append(True)
         if not self._ok:
             return cid
         if not lits:
@@ -473,9 +561,9 @@ class CdclSolver:
             # Fast path (the bulk of solver construction over a BMC
             # formula): a clause with no assigned literal needs none of
             # the level-0 unit/conflict handling — attach as-is.
-            assigns = self.assigns
+            truth = self.lit_truth
             for lit in lits:
-                if assigns[lit >> 1] != -1:
+                if truth[lit] != 2:
                     self._install_assigned(cid, lits)
                     return cid
             self._attach_clause(cid, lits)
@@ -485,24 +573,25 @@ class CdclSolver:
         """Install a clause some of whose literals are already assigned
         (level-0 facts): it may be satisfied, effectively unit, or
         falsified; one pass classifies it.  Long clauses get two
-        non-false literals moved to the watch positions; a clause
-        already *satisfied* at level 0 stays satisfied forever, so under
+        non-false literals moved to the watch positions (the arena block
+        is rewritten to the reordered form); a clause already
+        *satisfied* at level 0 stays satisfied forever, so under
         ``config.prune_root_satisfied`` it is never attached at all
         (pruned at birth — recorded so introspection agrees with the
         restart-time sweep).  Installation always happens at decision
         level 0, so every assigned literal seen here is a root fact."""
-        assigns = self.assigns
+        truth = self.lit_truth
         satisfied = False
         first_un = -1
         second_un = -1
         for lit in lits:
-            value = assigns[lit >> 1]
-            if value == -1:
+            value = truth[lit]
+            if value == 2:
                 if first_un < 0:
                     first_un = lit
                 elif second_un < 0:
                     second_un = lit
-            elif value ^ (lit & 1) == 1:
+            elif value == 1:
                 satisfied = True
                 break
         if satisfied:
@@ -519,35 +608,42 @@ class CdclSolver:
             if second_un == -1:  # effectively unit at level 0
                 lits.remove(first_un)
                 lits.insert(0, first_un)
+                self._rewrite_block(cid, lits)
                 self._enqueue(first_un, cid)
                 self._pending_load_propagations += 1
             elif len(lits) > 3:
                 lits.remove(first_un)
                 lits.remove(second_un)
                 lits[:0] = (first_un, second_un)
+                self._rewrite_block(cid, lits)
         self._attach_clause(cid, lits)
 
-    def _attach_clause(self, cid: int, lits: List[int]) -> None:
+    def _rewrite_block(self, cid: int, lits: Sequence[int]) -> None:
+        """Write a reordered literal sequence back over the clause's
+        arena block (same length — install-time watch positioning)."""
+        data = self._arena.data
+        base = self._arena.refs[cid]
+        for i, lit in enumerate(lits):
+            data[base + i] = lit
+
+    def _attach_clause(self, cid: int, lits: Sequence[int]) -> None:
         if len(lits) == 2:
             a, b = lits
-            self._watches_bin[a].append((cid, b, b >> 1, 1 ^ (b & 1)))
-            self._watches_bin[b].append((cid, a, a >> 1, 1 ^ (a & 1)))
+            self._watches_bin[a].append((cid, b, b ^ 1, b >> 1))
+            self._watches_bin[b].append((cid, a, a ^ 1, a >> 1))
         elif len(lits) == 3:
             a, b, c = lits
-            va, pa = a >> 1, 1 ^ (a & 1)
-            vb, pb = b >> 1, 1 ^ (b & 1)
-            vc, pc = c >> 1, 1 ^ (c & 1)
-            self._watches_tern[a].append((cid, b, vb, pb, c, vc, pc))
-            self._watches_tern[b].append((cid, a, va, pa, c, vc, pc))
-            self._watches_tern[c].append((cid, a, va, pa, b, vb, pb))
+            self._watches_tern[a].append((cid, b, c))
+            self._watches_tern[b].append((cid, a, c))
+            self._watches_tern[c].append((cid, a, b))
         else:
             a, b = lits[0], lits[1]
-            self._watches[a].append((cid, b, b >> 1, 1 ^ (b & 1)))
-            self._watches[b].append((cid, a, a >> 1, 1 ^ (a & 1)))
+            self._watches[a].append((cid, b))
+            self._watches[b].append((cid, a))
 
     def _load_unit(self, clause_id: int, lit: int) -> None:
         self._root_unit_of.setdefault(lit >> 1, (lit, clause_id))
-        value = self.value_of(lit)
+        value = self.lit_truth[lit]
         if value == 1:
             return  # redundant duplicate unit
         if value == 0:
@@ -567,10 +663,24 @@ class CdclSolver:
     # Introspection used by decision strategies and the BMC layer.
     # ------------------------------------------------------------------
 
+    @property
+    def assigns(self) -> List[int]:
+        """Per-variable assignment snapshot: -1 unassigned, else 0/1.
+
+        Compatibility view over the per-literal truth table (the
+        variable's value is its positive literal's truth).  Read-only:
+        hot paths and strategies use :attr:`lit_truth` directly.
+        """
+        truth = self.lit_truth
+        return [
+            -1 if truth[var + var] == 2 else truth[var + var]
+            for var in range(self.num_vars)
+        ]
+
     def original_literal_counts(self) -> List[int]:
         """Literal occurrence counts over the original clauses — the
         initial ``cha_score`` values (paper §3.3)."""
-        return list(self._lit_counts)
+        return self._lit_counts[: 2 * self.num_vars]
 
     def num_original_literals(self) -> int:
         """Total literal count of the original clauses (the base of the
@@ -586,33 +696,43 @@ class CdclSolver:
         return self._decision_level
 
     def value_of(self, lit: int) -> int:
-        """Current value of a literal: 1 true, 0 false, -1 unassigned."""
-        value = self.assigns[lit >> 1]
-        if value == -1:
-            return -1
-        return value ^ (lit & 1)
+        """Current value of a literal: 1 true, 0 false, -1 unassigned.
+
+        (Internally unassigned is stored as 2 — see ``lit_truth`` — and
+        mapped to the conventional -1 at this public boundary.)
+        """
+        value = self.lit_truth[lit]
+        return -1 if value == 2 else value
 
     def clause_literals(self, clause_id: int) -> Tuple[int, ...]:
-        """Literals of any clause (original or learned, even deleted)."""
-        return tuple(self._clauses[clause_id])
+        """Literals of any clause (original or learned, even deleted —
+        unless arena compaction reclaimed the block, which only happens
+        without CDG recording)."""
+        return self._arena.literals(clause_id)
 
     def is_original_clause(self, clause_id: int) -> bool:
         """True if the clause ID denotes an original (non-learned) clause."""
         return clause_id in self._original_id_set
 
     def _looks_learned(self, clause_id: int) -> bool:
-        # O(1) via the set maintained by _install_clause; the ID spaces
-        # of original and learned clauses interleave incrementally, so a
-        # plain range check is not enough.
-        return clause_id not in self._original_id_set
+        # O(1) via the arena's learned flag; the ID spaces of original
+        # and learned clauses interleave incrementally, so a plain range
+        # check is not enough.
+        return bool(self._arena.flags[clause_id] & LEARNED)
+
+    def arena_footprint(self) -> dict:
+        """Flat-store memory accounting (see ``ClauseArena.footprint``)."""
+        return self._arena.footprint()
 
     # ------------------------------------------------------------------
     # Assignment trail.
     # ------------------------------------------------------------------
 
     def _enqueue(self, lit: int, reason: int) -> None:
+        truth = self.lit_truth
+        truth[lit] = 1
+        truth[lit ^ 1] = 0
         var = lit >> 1
-        self.assigns[var] = 1 ^ (lit & 1)
         self._levels[var] = self._decision_level
         self._reasons[var] = reason
         self._trail.append(lit)
@@ -621,18 +741,21 @@ class CdclSolver:
         if self._decision_level <= level:
             return
         limit = self._trail_lim[level]
-        assigns = self.assigns
-        levels = self._levels
-        reasons = self._reasons
+        truth = self.lit_truth
         saved = self._saved_phase
         trail = self._trail
         undone = trail[limit:]
         for lit in undone:
-            var = lit >> 1
-            saved[var] = assigns[var]
-            assigns[var] = -1
-            levels[var] = -1
-            reasons[var] = -1
+            saved[lit >> 1] = 1 ^ (lit & 1)
+            truth[lit] = 2
+            truth[lit ^ 1] = 2
+        # _levels/_reasons are deliberately left stale: every consumer
+        # reads them only for *assigned* variables (conflict and reason
+        # clauses contain assigned literals by construction; the
+        # learned-DB lock test guards on lit_truth first), and both are
+        # overwritten by the next assignment.  Level-0 entries are
+        # never undone, so a stale level is always >= 1 and can never
+        # masquerade as a root fact.
         del trail[limit:]
         del self._trail_lim[level:]
         self._qhead = limit
@@ -652,13 +775,15 @@ class CdclSolver:
         local (attribute lookups are hoisted once per call — the
         decision level is constant for the call's duration, and
         assignments are written inline rather than via
-        :meth:`_enqueue`); each watch entry carries a *blocker* literal
-        whose satisfaction skips the clause without loading its literal
-        list; propagation counts accumulate locally and are flushed to
-        ``stats`` once on exit.
+        :meth:`_enqueue`); every literal test is one ``lit_truth``
+        subscript; each long-clause watch entry carries a *blocker*
+        literal whose satisfaction skips the clause without touching
+        the arena; propagation counts accumulate locally and are
+        flushed to ``stats`` once on exit.
         """
-        assigns = self.assigns
-        clauses = self._clauses
+        truth = self.lit_truth
+        adata = self._arena.data
+        arefs = self._arena.refs
         watches = self._watches
         watches_bin = self._watches_bin
         watches_tern = self._watches_tern
@@ -669,10 +794,6 @@ class CdclSolver:
         level = self._decision_level
         qhead = self._qhead
         props = 0
-        # Literal truth tests are single xor-compares: with assigns in
-        # {-1, 0, 1}, ``assigns[var] ^ phase`` is 1 iff the literal is
-        # true, 0 iff false, and negative iff unassigned — so satisfied
-        # is ``== 1``, non-false is ``!= 0``, unassigned is ``< 0``.
         trail_len = len(trail)
         while qhead < trail_len:
             lit = trail[qhead]
@@ -680,110 +801,162 @@ class CdclSolver:
             false_lit = lit ^ 1
             entries = watches_bin[false_lit]
             if entries:
-                for cid, implied, var, want in entries:
-                    value = assigns[var]
-                    if value == -1:
+                for cid, implied, neg, var in entries:
+                    value = truth[implied]
+                    if value == 2:
                         props += 1
-                        assigns[var] = want
+                        truth[implied] = 1
+                        truth[neg] = 0
                         levels[var] = level
                         reasons[var] = cid
                         trail_append(implied)
                         trail_len += 1
-                    elif value != want:
+                    elif value == 0:
                         self._qhead = qhead
                         self.stats.propagations += props
                         return cid
             entries = watches_tern[false_lit]
             if entries:
-                for cid, lit_a, var_a, want_a, lit_b, var_b, want_b in entries:
-                    value_a = assigns[var_a]
-                    if value_a == want_a:
+                for cid, lit_a, lit_b in entries:
+                    value_a = truth[lit_a]
+                    value_b = truth[lit_b]
+                    if value_a and value_b:
+                        # Neither companion is false (any mix of true
+                        # and unassigned): nothing can happen here.
+                        # The dominant case, and the 0/1/2 encoding
+                        # makes it a single truthiness test.
                         continue
-                    value_b = assigns[var_b]
-                    if value_b == want_b:
-                        continue
-                    if value_a >= 0:  # a is false (assigned, not want)
-                        if value_b >= 0:
+                    if value_a == 0:  # a is false
+                        if value_b == 2:
+                            props += 1
+                            truth[lit_b] = 1
+                            truth[lit_b ^ 1] = 0
+                            var = lit_b >> 1
+                            levels[var] = level
+                            reasons[var] = cid
+                            trail_append(lit_b)
+                            trail_len += 1
+                        elif value_b == 0:
                             self._qhead = qhead
                             self.stats.propagations += props
                             return cid
+                        # else: b is true — clause satisfied
+                    elif value_a == 2:  # b is false, a unassigned
                         props += 1
-                        assigns[var_b] = want_b
-                        levels[var_b] = level
-                        reasons[var_b] = cid
-                        trail_append(lit_b)
-                        trail_len += 1
-                    elif value_b >= 0:  # b is false, a unassigned
-                        props += 1
-                        assigns[var_a] = want_a
-                        levels[var_a] = level
-                        reasons[var_a] = cid
+                        truth[lit_a] = 1
+                        truth[lit_a ^ 1] = 0
+                        var = lit_a >> 1
+                        levels[var] = level
+                        reasons[var] = cid
                         trail_append(lit_a)
                         trail_len += 1
+                    # else: a is true — clause satisfied
             watch_list = watches[false_lit]
             if not watch_list:
                 continue
             n = len(watch_list)
-            # Fast scan: while every entry's blocker is satisfied the
-            # list needs no compaction — no stores, just reads.  The
-            # first entry that needs real work switches to the copying
-            # loop below (j trails i from that point on).
+            # Phase 1 — read-only: until a watch actually *moves* the
+            # list needs no compaction, so kept entries cost no stores
+            # (satisfied blockers, refreshed blockers and unit
+            # propagations all update in place or not at all), and a
+            # conflict returns with the list untouched.  Only the first
+            # removal switches to the copying loop below, where j
+            # trails i from the removed slot on.
             i = 0
             while i < n:
                 entry = watch_list[i]
-                if assigns[entry[2]] != entry[3]:
-                    break
-                i += 1
-            else:
-                continue
-            j = i
-            while i < n:
-                entry = watch_list[i]
-                i += 1
-                if assigns[entry[2]] == entry[3]:
-                    watch_list[j] = entry
-                    j += 1
+                if truth[entry[1]] == 1:
+                    i += 1
                     continue
                 cid = entry[0]
-                lits = clauses[cid]
-                if lits[0] == false_lit:
-                    lits[0], lits[1] = lits[1], lits[0]
-                first = lits[0]
-                first_truth = assigns[first >> 1] ^ (first & 1)
+                base = arefs[cid]
+                first = adata[base]
+                if first == false_lit:
+                    first = adata[base + 1]
+                    adata[base] = first
+                    adata[base + 1] = false_lit
+                first_truth = truth[first]
                 if first_truth == 1:
-                    watch_list[j] = (cid, first, first >> 1, 1 ^ (first & 1))
-                    j += 1
+                    watch_list[i] = (cid, first)
+                    i += 1
                     continue
-                for k in range(2, len(lits)):
-                    other = lits[k]
-                    if assigns[other >> 1] ^ (other & 1) != 0:
-                        lits[1], lits[k] = other, lits[1]
-                        watches[other].append(
-                            (cid, first, first >> 1, 1 ^ (first & 1))
-                        )
+                end = base + adata[base - 1]
+                for k in range(base + 2, end):
+                    other = adata[k]
+                    if truth[other] != 0:
+                        adata[k] = adata[base + 1]
+                        adata[base + 1] = other
+                        watches[other].append((cid, first))
                         break
                 else:
-                    watch_list[j] = entry
-                    j += 1
-                    if first_truth != 0:
+                    if first_truth == 2:
                         props += 1
+                        truth[first] = 1
+                        truth[first ^ 1] = 0
                         var = first >> 1
-                        assigns[var] = 1 ^ (first & 1)
                         levels[var] = level
                         reasons[var] = cid
                         trail_append(first)
                         trail_len += 1
+                        i += 1
+                        continue
+                    self._qhead = qhead
+                    self.stats.propagations += props
+                    return cid
+                # Watch moved: slot i is dropped — compact from here on.
+                j = i
+                i += 1
+                while i < n:
+                    entry = watch_list[i]
+                    i += 1
+                    if truth[entry[1]] == 1:
+                        watch_list[j] = entry
+                        j += 1
+                        continue
+                    cid = entry[0]
+                    base = arefs[cid]
+                    first = adata[base]
+                    if first == false_lit:
+                        first = adata[base + 1]
+                        adata[base] = first
+                        adata[base + 1] = false_lit
+                    first_truth = truth[first]
+                    if first_truth == 1:
+                        watch_list[j] = (cid, first)
+                        j += 1
+                        continue
+                    end = base + adata[base - 1]
+                    for k in range(base + 2, end):
+                        other = adata[k]
+                        if truth[other] != 0:
+                            adata[k] = adata[base + 1]
+                            adata[base + 1] = other
+                            watches[other].append((cid, first))
+                            break
                     else:
-                        # Conflict: keep the untouched tail of the list.
-                        while i < n:
-                            watch_list[j] = watch_list[i]
-                            j += 1
-                            i += 1
-                        del watch_list[j:]
-                        self._qhead = qhead
-                        self.stats.propagations += props
-                        return cid
-            del watch_list[j:]
+                        watch_list[j] = entry
+                        j += 1
+                        if first_truth == 2:
+                            props += 1
+                            truth[first] = 1
+                            truth[first ^ 1] = 0
+                            var = first >> 1
+                            levels[var] = level
+                            reasons[var] = cid
+                            trail_append(first)
+                            trail_len += 1
+                        else:
+                            # Conflict: keep the untouched tail.
+                            while i < n:
+                                watch_list[j] = watch_list[i]
+                                j += 1
+                                i += 1
+                            del watch_list[j:]
+                            self._qhead = qhead
+                            self.stats.propagations += props
+                            return cid
+                del watch_list[j:]
+                break
         self._qhead = qhead
         self.stats.propagations += props
         return -1
@@ -807,6 +980,7 @@ class CdclSolver:
         variable with neither a reason nor a consistent defining unit is
         a genuine internal error.
         """
+        view = self._lits_view
         visited: Set[int] = set()
         stack = list(start_vars)
         while stack:
@@ -825,7 +999,7 @@ class CdclSolver:
                 antecedents.append(reason)
                 continue  # a unit clause closes the chain for this var
             antecedents.append(reason)
-            for lit in self._clauses[reason]:
+            for lit in view[reason]:
                 other = lit >> 1
                 if other != var:
                     stack.append(other)
@@ -834,7 +1008,7 @@ class CdclSolver:
         """Clause ID of an original unit clause matching ``var``'s current
         assignment, or -1."""
         entry = self._root_unit_of.get(var)
-        if entry is not None and self.value_of(entry[0]) == 1:
+        if entry is not None and self.lit_truth[entry[0]] == 1:
             return entry[1]
         return -1
 
@@ -848,8 +1022,10 @@ class CdclSolver:
         Hot-path invariants: the only marker structure is the persistent
         ``_seen`` bytearray; level-0 variables and marked variables are
         recorded in the reusable ``_zero_scratch`` / ``_touched_scratch``
-        lists, so a conflict allocates no sets.  Clause-activity bumps
-        are inlined (the rescale path is the out-of-line rarity).
+        lists, so a conflict allocates no sets.  Clause literals are
+        read as one arena slice per visited clause; the learned-clause
+        test is one flag-byte read.  Clause-activity bumps are inlined
+        (the rescale path is the out-of-line rarity).
 
         After the first-UIP clause is formed, redundant literals are
         removed by self-subsumption over reason chains (see
@@ -861,9 +1037,9 @@ class CdclSolver:
         seen = self._seen
         levels = self._levels
         reasons = self._reasons
-        clauses = self._clauses
+        view = self._lits_view
+        aflags = self._arena.flags
         trail = self._trail
-        original = self._original_id_set
         activity = self._activity
         inc = self._activity_inc
         current = self._decision_level
@@ -880,13 +1056,13 @@ class CdclSolver:
         rescale_limit = ACTIVITY_RESCALE_LIMIT
 
         while True:
-            if cid != conflict_cid and cid not in original:
+            if cid != conflict_cid and aflags[cid] & 1:  # LEARNED
                 bumped = activity[cid] + inc
                 activity[cid] = bumped
                 if bumped > rescale_limit:
                     self._rescale_clause_activity()
                     inc = self._activity_inc
-            for q in clauses[cid]:
+            for q in view[cid]:
                 if q == p:
                     continue
                 var = q >> 1
@@ -967,7 +1143,7 @@ class CdclSolver:
         levels = self._levels
         reasons = self._reasons
         seen = self._seen
-        clauses = self._clauses
+        view = self._lits_view
         budget = self.config.minimize_budget
         mask = 0
         for i in range(1, len(learned)):
@@ -987,7 +1163,7 @@ class CdclSolver:
             # clause or proven covered, 3 = proven (or assumed, after a
             # budget abort) non-redundant — both memoized per conflict.
             verdict = 1  # 1 redundant, 0 not, -1 needs recursion
-            for r in clauses[reason]:
+            for r in view[reason]:
                 u = r >> 1
                 if u == var:
                     continue
@@ -1047,7 +1223,7 @@ class CdclSolver:
         seen = self._seen
         levels = self._levels
         reasons = self._reasons
-        clauses = self._clauses
+        view = self._lits_view
         touched = self._touched_scratch
         zero = self._zero_scratch
         stack = self._min_stack
@@ -1056,7 +1232,7 @@ class CdclSolver:
         top = len(touched)
         while stack:
             v = stack.pop()
-            for q in clauses[reasons[v]]:
+            for q in view[reasons[v]]:
                 u = q >> 1
                 if u == v:
                     continue
@@ -1129,11 +1305,8 @@ class CdclSolver:
         self._activity_inc *= scale
 
     def _add_learned(self, learned: List[int], antecedents: List[int]) -> int:
-        cid = len(self._clauses)
-        self._clauses.append(learned)
-        self._active.append(True)
-        self._deleted.append(False)
-        self._activity.append(self._activity_inc)
+        cid = self._arena.add(learned, LEARNED, self._activity_inc)
+        self._lits_view.append(tuple(learned))
         self._learned_ids.append(cid)
         self._num_live_learned += 1
         self.stats.learned_clauses += 1
@@ -1149,41 +1322,78 @@ class CdclSolver:
     # ------------------------------------------------------------------
 
     def _reduce_learned_db(self) -> None:
-        # No per-call re-derivation of the original-ID set: the memoized
-        # set is maintained eagerly by _install_clause.
-        original = self._original_id_set
+        adata = self._arena.data
+        arefs = self._arena.refs
+        aflags = self._arena.flags
+        reasons = self._reasons
+        truth = self.lit_truth
+        activity = self._activity
         candidates = []
-        for cid in range(self._num_initial, len(self._clauses)):
-            if self._deleted[cid] or not self._active[cid]:
+        # _learned_ids is ascending and learned clauses are never
+        # tautological, so this visits exactly the live learned clauses
+        # in clause-ID order (the order the old full-range scan had).
+        # The lock test ("currently the reason of an assignment") guards
+        # on the implied literal being true before trusting _reasons —
+        # backtracking leaves _reasons stale for unassigned variables.
+        for cid in self._learned_ids:
+            if aflags[cid] & TOMBSTONE:
                 continue
-            if cid in original:
-                continue
-            lits = self._clauses[cid]
-            if len(lits) <= 2:
+            base = arefs[cid]
+            n = adata[base - 1]
+            if n <= 2:
                 continue  # keep short clauses, they are cheap and strong
-            if len(lits) == 3:
+            if n == 3:
                 # Ternary watches never reorder literals, so the implied
                 # literal of a reason clause may sit at any position.
+                a = adata[base]
+                b = adata[base + 1]
+                c = adata[base + 2]
                 if (
-                    self._reasons[lits[0] >> 1] == cid
-                    or self._reasons[lits[1] >> 1] == cid
-                    or self._reasons[lits[2] >> 1] == cid
+                    (truth[a] == 1 and reasons[a >> 1] == cid)
+                    or (truth[b] == 1 and reasons[b >> 1] == cid)
+                    or (truth[c] == 1 and reasons[c >> 1] == cid)
                 ):
-                    continue  # locked: currently the reason of an assignment
-            elif self._reasons[lits[0] >> 1] == cid:
-                continue  # locked: currently the reason of an assignment
+                    continue  # locked
+            else:
+                first = adata[base]
+                if truth[first] == 1 and reasons[first >> 1] == cid:
+                    continue  # locked
             candidates.append(cid)
         if not candidates:
             return
-        candidates.sort(key=lambda cid: (self._activity[cid], -cid))
+        candidates.sort(key=lambda cid: (activity[cid], -cid))
         root_pruned = self._root_pruned
+        arena = self._arena
+        view = self._lits_view
         for cid in candidates[: len(candidates) // 2]:
             if cid not in root_pruned:  # pruned clauses are already detached
                 self._detach_clause(cid)
-            self._deleted[cid] = True
-            self._active[cid] = False
+            arena.tombstone(cid)
+            view[cid] = ()  # free the analysis view; reasons stay live
             self._num_live_learned -= 1
             self.stats.deleted_clauses += 1
+        self._maybe_compact_arena()
+
+    def _maybe_compact_arena(self) -> None:
+        """Reclaim tombstoned literal blocks in place, when allowed.
+
+        With a CDG the literals of deleted learned clauses are pinned —
+        ``export_proof`` and ``clause_literals`` promise access to them
+        — so tombstones accumulate but blocks stay.  Without a CDG
+        (the bounded/benchmark configurations) the blocks are dead the
+        moment they are detached: compaction slides live blocks left
+        once the dead fraction reaches half the arena, which amortizes
+        to O(1) work per reclaimed word.  Clause IDs — the only handle
+        watch entries and stats hold — are stable across compaction.
+        """
+        arena = self._arena
+        if (
+            self._cdg is None
+            and arena.dead_words >= _COMPACT_MIN_DEAD_WORDS
+            and 2 * arena.dead_words >= len(arena.data)
+        ):
+            self.stats.arena_reclaimed_words += arena.compact()
+            self.stats.arena_compactions += 1
 
     def _prune_root_satisfied(self) -> None:
         """Detach every clause a level-0 assignment satisfies (paper-side
@@ -1196,53 +1406,65 @@ class CdclSolver:
         >= 1 — so a clause
         satisfied at level 0 can never become unit or conflicting again
         and its watch entries are dead weight.  Only the watch entries
-        go: literal lists, activity, CDG entries and proof export stay,
+        go: literal blocks, activity, CDG entries and proof export stay,
         which keeps core extraction, ``_reason_closure`` and replay
         byte-identical with pruning on or off.
 
-        Cost: one pass over the clause DB plus one compaction pass over
-        the watch tables, gated by a trail watermark so restarts without
-        new root facts pay one comparison.  The sweep only runs once a
-        batch of at least ``_PRUNE_MIN_NEW_FACTS`` new root facts has
-        accumulated: a lone learned unit rarely satisfies enough clauses
-        to repay two full passes (facts below the threshold are not
-        lost — they stay below the watermark and count toward the next
-        batch).
+        Cost: one pass over the arena plus one in-place compaction pass
+        over the watch tables, gated by a trail watermark so restarts
+        without new root facts pay one comparison.  The sweep only runs
+        once a batch of at least ``_PRUNE_MIN_NEW_FACTS`` new root facts
+        has accumulated: a lone learned unit rarely satisfies enough
+        clauses to repay two full passes (facts below the threshold are
+        not lost — they stay below the watermark and count toward the
+        next batch).
         """
         trail = self._trail
         limit = self._trail_lim[0] if self._trail_lim else len(trail)
         if limit - self._root_prune_watermark < _PRUNE_MIN_NEW_FACTS:
             return
         self._root_prune_watermark = limit
-        assigns = self.assigns
+        truth = self.lit_truth
         levels = self._levels
-        clauses = self._clauses
-        deleted = self._deleted
-        active = self._active
+        adata = self._arena.data
+        arefs = self._arena.refs
+        aflags = self._arena.flags
         pruned = self._root_pruned
+        dead = TOMBSTONE | INACTIVE
         newly = []
-        for cid in range(len(clauses)):
-            if deleted[cid] or not active[cid] or cid in pruned:
+        for cid in range(len(arefs)):
+            if aflags[cid] & dead or cid in pruned:
                 continue
-            lits = clauses[cid]
-            if len(lits) < 2:
+            base = arefs[cid]
+            n = adata[base - 1]
+            if n < 2:
                 continue
-            for lit in lits:
-                var = lit >> 1
-                value = assigns[var]
-                if value >= 0 and value ^ (lit & 1) and levels[var] == 0:
+            for lit in adata[base:base + n]:
+                if truth[lit] == 1 and levels[lit >> 1] == 0:
                     newly.append(cid)
                     break
         if not newly:
             return
         pruned.update(newly)
         self.stats.root_pruned_clauses += len(newly)
+        self._compact_watches(pruned)
+
+    def _compact_watches(self, dropped: Set[int]) -> None:
+        """Remove every watch entry whose clause ID is in ``dropped``,
+        compacting each list in place (surviving order preserved — the
+        propagation order of the remaining entries is untouched)."""
         for table in (self._watches, self._watches_bin, self._watches_tern):
             for watch_list in table:
                 if watch_list:
-                    kept = [e for e in watch_list if e[0] not in pruned]
-                    if len(kept) != len(watch_list):
-                        watch_list[:] = kept
+                    n = len(watch_list)
+                    j = 0
+                    for i in range(n):
+                        entry = watch_list[i]
+                        if entry[0] not in dropped:
+                            watch_list[j] = entry
+                            j += 1
+                    if j != n:
+                        del watch_list[j:]
 
     @property
     def root_pruned_clauses(self) -> int:
@@ -1251,13 +1473,18 @@ class CdclSolver:
         return len(self._root_pruned)
 
     def _detach_clause(self, cid: int) -> None:
-        lits = self._clauses[cid]
-        if len(lits) == 2:
-            table, watched = self._watches_bin, (lits[0], lits[1])
-        elif len(lits) == 3:
-            table, watched = self._watches_tern, tuple(lits)
+        adata = self._arena.data
+        base = self._arena.refs[cid]
+        n = adata[base - 1]
+        if n == 2:
+            table = self._watches_bin
+            watched = (adata[base], adata[base + 1])
+        elif n == 3:
+            table = self._watches_tern
+            watched = (adata[base], adata[base + 1], adata[base + 2])
         else:
-            table, watched = self._watches, (lits[0], lits[1])
+            table = self._watches
+            watched = (adata[base], adata[base + 1])
         for lit in watched:
             watch_list = table[lit]
             for i, entry in enumerate(watch_list):
@@ -1325,7 +1552,13 @@ class CdclSolver:
         save_phase = config.phase_mode == "save"
         invert_phase = config.phase_mode == "inverted"
         saved_phase = self._saved_phase
+        truth = self.lit_truth
         stats = self.stats
+        trail = self._trail
+        num_vars = self.num_vars
+        num_assumptions = len(self._assumptions)
+        decide = self.strategy.decide
+        on_conflict = self.strategy.on_conflict
 
         while True:
             conflict = self._propagate()
@@ -1336,7 +1569,7 @@ class CdclSolver:
                     self._record_final_conflict(conflict)
                     self._ok = False
                     return self._unsat_outcome()
-                if self._decision_level <= len(self._assumptions):
+                if self._decision_level <= num_assumptions:
                     # The conflict is entirely above assumption decisions:
                     # UNSAT under the current assumptions.
                     return self._assumption_conflict_outcome(conflict)
@@ -1346,10 +1579,10 @@ class CdclSolver:
                 # decision loop re-establishes assumptions level by level.
                 self._backtrack(btlevel)
                 cid = self._add_learned(learned, antecedents)
-                if self.value_of(learned[0]) == -1:
+                if truth[learned[0]] == 2:
                     self._enqueue(learned[0], cid)
                     stats.propagations += 1
-                self.strategy.on_conflict(learned)
+                on_conflict(learned)
                 if max_conflicts is not None and stats.conflicts >= max_conflicts:
                     return SolveOutcome(status=SolveResult.UNKNOWN)
                 if (
@@ -1362,13 +1595,13 @@ class CdclSolver:
             if (
                 config.use_restarts
                 and conflicts_in_epoch >= epoch_limit
-                and self._decision_level > len(self._assumptions)
+                and self._decision_level > num_assumptions
             ):
                 restart_epoch += 1
                 conflicts_in_epoch = 0
                 epoch_limit = config.restart_base * luby(restart_epoch)
                 self.stats.restarts += 1
-                self._backtrack(len(self._assumptions))
+                self._backtrack(num_assumptions)
                 if prune_enabled:
                     self._prune_root_satisfied()
                 continue
@@ -1376,30 +1609,30 @@ class CdclSolver:
                 self._reduce_learned_db()
                 max_learned = int(max_learned * config.reduce_growth)
 
-            if self._decision_level < len(self._assumptions):
+            if self._decision_level < num_assumptions:
                 lit = self._assumptions[self._decision_level]
-                value = self.value_of(lit)
+                value = truth[lit]
                 if value == 0:
                     return self._failed_assumption_outcome(lit)
                 # Open a level even if already true, so level indices and
                 # assumption indices stay aligned.
-                self._trail_lim.append(len(self._trail))
+                self._trail_lim.append(len(trail))
                 self._decision_level += 1
-                if value == -1:
+                if value == 2:
                     self._enqueue(lit, -1)
                 continue
 
-            if len(self._trail) == self.num_vars:
+            if len(trail) == num_vars:
                 # Every variable is assigned: SAT without asking the
                 # strategy (saves draining the whole decision heap of
                 # its propagation-assigned variables one pop at a time).
                 return self._sat_outcome()
-            lit = self.strategy.decide()
+            lit = decide()
             if lit == -1:
                 return self._sat_outcome()
-            var = lit >> 1
-            if self.assigns[var] != -1:
+            if truth[lit] != 2:
                 raise AssertionError("strategy chose an assigned variable")
+            var = lit >> 1
             # Phase policy: the strategy picks the variable; the phase is
             # the saved polarity (phase_mode="save", when one exists),
             # the strategy's literal ("default"), or its complement
@@ -1410,13 +1643,13 @@ class CdclSolver:
                     lit = (var << 1) | (polarity ^ 1)
             elif invert_phase:
                 lit ^= 1
-            self.stats.decisions += 1
+            stats.decisions += 1
             if (
                 config.max_decisions is not None
-                and self.stats.decisions > config.max_decisions
+                and stats.decisions > config.max_decisions
             ):
                 return SolveOutcome(status=SolveResult.UNKNOWN)
-            self._trail_lim.append(len(self._trail))
+            self._trail_lim.append(len(trail))
             self._decision_level += 1
             if self._decision_level > self.stats.max_decision_level:
                 self.stats.max_decision_level = self._decision_level
@@ -1430,7 +1663,9 @@ class CdclSolver:
         if self._cdg is None:
             return
         antecedents = [conflict_cid]
-        conflict_vars = [lit >> 1 for lit in self._clauses[conflict_cid]]
+        conflict_vars = [
+            lit >> 1 for lit in self._arena.literals(conflict_cid)
+        ]
         self._reason_closure(conflict_vars, antecedents)
         self._cdg.set_final_conflict(antecedents)
 
@@ -1439,6 +1674,8 @@ class CdclSolver:
 
         Returns ``(antecedent clause ids, assumption vars encountered)``.
         """
+        adata = self._arena.data
+        arefs = self._arena.refs
         antecedents: List[int] = []
         assumption_vars: Set[int] = set()
         visited: Set[int] = set()
@@ -1461,14 +1698,15 @@ class CdclSolver:
                 assumption_vars.add(var)
                 continue
             antecedents.append(reason)
-            for lit in self._clauses[reason]:
+            base = arefs[reason]
+            for lit in adata[base:base + adata[base - 1]]:
                 other = lit >> 1
                 if other != var:
                     stack.append(other)
         return antecedents, assumption_vars
 
     def _assumption_conflict_outcome(self, conflict_cid: int) -> SolveOutcome:
-        seed = [lit >> 1 for lit in self._clauses[conflict_cid]]
+        seed = [lit >> 1 for lit in self._arena.literals(conflict_cid)]
         antecedents, assumption_vars = self._relative_closure(seed)
         return self._relative_unsat_outcome([conflict_cid] + antecedents, assumption_vars)
 
@@ -1501,7 +1739,7 @@ class CdclSolver:
             core_clauses = frozenset(core)
             var_set: Set[int] = set()
             for cid in core_clauses:
-                var_set.update(lit >> 1 for lit in self._clauses[cid])
+                var_set.update(lit >> 1 for lit in self._arena.literals(cid))
             core_vars = frozenset(var_set)
         return SolveOutcome(
             status=SolveResult.UNSAT,
@@ -1511,24 +1749,49 @@ class CdclSolver:
         )
 
     def _sat_outcome(self) -> SolveOutcome:
-        model = [value if value != -1 else 0 for value in self.assigns]
+        # The model is the positive-literal column of the truth table
+        # (one stride-2 slice, not a per-variable subscript loop);
+        # unassigned variables default to 0.
+        model = self.lit_truth[0:2 * self.num_vars:2]
+        if 2 in model:  # C-speed scan; all-assigned is the common case
+            model = [0 if value == 2 else value for value in model]
         if self.config.check_model and not self._model_check(model):
             raise AssertionError("internal error: produced model does not satisfy formula")
         return SolveOutcome(status=SolveResult.SAT, model=model)
 
     def _model_check(self, model: List[int]) -> bool:
-        # Walks the maintained original-ID list directly (nothing is
-        # re-derived); tautological originals are inactive but still
-        # satisfied by any model since they hold both phases of a var.
-        clauses = self._clauses
-        active = self._active
-        for cid in self._original_ids:
-            lits = clauses[cid]
-            if not lits:
-                if active[cid]:
+        # Constructor clauses are checked against the formula's own
+        # immutable literal tuples: iterating cached tuple refs with an
+        # early break is markedly faster in CPython than re-boxing the
+        # same literals out of the arena, and the raw formula is
+        # exactly what the model must satisfy (tautologies hold both
+        # phases of a var, so any model passes them; an empty clause
+        # falls through its loop and fails).  The tuple index is built
+        # on the first SAT answer and holds references the formula
+        # already owns.  Only originals added through the incremental
+        # interface live solely in the arena.
+        index = self._formula_literal_index
+        if index is None:
+            index = self._formula_literal_index = [
+                clause.literals for clause in self._formula.clauses
+            ]
+        for lits in index:
+            for lit in lits:
+                if model[lit >> 1] ^ (lit & 1):
+                    break
+            else:
+                return False
+        adata = self._arena.data
+        arefs = self._arena.refs
+        aflags = self._arena.flags
+        for cid in self._original_ids[self._num_initial:]:
+            base = arefs[cid]
+            n = adata[base - 1]
+            if not n:
+                if not aflags[cid] & INACTIVE:
                     return False
                 continue
-            for lit in lits:
+            for lit in adata[base:base + n]:
                 if model[lit >> 1] ^ (lit & 1):
                     break
             else:
@@ -1542,7 +1805,7 @@ class CdclSolver:
             core_clauses = self._cdg.unsat_core()
             var_set: Set[int] = set()
             for cid in core_clauses:
-                var_set.update(lit >> 1 for lit in self._clauses[cid])
+                var_set.update(lit >> 1 for lit in self._arena.literals(cid))
             core_vars = frozenset(var_set)
         return SolveOutcome(
             status=SolveResult.UNSAT,
@@ -1556,7 +1819,8 @@ class CdclSolver:
         Returns a :class:`repro.sat.proof.ResolutionProof`.  Requires CDG
         recording and a completed *global* UNSAT answer (not merely UNSAT
         under assumptions); deleted clauses are exportable because their
-        literal lists are retained outside the watch structures.
+        literal blocks are retained in the arena whenever a CDG is
+        recorded (compaction only reclaims them without one).
         """
         from repro.sat.proof import ResolutionProof
 
@@ -1566,13 +1830,14 @@ class CdclSolver:
             raise RuntimeError("no final conflict recorded (not proven UNSAT)")
         learned = {}
         extra_originals = {}
-        for cid in range(len(self._clauses)):
+        arena = self._arena
+        for cid in range(len(arena.refs)):
             if self._cdg.is_original(cid):
                 if cid >= self._num_initial:
-                    extra_originals[cid] = tuple(self._clauses[cid])
+                    extra_originals[cid] = arena.literals(cid)
                 continue
             learned[cid] = (
-                tuple(self._clauses[cid]),
+                arena.literals(cid),
                 self._cdg.antecedents_of(cid),
             )
         return ResolutionProof(

@@ -32,6 +32,12 @@ class SolverStats:
     # (satisfied forever by a level-0 assignment; see
     # SolverConfig.prune_root_satisfied).
     root_pruned_clauses: int = 0
+    # Flat clause-store maintenance: in-place arena compactions run
+    # during this solve and the literal words they reclaimed (only
+    # possible without CDG recording, which pins deleted clauses for
+    # proof export).
+    arena_compactions: int = 0
+    arena_reclaimed_words: int = 0
 
     @property
     def mean_learned_length(self) -> float:
@@ -56,3 +62,5 @@ class SolverStats:
         self.learned_literals += other.learned_literals
         self.minimized_literals += other.minimized_literals
         self.root_pruned_clauses += other.root_pruned_clauses
+        self.arena_compactions += other.arena_compactions
+        self.arena_reclaimed_words += other.arena_reclaimed_words

@@ -49,7 +49,8 @@ class TestReasonClosureFallback:
         solver = CdclSolver(CnfFormula(2))
         solver.add_clause([mk_lit(0, True), mk_lit(1)])
         solver._levels[1] = 0
-        solver.assigns[1] = 1
+        solver.lit_truth[2] = 1  # var 1 true, both polarities recorded
+        solver.lit_truth[3] = 0
         with pytest.raises(AssertionError):
             solver._reason_closure([1], [])
 

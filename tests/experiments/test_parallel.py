@@ -76,3 +76,53 @@ class TestRunnerMechanics:
     def test_serial_fallback_for_single_task(self):
         runner = ParallelRunner(jobs=4)
         assert runner.map([(divmod, (7, 3), {})]) == [(2, 1)]
+
+
+def _task_pid(tag):
+    """Module-level worker (picklable): report this process's PID."""
+    import os
+
+    return (tag, os.getpid())
+
+
+class TestWorkerAffinity:
+    """Affinity pins equal keys to one worker; output order unchanged."""
+
+    def test_affinity_groups_share_a_worker(self):
+        runner = ParallelRunner(jobs=2)
+        keys = ["row_a", "row_b", "row_a", "row_b", "row_a", "row_b"]
+        tasks = [(_task_pid, (i,), {}) for i in range(len(keys))]
+        results = runner.map(tasks, affinity=keys)
+        # Task order preserved despite grouped dispatch.
+        assert [tag for tag, _pid in results] == list(range(len(keys)))
+        pid_of = {}
+        for key, (_tag, pid) in zip(keys, results):
+            pid_of.setdefault(key, set()).add(pid)
+        for key, pids in pid_of.items():
+            assert len(pids) == 1, f"key {key} ran in {len(pids)} workers"
+
+    def test_affinity_on_result_fires_in_task_order(self):
+        runner = ParallelRunner(jobs=2)
+        keys = ["x", "y", "x", "y"]
+        tasks = [(divmod, (n, 3), {}) for n in range(4)]
+        seen = []
+        results = runner.map(tasks, on_result=seen.append, affinity=keys)
+        assert seen == results == [divmod(n, 3) for n in range(4)]
+
+    def test_affinity_length_mismatch_rejected(self):
+        runner = ParallelRunner(jobs=2)
+        tasks = [(divmod, (n, 3), {}) for n in range(3)]
+        with pytest.raises(ValueError):
+            runner.map(tasks, affinity=["only-one"])
+
+    def test_pairs_default_affinity_matches_serial(self):
+        row = instance_by_name("01_b")
+        pairs = [(row, "bmc"), (row, "static"), (row, "dynamic")]
+        serial = run_instances(pairs, jobs=None)
+        grouped = run_instances(pairs, jobs=2)  # default: one key per row
+        assert [_search_key(r) for r in serial] == [
+            _search_key(r) for r in grouped
+        ]
+        # All three strategies of the row form one affinity group, so a
+        # 2-worker pool still returns them in pair order.
+        assert [r.strategy for r in grouped] == ["bmc", "static", "dynamic"]

@@ -253,3 +253,109 @@ def test_differential_fuzz_count_logged():
     was actually executed."""
     assert _count_log["instances"] == FUZZ_INSTANCES
     print(f"differential fuzzer: {_count_log['instances']} instances total")
+
+
+# ----------------------------------------------------------------------
+# Incremental multi-call legs (PR 4): interleave add_clause batches with
+# solve(assumptions=...) calls — the IncrementalBmcEngine pattern — and
+# cross-check every call against a fresh solver over the accumulated
+# formula.
+# ----------------------------------------------------------------------
+
+#: Incremental sequences run alongside the one-shot stream (each
+#: sequence is several solves, so a 1/10 ratio keeps runtime similar).
+INCREMENTAL_SEQUENCES = max(10, FUZZ_INSTANCES // 20)
+
+
+def _random_batch(rng: random.Random, num_vars: int, size: int):
+    batch = []
+    for _ in range(size):
+        width = 3 if rng.random() < 0.7 else rng.randint(1, 2)
+        chosen = rng.sample(range(num_vars), min(width, num_vars))
+        batch.append([2 * v + rng.randint(0, 1) for v in chosen])
+    return batch
+
+
+def _accumulated_formula(num_vars: int, clauses) -> CnfFormula:
+    formula = CnfFormula(num_vars)
+    for clause in clauses:
+        formula.add_clause(clause)
+    return formula
+
+
+def run_one_incremental(index: int) -> None:
+    """One incremental sequence: grow variables, add clause batches,
+    solve under random assumptions, and compare each call against a
+    fresh-solver reference over the accumulated formula.
+
+    Checks per call: verdict equality (learned clauses from earlier
+    depths may change the *search*, never the answer); SAT models
+    satisfy the accumulated formula and every assumption; UNSAT
+    failed-assumption sets are a subset of the assumptions and are
+    genuinely contradictory (a fresh solve under exactly the failed
+    subset is still UNSAT).
+    """
+    rng = random.Random(FUZZ_SEED + 5_000_000 + index)
+    _strategy_kind, phase_mode, minimize = CELLS[index % len(CELLS)]
+    config = SolverConfig(phase_mode=phase_mode, minimize_learned=minimize)
+    num_vars = rng.randint(4, 10)
+    incremental = CdclSolver(CnfFormula(num_vars), config=config)
+    accumulated: list = []
+    for step in range(rng.randint(2, 4)):
+        grow = rng.randint(0, 2)
+        if grow:
+            num_vars += grow
+            incremental.ensure_num_vars(num_vars)
+        for clause in _random_batch(rng, num_vars, rng.randint(1, num_vars)):
+            incremental.add_clause(clause)
+            accumulated.append(clause)
+        max_assumed = rng.randint(0, min(3, num_vars))
+        assumptions = [
+            2 * v + rng.randint(0, 1)
+            for v in rng.sample(range(num_vars), max_assumed)
+        ]
+        ctx = f"incremental sequence {index}, step {step}"
+        outcome = incremental.solve(
+            assumptions=assumptions, strategy=VsidsStrategy()
+        )
+        formula = _accumulated_formula(num_vars, accumulated)
+        reference = CdclSolver(formula, config=config).solve(
+            assumptions=assumptions
+        )
+        assert outcome.status is reference.status, (
+            f"{ctx}: incremental {outcome.status} vs fresh {reference.status}"
+        )
+        if outcome.status is SolveResult.SAT:
+            assert formula.evaluate(outcome.model), (
+                f"{ctx}: model violates accumulated formula"
+            )
+            for lit in assumptions:
+                assert outcome.model[lit >> 1] ^ (lit & 1), (
+                    f"{ctx}: model violates assumption {lit}"
+                )
+        else:
+            assert outcome.status is SolveResult.UNSAT, f"{ctx}: {outcome.status}"
+            # failed_assumptions is None on a *global* UNSAT (the
+            # formula alone is contradictory) — that counts as the
+            # empty subset here.
+            for solver in (incremental, reference):
+                failed = solver.failed_assumptions or frozenset()
+                assert failed <= set(assumptions), (
+                    f"{ctx}: failed assumptions {failed} not a subset"
+                )
+            # The reported failed subset must itself be contradictory:
+            # re-solve the accumulated formula under exactly that subset.
+            recheck = CdclSolver(formula, config=config).solve(
+                assumptions=sorted(incremental.failed_assumptions or ())
+            )
+            assert recheck.status is SolveResult.UNSAT, (
+                f"{ctx}: failed-assumption subset is not contradictory"
+            )
+
+
+@pytest.mark.parametrize("chunk", range(CHUNKS))
+def test_incremental_differential_fuzz(chunk):
+    start = chunk * INCREMENTAL_SEQUENCES // CHUNKS
+    stop = (chunk + 1) * INCREMENTAL_SEQUENCES // CHUNKS
+    for index in range(start, stop):
+        run_one_incremental(index)

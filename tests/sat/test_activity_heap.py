@@ -138,8 +138,11 @@ def collect_decide_order(formula, strategy):
         lit = strategy.decide()
         if lit == -1:
             break
-        # Emulate the decision assignment so the drain progresses.
-        solver.assigns[lit >> 1] = 1 ^ (lit & 1)
+        # Emulate the decision assignment so the drain progresses
+        # (write both polarities of the literal-truth pair, as the
+        # solver's _enqueue does).
+        solver.lit_truth[lit] = 1
+        solver.lit_truth[lit ^ 1] = 0
         order.append(lit)
     return order
 

@@ -1,0 +1,169 @@
+"""Tests of the flat clause arena (PR 4 tentpole).
+
+Three families:
+
+* unit — block layout, flags, tombstones and in-place compaction of
+  :class:`repro.sat.arena.ClauseArena` itself;
+* equivalence — the ``fast`` (list words) and ``compact``
+  (``array('i')`` words) backing stores drive bit-identical searches;
+* solver integration — footprint reporting, literal retention for
+  proofs, and compaction during learned-DB reduction without a CDG.
+"""
+
+import pytest
+
+from repro.cnf import CnfFormula, mk_lit
+from repro.sat import CdclSolver, ClauseArena, SolverConfig
+from repro.sat.arena import HEADER_WORDS, INACTIVE, LEARNED, TOMBSTONE
+from repro.workloads.cnf_families import pigeonhole
+from tests.conftest import random_formula
+
+
+class TestArenaUnit:
+    def test_add_and_literals_roundtrip(self):
+        arena = ClauseArena()
+        cid0 = arena.add((0, 2, 5))
+        cid1 = arena.add((4, 7), LEARNED)
+        cid2 = arena.add((), INACTIVE)
+        assert (cid0, cid1, cid2) == (0, 1, 2)
+        assert arena.literals(0) == (0, 2, 5)
+        assert arena.literals(1) == (4, 7)
+        assert arena.literals(2) == ()
+        assert arena.length(0) == 3 and arena.length(2) == 0
+        assert not arena.is_learned(0) and arena.is_learned(1)
+        assert arena.is_inactive(2)
+
+    def test_header_words_mirror_flags(self):
+        arena = ClauseArena()
+        cid = arena.add((2, 4, 6))
+        base = arena.refs[cid]
+        assert arena.data[base - 1] == 3  # length word
+        assert arena.data[base - 2] == 0  # flags word
+        arena.set_flag(cid, TOMBSTONE)
+        assert arena.data[base - 2] & TOMBSTONE
+        assert arena.flags[cid] & TOMBSTONE
+
+    def test_tombstone_counts_dead_words_once(self):
+        arena = ClauseArena()
+        cid = arena.add((0, 2, 4, 6))
+        arena.tombstone(cid)
+        arena.tombstone(cid)
+        assert arena.dead_words == HEADER_WORDS + 4
+
+    @pytest.mark.parametrize("storage", ["fast", "compact"])
+    def test_compact_slides_live_blocks_and_keeps_ids(self, storage):
+        arena = ClauseArena(storage)
+        kept_a = arena.add((0, 2))
+        doomed = arena.add((4, 6, 8))
+        kept_b = arena.add((1, 3, 5, 7))
+        arena.tombstone(doomed)
+        before = len(arena.data)
+        reclaimed = arena.compact()
+        assert reclaimed == HEADER_WORDS + 3
+        assert len(arena.data) == before - reclaimed
+        # IDs are stable; only offsets moved.
+        assert arena.literals(kept_a) == (0, 2)
+        assert arena.literals(kept_b) == (1, 3, 5, 7)
+        assert arena.refs[doomed] == -1
+        with pytest.raises(ValueError):
+            arena.literals(doomed)
+        # Idempotent once clean.
+        assert arena.compact() == 0
+
+    def test_footprint_reports_ratio(self):
+        arena = ClauseArena()
+        arena.add((0, 2, 4))
+        arena.add((1, 3))
+        arena.tombstone(1)
+        fp = arena.footprint()
+        assert fp["literal_words"] == 2 * HEADER_WORDS + 5
+        assert fp["dead_words"] == HEADER_WORDS + 2
+        assert 0 < fp["tombstone_ratio"] < 1
+        assert fp["clauses"] == 2
+        assert fp["bytes"] > 0
+
+    def test_rejects_unknown_storage(self):
+        with pytest.raises(ValueError):
+            ClauseArena("mmap")
+
+
+class TestStorageEquivalence:
+    """fast and compact stores must walk identical searches."""
+
+    def _stats(self, formula, storage):
+        solver = CdclSolver(
+            formula, config=SolverConfig(arena_storage=storage)
+        )
+        outcome = solver.solve()
+        stats = outcome.stats
+        return (
+            outcome.status,
+            stats.decisions,
+            stats.conflicts,
+            stats.propagations,
+            stats.learned_literals,
+            outcome.core_clauses,
+        )
+
+    def test_pigeonhole_identical(self):
+        formula = pigeonhole(5)
+        assert self._stats(formula, "fast") == self._stats(formula, "compact")
+
+    def test_random_instances_identical(self, rng):
+        for _ in range(25):
+            formula = random_formula(rng, rng.randint(3, 10), rng.randint(4, 40))
+            assert self._stats(formula, "fast") == self._stats(
+                formula, "compact"
+            )
+
+    def test_bad_storage_config_rejected(self):
+        with pytest.raises(ValueError):
+            CdclSolver(CnfFormula(1), config=SolverConfig(arena_storage="x"))
+
+
+class TestSolverIntegration:
+    def test_deleted_clause_literals_retained_with_cdg(self):
+        formula = pigeonhole(6)
+        # CDG on: literals pinned for proofs.  A low deletion ceiling
+        # forces the learned-DB reduction to actually run here.
+        solver = CdclSolver(
+            formula, config=SolverConfig(reduce_base=20, reduce_growth=1.01)
+        )
+        solver.solve()
+        assert solver.stats.deleted_clauses > 0
+        deleted = [
+            cid for cid in solver._learned_ids
+            if solver._arena.is_tombstone(cid)
+        ]
+        assert deleted
+        for cid in deleted[:10]:
+            assert len(solver.clause_literals(cid)) >= 3
+        # Pinned blocks mean no compaction ran.
+        assert solver.stats.arena_compactions == 0
+        assert solver._arena.dead_words > 0
+
+    def test_compaction_reclaims_without_cdg(self):
+        formula = pigeonhole(7)
+        solver = CdclSolver(
+            formula,
+            config=SolverConfig(record_cdg=False, max_conflicts=4000),
+        )
+        solver.solve()
+        assert solver.stats.deleted_clauses > 0
+        footprint = solver.arena_footprint()
+        if solver.stats.arena_compactions:
+            assert solver.stats.arena_reclaimed_words > 0
+            # Compaction keeps the dead fraction below the trigger.
+            assert footprint["tombstone_ratio"] < 0.5 + 1e-9
+            live = [
+                cid for cid in solver._learned_ids
+                if not solver._arena.is_tombstone(cid)
+            ]
+            for cid in live[:10]:  # live blocks survived the slide
+                assert solver.clause_literals(cid)
+
+    def test_footprint_exposed_by_solver(self):
+        solver = CdclSolver(pigeonhole(4))
+        fp = solver.arena_footprint()
+        assert fp["clauses"] == pigeonhole(4).num_clauses
+        assert fp["dead_words"] == 0

@@ -106,7 +106,7 @@ class TestMinimizationHappens:
                 config=SolverConfig(minimize_learned=mode),
             )
             solver.solve()
-            first_learned = solver._clauses[solver._learned_ids[0]]
+            first_learned = solver.clause_literals(solver._learned_ids[0])
             lengths[mode] = len(first_learned)
         assert lengths["off"] == 3
         assert lengths["local"] == 2
@@ -178,7 +178,7 @@ class TestMinimizationSoundness:
             ),
         )
         solver.solve()
-        learned = [list(solver._clauses[cid]) for cid in solver._learned_ids]
+        learned = [list(solver.clause_literals(cid)) for cid in solver._learned_ids]
         for clause in learned:
             assert implied_by(formula, clause), clause
 

@@ -76,7 +76,7 @@ class TestOriginalIdSet:
         assert solver.solve().is_unsat
         assert solver.stats.learned_clauses > 0
         learned_ids = [
-            cid for cid in range(len(solver._clauses))
+            cid for cid in range(len(solver._arena))
             if cid not in solver._original_id_set
         ]
         assert len(learned_ids) == solver.stats.learned_clauses
