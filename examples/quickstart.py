@@ -15,6 +15,15 @@ counterexample, but the refined orderings explore far smaller search
 trees.  Run:
 
     python examples/quickstart.py
+
+No single ordering wins everywhere (the paper's own Table 1 shows it) —
+which is why the repo also ships a portfolio mode that races all of
+them per row with learned-clause sharing:
+
+    python -m repro.experiments table1 --small --portfolio
+
+(see ``repro.bmc.portfolio`` and the "Portfolio layer" section of
+``docs/architecture.md``).
 """
 
 from repro.bmc import BmcEngine, BmcStatus, RefineOrderBmc, ShtrichmanBmc

@@ -13,6 +13,12 @@ from repro.bmc.induction import (
     recurrence_diameter_at_least,
 )
 from repro.bmc.multi import MultiPropertyBmc, PropertyOutcome
+from repro.bmc.portfolio import (
+    BMC_MEMBER_SPECS,
+    IncrementalPortfolioBmc,
+    PortfolioBmcEngine,
+    default_bmc_members,
+)
 from repro.bmc.refine import WEIGHTINGS, RefineOrderBmc, bmc_score_update
 from repro.bmc.result import BmcResult, BmcStatus, DepthStats, Trace
 from repro.bmc.shtrichman import ShtrichmanBmc, shtrichman_factory, shtrichman_rank
@@ -37,6 +43,10 @@ __all__ = [
     "abstract_model",
     "core_overlap",
     "IncrementalBmcEngine",
+    "PortfolioBmcEngine",
+    "IncrementalPortfolioBmc",
+    "BMC_MEMBER_SPECS",
+    "default_bmc_members",
     "MultiPropertyBmc",
     "PropertyOutcome",
     "KInductionEngine",

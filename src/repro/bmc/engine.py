@@ -115,10 +115,38 @@ class BmcEngine:
         self.time_budget = time_budget
         self.verify_traces = verify_traces
         self.unroller = resolve_unroller(circuit, property_net, use_coi, unroller)
+        #: Optional seam called as ``solver_hook(solver, k)`` right after
+        #: each depth's solver is constructed — the portfolio row race
+        #: attaches its clause-sharing ``on_learned`` hook here without
+        #: subclassing every engine flavour (RefineOrderBmc, Shtrichman
+        #: and BerkMin runs all inherit this ``_solve_depth``).
+        self.solver_hook = None
 
     # Subclass hook: called after each UNSAT depth with its outcome.
     def on_unsat(self, k: int, instance: BmcInstance, outcome: SolveOutcome) -> None:
         """Default: nothing (standard BMC learns nothing across depths)."""
+
+    def _solve_depth(self, instance: BmcInstance, k: int) -> tuple:
+        """Solve one depth's SAT instance; returns ``(outcome, extras)``.
+
+        ``extras`` feeds optional :class:`DepthStats` fields
+        (``switched``, ``winner``).  Subclasses replace the solving
+        machinery here — the portfolio engine
+        (``repro.bmc.portfolio.PortfolioBmcEngine``) races several
+        strategies per depth — while the depth loop, budgets, statistics
+        and trace handling in :meth:`run` stay shared.
+        """
+        strategy = self.strategy_factory(instance, k)
+        solver = CdclSolver(
+            instance.formula, strategy=strategy, config=self.solver_config
+        )
+        if self.solver_hook is not None:
+            self.solver_hook(solver, k)
+        outcome = solver.solve()
+        extras = {}
+        if isinstance(strategy, RankedStrategy):
+            extras["switched"] = strategy.switched
+        return outcome, extras
 
     def run(self) -> BmcResult:
         """Execute the depth loop; see :class:`BmcResult`."""
@@ -132,11 +160,7 @@ class BmcEngine:
                 result.status = BmcStatus.BUDGET_EXHAUSTED
                 break
             instance = self.unroller.instance(k)
-            strategy = self.strategy_factory(instance, k)
-            solver = CdclSolver(
-                instance.formula, strategy=strategy, config=self.solver_config
-            )
-            outcome = solver.solve()
+            outcome, extras = self._solve_depth(instance, k)
             depth_stats = DepthStats(
                 k=k,
                 status=outcome.status.value,
@@ -154,10 +178,9 @@ class BmcEngine:
                 core_vars=(
                     len(outcome.core_vars) if outcome.core_vars is not None else None
                 ),
-                switched=(
-                    strategy.switched if isinstance(strategy, RankedStrategy) else None
-                ),
+                switched=extras.get("switched"),
                 root_pruned=outcome.stats.root_pruned_clauses,
+                winner=extras.get("winner"),
             )
             result.per_depth.append(depth_stats)
             if outcome.status is SolveResult.UNKNOWN:

@@ -41,6 +41,26 @@ from repro.bmc.result import BmcResult, BmcStatus, DepthStats, Trace
 _MODES = ("vsids", "static", "dynamic")
 
 
+def feed_frames(solver: CdclSolver, unroller: Unroller, k: int, fed: int) -> int:
+    """Stream unroller frames up to depth ``k`` into a persistent solver.
+
+    Returns the new clause watermark (pass it back as ``fed`` on the
+    next call).  The feed is bounded by the depth-``k`` watermarks, not
+    by whatever the unroller happens to hold: a shared unroller (the
+    encoding cache, or several portfolio solvers drawing from one
+    unroller) may already have encoded deeper frames for another
+    engine, and ingesting those early would change every search-derived
+    statistic.  Bounded this way, the clause stream is byte-identical
+    warm or cold, and identical for every consumer of the same
+    unroller.
+    """
+    stop = unroller.clause_watermark(k)
+    solver.ensure_num_vars(unroller.var_watermark(k))
+    for lits, _origin in unroller.clauses_since(fed, stop):
+        solver.add_clause(lits)
+    return stop
+
+
 class IncrementalBmcEngine:
     """Bounded model checking on a single growing SAT instance.
 
@@ -87,19 +107,11 @@ class IncrementalBmcEngine:
         self._clauses_fed = 0
 
     def _feed_frames(self, k: int) -> None:
-        """Stream frames up to ``k`` into the persistent solver.
-
-        The feed is bounded by the depth-``k`` watermarks, not by
-        whatever the unroller happens to hold: a shared unroller (the
-        ``unroller=`` hook / encoding cache) may already have encoded
-        deeper frames for another engine, and ingesting those early
-        would change every search-derived statistic.  Bounded this way,
-        the clause stream is byte-identical warm or cold."""
-        stop = self.unroller.clause_watermark(k)
-        self._solver.ensure_num_vars(self.unroller.var_watermark(k))
-        for lits, _origin in self.unroller.clauses_since(self._clauses_fed, stop):
-            self._solver.add_clause(lits)
-        self._clauses_fed = stop
+        """Stream frames up to ``k`` into the persistent solver (the
+        shared :func:`feed_frames` helper, watermark kept per engine)."""
+        self._clauses_fed = feed_frames(
+            self._solver, self.unroller, k, self._clauses_fed
+        )
 
     def _strategy_for_depth(self) -> DecisionStrategy:
         if self.mode == "vsids":
@@ -164,29 +176,46 @@ class IncrementalBmcEngine:
         return result
 
     def _build_trace(self, k: int, model) -> Trace:
-        inputs = [
-            {
-                net: model[self.unroller.lit_of(net, frame) >> 1]
-                ^ (self.unroller.lit_of(net, frame) & 1)
-                for net in self.unroller.nets_inputs
-            }
-            for frame in range(k + 1)
-        ]
-        initial_state = {
-            net: model[self.unroller.lit_of(net, 0) >> 1]
-            ^ (self.unroller.lit_of(net, 0) & 1)
-            for net in self.unroller.nets_latches
-        }
-        trace = Trace(
-            depth=k,
-            inputs=inputs,
-            initial_state=initial_state,
-            property_net=self.property_net,
+        return decode_trace(
+            self.circuit, self.unroller, self.property_net, k, model,
+            verify=self.verify_traces,
         )
-        if self.verify_traces:
-            frames = self.circuit.simulate(inputs, initial_state=initial_state)
-            if frames[k][self.property_net] != 0:
-                raise AssertionError(
-                    "internal error: counterexample fails re-simulation"
-                )
-        return trace
+
+
+def decode_trace(
+    circuit: Circuit,
+    unroller: Unroller,
+    property_net: int,
+    k: int,
+    model,
+    verify: bool = True,
+) -> Trace:
+    """Decode a depth-``k`` model from an incremental unroller into a
+    :class:`Trace` (shared by the incremental and portfolio engines);
+    optionally re-simulate the counterexample before returning it."""
+    inputs = [
+        {
+            net: model[unroller.lit_of(net, frame) >> 1]
+            ^ (unroller.lit_of(net, frame) & 1)
+            for net in unroller.nets_inputs
+        }
+        for frame in range(k + 1)
+    ]
+    initial_state = {
+        net: model[unroller.lit_of(net, 0) >> 1]
+        ^ (unroller.lit_of(net, 0) & 1)
+        for net in unroller.nets_latches
+    }
+    trace = Trace(
+        depth=k,
+        inputs=inputs,
+        initial_state=initial_state,
+        property_net=property_net,
+    )
+    if verify:
+        frames = circuit.simulate(inputs, initial_state=initial_state)
+        if frames[k][property_net] != 0:
+            raise AssertionError(
+                "internal error: counterexample fails re-simulation"
+            )
+    return trace

@@ -41,7 +41,9 @@ class DepthStats:
     unsatisfiable core (UNSAT depths only); ``switched`` reports whether a
     dynamic strategy fell back to VSIDS at this depth; ``root_pruned``
     counts clauses the solver's root-level watch pruning detached during
-    this depth's solve (PR 3 observability hook).
+    this depth's solve (PR 3 observability hook); ``winner`` names the
+    portfolio member whose solver decided this depth (portfolio engines
+    only — ``None`` for single-strategy runs).
     """
 
     k: int
@@ -56,6 +58,7 @@ class DepthStats:
     core_vars: Optional[int] = None
     switched: Optional[bool] = None
     root_pruned: int = 0
+    winner: Optional[str] = None
 
 
 @dataclass

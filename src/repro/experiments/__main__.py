@@ -24,7 +24,7 @@ from repro.experiments.fig6 import fig6_csv, render_fig6
 from repro.experiments.fig7 import fig7_csv, render_fig7, run_fig7
 from repro.experiments.overhead import run_overhead
 from repro.experiments.table1 import run_table1
-from repro.sat.solver import PHASE_MODES
+from repro.sat.solver import ARENA_STORAGE_MODES, PHASE_MODES
 from repro.workloads.suite import small_suite, table1_suite
 
 
@@ -57,7 +57,27 @@ def main(argv=None) -> int:
         help="decision-phase policy for Table-1 runs (default: the "
         "solver default, phase saving)",
     )
+    parser.add_argument(
+        "--arena-storage", choices=ARENA_STORAGE_MODES, default=None,
+        help="clause-arena element store for Table-1 runs: 'fast' "
+        "(Python-list words, the default) or 'compact' (array('i') "
+        "words — half the memory, identical search)",
+    )
+    parser.add_argument(
+        "--portfolio", action="store_true",
+        help="add a 'portfolio' column to Table 1: race all strategies "
+        "per depth with learned-clause sharing (repro.bmc.portfolio); "
+        "the first strategy to finish decides each depth",
+    )
+    parser.add_argument(
+        "--portfolio-deterministic", action="store_true",
+        help="run the portfolio column in deterministic epoch-barrier "
+        "mode (byte-reproducible winners/statistics; implies "
+        "--portfolio)",
+    )
     args = parser.parse_args(argv)
+    if args.portfolio_deterministic:
+        args.portfolio = True
 
     rows = small_suite() if args.small else None
     want = args.experiment
@@ -72,10 +92,19 @@ def main(argv=None) -> int:
 
     report = None
     if want in ("table1", "fig6", "all"):
-        print("running Table 1 (3 methods x "
+        n_methods = 4 if args.portfolio else 3
+        print(f"running Table 1 ({n_methods} methods x "
               f"{len(rows) if rows else 37} instances)...", flush=True)
         report = run_table1(
-            rows=rows, verbose=True, jobs=args.jobs, phase_mode=args.phase_mode
+            rows=rows,
+            verbose=True,
+            jobs=args.jobs,
+            phase_mode=args.phase_mode,
+            arena_storage=args.arena_storage,
+            portfolio=args.portfolio,
+            portfolio_opts=(
+                {"deterministic": True} if args.portfolio_deterministic else None
+            ),
         )
     if want in ("table1", "all"):
         print(report.render())

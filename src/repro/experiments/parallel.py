@@ -102,6 +102,38 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+class _NonDaemonContext:
+    """Multiprocessing-context proxy whose workers refuse to go daemonic.
+
+    ``multiprocessing.Pool`` marks every worker ``daemon = True``, and
+    daemonic processes may not have children — which forbids a pool
+    task from spawning its own processes (the portfolio race inside a
+    ``--jobs`` Table-1 run is exactly that shape).  This proxy's
+    ``Process`` silently ignores the daemon assignment, so pool workers
+    stay non-daemonic and nested process creation works.  The pool's
+    context manager still terminates the workers; they just lose the
+    "die with the parent" safety net while alive, which is why nesting
+    is opt-in (:class:`ParallelRunner` ``nested=True``).
+    """
+
+    def __init__(self, base) -> None:
+        self._base = base
+
+        class _Process(base.Process):
+            @property
+            def daemon(self):
+                return False
+
+            @daemon.setter
+            def daemon(self, value):
+                pass
+
+        self.Process = _Process
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)
+
+
 class ParallelRunner:
     """Deterministic map over experiment tasks, optionally in processes.
 
@@ -109,10 +141,24 @@ class ParallelRunner:
     process pool of ``jobs`` workers maps over the tasks with chunk size
     one (experiment runs are seconds-scale, so scheduling overhead is
     negligible and small chunks maximise load balance).
+
+    ``nested=True`` runs the pool with non-daemonic workers
+    (:class:`_NonDaemonContext`) so tasks may spawn processes of their
+    own — required when a task is itself parallel, like the portfolio
+    strategy race.  Placement-only, exactly like affinity: results and
+    ``on_result`` order are unchanged.
     """
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(self, jobs: Optional[int] = None, nested: bool = False) -> None:
         self.jobs = resolve_jobs(jobs)
+        self.nested = nested
+
+    def _make_pool(self, context, processes: int):
+        if not self.nested:
+            return context.Pool(processes=processes)
+        from multiprocessing.pool import Pool
+
+        return Pool(processes=processes, context=_NonDaemonContext(context))
 
     def map(
         self,
@@ -162,7 +208,7 @@ class ParallelRunner:
         if affinity is not None:
             return self._map_grouped(tasks, affinity, on_result, context)
         results = []
-        with context.Pool(processes=min(self.jobs, len(tasks))) as pool:
+        with self._make_pool(context, min(self.jobs, len(tasks))) as pool:
             # imap (not map) yields in task order as results complete.
             for result in pool.imap(_invoke, tasks, chunksize=1):
                 if on_result is not None:
@@ -193,7 +239,7 @@ class ParallelRunner:
         results: List[Any] = [None] * len(tasks)
         done = [False] * len(tasks)
         emitted = 0
-        with context.Pool(processes=min(self.jobs, len(task_groups))) as pool:
+        with self._make_pool(context, min(self.jobs, len(task_groups))) as pool:
             for group, group_results in zip(
                 index_groups, pool.imap(_invoke_group, task_groups, chunksize=1)
             ):
@@ -245,9 +291,10 @@ def run_instances(
     jobs: Optional[int] = None,
     on_result: Optional[Callable[[Any], None]] = None,
     affinity: Optional[Sequence[Any]] = None,
+    nested: bool = False,
     **engine_kwargs: Any,
 ) -> List[Any]:
     """Convenience wrapper: ``ParallelRunner(jobs).run_pairs(pairs)``."""
-    return ParallelRunner(jobs).run_pairs(
+    return ParallelRunner(jobs, nested=nested).run_pairs(
         pairs, on_result=on_result, affinity=affinity, **engine_kwargs
     )

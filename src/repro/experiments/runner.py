@@ -54,7 +54,10 @@ from repro.sat.solver import SolverConfig
 from repro.workloads.suite import SuiteInstance
 
 #: Strategy identifiers accepted everywhere in the experiment layer.
-STRATEGIES = ("bmc", "static", "dynamic", "shtrichman", "berkmin")
+#: ``portfolio`` races the paper's strategies per depth with
+#: learned-clause sharing (``repro.bmc.portfolio``) instead of picking
+#: one ordering.
+STRATEGIES = ("bmc", "static", "dynamic", "shtrichman", "berkmin", "portfolio")
 
 #: Sentinel distinguishing "use the process default cache" from an
 #: explicit ``encoding_cache=None`` opt-out.
@@ -103,19 +106,30 @@ def make_engine(
     use_coi: bool = False,
     encoding_cache=_DEFAULT_CACHE,
     phase_mode: Optional[str] = None,
+    arena_storage: Optional[str] = None,
+    portfolio_opts: Optional[Dict] = None,
 ) -> BmcEngine:
     """Build the BMC engine for a suite row under a named strategy.
 
     ``encoding_cache`` defaults to the per-process cache (see module
     docstring); pass ``None`` to force a private build.  ``phase_mode``
-    overlays :attr:`SolverConfig.phase_mode` on whatever configuration
-    is in effect (the experiment CLI's ``--phase-mode`` lands here).
+    and ``arena_storage`` overlay the matching :class:`SolverConfig`
+    fields on whatever configuration is in effect (the experiment CLI's
+    ``--phase-mode``/``--arena-storage`` land here).  ``portfolio_opts``
+    are extra keyword arguments for
+    :class:`~repro.bmc.portfolio.PortfolioBmcEngine` when ``strategy``
+    is ``"portfolio"`` (e.g. ``deterministic=True``), ignored otherwise.
     """
     if encoding_cache is _DEFAULT_CACHE:
         encoding_cache = default_encoding_cache()
+    overlay = {}
     if phase_mode is not None:
+        overlay["phase_mode"] = phase_mode
+    if arena_storage is not None:
+        overlay["arena_storage"] = arena_storage
+    if overlay:
         base = solver_config if solver_config is not None else SolverConfig()
-        solver_config = replace(base, phase_mode=phase_mode)
+        solver_config = replace(base, **overlay)
     if encoding_cache is None:
         circuit, prop = instance.build()
         unroller = None
@@ -129,6 +143,12 @@ def make_engine(
     )
     if strategy == "bmc":
         return BmcEngine(circuit, prop, **common)
+    if strategy == "portfolio":
+        from repro.bmc.portfolio import PortfolioBmcEngine
+
+        opts = dict(portfolio_opts or {})
+        opts.setdefault("weighting", weighting)
+        return PortfolioBmcEngine(circuit, prop, **opts, **common)
     if strategy == "berkmin":
         from repro.sat.heuristics import BerkMinStrategy
 
@@ -187,17 +207,20 @@ def run_instance(
 def run_instances(
     pairs: Sequence[Tuple[SuiteInstance, str]],
     jobs: Optional[int] = None,
+    nested: bool = False,
     **engine_kwargs,
 ) -> List[InstanceResult]:
     """Run many (instance, strategy) pairs, optionally in parallel.
 
     Results are returned in pair order; with ``jobs`` > 1 the pairs are
     distributed over a process pool, with ``jobs=0`` meaning one worker
-    per CPU.  See :mod:`repro.experiments.parallel`.
+    per CPU.  ``nested=True`` uses non-daemonic workers so strategies
+    that spawn processes of their own (``"portfolio"``) work under a
+    pool.  See :mod:`repro.experiments.parallel`.
     """
     from repro.experiments.parallel import run_instances as _run
 
-    return _run(pairs, jobs=jobs, **engine_kwargs)
+    return _run(pairs, jobs=jobs, nested=nested, **engine_kwargs)
 
 
 def _check_expectation(instance: SuiteInstance, result: BmcResult) -> None:

@@ -19,6 +19,12 @@ from repro.workloads.suite import SuiteInstance, table1_suite
 
 _METHODS = ("bmc", "static", "dynamic")
 
+#: Column abbreviations for the rendered table.
+_TIME_ABBREV = {"bmc": "bmc", "static": "sta.", "dynamic": "dyn.",
+                "portfolio": "port."}
+_DEC_ABBREV = {"bmc": "bmc", "static": "sta", "dynamic": "dyn",
+               "portfolio": "port"}
+
 
 @dataclass
 class Table1Row:
@@ -44,9 +50,20 @@ class Table1Row:
 
 @dataclass
 class Table1Report:
-    """The full table plus the §4 aggregate claims."""
+    """The full table plus the §4 aggregate claims.
+
+    ``methods`` lists the table's columns in order; the classic report
+    carries the paper's three, ``run_table1(portfolio=True)`` appends a
+    ``portfolio`` column (the race over all strategies per depth).
+    """
 
     rows: List[Table1Row]
+
+    @property
+    def methods(self) -> tuple:
+        if not self.rows:
+            return _METHODS
+        return tuple(self.rows[0].results.keys())
 
     def total(self, method: str) -> float:
         """The TOTAL row: summed time of a method."""
@@ -73,34 +90,43 @@ class Table1Report:
         return sum(reductions) / len(reductions) if reductions else float("nan")
 
     def render(self, show_paper: bool = True) -> str:
-        """Format in the style of the paper's Table 1."""
+        """Format in the style of the paper's Table 1 (one time and one
+        decision column per method — the classic three, plus the
+        portfolio race when it was run)."""
+        methods = self.methods
         out = io.StringIO()
-        header = f"{'model':10s} {'T/F':6s} {'bmc(s)':>9s} {'sta.(s)':>9s} {'dyn.(s)':>9s} {'bmc dec':>9s} {'sta dec':>8s} {'dyn dec':>8s}"
+        header = f"{'model':10s} {'T/F':6s}"
+        for method in methods:
+            label = f"{_TIME_ABBREV.get(method, method[:5])}(s)"
+            header += f" {label:>9s}"
+        for method in methods:
+            label = f"{_DEC_ABBREV.get(method, method[:4])} dec"
+            header += f" {label:>8s}" if method != "bmc" else f" {label:>9s}"
         if show_paper:
             header += f"   {'paper bmc/sta/dyn (s)':>24s}"
         out.write(header + "\n")
         out.write("-" * len(header) + "\n")
         for row in self.rows:
-            line = (
-                f"{row.instance.name:10s} {row.tf_label:6s} "
-                f"{row.time_of('bmc'):9.3f} {row.time_of('static'):9.3f} "
-                f"{row.time_of('dynamic'):9.3f} "
-                f"{row.decisions_of('bmc'):9d} {row.decisions_of('static'):8d} "
-                f"{row.decisions_of('dynamic'):8d}"
-            )
+            line = f"{row.instance.name:10s} {row.tf_label:6s}"
+            for method in methods:
+                line += f" {row.time_of(method):9.3f}"
+            for method in methods:
+                width = 9 if method == "bmc" else 8
+                line += f" {row.decisions_of(method):{width}d}"
             if show_paper:
                 paper = row.instance.paper
                 line += f"   {paper.bmc_s:8.0f}/{paper.static_s:5.0f}/{paper.dynamic_s:5.0f}"
             out.write(line + "\n")
         out.write("-" * len(header) + "\n")
-        out.write(
-            f"{'TOTAL':10s} {'':6s} {self.total('bmc'):9.3f} "
-            f"{self.total('static'):9.3f} {self.total('dynamic'):9.3f}\n"
-        )
-        out.write(
-            f"{'RATIO':10s} {'':6s} {100.0:8.0f}% {100 * self.ratio('static'):8.0f}% "
-            f"{100 * self.ratio('dynamic'):8.0f}%   (paper: 100% / 62% / 57%)\n"
-        )
+        total_line = f"{'TOTAL':10s} {'':6s}"
+        for method in methods:
+            total_line += f" {self.total(method):9.3f}"
+        out.write(total_line + "\n")
+        ratio_line = f"{'RATIO':10s} {'':6s} {100.0:8.0f}%"
+        for method in methods[1:]:
+            ratio_line += f" {100 * self.ratio(method):8.0f}%"
+        ratio_line += "   (paper: 100% / 62% / 57%)"
+        out.write(ratio_line + "\n")
         out.write("\n")
         out.write(
             f"average speedup: static {100 * self.average_speedup('static'):.0f}%, "
@@ -112,24 +138,43 @@ class Table1Report:
             f"dynamic {self.wins('dynamic')}/{len(self.rows)}  "
             f"(paper: 26/37, 32/37)\n"
         )
+        if "portfolio" in methods:
+            out.write(
+                f"portfolio race: total {self.total('portfolio'):.3f}s "
+                f"({100 * self.ratio('portfolio'):.0f}% of bmc), beats the "
+                f"best single strategy on "
+                f"{self.portfolio_wins()}/{len(self.rows)} rows\n"
+            )
         return out.getvalue()
+
+    def portfolio_wins(self) -> int:
+        """Rows where the portfolio race is faster than every single
+        strategy (the race's per-row value-add beyond min-picking)."""
+        singles = [m for m in self.methods if m != "portfolio"]
+        return sum(
+            1
+            for row in self.rows
+            if row.time_of("portfolio")
+            < min(row.time_of(m) for m in singles)
+        )
 
     def to_csv(self) -> str:
         """CSV export of the full table (with paper references)."""
+        methods = self.methods
         out = io.StringIO()
         out.write(
-            "model,tf,bmc_s,static_s,dynamic_s,bmc_decisions,static_decisions,"
-            "dynamic_decisions,paper_bmc_s,paper_static_s,paper_dynamic_s\n"
+            "model,tf,"
+            + ",".join(f"{m}_s" for m in methods) + ","
+            + ",".join(f"{m}_decisions" for m in methods)
+            + ",paper_bmc_s,paper_static_s,paper_dynamic_s\n"
         )
         for row in self.rows:
             paper = row.instance.paper
             out.write(
                 f"{row.instance.name},{row.tf_label},"
-                f"{row.time_of('bmc'):.6f},{row.time_of('static'):.6f},"
-                f"{row.time_of('dynamic'):.6f},"
-                f"{row.decisions_of('bmc')},{row.decisions_of('static')},"
-                f"{row.decisions_of('dynamic')},"
-                f"{paper.bmc_s},{paper.static_s},{paper.dynamic_s}\n"
+                + ",".join(f"{row.time_of(m):.6f}" for m in methods) + ","
+                + ",".join(str(row.decisions_of(m)) for m in methods)
+                + f",{paper.bmc_s},{paper.static_s},{paper.dynamic_s}\n"
             )
         return out.getvalue()
 
@@ -140,18 +185,36 @@ def run_table1(
     verbose: bool = False,
     jobs: Optional[int] = None,
     phase_mode: Optional[str] = None,
+    arena_storage: Optional[str] = None,
+    portfolio: bool = False,
+    portfolio_opts: Optional[dict] = None,
 ) -> Table1Report:
     """Run the full Table 1 experiment (or a subset of rows).
 
     ``jobs`` > 1 spreads the (instance, method) grid over a process
     pool (0 = one worker per CPU); the report's rows and every
     search-derived number are identical to a serial run.
-    ``phase_mode`` overrides the solver's decision-phase policy for
-    every run (default: the :class:`SolverConfig` default).
+    ``phase_mode``/``arena_storage`` override the matching solver
+    configuration fields for every run (default: the
+    :class:`SolverConfig` defaults).  ``portfolio=True`` appends a
+    ``portfolio`` column — the strategy race with clause sharing
+    (``repro.bmc.portfolio``) — whose verdicts are checked against the
+    same row expectations; with ``jobs`` > 1 the pool switches to
+    non-daemonic workers so each race can spawn its own solver
+    processes (``repro.experiments.parallel`` nested dispatch).
     """
     suite = list(rows) if rows is not None else table1_suite()
+    methods = tuple(methods)
+    if portfolio and "portfolio" not in methods:
+        methods = methods + ("portfolio",)
     pairs = [(instance, method) for instance in suite for method in methods]
-    extra = {} if phase_mode is None else {"phase_mode": phase_mode}
+    extra = {}
+    if phase_mode is not None:
+        extra["phase_mode"] = phase_mode
+    if arena_storage is not None:
+        extra["arena_storage"] = arena_storage
+    if portfolio_opts is not None:
+        extra["portfolio_opts"] = portfolio_opts
 
     def progress(r: InstanceResult) -> None:
         print(
@@ -161,7 +224,11 @@ def run_table1(
         )
 
     flat = run_instances(
-        pairs, jobs=jobs, on_result=progress if verbose else None, **extra
+        pairs,
+        jobs=jobs,
+        on_result=progress if verbose else None,
+        nested="portfolio" in methods,
+        **extra,
     )
     table_rows: List[Table1Row] = []
     cursor = 0

@@ -31,6 +31,15 @@ from repro.sat.heuristics import (
     ScanOrderVsidsStrategy,
     VsidsStrategy,
 )
+from repro.sat.portfolio import (
+    MemberReport,
+    PortfolioMember,
+    PortfolioOutcome,
+    PortfolioSolver,
+    SharedClauseBus,
+    default_members,
+    solve_portfolio,
+)
 from repro.sat.proof import ProofError, ResolutionProof, check_proof
 from repro.sat.solver import (
     MINIMIZE_MODES,
@@ -79,4 +88,11 @@ __all__ = [
     "eliminate_variables",
     "write_drup",
     "drup_str",
+    "PortfolioSolver",
+    "PortfolioMember",
+    "PortfolioOutcome",
+    "MemberReport",
+    "SharedClauseBus",
+    "default_members",
+    "solve_portfolio",
 ]

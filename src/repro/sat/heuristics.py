@@ -103,6 +103,18 @@ class DecisionStrategy(ABC):
 
     name = "abstract"
 
+    #: Opt-in warm re-attachment: when True and :meth:`attach` re-binds
+    #: the *same* solver (a repeated ``solve()`` call), activity state
+    #: accumulated in earlier calls is kept instead of re-seeded from
+    #: the original literal counts.  The portfolio's deterministic
+    #: epoch slicing runs many budgeted solves on one solver; cold
+    #: re-seeding every epoch threw the search back to its starting
+    #: ordering each time (measured: PHP(8) epoch-sliced at 1024
+    #: conflicts/epoch needs ~78k conflicts cold vs ~7k warm).  Off by
+    #: default — single-shot behaviour and the scan-order reference
+    #: equivalence are bit-for-bit unchanged.
+    persist_activity = False
+
     def __init__(self) -> None:
         self._solver: Optional["CdclSolver"] = None
 
@@ -144,6 +156,24 @@ class _HeapOrderStrategy(DecisionStrategy):
         self._conflicts_since_update = 0
 
     def attach(self, solver: "CdclSolver") -> None:
+        if (
+            self.persist_activity
+            and self._solver is solver
+            and self._heap is not None
+            and len(self._kscore) == 2 * solver.num_vars
+        ):
+            # Warm re-attach (persist_activity): keep the accumulated
+            # scores/scale/pending bumps; only the heap membership must
+            # be rebuilt (assignments changed since the last detach),
+            # and the key arrays re-installed — subclasses may have
+            # rebuilt theirs (ranked keys) against the same solver.
+            truth = solver.lit_truth
+            self._heap.set_key_arrays(self._key_arrays())
+            self._heap.rebuild(
+                (var for var in range(solver.num_vars) if truth[var + var] == 2),
+                solver.num_vars,
+            )
+            return
         super().attach(solver)
         # Keys MUST be floats: the scaled-score scheme is defined to
         # round exactly as the paper's halved float cha_score does
@@ -271,6 +301,11 @@ class RankedStrategy(_HeapOrderStrategy):
         self._switch_divisor = switch_divisor
         self._switched = False
         self._switch_threshold = 0
+        # Cumulative decide() calls across attaches — the dynamic
+        # switch counter under epoch-sliced (persist_activity) solving,
+        # where solver.stats resets every re-entry and would otherwise
+        # never reach the whole-formula threshold.
+        self._decide_calls = 0
         self.name = "ranked-dynamic" if dynamic else "ranked-static"
 
     @property
@@ -294,16 +329,27 @@ class RankedStrategy(_HeapOrderStrategy):
         return [self._rank_keys, self._kscore]
 
     def decide(self) -> int:
-        """Next branch literal; may trigger the dynamic VSIDS fallback."""
-        if (
-            self._dynamic
-            and not self._switched
-            and self._solver.stats.decisions > self._switch_threshold
-        ):
-            self._switched = True
-            # One-time comparator change: re-heapify the current
-            # membership under pure VSIDS keys.
-            self._heap.set_key_arrays(self._key_arrays())
+        """Next branch literal; may trigger the dynamic VSIDS fallback.
+
+        The switch counter is the larger of the solver's per-solve
+        decision count (the paper's rule — and within a single solve
+        ``_decide_calls - 1`` equals it exactly, so one-shot behaviour
+        is bit-identical to the scan-order reference) and the
+        strategy's own cumulative ``decide()`` count, which keeps
+        counting across epoch-sliced re-entries where the per-solve
+        counter resets at every barrier and would otherwise never
+        reach a whole-formula threshold.
+        """
+        self._decide_calls += 1
+        if self._dynamic and not self._switched:
+            count = max(
+                self._solver.stats.decisions, self._decide_calls - 1
+            )
+            if count > self._switch_threshold:
+                self._switched = True
+                # One-time comparator change: re-heapify the current
+                # membership under pure VSIDS keys.
+                self._heap.set_key_arrays(self._key_arrays())
         return super().decide()
 
 

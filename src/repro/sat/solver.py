@@ -176,6 +176,14 @@ class SolverConfig:
     #: propagation backend consumes zero-copy).  Search behaviour is
     #: identical in both modes; see ``repro.sat.arena``.
     arena_storage: str = "fast"
+    #: Learned-clause export cap for portfolio solving
+    #: (``repro.sat.portfolio``): learned clauses of at most this many
+    #: literals are buffered for sharing with peer solvers — short
+    #: clauses prune the most search per byte shipped.  ``None`` (the
+    #: default) disables export entirely; the buffer is handed out
+    #: through the :attr:`CdclSolver.on_learned` hook at restart points
+    #: and through :meth:`CdclSolver.drain_exported` between solves.
+    export_learned_max_len: Optional[int] = None
     max_conflicts: Optional[int] = None
     max_decisions: Optional[int] = None
     max_propagations: Optional[int] = None
@@ -360,6 +368,27 @@ class CdclSolver:
         # Implications derived while installing clauses (eager level-0
         # propagation); credited to the next solve() call's statistics.
         self._pending_load_propagations = 0
+        # Learned-clause sharing (repro.sat.portfolio): clauses learned
+        # by *this* solver and short enough to export
+        # (config.export_learned_max_len) accumulate here until a
+        # sharing point drains them; clauses learned by *peers* arrive
+        # through add_shared_clause / the on_learned hook and their IDs
+        # are recorded for introspection.  on_learned — when set — is
+        # invoked at restart points (assumption-free solves only) with
+        # the drained export batch; whatever iterable of clauses it
+        # returns is imported at decision level 0.
+        self._export_buffer: List[Tuple[int, ...]] = []
+        self._imported_ids: List[int] = []
+        self._pending_imported = 0
+        self.on_learned = None
+        # Learned-DB reduction ceiling, persisted across solve() calls:
+        # resetting it per call made repeated budgeted solves (the
+        # portfolio's deterministic epoch slicing, and any incremental
+        # caller resuming with max_conflicts) delete their accumulated
+        # learned DB every re-entry — each epoch re-learned what the
+        # last one threw away.  None until the first search computes
+        # the formula-derived floor.
+        self._max_learned: Optional[float] = None
 
         self.ensure_num_vars(self._formula.num_vars)
         self._install_initial()
@@ -431,6 +460,84 @@ class CdclSolver:
                     f"{self.num_vars}; call new_var()/ensure_num_vars first"
                 )
         return self._install_clause(list(literals), initial=False)
+
+    # ------------------------------------------------------------------
+    # Learned-clause sharing (the portfolio subsystem's import/export
+    # surface; see ``repro.sat.portfolio``).
+    # ------------------------------------------------------------------
+
+    def add_shared_clause(self, literals: Sequence[int]) -> int:
+        """Import a clause learned by a peer solver; returns its ID.
+
+        The clause must be a logical consequence of the (shared) input
+        formula — which every learned clause of a peer solving the same
+        formula is.  It is installed through the ordinary original-clause
+        path: deduplicated, arena-allocated, registered as a CDG *leaf*
+        (an imported clause has no local derivation, so proof replay
+        treats it as an axiom — sound relative to the shared formula),
+        and eligible to appear in unsat cores and as a conflict
+        antecedent.  Unlike :meth:`add_clause`, imported literals do
+        NOT feed the ``cha_score`` seeds or the dynamic strategy's
+        switch threshold: those are statistics of the input formula,
+        not of the peers' sharing volume.  Callable between solves only; mid-solve imports go
+        through the :attr:`on_learned` hook, which the search loop
+        invokes at restart points (decision level 0).
+        """
+        if self._solving:
+            raise RuntimeError(
+                "add_shared_clause may not be called during solve(); "
+                "set on_learned for mid-solve imports"
+            )
+        self._backtrack(0)
+        for lit in literals:
+            if lit < 0:
+                raise ValueError(f"bad packed literal {lit}")
+            if (lit >> 1) >= self.num_vars:
+                raise ValueError(
+                    f"literal references variable {lit >> 1} >= num_vars "
+                    f"{self.num_vars}; call new_var()/ensure_num_vars first"
+                )
+        cid = self._install_clause(
+            list(literals), initial=False, count_literals=False
+        )
+        self._imported_ids.append(cid)
+        self._pending_imported += 1
+        return cid
+
+    def _import_shared(self, clauses: Sequence[Sequence[int]]) -> None:
+        """Mid-solve import path (decision level 0 only — the restart
+        sharing point).  Installs each clause exactly like
+        :meth:`add_shared_clause`; a clause falsified at the root marks
+        the solver UNSAT (with its reason closure recorded as the final
+        conflict) and the remainder of the batch is dropped."""
+        count = 0
+        for lits in clauses:
+            count += 1
+            self._imported_ids.append(
+                self._install_clause(
+                    list(lits), initial=False, count_literals=False
+                )
+            )
+            if not self._ok:
+                break
+        self.stats.imported_clauses += count
+
+    def drain_exported(self) -> List[Tuple[int, ...]]:
+        """Return (and clear) the buffered exportable learned clauses.
+
+        The buffer fills during search with learned clauses of at most
+        ``config.export_learned_max_len`` literals; the deterministic
+        portfolio mode drains it between epoch solves, the race mode
+        drains it through the :attr:`on_learned` hook instead.
+        """
+        batch = self._export_buffer[:]
+        del self._export_buffer[:]
+        return batch
+
+    @property
+    def imported_ids(self) -> Tuple[int, ...]:
+        """Clause IDs installed through the shared-clause import path."""
+        return tuple(self._imported_ids)
 
     def _install_initial(self) -> None:
         """Bulk-install the constructor formula.
@@ -533,7 +640,9 @@ class CdclSolver:
                 watches[lits[1]].append((cid, lits[0]))
         self._num_original_literals += num_literals
 
-    def _install_clause(self, lits: List[int], initial: bool) -> int:
+    def _install_clause(
+        self, lits: List[int], initial: bool, count_literals: bool = True
+    ) -> int:
         lits = list(dict.fromkeys(lits))  # dedupe, keep order
         taut = _is_tautology(lits)
         cid = self._arena.add(lits, INACTIVE if taut else 0)
@@ -547,10 +656,15 @@ class CdclSolver:
             # cha_score array or the dynamic strategy's 1/64 switch
             # threshold (paper §3.3): count only installed literals.
             return cid
-        lit_counts = self._lit_counts
-        for lit in lits:
-            lit_counts[lit] += 1
-        self._num_original_literals += len(lits)
+        if count_literals:
+            # Shared-clause imports pass False: the paper's cha_score
+            # seeds and the 1/64 switch threshold are statistics of the
+            # *input formula*, and letting peers' sharing volume inflate
+            # them would change the decision heuristics' semantics.
+            lit_counts = self._lit_counts
+            for lit in lits:
+                lit_counts[lit] += 1
+            self._num_original_literals += len(lits)
         if not self._ok:
             return cid
         if not lits:
@@ -1524,6 +1638,8 @@ class CdclSolver:
         self._pending_load_propagations = 0
         self.stats.root_pruned_clauses += self._pending_root_pruned
         self._pending_root_pruned = 0
+        self.stats.imported_clauses += self._pending_imported
+        self._pending_imported = 0
         start = time.perf_counter()
         try:
             self._backtrack(0)
@@ -1542,13 +1658,24 @@ class CdclSolver:
         restart_epoch = 1
         conflicts_in_epoch = 0
         epoch_limit = config.restart_base * luby(restart_epoch)
-        max_learned = config.reduce_base + len(self._original_ids) // 3
+        # The reduction ceiling never shrinks across solve() calls on
+        # one solver: a single-solve run is byte-identical to before
+        # (the floor is the old per-call value), while re-entrant
+        # solves keep the ceiling their reductions grew.
+        max_learned = max(
+            self._max_learned or 0,
+            config.reduce_base + len(self._original_ids) // 3,
+        )
+        self._max_learned = max_learned
         # Per-conflict hoists (the conflict path runs thousands of times
         # per second; budget fields are read-only during a solve).
         activity_decay = config.clause_activity_decay
         max_conflicts = config.max_conflicts
         max_propagations = config.max_propagations
         prune_enabled = config.prune_root_satisfied
+        export_cap = config.export_learned_max_len
+        export_buffer = self._export_buffer
+        on_learned = self.on_learned
         save_phase = config.phase_mode == "save"
         invert_phase = config.phase_mode == "inverted"
         saved_phase = self._saved_phase
@@ -1579,6 +1706,9 @@ class CdclSolver:
                 # decision loop re-establishes assumptions level by level.
                 self._backtrack(btlevel)
                 cid = self._add_learned(learned, antecedents)
+                if export_cap is not None and len(learned) <= export_cap:
+                    export_buffer.append(tuple(learned))
+                    stats.exported_clauses += 1
                 if truth[learned[0]] == 2:
                     self._enqueue(learned[0], cid)
                     stats.propagations += 1
@@ -1604,10 +1734,26 @@ class CdclSolver:
                 self._backtrack(num_assumptions)
                 if prune_enabled:
                     self._prune_root_satisfied()
+                if on_learned is not None and num_assumptions == 0:
+                    # Sharing point (portfolio race mode): the solver is
+                    # at decision level 0, so peer clauses can be
+                    # installed through the ordinary root-level path.
+                    # The hook receives this solver's drained exports
+                    # and returns the peers' clauses to import; a root
+                    # falsification surfaces as UNSAT right here, a
+                    # root unit is picked up by the next _propagate().
+                    batch = export_buffer[:]
+                    del export_buffer[:]
+                    imports = on_learned(batch)
+                    if imports:
+                        self._import_shared(imports)
+                        if not self._ok:
+                            return self._unsat_outcome()
                 continue
             if config.clause_deletion and self._num_live_learned > max_learned:
                 self._reduce_learned_db()
                 max_learned = int(max_learned * config.reduce_growth)
+                self._max_learned = max_learned
 
             if self._decision_level < num_assumptions:
                 lit = self._assumptions[self._decision_level]

@@ -38,6 +38,13 @@ class SolverStats:
     # proof export).
     arena_compactions: int = 0
     arena_reclaimed_words: int = 0
+    # Portfolio clause sharing: learned clauses short enough to export
+    # (SolverConfig.export_learned_max_len) buffered during this solve,
+    # and peer clauses installed through the shared-clause import path
+    # (between-solve imports are credited to the following solve, like
+    # pending load propagations).
+    exported_clauses: int = 0
+    imported_clauses: int = 0
 
     @property
     def mean_learned_length(self) -> float:
@@ -64,3 +71,5 @@ class SolverStats:
         self.root_pruned_clauses += other.root_pruned_clauses
         self.arena_compactions += other.arena_compactions
         self.arena_reclaimed_words += other.arena_reclaimed_words
+        self.exported_clauses += other.exported_clauses
+        self.imported_clauses += other.imported_clauses

@@ -1,0 +1,256 @@
+"""Portfolio BMC engines: per-depth deterministic racing, the row-level
+race, and the incremental epoch-raced portfolio (ISSUE 5 tentpole)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bmc import BmcEngine, IncrementalPortfolioBmc, PortfolioBmcEngine
+from repro.bmc.result import BmcStatus
+from repro.workloads import instance_by_name
+
+
+@pytest.fixture(scope="module")
+def passing_row():
+    instance = instance_by_name("17_1_b2")
+    circuit, prop = instance.build()
+    return instance, circuit, prop
+
+
+@pytest.fixture(scope="module")
+def failing_row():
+    instance = instance_by_name("01_b")
+    circuit, prop = instance.build()
+    return instance, circuit, prop
+
+
+@pytest.fixture(scope="module")
+def baseline(passing_row):
+    instance, circuit, prop = passing_row
+    return BmcEngine(circuit, prop, max_depth=instance.max_depth).run()
+
+
+class TestDepthGranularity:
+    def test_deterministic_matches_baseline_verdict(self, passing_row, baseline):
+        instance, circuit, prop = passing_row
+        engine = PortfolioBmcEngine(
+            circuit, prop, max_depth=instance.max_depth,
+            deterministic=True, race_min_clauses=0,
+        )
+        result = engine.run()
+        assert result.status is baseline.status
+        assert result.depth_reached == baseline.depth_reached
+        assert all(d.winner for d in result.per_depth)
+        assert len(engine.sharing_log) == len(result.per_depth)
+
+    def test_deterministic_reproducible_across_jobs(self, passing_row):
+        instance, circuit, prop = passing_row
+
+        def fingerprint(jobs):
+            engine = PortfolioBmcEngine(
+                circuit, prop, max_depth=instance.max_depth,
+                deterministic=True, race_min_clauses=0, jobs=jobs,
+            )
+            result = engine.run()
+            return tuple(
+                (d.k, d.status, d.decisions, d.propagations, d.conflicts,
+                 d.winner)
+                for d in result.per_depth
+            )
+
+        assert fingerprint(None) == fingerprint(2)
+
+    def test_small_depths_fall_back_to_serial_lead(self, passing_row):
+        instance, circuit, prop = passing_row
+        engine = PortfolioBmcEngine(
+            circuit, prop, max_depth=instance.max_depth,
+            deterministic=True, race_min_clauses=10**9,
+        )
+        result = engine.run()
+        assert all(
+            d.winner.startswith("serial:") for d in result.per_depth
+        )
+        assert result.status is BmcStatus.PASSED_BOUNDED
+
+    def test_depth_stats_report_cumulative_winner_work(self):
+        # The winner's SolveOutcome.stats cover only its final epoch;
+        # DepthStats must carry the member's cumulative work for the
+        # depth (code-review regression: Table-1 'port dec' was the
+        # last epoch only).  PHP-style hard depths need many epochs, so
+        # use a small epoch budget on a row with real conflicts.
+        instance = instance_by_name("03_b")
+        circuit, prop = instance.build()
+        engine = PortfolioBmcEngine(
+            circuit, prop, max_depth=instance.max_depth,
+            deterministic=True, race_min_clauses=0, epoch_conflicts=16,
+        )
+        result = engine.run()
+        raced = [
+            (k, winner, epochs)
+            for (k, winner, raced, epochs, *_rest) in engine.sharing_log
+            if raced and epochs > 1
+        ]
+        assert raced, "no depth needed more than one epoch; weaken epoch_conflicts"
+        multi_epoch_depths = {k for k, _w, _e in raced}
+        for depth_stats in result.per_depth:
+            if depth_stats.k in multi_epoch_depths:
+                # A second epoch only runs after the first exhausted its
+                # 16-conflict budget, so the cumulative count must be at
+                # least one full epoch (the pre-fix last-epoch-only
+                # numbers were strictly below it).
+                assert depth_stats.conflicts >= 16
+
+    def test_counterexample_row(self, failing_row):
+        instance, circuit, prop = failing_row
+        engine = PortfolioBmcEngine(
+            circuit, prop, max_depth=instance.max_depth,
+            deterministic=True, race_min_clauses=0,
+        )
+        result = engine.run()
+        assert result.status is BmcStatus.FAILED
+        assert result.depth_reached == instance.cex_depth
+        assert result.trace is not None  # engine re-simulates it
+
+
+class TestRowGranularity:
+    def test_serial_width_one_fallback(self, passing_row, baseline, monkeypatch):
+        import repro.bmc.portfolio as module
+
+        monkeypatch.setattr(module, "_available_cpus", lambda: 1)
+        instance, circuit, prop = passing_row
+        engine = PortfolioBmcEngine(
+            circuit, prop, max_depth=instance.max_depth,
+        )
+        result = engine.run()
+        assert result.status is baseline.status
+        assert result.depth_reached == baseline.depth_reached
+        assert engine.row_winner == "serial:vsids"
+        assert engine.reports[0].winner
+        assert {r.status for r in engine.reports[1:]} == {"skipped"}
+
+    def test_process_row_race(self, passing_row, baseline, monkeypatch):
+        import repro.bmc.portfolio as module
+
+        monkeypatch.setattr(module, "_available_cpus", lambda: 2)
+        instance, circuit, prop = passing_row
+        engine = PortfolioBmcEngine(
+            circuit, prop, max_depth=instance.max_depth,
+        )
+        result = engine.run()
+        assert result.status is baseline.status
+        assert result.depth_reached == baseline.depth_reached
+        assert engine.row_winner in ("vsids", "berkmin")
+        assert all(d.winner == engine.row_winner for d in result.per_depth)
+
+    def test_counterexample_row_race(self, failing_row, monkeypatch):
+        import repro.bmc.portfolio as module
+
+        monkeypatch.setattr(module, "_available_cpus", lambda: 2)
+        instance, circuit, prop = failing_row
+        result = PortfolioBmcEngine(
+            circuit, prop, max_depth=instance.max_depth,
+        ).run()
+        assert result.status is BmcStatus.FAILED
+        assert result.depth_reached == instance.cex_depth
+
+
+class TestIncrementalPortfolio:
+    def test_matches_baseline_and_shares(self, passing_row, baseline):
+        instance, circuit, prop = passing_row
+        engine = IncrementalPortfolioBmc(
+            circuit, prop, max_depth=instance.max_depth,
+            epoch_conflicts=64,
+        )
+        result = engine.run()
+        assert result.status is baseline.status
+        assert result.depth_reached == baseline.depth_reached
+        assert all(d.winner for d in result.per_depth)
+        assert engine.reports  # per-member accounting exists
+
+    def test_counterexample_with_verified_trace(self, failing_row):
+        instance, circuit, prop = failing_row
+        engine = IncrementalPortfolioBmc(
+            circuit, prop, max_depth=instance.max_depth,
+        )
+        result = engine.run()
+        assert result.status is BmcStatus.FAILED
+        assert result.depth_reached == instance.cex_depth
+        assert result.trace is not None
+
+    def test_reproducible(self, passing_row):
+        instance, circuit, prop = passing_row
+
+        def fingerprint():
+            engine = IncrementalPortfolioBmc(
+                circuit, prop, max_depth=instance.max_depth,
+                epoch_conflicts=64,
+            )
+            result = engine.run()
+            return (
+                engine.shared_clauses,
+                engine.deliveries,
+                tuple(
+                    (d.k, d.status, d.decisions, d.conflicts, d.winner)
+                    for d in result.per_depth
+                ),
+            )
+
+        assert fingerprint() == fingerprint()
+
+    def test_validation(self, passing_row):
+        instance, circuit, prop = passing_row
+        with pytest.raises(ValueError):
+            IncrementalPortfolioBmc(circuit, prop, max_depth=-1)
+        with pytest.raises(ValueError):
+            IncrementalPortfolioBmc(
+                circuit, prop, max_depth=1, member_specs=()
+            )
+        with pytest.raises(ValueError):
+            IncrementalPortfolioBmc(
+                circuit, prop, max_depth=1, epoch_conflicts=0
+            )
+
+
+class TestExperimentIntegration:
+    def test_make_engine_and_run_instance(self, monkeypatch):
+        import repro.sat.portfolio as sat_module
+        import repro.bmc.portfolio as bmc_module
+
+        # Pin to the in-process serial paths so the test is hermetic.
+        monkeypatch.setattr(sat_module, "_available_cpus", lambda: 1)
+        monkeypatch.setattr(bmc_module, "_available_cpus", lambda: 1)
+        from repro.experiments.runner import make_engine, run_instance
+
+        instance = instance_by_name("17_1_b2")
+        engine = make_engine(instance, "portfolio")
+        assert isinstance(engine, PortfolioBmcEngine)
+        result = run_instance(instance, "portfolio")
+        assert result.status == "passed-bounded"
+        assert result.strategy == "portfolio"
+
+    def test_members_inherit_caller_phase_and_minimize(self):
+        # --phase-mode must reach the portfolio members exactly as it
+        # reaches the single-strategy columns (code-review regression:
+        # depth-granularity members silently reverted to the defaults).
+        from repro.bmc.portfolio import default_bmc_members
+        from repro.sat.solver import SolverConfig
+
+        config = SolverConfig(phase_mode="inverted", minimize_learned="off")
+        members = default_bmc_members(base_config=config)
+        assert all(m.phase_mode == "inverted" for m in members)
+        assert all(m.minimize_learned == "off" for m in members)
+        overlaid = members[0].overlay_config(config, 8)
+        assert overlaid.phase_mode == "inverted"
+        assert overlaid.minimize_learned == "off"
+
+    def test_portfolio_opts_deterministic(self):
+        from repro.experiments.runner import make_engine
+
+        instance = instance_by_name("17_1_b2")
+        engine = make_engine(
+            instance, "portfolio",
+            portfolio_opts={"deterministic": True, "epoch_conflicts": 99},
+        )
+        assert engine.deterministic is True
+        assert engine.granularity == "depth"
+        assert engine.epoch_conflicts == 99

@@ -13,7 +13,10 @@ implication/xor chains), and each result is cross-checked three ways:
 * the production heap strategies must return the same verdict as the
   retained seed scan-order reference strategies
   (``ScanOrderVsidsStrategy`` / ``ScanOrderRankedStrategy``) under the
-  same solver configuration.
+  same solver configuration;
+* the two clause-arena element stores (``arena_storage="fast"`` vs
+  ``"compact"``) must run *search-identical* solves: same verdict,
+  same decisions/propagations/conflicts/learned counts, same model.
 
 Seed derivation (documented in ``benchmarks/solver_bench.py``): the
 instance with index ``i`` is generated from
@@ -36,6 +39,7 @@ from __future__ import annotations
 import itertools
 import os
 import random
+from dataclasses import replace
 from functools import lru_cache
 
 import pytest
@@ -204,6 +208,37 @@ def run_one(index: int):
         f"instance {index} (kind {index % 10}, cell "
         f"{(production.name, phase_mode, minimize)})"
     )
+
+    # Storage leg: the compact (array('i')) arena must run the exact
+    # same search as the fast (list-word) default — identical verdict
+    # and identical search-derived counters, not just agreement.
+    rng_compact = random.Random(FUZZ_SEED + index + 1_000_000)
+    production_compact, _ = _strategy_pairs(
+        rng_compact, formula.num_vars, strategy_kind
+    )
+    compact_outcome = CdclSolver(
+        formula,
+        strategy=production_compact,
+        config=replace(config, arena_storage="compact"),
+    ).solve()
+    assert compact_outcome.status is outcome.status, (
+        f"{ctx}: compact arena verdict differs"
+    )
+    assert (
+        compact_outcome.stats.decisions,
+        compact_outcome.stats.propagations,
+        compact_outcome.stats.conflicts,
+        compact_outcome.stats.learned_clauses,
+    ) == (
+        outcome.stats.decisions,
+        outcome.stats.propagations,
+        outcome.stats.conflicts,
+        outcome.stats.learned_clauses,
+    ), f"{ctx}: compact arena search diverged from fast"
+    if outcome.status is SolveResult.SAT:
+        assert compact_outcome.model == outcome.model, (
+            f"{ctx}: compact arena model differs"
+        )
 
     if outcome.status is SolveResult.SAT:
         assert formula.evaluate(outcome.model), f"{ctx}: model does not satisfy"
