@@ -1,0 +1,52 @@
+"""repro.analysis — the repo's invariant-enforcing static analyzer.
+
+The reproduction's value rests on invariants the test suite can only
+sample: byte-identical results across serial/``--jobs``/deterministic-
+portfolio runs, proof/CDG soundness for every clause source, and
+hand-hoisted hot paths whose speed evaporates the first time an
+attribute lookup or per-conflict allocation sneaks back in.  This
+package enforces those rules by machine, as AST checks with
+``file:line:col: RULE-ID`` diagnostics, a checked-in baseline file, and
+a ``python -m repro.analysis`` CLI gated in CI.
+
+Rule families (see ``docs/coding_rules.md`` for the war stories):
+
+* **DET** — determinism: no iteration over unordered sets in
+  result-affecting modules, no unseeded global ``random``, no
+  wall-clock values flowing into search state.
+* **HOT** — the ``# solcheck: hot`` registry of inner-loop functions:
+  no container allocation in loops, attribute/global lookups hoisted
+  to locals, no try/except around loop bodies.
+* **PRF** — proof soundness: arena tombstone/learned-install sites must
+  be CDG-aware; ``add_shared_clause`` is the only legal clause-import
+  entry point.
+* **FRK** — fork hygiene: no lambdas/closures handed to workers, no
+  unpicklable queue payloads, no post-fork mutation of module globals.
+* **TYP** — the strict-typing ratchet: modules in the strictness table
+  (``pyproject.toml [tool.solcheck] strict_modules``, mirrored by the
+  mypy per-module overrides) must carry complete annotations.
+
+Intentional exceptions are suppressed inline with
+``# solcheck: ignore[RULE-ID] <reason>`` — the reason is mandatory.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import (
+    Diagnostic,
+    SourceModule,
+    all_rules,
+    analyze_paths,
+    rule_ids,
+)
+from repro.analysis.config import AnalysisConfig, load_config
+
+__all__ = [
+    "AnalysisConfig",
+    "Diagnostic",
+    "SourceModule",
+    "all_rules",
+    "analyze_paths",
+    "load_config",
+    "rule_ids",
+]

@@ -1,0 +1,67 @@
+"""Baseline file: the analyzer's adopted-debt ledger.
+
+A baseline line is ``<fingerprint> <rule> <path>:<line> <message>`` —
+the fingerprint (file + rule + normalized flagged-line text +
+occurrence counter) is what matching uses, so baselined findings
+survive edits elsewhere in the file; the rest of the line is for the
+human reading the file.  The shipped baseline is EMPTY by policy:
+every finding in the tree is either fixed or carries an inline
+``# solcheck: ignore[RULE] reason``.  The mechanism exists so a future
+rule tightening can land without blocking on a full sweep — adopt the
+debt explicitly with ``--update-baseline``, burn it down, re-empty.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.core import Diagnostic, fingerprint
+
+
+def assign_fingerprints(
+    findings: List[Diagnostic], line_lookup: Dict[str, List[str]]
+) -> List[Tuple[Diagnostic, str]]:
+    """Pair each finding with its stable fingerprint.
+
+    ``line_lookup`` maps a finding's path to the file's lines (the CLI
+    builds it while analyzing).  Duplicate (path, rule, line-text)
+    triples get an occurrence counter so two identical violations on
+    identical lines stay distinct.
+    """
+    counters: Dict[str, int] = {}
+    out: List[Tuple[Diagnostic, str]] = []
+    for diag in findings:
+        lines = line_lookup.get(diag.path, [])
+        text = lines[diag.line - 1] if 1 <= diag.line <= len(lines) else ""
+        normalized = " ".join(text.split())
+        key = f"{diag.path}::{diag.rule}::{normalized}"
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        out.append((diag, fingerprint(diag, text, occurrence)))
+    return out
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints recorded in the baseline file (missing file = empty
+    baseline; ``#`` lines and blanks are comments)."""
+    if not path.is_file():
+        return set()
+    accepted: Set[str] = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        accepted.add(stripped.split()[0])
+    return accepted
+
+
+def write_baseline(path: Path, pairs: List[Tuple[Diagnostic, str]]) -> None:
+    lines = [
+        "# repro.analysis baseline — adopted findings, matched by fingerprint.",
+        "# Policy: keep this file EMPTY on main; fix or inline-suppress instead.",
+        "# Regenerate with: python -m repro.analysis src --update-baseline",
+    ]
+    for diag, fp in sorted(pairs, key=lambda item: item[0].sort_key()):
+        lines.append(f"{fp} {diag.rule} {diag.path}:{diag.line} {diag.message}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")

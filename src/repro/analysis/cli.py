@@ -1,0 +1,143 @@
+"""``python -m repro.analysis`` — the analyzer's command-line face.
+
+Exit codes: 0 = clean (or every finding baselined), 1 = new findings,
+2 = usage error.  ``--json`` emits a machine-readable report for CI
+annotation tooling; ``--update-baseline`` adopts the current findings
+into the baseline file (policy: keep it empty — see
+``repro.analysis.baseline``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.baseline import (
+    assign_fingerprints,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.config import load_config
+from repro.analysis.core import Diagnostic, all_rules, analyze_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Invariant-enforcing static analyzer: DET (determinism), "
+            "HOT (hot-path discipline), PRF (proof soundness), FRK "
+            "(fork hygiene), TYP (strict-typing ratchet)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "baseline file of adopted findings (default: the "
+            "[tool.solcheck] baseline entry, analysis_baseline.txt)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit a JSON report instead of text diagnostics",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rule ids and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"error: no such path: {', '.join(str(p) for p in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = load_config()
+    findings, checked, line_lookup = analyze_paths(paths, config)
+    pairs = assign_fingerprints(findings, line_lookup)
+
+    baseline_path = Path(
+        args.baseline if args.baseline is not None else config.baseline
+    )
+    if args.update_baseline:
+        write_baseline(baseline_path, pairs)
+        print(
+            f"baseline updated: {len(pairs)} finding(s) adopted into "
+            f"{baseline_path}"
+        )
+        return 0
+
+    accepted = load_baseline(baseline_path)
+    new = [(diag, fp) for diag, fp in pairs if fp not in accepted]
+    baselined = len(pairs) - len(new)
+
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "checked_files": checked,
+                    "findings": [
+                        {
+                            "path": diag.path,
+                            "line": diag.line,
+                            "col": diag.col,
+                            "rule": diag.rule,
+                            "message": diag.message,
+                            "fingerprint": fp,
+                        }
+                        for diag, fp in new
+                    ],
+                    "baselined": baselined,
+                    "total": len(pairs),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for diag, _fp in new:
+            print(diag.format())
+        summary = (
+            f"{len(new)} finding(s) in {checked} file(s)"
+            + (f", {baselined} baselined" if baselined else "")
+        )
+        print(summary)
+    return 1 if new else 0
+
+
+def run(diagnostics: List[Diagnostic]) -> None:
+    """Print diagnostics in the canonical format (test helper)."""
+    for diag in diagnostics:
+        print(diag.format())

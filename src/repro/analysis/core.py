@@ -1,0 +1,414 @@
+"""Analyzer engine: parsed modules, the rule registry, suppressions.
+
+One :class:`SourceModule` per file carries the AST, a parent map (rules
+reason about the *context* of a node — e.g. whether a wall-clock call
+feeds a timing variable or search state), the ``# solcheck:`` markers
+extracted with :mod:`tokenize` (accurate comment line numbers survive
+any code layout), and the module's identity both as a source-relative
+path (``repro/sat/solver.py`` — DET/FRK scoping) and a dotted name
+(``repro.sat.solver`` — the strictness table).
+
+Suppression contract: ``# solcheck: ignore[RULE-ID] <reason>`` on the
+flagged line (or alone on the line above) silences exactly the named
+rules there — and the reason string is mandatory, so every exception in
+the tree documents itself.  A malformed suppression (no reason, or an
+unknown rule id) is itself a finding (SUP01) and cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.config import AnalysisConfig
+
+#: Marker comment prefix shared by every directive the analyzer reads.
+MARKER_PREFIX = "solcheck:"
+
+_IGNORE_RE = re.compile(
+    r"#\s*solcheck:\s*ignore\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+_HOT_RE = re.compile(r"#\s*solcheck:\s*hot\b")
+_PATH_RE = re.compile(r"#\s*solcheck:\s*path=(?P<path>\S+)")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, anchored to ``path:line:col`` with a stable rule id."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+def fingerprint(diag: Diagnostic, line_text: str, occurrence: int) -> str:
+    """Stable identity of a finding for the baseline file.
+
+    Keyed on the file, the rule, the *normalized text* of the flagged
+    line and an occurrence counter — NOT the line number, so baselined
+    findings survive unrelated edits above them.
+    """
+    normalized = " ".join(line_text.split())
+    payload = f"{diag.path}::{diag.rule}::{normalized}::{occurrence}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Suppression:
+    """A parsed ``solcheck: ignore`` directive."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+class SourceModule:
+    """A parsed source file plus everything the rules need to scope it."""
+
+    def __init__(
+        self,
+        path: Path,
+        relpath: str,
+        text: str,
+        tree: ast.Module,
+    ) -> None:
+        self.path = path
+        #: Source-root-relative POSIX path used for rule scoping; a
+        #: ``# solcheck: path=...`` pragma (fixture corpora) overrides
+        #: the filesystem-derived value.
+        self.relpath = relpath
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.tree = tree
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self.suppressions: List[Suppression] = []
+        self.bad_suppressions: List[Diagnostic] = []
+        #: Line numbers carrying a ``# solcheck: hot`` marker.
+        self.hot_marker_lines: List[int] = []
+        self._scan_markers()
+        #: Functions whose ``def`` line (or the line above it) carries
+        #: the hot marker.
+        self.hot_functions: List[ast.FunctionDef] = self._collect_hot()
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def dotted_name(self) -> str:
+        rel = self.relpath
+        if rel.endswith(".py"):
+            rel = rel[: -len(".py")]
+        if rel.endswith("/__init__"):
+            rel = rel[: -len("/__init__")]
+        return rel.replace("/", ".")
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    # -- marker extraction -------------------------------------------------
+
+    def _scan_markers(self) -> None:
+        comments: List[Tuple[int, str, bool]] = []
+        code_lines: set[int] = set()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    own_line = self.line_text(tok.start[0]).lstrip().startswith("#")
+                    comments.append((tok.start[0], tok.string, own_line))
+                elif tok.type not in (
+                    tokenize.NL,
+                    tokenize.NEWLINE,
+                    tokenize.INDENT,
+                    tokenize.DEDENT,
+                    tokenize.ENDMARKER,
+                    tokenize.ENCODING,
+                ):
+                    code_lines.add(tok.start[0])
+        except tokenize.TokenError:
+            return
+        for line, comment, own_line in comments:
+            pragma = _PATH_RE.search(comment)
+            if pragma is not None:
+                self.relpath = pragma.group("path")
+            if _HOT_RE.search(comment):
+                self.hot_marker_lines.append(line)
+            ignore = _IGNORE_RE.search(comment)
+            if ignore is None:
+                continue
+            target = line
+            if own_line:
+                candidates = sorted(c for c in code_lines if c > line)
+                if candidates:
+                    target = candidates[0]
+            rules = tuple(
+                part.strip() for part in ignore.group("rules").split(",")
+                if part.strip()
+            )
+            reason = ignore.group("reason").strip()
+            if not rules or not reason:
+                self.bad_suppressions.append(
+                    Diagnostic(
+                        path=self.relpath,
+                        line=line,
+                        col=0,
+                        rule="SUP01",
+                        message=(
+                            "suppression must name rule ids and carry a "
+                            "reason: # solcheck: ignore[RULE-ID] <reason>"
+                        ),
+                    )
+                )
+                continue
+            self.suppressions.append(
+                Suppression(line=target, rules=rules, reason=reason)
+            )
+
+    def _collect_hot(self) -> List[ast.FunctionDef]:
+        marked = set(self.hot_marker_lines)
+        hot: List[ast.FunctionDef] = []
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.FunctionDef):
+                if node.lineno in marked or (node.lineno - 1) in marked:
+                    hot.append(node)
+        return hot
+
+    # -- AST helpers shared by the rules -----------------------------------
+
+    def qualname(self, func: ast.FunctionDef) -> str:
+        parts: List[str] = [func.name]
+        node: ast.AST = func
+        while node in self.parents:
+            node = self.parents[node]
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                parts.append(node.name)
+        return ".".join(reversed(parts))
+
+    def functions(self) -> Iterator[ast.FunctionDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.FunctionDef):
+                yield node
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.FunctionDef]:
+        current: Optional[ast.AST] = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.FunctionDef):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def module_globals(self) -> set[str]:
+        """Names bound at module level: imports, defs, constants."""
+        names: set[str] = set()
+        for stmt in self.tree.body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    names.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+        return names
+
+    def imported_modules(self) -> set[str]:
+        """Modules imported anywhere in the file (function-local
+        imports included — the portfolio imports multiprocessing lazily)."""
+        modules: set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    modules.add(alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                modules.add(node.module)
+        return modules
+
+
+#: A rule is a callable from (module, config) to an iterable of findings.
+RuleFn = Callable[[SourceModule, AnalysisConfig], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    rule_id: str
+    summary: str
+    check: RuleFn
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_id: str, summary: str) -> Callable[[RuleFn], RuleFn]:
+    """Class the decorated function as the implementation of a rule id."""
+
+    def wrap(fn: RuleFn) -> RuleFn:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        _REGISTRY[rule_id] = Rule(rule_id=rule_id, summary=summary, check=fn)
+        return fn
+
+    return wrap
+
+
+def all_rules() -> List[Rule]:
+    _load_rule_modules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> List[str]:
+    return [rule.rule_id for rule in all_rules()]
+
+
+def _load_rule_modules() -> None:
+    # Imported for their registration side effects; the late import
+    # breaks the cycle (rule modules import ``register`` from here).
+    from repro.analysis import det, fork, hot, proof, typing_rules  # noqa: F401
+
+
+@dataclass
+class FileReport:
+    """Findings of one file, suppressions already applied."""
+
+    module: Optional[SourceModule]
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+
+def parse_module(path: Path, src_root: Optional[Path]) -> Tuple[Optional[SourceModule], Optional[Diagnostic]]:
+    text = path.read_text(encoding="utf-8")
+    relpath = _relative_to_root(path, src_root)
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        return None, Diagnostic(
+            path=relpath,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            rule="ERR01",
+            message=f"syntax error: {exc.msg}",
+        )
+    return SourceModule(path=path, relpath=relpath, text=text, tree=tree), None
+
+
+def _relative_to_root(path: Path, src_root: Optional[Path]) -> str:
+    resolved = path.resolve()
+    if src_root is not None:
+        try:
+            return resolved.relative_to(src_root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.name
+
+
+def analyze_module(module: SourceModule, config: AnalysisConfig) -> List[Diagnostic]:
+    """All findings of one parsed module, suppressions applied."""
+    raw: List[Diagnostic] = []
+    known_ids: set[str] = set()
+    for rule in all_rules():
+        known_ids.add(rule.rule_id)
+        raw.extend(rule.check(module, config))
+    suppressed_by_line: Dict[int, List[Suppression]] = {}
+    for sup in module.suppressions:
+        suppressed_by_line.setdefault(sup.line, []).append(sup)
+    kept: List[Diagnostic] = []
+    for diag in raw:
+        hit = False
+        for sup in suppressed_by_line.get(diag.line, []):
+            if diag.rule in sup.rules:
+                sup.used = True
+                hit = True
+                break
+        if not hit:
+            kept.append(diag)
+    kept.extend(module.bad_suppressions)
+    for sup in module.suppressions:
+        unknown = [rule_id for rule_id in sup.rules if rule_id not in known_ids]
+        if unknown:
+            kept.append(
+                Diagnostic(
+                    path=module.relpath,
+                    line=sup.line,
+                    col=0,
+                    rule="SUP01",
+                    message=(
+                        f"suppression names unknown rule id(s): "
+                        f"{', '.join(unknown)} (see --list-rules)"
+                    ),
+                )
+            )
+    kept.sort(key=Diagnostic.sort_key)
+    return kept
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def find_src_root(paths: Iterable[Path]) -> Optional[Path]:
+    """The directory module paths are relative to: the deepest ancestor
+    named ``src`` of the first path, else the path itself when it is a
+    directory (fixture corpora analyzed in place)."""
+    for path in paths:
+        resolved = path.resolve()
+        for ancestor in [resolved, *resolved.parents]:
+            if ancestor.name == "src":
+                return ancestor
+        return resolved if path.is_dir() else resolved.parent
+    return None
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    config: Optional[AnalysisConfig] = None,
+    src_root: Optional[Path] = None,
+) -> Tuple[List[Diagnostic], int, Dict[str, List[str]]]:
+    """Analyze every ``.py`` file under ``paths``.
+
+    Returns the sorted findings, the number of files checked, and a map
+    from each module's effective relpath (path pragmas honored) to its
+    source lines — the baseline fingerprinting needs the flagged line's
+    text.
+    """
+    effective = config if config is not None else AnalysisConfig()
+    path_list = list(paths)
+    root = src_root if src_root is not None else find_src_root(path_list)
+    findings: List[Diagnostic] = []
+    line_lookup: Dict[str, List[str]] = {}
+    checked = 0
+    for file_path in iter_python_files(path_list):
+        checked += 1
+        module, parse_error = parse_module(file_path, root)
+        if parse_error is not None:
+            findings.append(parse_error)
+            continue
+        assert module is not None
+        line_lookup[module.relpath] = module.lines
+        findings.extend(analyze_module(module, effective))
+    findings.sort(key=Diagnostic.sort_key)
+    return findings, checked, line_lookup

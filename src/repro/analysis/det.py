@@ -1,0 +1,321 @@
+"""DET rules — determinism of result-affecting code.
+
+The solver promises byte-identical results across serial, ``--jobs``
+and deterministic-portfolio runs (ROADMAP standing invariants; the
+epoch-exposed bugs PR 5 fixed were all of this species).  Three things
+statically break that promise:
+
+* DET01 — iterating an unordered ``set``/``frozenset`` in a
+  result-affecting module.  CPython's set order depends on hash values
+  and insertion history; the moment a loop body's side effects depend
+  on element order (dict insertion order feeding a strategy, clause
+  install order, refinement order), results stop being reproducible
+  under any change to the insertion sequence.  Iterate ``sorted(s)``
+  or an insertion-ordered structure instead.  Order-insensitive sinks
+  (``set``/``frozenset``/``sum``/``min``/``max``/``any``/``all``/
+  ``len`` over a comprehension, set comprehensions) are exempt.
+* DET02 — the process-global ``random`` module.  Module-level
+  ``random.random()`` etc. share one hidden RNG across every consumer;
+  results then depend on call interleaving.  Every randomized path in
+  this repo threads an explicit seeded ``random.Random(seed)``.
+* DET03 — wall-clock values flowing into search state.  Clock reads
+  are fine for *measuring* (stats, budgets: assignments to timing
+  names, subtraction, comparison) but must never become a seed, a
+  rank, a dict key or a clause — anything a verdict could depend on.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional, Set, Union
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import Diagnostic, SourceModule, register
+
+_SET_TYPE_NAMES = {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+
+#: Callables whose consumption of an iterable is order-insensitive.
+_ORDER_FREE_SINKS = {"set", "frozenset", "sum", "min", "max", "any", "all", "len", "sorted"}
+
+#: Wrappers that preserve (hence leak) iteration order.
+_ORDER_PRESERVING = {"list", "tuple", "reversed", "enumerate", "iter"}
+
+_WALL_CLOCK_ATTRS = {
+    "time", "monotonic", "perf_counter", "process_time",
+    "time_ns", "monotonic_ns", "perf_counter_ns", "process_time_ns",
+    "now", "utcnow", "today",
+}
+_TIMING_NAME_RE = re.compile(
+    r"(^|_)(start|started|begin|began|now|t0|t1|deadline|elapsed|wall|clock)"
+    r"|time", re.IGNORECASE
+)
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _annotation_is_set(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    target = node
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Name):
+        return target.id in _SET_TYPE_NAMES
+    if isinstance(target, ast.Attribute):
+        return target.attr in _SET_TYPE_NAMES
+    return False
+
+
+class _SetTracker:
+    """Per-scope inference of which names are set-typed.
+
+    Deliberately simple: a name is set-like if it is annotated as a set
+    or assigned from a set display/comprehension/constructor anywhere
+    in the scope.  Reassignment to another type is not modeled —
+    suppressions cover the (rare) false positive, and a confusing
+    set-then-list name deserves the reviewer's attention anyway.
+    """
+
+    def __init__(self, scope: ast.AST) -> None:
+        self.names: Set[str] = set()
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                if _annotation_is_set(arg.annotation):
+                    self.names.add(arg.arg)
+        body = scope.body if isinstance(
+            scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+        ) else []
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not scope:
+                    continue
+                if isinstance(node, ast.Assign):
+                    if self.is_set_expr(node.value):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                self.names.add(target.id)
+                elif isinstance(node, ast.AnnAssign):
+                    if isinstance(node.target, ast.Name) and (
+                        _annotation_is_set(node.annotation)
+                        or (node.value is not None and self.is_set_expr(node.value))
+                    ):
+                        self.names.add(node.target.id)
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+
+def _iteration_sites(
+    module: SourceModule,
+) -> Iterator[ast.expr]:
+    """Expressions whose iteration order is observable: ``for`` loop
+    iterables and comprehension sources with order-sensitive sinks."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            if _sink_is_order_free(module, node):
+                continue
+            for generator in node.generators:
+                yield generator.iter
+        # SetComp: the result is itself unordered — order cannot leak.
+
+
+def _sink_is_order_free(module: SourceModule, comp: ast.expr) -> bool:
+    parent = module.parents.get(comp)
+    if isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name):
+        return parent.func.id in _ORDER_FREE_SINKS
+    return False
+
+
+def _unwrap_order_preserving(node: ast.expr) -> ast.expr:
+    """Descend through list()/tuple()/reversed()/enumerate() wrappers —
+    they keep, and therefore expose, the inner iteration order."""
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _ORDER_PRESERVING
+        and node.args
+    ):
+        node = node.args[0]
+    return node
+
+
+@register(
+    "DET01",
+    "no iteration over unordered sets in result-affecting modules",
+)
+def check_set_iteration(
+    module: SourceModule, config: AnalysisConfig
+) -> Iterator[Diagnostic]:
+    if not config.in_det_scope(module.relpath):
+        return
+    trackers: Dict[Optional[_FuncDef], _SetTracker] = {}
+
+    def tracker_for(node: ast.AST) -> _SetTracker:
+        func = module.enclosing_function(node)
+        if func not in trackers:
+            trackers[func] = _SetTracker(func if func is not None else module.tree)
+        return trackers[func]
+
+    for iter_expr in _iteration_sites(module):
+        if (
+            isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Name)
+            and iter_expr.func.id == "sorted"
+        ):
+            continue  # sorted() is the sanctioned fix
+        inner = _unwrap_order_preserving(iter_expr)
+        if tracker_for(iter_expr).is_set_expr(inner):
+            yield Diagnostic(
+                path=module.relpath,
+                line=inner.lineno,
+                col=inner.col_offset,
+                rule="DET01",
+                message=(
+                    "iteration over an unordered set leaks hash/insertion "
+                    "order into a result-affecting module; iterate "
+                    "sorted(...) or an insertion-ordered structure"
+                ),
+            )
+
+
+def _random_import_names(module: SourceModule) -> Set[str]:
+    """Names bound by ``from random import X`` that draw from the
+    process-global RNG."""
+    names: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                if alias.name not in ("Random", "SystemRandom"):
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+@register("DET02", "no unseeded process-global random")
+def check_global_random(
+    module: SourceModule, config: AnalysisConfig
+) -> Iterator[Diagnostic]:
+    from_names = _random_import_names(module)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        flagged = False
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id == "random" and func.attr not in (
+                "Random", "SystemRandom"
+            ):
+                flagged = True
+        elif isinstance(func, ast.Name) and func.id in from_names:
+            flagged = True
+        if flagged:
+            yield Diagnostic(
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="DET02",
+                message=(
+                    "call into the process-global random module; use an "
+                    "explicit seeded random.Random(seed) instance"
+                ),
+            )
+
+
+def _is_wall_clock_call(node: ast.Call, from_time_names: Set[str]) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        root = func.value
+        if isinstance(root, ast.Name) and root.id in ("time", "datetime"):
+            return func.attr in _WALL_CLOCK_ATTRS
+        if isinstance(root, ast.Attribute) and root.attr == "datetime":
+            return func.attr in _WALL_CLOCK_ATTRS
+        return False
+    if isinstance(func, ast.Name):
+        return func.id in from_time_names
+    return False
+
+
+def _time_import_names(module: SourceModule) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom) and node.module in ("time", "datetime"):
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_ATTRS:
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+def _timing_context_ok(module: SourceModule, call: ast.Call) -> bool:
+    """True when the clock value is consumed by a timing idiom: stored
+    under a timing name, subtracted/compared, or passed as a
+    ``*time*`` keyword (stats constructors)."""
+    child: ast.AST = call
+    parent = module.parents.get(call)
+    while parent is not None:
+        if isinstance(parent, (ast.BinOp, ast.Compare)):
+            return True
+        if isinstance(parent, ast.Assign):
+            return all(
+                isinstance(t, ast.Name) and _TIMING_NAME_RE.search(t.id) is not None
+                or isinstance(t, ast.Attribute) and _TIMING_NAME_RE.search(t.attr) is not None
+                for t in parent.targets
+            )
+        if isinstance(parent, ast.AnnAssign):
+            target = parent.target
+            if isinstance(target, ast.Name):
+                return _TIMING_NAME_RE.search(target.id) is not None
+            if isinstance(target, ast.Attribute):
+                return _TIMING_NAME_RE.search(target.attr) is not None
+            return False
+        if isinstance(parent, ast.keyword):
+            return parent.arg is not None and _TIMING_NAME_RE.search(parent.arg) is not None
+        if isinstance(parent, ast.Call) and child is not parent.func:
+            return False  # positional argument to an arbitrary callable
+        if isinstance(parent, (ast.Subscript, ast.Index)):
+            return False  # used as / inside a container key
+        if isinstance(parent, ast.Return):
+            return False
+        if isinstance(parent, ast.Expr):
+            return True  # bare statement call (e.g. warm-up read)
+        child = parent
+        parent = module.parents.get(parent)
+    return False
+
+
+@register("DET03", "no wall-clock values flowing into search state")
+def check_wall_clock(
+    module: SourceModule, config: AnalysisConfig
+) -> Iterator[Diagnostic]:
+    if not config.in_det_scope(module.relpath):
+        return
+    from_time_names = _time_import_names(module)
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call) and _is_wall_clock_call(node, from_time_names):
+            if not _timing_context_ok(module, node):
+                yield Diagnostic(
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="DET03",
+                    message=(
+                        "wall-clock value flows into non-timing state; "
+                        "clock reads may only feed timing variables, "
+                        "subtractions/comparisons or *_time fields"
+                    ),
+                )

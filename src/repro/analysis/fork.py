@@ -1,0 +1,224 @@
+"""FRK rules — portfolio/parallel fork hygiene.
+
+The race mode forks real processes; the deterministic mode keeps
+persistent epoch workers; ``--jobs`` wraps everything in pools.  Three
+mistakes break that machinery in ways tests on a 1-CPU container can
+never see:
+
+* FRK01 — lambdas/closures handed to ``Process``/pool entry points.
+  They pickle on spawn-method platforms only by accident or not at
+  all; every worker entry point must be a module-level function.
+* FRK02 — unpicklable queue payloads.  A clause-bus or job-queue
+  message containing a lambda, a generator, or a nested function dies
+  inside ``Queue``'s feeder thread, which surfaces as a hang, not a
+  traceback.
+* FRK03 — post-fork mutation of module globals inside worker
+  functions.  With the fork start method the child sees a snapshot;
+  with spawn it sees a fresh import — either way a ``global``
+  assignment in a worker silently diverges from the parent and from
+  other workers (the per-process ``EncodingCache`` exists precisely
+  because cross-process globals don't propagate).
+
+These rules only run in modules that import ``multiprocessing`` or
+``concurrent.futures`` (anywhere in the file — the portfolio imports
+lazily inside functions).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Union
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import Diagnostic, SourceModule, register
+
+_POOL_DISPATCH_ATTRS = {
+    "apply", "apply_async", "map", "map_async",
+    "imap", "imap_unordered", "starmap", "starmap_async", "submit",
+}
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _fork_scope(module: SourceModule) -> bool:
+    imports = module.imported_modules()
+    return any(
+        name == "multiprocessing"
+        or name.startswith("multiprocessing.")
+        or name.startswith("concurrent.futures")
+        for name in imports
+    )
+
+
+def _nested_def_names(module: SourceModule, at: ast.AST) -> Set[str]:
+    """Function names defined inside the function enclosing ``at`` —
+    handing one of these across a fork captures the closure."""
+    func = module.enclosing_function(at)
+    names: Set[str] = set()
+    while func is not None:
+        for node in ast.walk(func):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not func
+            ):
+                names.add(node.name)
+        func = module.enclosing_function(func)
+    return names
+
+
+def _worker_exprs(node: ast.Call) -> List[ast.expr]:
+    """Expressions handed across the fork boundary by this call:
+    ``Process(target=...)`` and the function argument of pool dispatch
+    methods."""
+    callee = node.func
+    exprs: List[ast.expr] = []
+    is_process = (
+        isinstance(callee, ast.Name) and callee.id.endswith("Process")
+    ) or (
+        isinstance(callee, ast.Attribute) and callee.attr.endswith("Process")
+    )
+    if is_process:
+        for kw in node.keywords:
+            if kw.arg == "target":
+                exprs.append(kw.value)
+    elif isinstance(callee, ast.Attribute) and callee.attr in _POOL_DISPATCH_ATTRS:
+        if node.args:
+            exprs.append(node.args[0])
+    return exprs
+
+
+@register("FRK01", "no lambdas/closures as Process/pool entry points")
+def check_worker_entry(
+    module: SourceModule, config: AnalysisConfig
+) -> Iterator[Diagnostic]:
+    if not _fork_scope(module):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for expr in _worker_exprs(node):
+            reason: Optional[str] = None
+            if isinstance(expr, ast.Lambda):
+                reason = "a lambda"
+            elif isinstance(expr, ast.Name) and expr.id in _nested_def_names(
+                module, node
+            ):
+                reason = f"nested function {expr.id} (captures its closure)"
+            if reason is not None:
+                yield Diagnostic(
+                    path=module.relpath,
+                    line=expr.lineno,
+                    col=expr.col_offset,
+                    rule="FRK01",
+                    message=(
+                        f"worker entry point is {reason}; use a "
+                        f"module-level function (picklable under every "
+                        f"start method)"
+                    ),
+                )
+
+
+@register("FRK02", "queue payloads must be picklable")
+def check_queue_payload(
+    module: SourceModule, config: AnalysisConfig
+) -> Iterator[Diagnostic]:
+    if not _fork_scope(module):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        if not (
+            isinstance(callee, ast.Attribute)
+            and callee.attr in ("put", "put_nowait")
+        ):
+            continue
+        nested = _nested_def_names(module, node)
+        for arg in node.args:
+            for sub in ast.walk(arg):
+                bad: Optional[str] = None
+                if isinstance(sub, ast.Lambda):
+                    bad = "a lambda"
+                elif isinstance(sub, ast.GeneratorExp):
+                    bad = "a generator expression"
+                elif isinstance(sub, ast.Name) and sub.id in nested:
+                    bad = f"nested function {sub.id}"
+                if bad is not None:
+                    yield Diagnostic(
+                        path=module.relpath,
+                        line=sub.lineno,
+                        col=sub.col_offset,
+                        rule="FRK02",
+                        message=(
+                            f"queue payload contains {bad}; bus/job-queue "
+                            f"messages must be plain picklable data"
+                        ),
+                    )
+                    break
+
+
+def _worker_functions(module: SourceModule) -> List[_FuncDef]:
+    """Module-level functions referenced as Process targets or pool
+    dispatch functions anywhere in the file."""
+    by_name = {
+        stmt.name: stmt
+        for stmt in module.tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    workers: List[_FuncDef] = []
+    seen: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for expr in _worker_exprs(node):
+            if isinstance(expr, ast.Name) and expr.id in by_name:
+                if expr.id not in seen:
+                    seen.add(expr.id)
+                    workers.append(by_name[expr.id])
+    return workers
+
+
+@register("FRK03", "no post-fork mutation of module globals in workers")
+def check_worker_globals(
+    module: SourceModule, config: AnalysisConfig
+) -> Iterator[Diagnostic]:
+    if not _fork_scope(module):
+        return
+    imported = {
+        (alias.asname or alias.name).split(".")[0]
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.Import)
+        for alias in node.names
+    }
+    for func in _worker_functions(module):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                yield Diagnostic(
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="FRK03",
+                    message=(
+                        f"global statement in worker function "
+                        f"{func.name}; post-fork global mutation "
+                        f"diverges silently between processes"
+                    ),
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Store)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in imported
+            ):
+                yield Diagnostic(
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="FRK03",
+                    message=(
+                        f"store to module attribute "
+                        f"{node.value.id}.{node.attr} in worker function "
+                        f"{func.name}; workers must not mutate imported "
+                        f"module state"
+                    ),
+                )

@@ -1,0 +1,68 @@
+"""TYP rules — the strict-typing ratchet's machine-checkable floor.
+
+The ratchet proper is mypy with per-module overrides (see
+``pyproject.toml``): modules in the strictness table are checked with
+the strict flag set, everything else is ignored until it is promoted.
+mypy is a CI-only dependency in this repo (the runtime image is pure
+stdlib), so TYP01 enforces the *syntactic* half of strictness locally
+on every ``python -m repro.analysis`` run: every function in a strict
+module must carry a return annotation and annotations on every
+parameter (``self``/``cls`` excepted).  That is exactly the surface
+``disallow_untyped_defs``/``disallow_incomplete_defs`` police, which
+means a module cannot silently rot below the table while waiting for
+the next CI run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import Diagnostic, SourceModule, register
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _missing_annotations(func: _FuncDef) -> List[str]:
+    missing: List[str] = []
+    args = func.args
+    positional = list(args.posonlyargs) + list(args.args)
+    for index, arg in enumerate(positional):
+        if index == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if func.returns is None:
+        missing.append("return")
+    return missing
+
+
+@register("TYP01", "strict-table modules need complete annotations")
+def check_strict_annotations(
+    module: SourceModule, config: AnalysisConfig
+) -> Iterator[Diagnostic]:
+    if not config.in_strict_scope(module.dotted_name):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        missing = _missing_annotations(node)
+        if missing:
+            yield Diagnostic(
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="TYP01",
+                message=(
+                    f"{node.name} is in a strict-ratchet module but lacks "
+                    f"annotations for: {', '.join(missing)}"
+                ),
+            )

@@ -44,7 +44,7 @@ def abstract_circuit(
     into a fresh free input.  Returns ``(abstraction, net_map)`` where
     ``net_map`` maps original nets to abstraction nets."""
     kept = set(kept_latches)
-    for latch in kept:
+    for latch in sorted(kept):
         if circuit.op_of(latch) is not GateOp.LATCH:
             raise ValueError(f"net {latch} is not a latch")
     abstraction = Circuit(f"{circuit.name}_abs{len(kept)}")

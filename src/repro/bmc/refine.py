@@ -20,7 +20,7 @@ variable to the same (net, time-frame) pair in every instance.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, FrozenSet, Optional
 
 from repro.circuit.netlist import Circuit
 from repro.encode.unroll import BmcInstance
@@ -38,7 +38,10 @@ WEIGHTINGS = ("linear", "uniform", "last")
 
 
 def bmc_score_update(
-    var_rank: Dict[int, float], core_vars, k: int, weighting: str = "linear"
+    var_rank: Dict[int, float],
+    core_vars: FrozenSet[int],
+    k: int,
+    weighting: str = "linear",
 ) -> None:
     """Apply the paper's ``update_ranking`` (or an ablation variant).
 
@@ -46,18 +49,22 @@ def bmc_score_update(
       ``bmc_score(x) = sum_j in_unsat(x, j) * j``.
     * ``uniform``: add weight 1 regardless of depth.
     * ``last``: discard history; rank only the latest core's variables.
+
+    Core variables are visited in sorted order so ``var_rank``'s dict
+    insertion order (and anything that ever iterates it) never inherits
+    set hash ordering.
     """
     if weighting == "linear":
         if k <= 0:
             return  # the j = 0 instance carries weight 0 in the paper's sum
-        for var in core_vars:
+        for var in sorted(core_vars):
             var_rank[var] = var_rank.get(var, 0.0) + k
     elif weighting == "uniform":
-        for var in core_vars:
+        for var in sorted(core_vars):
             var_rank[var] = var_rank.get(var, 0.0) + 1.0
     elif weighting == "last":
         var_rank.clear()
-        for var in core_vars:
+        for var in sorted(core_vars):
             var_rank[var] = 1.0
     else:
         raise ValueError(f"weighting must be one of {WEIGHTINGS}, got {weighting!r}")

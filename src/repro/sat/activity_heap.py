@@ -126,7 +126,7 @@ class VariableActivityHeap:
         heap.append(self._entry(var))
         self._sift_up(len(heap) - 1)
 
-    def reinsert(self, trail_literals: Sequence[int]) -> None:
+    def reinsert(self, trail_literals: Sequence[int]) -> None:  # solcheck: hot
         """Re-insert the variables of freshly unassigned trail literals.
 
         The backtrack hot path: most of these variables were assigned by
@@ -145,7 +145,7 @@ class VariableActivityHeap:
             heap.append(entry(var))
             sift_up(len(heap) - 1)
 
-    def pop(self) -> int:
+    def pop(self) -> int:  # solcheck: hot
         """Remove the maximum variable; returns its best *literal*, or -1
         if the heap is empty."""
         heap = self._heap
@@ -179,7 +179,7 @@ class VariableActivityHeap:
         self._sift_up(i)
         return lit
 
-    def increase(self, lit: int) -> None:
+    def increase(self, lit: int) -> None:  # solcheck: hot
         """Re-key the literal's variable after its key grew; sifts up.
 
         The variable's entry is the max over both polarities, so a grown
@@ -203,7 +203,7 @@ class VariableActivityHeap:
 
     # -- sifting -------------------------------------------------------------
 
-    def _sift_up(self, i: int) -> None:
+    def _sift_up(self, i: int) -> None:  # solcheck: hot
         heap = self._heap
         pos = self._pos
         item = heap[i]
@@ -218,7 +218,7 @@ class VariableActivityHeap:
         heap[i] = item
         pos[(-item[-1]) >> 1] = i
 
-    def _sift_down(self, i: int) -> None:
+    def _sift_down(self, i: int) -> None:  # solcheck: hot
         heap = self._heap
         pos = self._pos
         n = len(heap)

@@ -64,7 +64,7 @@ footprint report stays honest.
 from __future__ import annotations
 
 from array import array
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 #: Flag bits of the per-clause header word / flags column.
 LEARNED = 1
@@ -82,6 +82,15 @@ class ClauseArena:
     """Allocator and bookkeeper of the flat clause store."""
 
     __slots__ = ("data", "refs", "flags", "activity", "dead_words", "storage")
+
+    # Both word columns carry the same layout under either element
+    # store; the union is resolved once, at construction.
+    data: Union[array[int], List[int]]
+    refs: Union[array[int], List[int]]
+    flags: bytearray
+    activity: array[float]
+    dead_words: int
+    storage: str
 
     def __init__(self, storage: str = "fast") -> None:
         if storage not in STORAGE_MODES:
@@ -195,7 +204,9 @@ class ClauseArena:
                 continue
             src = base - HEADER_WORDS
             if src != write:
-                data[write:write + HEADER_WORDS + n] = (
+                # Self-slice copy: both sides are the same store, but
+                # the union type cannot express that.
+                data[write:write + HEADER_WORDS + n] = (  # type: ignore
                     data[src:src + HEADER_WORDS + n]
                 )
             refs[cid] = write + HEADER_WORDS
@@ -207,7 +218,7 @@ class ClauseArena:
 
     # -- reporting ---------------------------------------------------------
 
-    def footprint(self) -> dict:
+    def footprint(self) -> Dict[str, float]:
         """Memory accounting for the benchmark harness.
 
         ``bytes`` counts the word store (4 bytes/word compact, 8
@@ -215,7 +226,9 @@ class ClauseArena:
         not attributed) plus the header columns.
         """
         total = len(self.data)
-        word_bytes = 8 if self.storage == "fast" else self.data.itemsize
+        word_bytes = (
+            8 if isinstance(self.data, list) else self.data.itemsize
+        )
         return {
             "literal_words": total,
             "dead_words": self.dead_words,

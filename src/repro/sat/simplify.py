@@ -114,7 +114,10 @@ def simplify(formula: CnfFormula, max_rounds: int = 10) -> SimplifyResult:
         for i, lits in enumerate(clauses):
             if lits is None:
                 continue
-            for lit in list(lits):
+            # Sorted: the strengthening order decides which resolvent is
+            # tried first, so iterating in raw set order would leak hash
+            # ordering into the simplified formula.
+            for lit in sorted(lits):
                 if clauses[i] is not lits or lit not in lits:
                     continue  # clause was strengthened meanwhile
                 rest = lits - {lit}

@@ -881,7 +881,7 @@ class CdclSolver:
     # Boolean constraint propagation (two watched literals).
     # ------------------------------------------------------------------
 
-    def _propagate(self) -> int:
+    def _propagate(self) -> int:  # solcheck: hot
         """Exhaust the implication queue; returns a conflicting clause ID
         or -1.
 
@@ -1126,7 +1126,7 @@ class CdclSolver:
             return entry[1]
         return -1
 
-    def _analyze(self, conflict_cid: int) -> Tuple[List[int], int, List[int]]:
+    def _analyze(self, conflict_cid: int) -> Tuple[List[int], int, List[int]]:  # solcheck: hot
         """First-UIP analysis with learned-clause minimization.
 
         Returns ``(learned_literals, backjump_level, antecedent_ids)`` with
@@ -1174,7 +1174,11 @@ class CdclSolver:
                 bumped = activity[cid] + inc
                 activity[cid] = bumped
                 if bumped > rescale_limit:
+                    # solcheck: ignore[HOT02] rescale fires ~once per 1e20
+                    # activity bumps; hoisting would cost every iteration
                     self._rescale_clause_activity()
+                    # solcheck: ignore[HOT02] must re-read: the rescale
+                    # just rewrote _activity_inc under our feet
                     inc = self._activity_inc
             for q in view[cid]:
                 if q == p:
@@ -1883,10 +1887,11 @@ class CdclSolver:
                 else:
                     stack.extend(self._cdg.antecedents_of(cid))
             core_clauses = frozenset(core)
-            var_set: Set[int] = set()
-            for cid in core_clauses:
-                var_set.update(lit >> 1 for lit in self._arena.literals(cid))
-            core_vars = frozenset(var_set)
+            core_vars = frozenset(
+                lit >> 1
+                for cid in core_clauses
+                for lit in self._arena.literals(cid)
+            )
         return SolveOutcome(
             status=SolveResult.UNSAT,
             core_clauses=core_clauses,
@@ -1949,10 +1954,11 @@ class CdclSolver:
         core_vars = None
         if self._cdg is not None and self._cdg.final_antecedents is not None:
             core_clauses = self._cdg.unsat_core()
-            var_set: Set[int] = set()
-            for cid in core_clauses:
-                var_set.update(lit >> 1 for lit in self._arena.literals(cid))
-            core_vars = frozenset(var_set)
+            core_vars = frozenset(
+                lit >> 1
+                for cid in core_clauses
+                for lit in self._arena.literals(cid)
+            )
         return SolveOutcome(
             status=SolveResult.UNSAT,
             core_clauses=core_clauses,

@@ -1,0 +1,3 @@
+# Package marker: keeps pytest collection immune to duplicate-basename
+# bytecode clashes (see tests/test_collection_smoke.py).  The fixture
+# modules in here are analyzer *inputs*, never imported as code.

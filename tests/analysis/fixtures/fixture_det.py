@@ -1,0 +1,72 @@
+# solcheck: path=repro/sat/fixture_det.py
+"""DET fixture corpus: each positive case carries an expect marker on
+the flagged line; the ``*_ok`` twins are false-positive guards the
+rules must stay silent on."""
+
+import random
+import time
+from typing import FrozenSet, List, Set
+
+
+def det01_inferred_set(core_vars: List[int]) -> dict:
+    ranks = {}
+    seen = set(core_vars)
+    for var in seen:  # expect: DET01
+        ranks[var] = 1.0
+    return ranks
+
+
+def det01_annotated_param(core_vars: FrozenSet[int]) -> None:
+    for var in core_vars:  # expect: DET01
+        print(var)
+
+
+def det01_order_preserving_wrapper(vals: Set[int]) -> List[int]:
+    return [v for v in list(vals)]  # expect: DET01
+
+
+def det01_sorted_ok(core_vars: Set[int]) -> List[int]:
+    out = []
+    for var in sorted(core_vars):
+        out.append(var)
+    return out
+
+
+def det01_order_free_sink_ok(core_vars: Set[int]) -> int:
+    return sum(var for var in core_vars)
+
+
+def det01_set_comprehension_ok(vals: Set[int]) -> Set[int]:
+    return {v * 2 for v in vals}
+
+
+def det01_list_param_ok(rows: List[int]) -> List[int]:
+    return [row + 1 for row in rows]
+
+
+def det02_global_random() -> float:
+    return random.random()  # expect: DET02
+
+
+def det02_seeded_instance_ok(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def det03_clock_as_key() -> dict:
+    state = {}
+    state[time.time()] = "entry"  # expect: DET03
+    return state
+
+
+def det03_clock_as_seed() -> float:
+    rng = random.Random(int(time.time()))  # expect: DET03
+    return rng.random()
+
+
+def det03_timing_ok(budget: float) -> float:
+    start_time = time.monotonic()
+    deadline = time.monotonic() + budget
+    while time.monotonic() < deadline:
+        pass
+    return time.monotonic() - start_time

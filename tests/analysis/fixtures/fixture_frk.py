@@ -1,0 +1,59 @@
+"""FRK fixture corpus: fork hygiene of Process targets, queue payloads
+and worker-side global state.  The rules arm themselves on the
+``multiprocessing`` import below."""
+
+import multiprocessing
+
+_EPOCH = 0
+
+
+def _search_worker(job):
+    return job
+
+
+def frk01_lambda_target(job):
+    return multiprocessing.Process(target=lambda: job)  # expect: FRK01
+
+
+def frk01_nested_closure(job):
+    def run():
+        return job
+
+    return multiprocessing.Process(target=run)  # expect: FRK01
+
+
+def frk01_module_level_ok(job):
+    return multiprocessing.Process(target=_search_worker, args=(job,))
+
+
+def frk02_lambda_payload(queue, clause):
+    queue.put((clause, lambda: clause))  # expect: FRK02
+
+
+def frk02_plain_payload_ok(queue, clause):
+    queue.put((clause, len(clause)))
+
+
+def frk03_worker_mutates_global(jobs):
+    global _EPOCH  # expect: FRK03
+    for job in jobs:
+        _EPOCH += 1
+    return _EPOCH
+
+
+def frk03_worker_pokes_module(jobs):
+    multiprocessing.forkserver_enabled = True  # expect: FRK03
+    return jobs
+
+
+def spawn_bad_workers(jobs):
+    first = multiprocessing.Process(target=frk03_worker_mutates_global, args=(jobs,))
+    second = multiprocessing.Process(target=frk03_worker_pokes_module, args=(jobs,))
+    return first, second
+
+
+def frk03_coordinator_ok():
+    # Only *worker* functions are fenced; the parent process owns its
+    # globals and may reset them between runs.
+    global _EPOCH
+    _EPOCH = 0

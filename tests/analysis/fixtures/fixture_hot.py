@@ -1,0 +1,72 @@
+"""HOT fixture corpus (HOT01-HOT03): discipline inside functions that
+opt in with ``# solcheck: hot``, with false-positive-guard twins for
+the tuple exemption, hoisted locals, the escape-path flush idiom, and
+unmarked (cold) functions."""
+
+MODULE_CONSTANT = 7
+
+
+class Engine:
+    def __init__(self) -> None:
+        self.counter = 0
+        self.items = []
+
+    def hot01_alloc_in_loop(self, rows):  # solcheck: hot
+        out = []
+        for row in rows:
+            pair = [row, row]  # expect: HOT01
+            out.append(pair)
+        return out
+
+    def hot01_tuple_ok(self, rows):  # solcheck: hot
+        out = []
+        append = out.append
+        for row in rows:
+            append((row, row + 1))
+        return out
+
+    def hot02_self_in_loop(self, rows):  # solcheck: hot
+        total = 0
+        for row in rows:
+            self.counter += row  # expect: HOT02
+        return total
+
+    def hot02_global_in_loop(self, rows):  # solcheck: hot
+        total = 0
+        for row in rows:
+            total += row * MODULE_CONSTANT  # expect: HOT02
+        return total
+
+    def hot02_hoisted_ok(self, rows):  # solcheck: hot
+        scale = MODULE_CONSTANT
+        counter = self.counter
+        total = 0
+        for row in rows:
+            total += row * scale
+        self.counter = counter + total
+        return total
+
+    def hot02_escape_flush_ok(self, rows):  # solcheck: hot
+        total = 0
+        for row in rows:
+            if row < 0:
+                self.counter += total
+                return row
+            total += row
+        return total
+
+    def hot03_try_in_hot(self, rows):  # solcheck: hot
+        total = 0
+        for row in rows:
+            try:  # expect: HOT03
+                total += row
+            except ValueError:
+                pass
+        return total
+
+    def cold_function_ok(self, rows):
+        try:
+            acc = [row * self.counter for row in rows]
+        except TypeError:
+            acc = []
+        return acc

@@ -1,0 +1,22 @@
+# solcheck: path=repro/sat/activity_heap.py
+"""HOT04 fixture: this file claims (via the path pragma) to be the
+activity heap, whose functions the ``[tool.solcheck] hot_required``
+registry lists.  ``pop`` exists but is unmarked; ``increase`` is gone
+entirely (reported against line 1); the sift helpers and ``reinsert``
+are marked and must stay clean."""
+# guard: reinsert/_sift_up/_sift_down carry the marker -> no HOT04
+# expect(-7): HOT04
+
+
+class VariableActivityHeap:
+    def pop(self):  # expect: HOT04
+        return -1
+
+    def reinsert(self, trail_literals):  # solcheck: hot
+        return None
+
+    def _sift_up(self, i):  # solcheck: hot
+        return None
+
+    def _sift_down(self, i):  # solcheck: hot
+        return None

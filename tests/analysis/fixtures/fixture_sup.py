@@ -1,0 +1,32 @@
+# solcheck: path=repro/sat/fixture_sup.py
+"""Suppression-contract fixtures: a reasoned ``ignore`` silences its
+rule on the covered line; a reasonless or unknown-rule directive is
+itself a SUP01 finding and silences nothing."""
+
+from typing import Set
+
+
+def sup_inline_reasoned_ok(vals: Set[int]) -> None:
+    for v in vals:  # solcheck: ignore[DET01] fixture: validation loop, raises on first bad element
+        if v < 0:
+            raise ValueError(v)
+
+
+def sup_ownline_reasoned_ok(vals: Set[int]) -> int:
+    total = 0
+    # solcheck: ignore[DET01] fixture: order-insensitive accumulation
+    for v in vals:
+        total += v
+    return total
+
+
+def sup01_missing_reason(vals: Set[int]) -> None:
+    # expect(+1): DET01, SUP01
+    for v in vals:  # solcheck: ignore[DET01]
+        print(v)
+
+
+def sup01_unknown_rule(vals: Set[int]) -> None:
+    # expect(+1): DET01, SUP01
+    for v in vals:  # solcheck: ignore[DET99] no such rule id
+        print(v)

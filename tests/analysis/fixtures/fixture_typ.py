@@ -1,0 +1,24 @@
+# solcheck: path=repro/analysis/fixture_typ.py
+"""TYP fixture corpus: the path pragma places this module inside the
+strict-ratchet table, so every def must be fully annotated."""
+
+
+def typ01_unannotated(a, b):  # expect: TYP01
+    return a + b
+
+
+def typ01_incomplete(a: int, b) -> int:  # expect: TYP01
+    return a + b
+
+
+def typ01_missing_return(a: int):  # expect: TYP01
+    return a
+
+
+def typ01_complete_ok(a: int, *rest: int, scale: float = 1.0, **extra: int) -> float:
+    return (a + sum(rest)) * scale + sum(extra.values())
+
+
+class Accumulator:
+    def typ01_self_exempt_ok(self, value: int) -> int:
+        return value

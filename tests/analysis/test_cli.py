@@ -1,0 +1,93 @@
+"""CLI contract of ``python -m repro.analysis``: exit codes, output
+formats, and the baseline workflow (fingerprints survive line drift)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+#: A minimal file with one DET01 finding (the path pragma places it in
+#: the determinism scope).
+BAD_SOURCE = """\
+# solcheck: path=repro/sat/tmp_bad.py
+def visit(vals: set) -> None:
+    for v in vals:
+        print(v)
+"""
+
+CLEAN_SOURCE = """\
+# solcheck: path=repro/sat/tmp_clean.py
+def visit(vals: set) -> None:
+    for v in sorted(vals):
+        print(v)
+"""
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN_SOURCE)
+    assert main([str(target), "--baseline", str(tmp_path / "bl.txt")]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s) in 1 file(s)" in out
+
+
+def test_findings_exit_one_with_canonical_format(tmp_path, capsys):
+    target = tmp_path / "bad.py"
+    target.write_text(BAD_SOURCE)
+    assert main([str(target), "--baseline", str(tmp_path / "bl.txt")]) == 1
+    out = capsys.readouterr().out
+    assert "repro/sat/tmp_bad.py:3:13: DET01" in out
+
+
+def test_json_report(tmp_path, capsys):
+    target = tmp_path / "bad.py"
+    target.write_text(BAD_SOURCE)
+    assert main([str(target), "--json", "--baseline", str(tmp_path / "bl.txt")]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["checked_files"] == 1
+    (finding,) = report["findings"]
+    assert finding["rule"] == "DET01"
+    assert finding["path"] == "repro/sat/tmp_bad.py"
+    assert finding["line"] == 3
+    assert finding["fingerprint"]
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET01", "DET02", "DET03", "HOT01", "HOT02", "HOT03",
+                    "HOT04", "PRF01", "PRF02", "FRK01", "FRK02", "FRK03",
+                    "TYP01"):
+        assert rule_id in out
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.py")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_baseline_adopts_and_survives_line_drift(tmp_path, capsys):
+    target = tmp_path / "bad.py"
+    baseline = tmp_path / "baseline.txt"
+    target.write_text(BAD_SOURCE)
+
+    assert main([str(target), "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert baseline.exists()
+    capsys.readouterr()
+
+    # Adopted: the same findings no longer fail the run.
+    assert main([str(target), "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # Fingerprints key on the flagged line's text, not its number:
+    # inserting a line above keeps the finding baselined.
+    target.write_text(BAD_SOURCE.replace(
+        "def visit", "# an unrelated comment pushes every line down\ndef visit"
+    ))
+    assert main([str(target), "--baseline", str(baseline)]) == 0
+
+    # A genuinely new finding still fails.
+    target.write_text(BAD_SOURCE + "\n\ndef again(more: set) -> None:\n    for m in more:\n        print(m)\n")
+    assert main([str(target), "--baseline", str(baseline)]) == 1

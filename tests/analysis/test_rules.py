@@ -1,0 +1,76 @@
+"""Fixture-corpus harness: every rule's positive cases and their
+false-positive-guard twins.
+
+Each ``fixture_*.py`` under ``fixtures/`` embeds its own expectations:
+``# expect: RULE[, RULE...]`` marks a finding on that line, and
+``# expect(+N):`` / ``# expect(-N):`` anchors it N lines below/above
+(for diagnostics that land on lines that cannot carry the marker, like
+a reasonless-suppression line or a missing-function report at line 1).
+The comparison is exact multiset equality of ``(line, rule)`` pairs, so
+any *unexpected* finding — a false positive on one of the ``*_ok``
+twins — fails the same assertion as a missed positive.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*expect(?:\(([+-]\d+)\))?:\s*([A-Z0-9, ]+)")
+
+
+def expected_findings(path: Path) -> list:
+    expected = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in _EXPECT_RE.finditer(line):
+            offset = int(match.group(1)) if match.group(1) else 0
+            for rule in match.group(2).split(","):
+                rule = rule.strip()
+                if rule:
+                    expected.append((lineno + offset, rule))
+    return sorted(expected)
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    sorted(FIXTURES.glob("fixture_*.py")),
+    ids=lambda p: p.stem,
+)
+def test_fixture_matches_expectations(fixture):
+    findings, checked, _lines = analyze_paths([fixture], AnalysisConfig())
+    assert checked == 1
+    actual = sorted((diag.line, diag.rule) for diag in findings)
+    expected = expected_findings(fixture)
+    assert actual == expected, (
+        "fixture expectation mismatch:\n"
+        + "\n".join(diag.format() for diag in findings)
+    )
+
+
+def test_corpus_breadth():
+    """The corpus seeds at least 12 distinct violations spanning all
+    four rule families (plus the typing and suppression rules)."""
+    all_expected = []
+    for fixture in FIXTURES.glob("fixture_*.py"):
+        all_expected.extend(expected_findings(fixture))
+    assert len(all_expected) >= 12
+    families = {rule[:3] for _line, rule in all_expected}
+    assert {"DET", "HOT", "PRF", "FRK", "TYP", "SUP"} <= families
+
+
+def test_every_positive_has_a_guard_twin():
+    """Each fixture pairs its positives with a false-positive guard:
+    an ``*_ok`` twin function, or a ``# guard:`` note for structural
+    guards (asserted clean by the exact-match test above)."""
+    for fixture in sorted(FIXTURES.glob("fixture_*.py")):
+        text = fixture.read_text()
+        if expected_findings(fixture):
+            assert "_ok" in text or "# guard:" in text, (
+                f"{fixture.name} has no FP-guard twin"
+            )

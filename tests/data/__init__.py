@@ -1,0 +1,3 @@
+# Package marker (see tests/test_collection_smoke.py); this directory
+# holds checked-in data artifacts, e.g. the PR 5 Table-1 counter
+# baseline consumed by tests/experiments/test_pr5_identity.py.

@@ -1,0 +1,49 @@
+"""Byte-identity pin against the PR 5 search counters.
+
+The DET bugfix sweep (iterating cores and clause sets in sorted order
+instead of raw set order) must be *behaviorally invisible*: the ranked
+strategy is fully tie-broken by literal index and ``var_rank`` is only
+ever used as a lookup table, so sorting the iteration order may not
+change a single decision, implication, or conflict.
+
+``tests/data/table1_pr5_baseline.json`` was captured from the PR 5 tree
+(commit 908429f) by running the Table 1 subset below and recording every
+search-derived counter.  If this test fails, a supposedly order-neutral
+cleanup changed the search — which is exactly the regression the DET
+rules exist to prevent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.workloads.suite import small_suite
+
+BASELINE = Path(__file__).resolve().parent.parent / "data" / "table1_pr5_baseline.json"
+
+#: The counters that must match PR 5 exactly (times are excluded — they
+#: are wall-clock, not search state).
+_PINNED_FIELDS = ("status", "depth_reached", "decisions", "implications", "conflicts")
+
+
+@pytest.mark.slow
+def test_table1_subset_matches_pr5_counters():
+    expected = json.loads(BASELINE.read_text())
+    rows = [r for r in small_suite() if r.name in expected]
+    assert {r.name for r in rows} == set(expected), "baseline rows missing from suite"
+
+    report = run_table1(rows=rows)
+
+    actual = {}
+    for row in report.rows:
+        actual[row.instance.name] = {
+            method: {
+                field: getattr(result, field) for field in _PINNED_FIELDS
+            }
+            for method, result in row.results.items()
+        }
+    assert actual == expected
