@@ -112,6 +112,11 @@ from repro.sat import (
 #: (``--arena-storage``; see ``SolverConfig.arena_storage``).
 ARENA_STORAGE = "fast"
 
+#: BCP backend applied to every workload config (``--bcp-backend``;
+#: see ``SolverConfig.bcp_backend``).  The ``kernel_bcp`` workload
+#: ignores this and measures all backends side by side.
+BCP_BACKEND = "legacy"
+
 
 def implication_ladder(length: int) -> CnfFormula:
     """x0 -> x1 -> ... : one unit clause triggers a length-n BCP chain."""
@@ -200,7 +205,9 @@ def measure_workload(name: str, repeat: int) -> Dict[str, float]:
     for _ in range(repeat):
         spec = WORKLOADS[name]()
         formula, config = spec[0], spec[1]
-        config = replace(config, arena_storage=ARENA_STORAGE)
+        config = replace(
+            config, arena_storage=ARENA_STORAGE, bcp_backend=BCP_BACKEND
+        )
         strategy = spec[2]() if len(spec) > 2 else None
         solver = CdclSolver(formula, strategy=strategy, config=config)
         gc.collect()
@@ -380,11 +387,92 @@ def measure_portfolio_race(repeat: int) -> Dict[str, float]:
     return best
 
 
+def measure_kernel_bcp(repeat: int) -> Dict[str, float]:
+    """The ``kernel_bcp`` workload: the pure-BCP ladder under every
+    available propagation backend, side by side.
+
+    The searches are byte-identical (pinned by the differential
+    fuzzer's backend legs), so the per-backend rates are the same work
+    at different data-plane costs and their ratios are
+    hardware-independent.  Reported:
+
+    * ``propagations_per_sec`` — the *python* kernel's rate.  This is
+      the smoke-gated metric: normalized by the same run's legacy
+      ``bcp_ladder`` rate it guards the flat-column kernel staying
+      within a constant factor of the tuple-table loop.
+    * ``python_vs_legacy`` / ``native_vs_legacy`` — throughput ratios
+      against the legacy loop measured in this same run (the PR 7
+      acceptance bars: python >= 0.9x, native >= 2.0x).
+      ``native_vs_legacy`` is 0.0 on hosts that cannot build the
+      native kernel (no cffi / no C compiler) — reported, not failed.
+    """
+    import gc
+
+    from repro.sat.kernel import native_available
+
+    backends = ["legacy", "python"]
+    if native_available():
+        backends.append("native")
+    rates: Dict[str, Dict[str, float]] = {}
+    # One solve is only ~tens of ms, so rounds are cheap; run the
+    # backends back to back inside each round (instead of a block per
+    # backend) so load drift on a busy machine hits every backend of a
+    # round alike and the best-of ratios stay stable.
+    for _ in range(max(repeat, 5)):
+        for backend in backends:
+            formula = implication_ladder(60000)
+            # check_model=False: the workload isolates the propagation
+            # data plane, and the O(formula) model sweep would dilute
+            # every backend's rate by the same additive constant.
+            config = replace(
+                SolverConfig(record_cdg=False, check_model=False),
+                arena_storage=ARENA_STORAGE,
+                bcp_backend=backend,
+            )
+            solver = CdclSolver(formula, config=config)
+            gc.collect()
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                solver.solve()
+                elapsed = time.perf_counter() - start
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            stats = solver.stats
+            best = rates.get(backend)
+            if best is None or elapsed < best["time_s"]:
+                rates[backend] = {
+                    "time_s": elapsed,
+                    "propagations": stats.propagations,
+                    "propagations_per_sec": (
+                        stats.propagations / elapsed if elapsed else 0.0
+                    ),
+                }
+    legacy_rate = rates["legacy"]["propagations_per_sec"]
+    python_rate = rates["python"]["propagations_per_sec"]
+    native_rate = rates.get("native", {}).get("propagations_per_sec", 0.0)
+    return {
+        "time_s": rates["python"]["time_s"],
+        "decisions": 0,
+        "propagations": rates["python"]["propagations"],
+        "decisions_per_sec": 0.0,
+        "propagations_per_sec": python_rate,
+        "legacy_propagations_per_sec": legacy_rate,
+        "native_propagations_per_sec": native_rate,
+        "python_vs_legacy": python_rate / legacy_rate if legacy_rate else 0.0,
+        "native_vs_legacy": native_rate / legacy_rate if legacy_rate else 0.0,
+        "native_available": float(native_rate > 0.0),
+    }
+
+
 #: Workload names with bespoke measurement functions (dispatched by
 #: :func:`measure`; everything else goes through the solver loop of
 #: :func:`measure_workload`).
 SPECIAL_WORKLOADS = {
     "portfolio_race": measure_portfolio_race,
+    "kernel_bcp": measure_kernel_bcp,
 }
 
 
@@ -418,6 +506,12 @@ def run_bench(repeat: int) -> Dict[str, Dict[str, float]]:
             line += (f"  race x{sample['race_speedup']:.2f} vs best single  "
                      f"hit-rate {sample['sharing_hit_rate']:.2f}  "
                      f"winner {sample['winner']}")
+        if "python_vs_legacy" in sample:
+            line += f"  python x{sample['python_vs_legacy']:.2f} vs legacy"
+            if sample.get("native_available"):
+                line += f"  native x{sample['native_vs_legacy']:.2f} vs legacy"
+            else:
+                line += "  (native kernel unavailable here)"
         print(line)
     return results
 
@@ -437,6 +531,13 @@ SMOKE_WORKLOADS = (
     # re-entry, clause bus, import installation), so a regression in
     # any of those shows up here even though the verdict stays right.
     ("portfolio_race", "propagations_per_sec"),
+    # The flat-column python BCP kernel on the pure-BCP ladder (PR 7):
+    # normalized by the legacy ``bcp_ladder`` rate of the same run,
+    # this guards the kernel data plane staying within a constant
+    # factor of the tuple-table loop.  The native kernel's ratio is
+    # reported in the JSON but not gated — CI hosts without a C
+    # compiler must pass cleanly.
+    ("kernel_bcp", "propagations_per_sec"),
 )
 
 #: Pure-BCP workload used to calibrate the smoke gate: its throughput
@@ -516,9 +617,17 @@ def main(argv=None) -> int:
         help="clause-arena element store for every workload "
              "(search-identical; 'compact' is array('i') words)",
     )
+    parser.add_argument(
+        "--bcp-backend", choices=("legacy", "python", "native"),
+        default="legacy",
+        help="BCP backend for every workload (search-identical; "
+             "'native' needs cffi + a C compiler).  The kernel_bcp "
+             "workload always measures all available backends.",
+    )
     args = parser.parse_args(argv)
-    global ARENA_STORAGE
+    global ARENA_STORAGE, BCP_BACKEND
     ARENA_STORAGE = args.arena_storage
+    BCP_BACKEND = args.bcp_backend
 
     if args.smoke:
         return run_smoke(args.baseline or args.output, args.smoke_threshold,

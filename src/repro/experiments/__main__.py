@@ -24,7 +24,7 @@ from repro.experiments.fig6 import fig6_csv, render_fig6
 from repro.experiments.fig7 import fig7_csv, render_fig7, run_fig7
 from repro.experiments.overhead import run_overhead
 from repro.experiments.table1 import run_table1
-from repro.sat.solver import ARENA_STORAGE_MODES, PHASE_MODES
+from repro.sat.solver import ARENA_STORAGE_MODES, PHASE_MODES, SOLVER_BCP_BACKENDS
 from repro.workloads.suite import small_suite, table1_suite
 
 
@@ -64,6 +64,13 @@ def main(argv=None) -> int:
         "words — half the memory, identical search)",
     )
     parser.add_argument(
+        "--bcp-backend", choices=SOLVER_BCP_BACKENDS, default=None,
+        help="BCP propagation backend for Table-1 runs: 'legacy' "
+        "(in-solver tuple tables, the default), 'python' (flat "
+        "array('i') watch columns) or 'native' (the same scan compiled "
+        "via cffi; requires a C compiler — search-identical either way)",
+    )
+    parser.add_argument(
         "--portfolio", action="store_true",
         help="add a 'portfolio' column to Table 1: race all strategies "
         "per depth with learned-clause sharing (repro.bmc.portfolio); "
@@ -101,6 +108,7 @@ def main(argv=None) -> int:
             jobs=args.jobs,
             phase_mode=args.phase_mode,
             arena_storage=args.arena_storage,
+            bcp_backend=args.bcp_backend,
             portfolio=args.portfolio,
             portfolio_opts=(
                 {"deterministic": True} if args.portfolio_deterministic else None

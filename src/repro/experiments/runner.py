@@ -107,18 +107,20 @@ def make_engine(
     encoding_cache=_DEFAULT_CACHE,
     phase_mode: Optional[str] = None,
     arena_storage: Optional[str] = None,
+    bcp_backend: Optional[str] = None,
     portfolio_opts: Optional[Dict] = None,
 ) -> BmcEngine:
     """Build the BMC engine for a suite row under a named strategy.
 
     ``encoding_cache`` defaults to the per-process cache (see module
-    docstring); pass ``None`` to force a private build.  ``phase_mode``
-    and ``arena_storage`` overlay the matching :class:`SolverConfig`
-    fields on whatever configuration is in effect (the experiment CLI's
-    ``--phase-mode``/``--arena-storage`` land here).  ``portfolio_opts``
-    are extra keyword arguments for
-    :class:`~repro.bmc.portfolio.PortfolioBmcEngine` when ``strategy``
-    is ``"portfolio"`` (e.g. ``deterministic=True``), ignored otherwise.
+    docstring); pass ``None`` to force a private build.  ``phase_mode``,
+    ``arena_storage`` and ``bcp_backend`` overlay the matching
+    :class:`SolverConfig` fields on whatever configuration is in effect
+    (the experiment CLI's ``--phase-mode``/``--arena-storage``/
+    ``--bcp-backend`` land here).  ``portfolio_opts`` are extra keyword
+    arguments for :class:`~repro.bmc.portfolio.PortfolioBmcEngine` when
+    ``strategy`` is ``"portfolio"`` (e.g. ``deterministic=True``),
+    ignored otherwise.
     """
     if encoding_cache is _DEFAULT_CACHE:
         encoding_cache = default_encoding_cache()
@@ -127,6 +129,8 @@ def make_engine(
         overlay["phase_mode"] = phase_mode
     if arena_storage is not None:
         overlay["arena_storage"] = arena_storage
+    if bcp_backend is not None:
+        overlay["bcp_backend"] = bcp_backend
     if overlay:
         base = solver_config if solver_config is not None else SolverConfig()
         solver_config = replace(base, **overlay)

@@ -186,6 +186,7 @@ def run_table1(
     jobs: Optional[int] = None,
     phase_mode: Optional[str] = None,
     arena_storage: Optional[str] = None,
+    bcp_backend: Optional[str] = None,
     portfolio: bool = False,
     portfolio_opts: Optional[dict] = None,
 ) -> Table1Report:
@@ -194,8 +195,8 @@ def run_table1(
     ``jobs`` > 1 spreads the (instance, method) grid over a process
     pool (0 = one worker per CPU); the report's rows and every
     search-derived number are identical to a serial run.
-    ``phase_mode``/``arena_storage`` override the matching solver
-    configuration fields for every run (default: the
+    ``phase_mode``/``arena_storage``/``bcp_backend`` override the
+    matching solver configuration fields for every run (default: the
     :class:`SolverConfig` defaults).  ``portfolio=True`` appends a
     ``portfolio`` column — the strategy race with clause sharing
     (``repro.bmc.portfolio``) — whose verdicts are checked against the
@@ -213,6 +214,8 @@ def run_table1(
         extra["phase_mode"] = phase_mode
     if arena_storage is not None:
         extra["arena_storage"] = arena_storage
+    if bcp_backend is not None:
+        extra["bcp_backend"] = bcp_backend
     if portfolio_opts is not None:
         extra["portfolio_opts"] = portfolio_opts
 

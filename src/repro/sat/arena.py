@@ -64,7 +64,7 @@ footprint report stays honest.
 from __future__ import annotations
 
 from array import array
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import ClassVar, Dict, List, Sequence, Tuple, Union
 
 #: Flag bits of the per-clause header word / flags column.
 LEARNED = 1
@@ -76,6 +76,22 @@ HEADER_WORDS = 2
 
 #: Valid values of the ``storage`` constructor argument.
 STORAGE_MODES = ("fast", "compact")
+
+#: Ceiling on the literal store, in words.  Clause offsets ride in
+#: 32-bit lanes on the native-kernel side (``refs`` is ``int64`` but
+#: the in-arena length/offset arithmetic must stay in ``int`` range),
+#: so the store must never grow past ``2**31 - 1`` addressable words.
+WORD_LIMIT = 2**31 - 1
+
+
+class ClauseArenaFullError(MemoryError):
+    """The literal store would exceed :data:`WORD_LIMIT` words.
+
+    A clean, catchable signal (``MemoryError`` subclass) raised
+    *before* the append happens — the arena is left consistent, and
+    the message carries the footprint so the operator can see how big
+    the instance got.
+    """
 
 
 class ClauseArena:
@@ -91,6 +107,10 @@ class ClauseArena:
     activity: array[float]
     dead_words: int
     storage: str
+
+    #: Word ceiling enforced by :meth:`add` (class attribute so tests
+    #: can lower it without constructing a 2-billion-word store).
+    word_limit: ClassVar[int] = WORD_LIMIT
 
     def __init__(self, storage: str = "fast") -> None:
         if storage not in STORAGE_MODES:
@@ -115,9 +135,17 @@ class ClauseArena:
 
     def add(self, lits: Sequence[int], flags: int = 0,
             activity: float = 0.0) -> int:
-        """Append a clause block; returns its clause ID."""
+        """Append a clause block; returns its clause ID.
+
+        Raises :class:`ClauseArenaFullError` (a ``MemoryError``) before
+        touching the store when the block would push the word count
+        past :attr:`word_limit`.
+        """
         cid = len(self.refs)
         data = self.data
+        needed = len(data) + HEADER_WORDS + len(lits)
+        if needed > self.word_limit:
+            raise ClauseArenaFullError(self.full_message(needed))
         data.append(flags)
         data.append(len(lits))
         self.refs.append(len(data))
@@ -126,6 +154,19 @@ class ClauseArena:
         self.flags.append(flags)
         self.activity.append(activity)
         return cid
+
+    def full_message(self, needed: int) -> str:
+        """The :class:`ClauseArenaFullError` message for a store that
+        would need ``needed`` words.  Public so bulk writers that
+        bypass :meth:`add` (the solver's install loop) can raise the
+        identical error."""
+        fp = self.footprint()
+        return (
+            f"clause arena full: storing this clause needs {needed} words "
+            f"but the arena is capped at {self.word_limit} "
+            f"(current footprint: {fp['literal_words']} words in "
+            f"{int(fp['clauses'])} clauses, {int(fp['bytes'])} bytes)"
+        )
 
     # -- introspection -----------------------------------------------------
 

@@ -1,0 +1,65 @@
+"""Pluggable BCP kernels over the flat data plane (``SolverConfig.bcp_backend``).
+
+Three backends share one search behaviour, byte for byte:
+
+``"legacy"``
+    The in-solver tuple-list propagation loop (``CdclSolver
+    ._propagate``) — per-literal Python lists of packed tuples, the
+    pre-kernel data plane.  No kernel object is constructed.
+``"python"``
+    :class:`~repro.sat.kernel.pykernel.PythonBcpKernel`: the same scan
+    over flat ``array('i')`` watch columns and typed solver state.
+    Always available; the semantics reference for the native kernel.
+``"native"``
+    :class:`~repro.sat.kernel.native.NativeBcpKernel`: the scan
+    compiled to C (cffi, built on demand, cached), aliasing the same
+    arrays zero-copy.  Requires cffi and a C compiler; probe with
+    :func:`native_available` before requesting it.
+
+See :mod:`repro.sat.kernel.base` for the seam contract and
+``docs/architecture.md`` ("Propagation data plane") for the layout.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sat.kernel.base import BcpKernelBase
+from repro.sat.kernel.columns import WatchColumns
+from repro.sat.kernel.native import (
+    NativeBcpKernel,
+    native_available,
+    native_unavailable_reason,
+)
+from repro.sat.kernel.pykernel import PythonBcpKernel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sat.solver import CdclSolver
+
+#: Valid values of ``SolverConfig.bcp_backend``.
+BCP_BACKENDS = ("legacy", "python", "native")
+
+
+def create_kernel(solver: "CdclSolver", backend: str) -> BcpKernelBase:
+    """Instantiate the kernel for ``backend`` (not ``"legacy"``).
+
+    ``"native"`` raises :class:`RuntimeError` with the build failure
+    when the compiled kernel cannot be had on this host.
+    """
+    if backend == "python":
+        return PythonBcpKernel(solver)
+    if backend == "native":
+        return NativeBcpKernel(solver)
+    raise ValueError(f"no kernel for bcp_backend {backend!r}")
+
+
+__all__ = [
+    "BCP_BACKENDS",
+    "BcpKernelBase",
+    "NativeBcpKernel",
+    "PythonBcpKernel",
+    "WatchColumns",
+    "create_kernel",
+    "native_available",
+    "native_unavailable_reason",
+]

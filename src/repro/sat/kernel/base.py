@@ -1,0 +1,137 @@
+"""The BCP-kernel seam: what a propagation backend owes the solver.
+
+A *kernel* owns the watch state (three :class:`~repro.sat.kernel
+.columns.WatchColumns`) and implements boolean constraint propagation
+over the solver's flat typed state — ``lit_truth`` (a ``bytearray``),
+``_levels``/``_reasons``/``_trail`` (``array('i')``) and the compact
+:class:`~repro.sat.arena.ClauseArena` word store, all aliased, never
+copied.  Everything else — decisions, conflict analysis, proofs, CDG,
+strategies — stays in Python and talks to the kernel only through this
+seam:
+
+``propagate() -> int``
+    Exhaust the implication queue from ``solver._qhead``; assign
+    implied literals (truth/levels/reasons/trail), advance
+    ``solver._qhead``/``solver._trail_len``, add the propagation count
+    to ``solver.stats``, and return the conflicting clause ID or -1.
+    Exactly the contract of the legacy ``CdclSolver._propagate``.
+
+``attach(cid, lits)`` / ``detach(cid)`` / ``drop_clauses(dropped)``
+    The watch bookkeeping hooks: clause install, single-clause detach
+    (swap-with-last, learned-DB reduction) and bulk order-preserving
+    removal (root-satisfied pruning).  Each replicates the legacy
+    tuple-table operation so watch-list order — and therefore search
+    behaviour — is byte-identical across backends.
+
+``grow(lit_capacity)``
+    Called from ``ensure_num_vars`` when the literal space grows;
+    backtracking needs no hook (the kernel keeps no per-level state —
+    the solver rewinds the shared trail/qhead itself).
+
+The base class implements every hook except :meth:`propagate` — watch
+mutation is not hot and shared verbatim by both kernels, which also
+guarantees the python and native backends grow byte-identical watch
+layouts (the native kernel defers its in-propagate appends through the
+same doubling policy).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence, Set, Tuple
+
+from repro.sat.kernel.columns import WatchColumns
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sat.solver import CdclSolver
+
+
+class BcpKernelBase:
+    """Watch-state owner and propagation seam shared by both kernels."""
+
+    #: Config value selecting this kernel (subclasses override).
+    name = "base"
+
+    def __init__(self, solver: "CdclSolver") -> None:
+        self.solver = solver
+        self.long = WatchColumns(2)
+        self.bin = WatchColumns(2)
+        self.tern = WatchColumns(3)
+
+    # -- sizing ------------------------------------------------------------
+
+    def grow(self, lit_capacity: int) -> None:
+        self.long.grow_lits(lit_capacity)
+        self.bin.grow_lits(lit_capacity)
+        self.tern.grow_lits(lit_capacity)
+
+    # -- watch bookkeeping (legacy-equivalent, not hot) --------------------
+
+    def attach(self, cid: int, lits: Sequence[int]) -> None:
+        n = len(lits)
+        if n == 2:
+            a, b = lits
+            self.bin.append2(a, cid, b)
+            self.bin.append2(b, cid, a)
+        elif n == 3:
+            a, b, c = lits
+            self.tern.append3(a, cid, b, c)
+            self.tern.append3(b, cid, a, c)
+            self.tern.append3(c, cid, a, b)
+        else:
+            a, b = lits[0], lits[1]
+            self.long.append2(a, cid, b)
+            self.long.append2(b, cid, a)
+
+    def detach(self, cid: int) -> None:
+        arena = self.solver._arena
+        adata = arena.data
+        base = arena.refs[cid]
+        n = adata[base - 1]
+        if n == 2:
+            self.bin.detach(adata[base], cid)
+            self.bin.detach(adata[base + 1], cid)
+        elif n == 3:
+            self.tern.detach(adata[base], cid)
+            self.tern.detach(adata[base + 1], cid)
+            self.tern.detach(adata[base + 2], cid)
+        else:
+            self.long.detach(adata[base], cid)
+            self.long.detach(adata[base + 1], cid)
+
+    def drop_clauses(self, dropped: Set[int]) -> None:
+        self.long.drop_clauses(dropped)
+        self.bin.drop_clauses(dropped)
+        self.tern.drop_clauses(dropped)
+
+    # -- the hot seam ------------------------------------------------------
+
+    def propagate(self) -> int:
+        raise NotImplementedError
+
+    # -- introspection -----------------------------------------------------
+
+    def watch_snapshot(self) -> Dict[str, List[List[Tuple[int, ...]]]]:
+        """Per-literal entry tuples in legacy table shape — the
+        white-box surface the cross-backend watch tests compare.
+        Binary entries are expanded back to the legacy 4-tuple
+        ``(cid, implied, ~implied, var)`` (the columns store 2 words
+        and recompute the rest)."""
+        num_lits = 2 * self.solver.num_vars
+        return {
+            "long": [self.long.entries(lit) for lit in range(num_lits)],
+            "bin": [
+                [
+                    (cid, implied, implied ^ 1, implied >> 1)
+                    for cid, implied in self.bin.entries(lit)
+                ]
+                for lit in range(num_lits)
+            ],
+            "tern": [self.tern.entries(lit) for lit in range(num_lits)],
+        }
+
+    def footprint(self) -> Dict[str, dict]:
+        return {
+            "long": self.long.footprint(),
+            "bin": self.bin.footprint(),
+            "tern": self.tern.footprint(),
+        }

@@ -1,0 +1,193 @@
+"""Flat per-literal watch columns: the kernel side of the watch tables.
+
+The legacy data plane keeps one Python list of packed tuples per
+literal (``CdclSolver._watches`` / ``_watches_bin`` / ``_watches_tern``).
+A C kernel cannot walk Python lists, so the kernel backends replace all
+three tables with instances of :class:`WatchColumns`: one pooled
+``array('i')`` holding every literal's entries back to back, addressed
+by per-literal ``offs``/``size``/``caps`` columns (a CSR layout with
+per-row headroom).
+
+Entry layouts (32-bit words each)::
+
+    long clauses     [cid, blocker]           2 words
+    ternary clauses  [cid, other_a, other_b]  3 words
+    binary clauses   [cid, implied]           2 words
+
+The long and ternary layouts mirror the legacy tuples word for word.
+Binary entries drop the legacy tuples' precomputed ``~implied``/``var``
+words: recomputing them is one int op each, cheaper in both kernels
+than the extra subscripts (Python) or memory traffic (C) of reading
+them back.
+
+Growth discipline: a literal's block holds ``caps[lit]`` entries; an
+append into a full block *relocates* it to the pool tail with doubled
+capacity (4 entries minimum).  The abandoned block becomes padding.
+Because capacities double, the total pool size stays within a small
+constant factor of the peak live volume — the same amortization Python
+lists provide — so no compaction pass is needed.  The pool only ever
+grows via :meth:`reserve`, keeping the backing ``array`` object stable
+for zero-copy ``ffi.from_buffer`` aliasing by the native kernel (the
+buffer is re-acquired per propagate call, so growth between calls is
+safe).
+
+Mutation entry points mirror the legacy list operations exactly —
+append (attach / watch move), swap-with-last removal (:meth:`detach`),
+and order-preserving filtering (:meth:`drop_clauses`) — so a kernel
+backend's watch-list order evolves byte-identically to the legacy
+tables' and search behaviour is preserved.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Set, Tuple
+
+
+class WatchColumns:
+    """One watch table (long, binary or ternary) as flat typed columns."""
+
+    __slots__ = ("words", "offs", "size", "caps", "data", "used")
+
+    def __init__(self, words: int) -> None:
+        #: Words per entry (2 long, 2 binary, 3 ternary).
+        self.words = words
+        #: Per-literal first word offset into ``data``.
+        self.offs = array("i")
+        #: Per-literal live entry count.
+        self.size = array("i")
+        #: Per-literal allocated entry capacity.
+        self.caps = array("i")
+        #: The entry pool; ``used`` words are allocated to blocks.
+        self.data = array("i")
+        self.used = 0
+
+    # -- sizing ------------------------------------------------------------
+
+    def grow_lits(self, lit_capacity: int) -> None:
+        """Extend the per-literal columns to ``lit_capacity`` literals
+        (new literals start with no block: off 0, size 0, cap 0)."""
+        add = lit_capacity - len(self.offs)
+        if add > 0:
+            zeros = array("i", bytes(4 * add))
+            self.offs.extend(zeros)
+            self.size.extend(zeros)
+            self.caps.extend(zeros)
+
+    def reserve(self, words_needed: int) -> None:
+        """Grow the pool so at least ``words_needed`` total words exist
+        (geometric, so per-word cost is amortized O(1))."""
+        have = len(self.data)
+        if words_needed > have:
+            target = max(words_needed, 2 * have, 64)
+            self.data.frombytes(bytes(4 * (target - have)))
+
+    def _relocate(self, lit: int, sz: int, cap: int) -> int:
+        """Move ``lit``'s block to the pool tail with doubled capacity;
+        returns the new block offset."""
+        words = self.words
+        new_cap = cap * 2 if cap else 4
+        used = self.used
+        need = used + new_cap * words
+        if need > len(self.data):
+            self.reserve(need)
+        if sz:
+            data = self.data
+            old = self.offs[lit]
+            data[used:used + sz * words] = data[old:old + sz * words]
+        self.offs[lit] = used
+        self.caps[lit] = new_cap
+        self.used = need
+        return used
+
+    # -- legacy-equivalent mutations ---------------------------------------
+
+    def append2(self, lit: int, w0: int, w1: int) -> None:
+        """Append a 2-word entry (the long-table watch move / attach)."""
+        sz = self.size[lit]
+        if sz == self.caps[lit]:
+            off = self._relocate(lit, sz, self.caps[lit]) + 2 * sz
+        else:
+            off = self.offs[lit] + 2 * sz
+        data = self.data
+        data[off] = w0
+        data[off + 1] = w1
+        self.size[lit] = sz + 1
+
+    def append3(self, lit: int, w0: int, w1: int, w2: int) -> None:
+        sz = self.size[lit]
+        if sz == self.caps[lit]:
+            off = self._relocate(lit, sz, self.caps[lit]) + 3 * sz
+        else:
+            off = self.offs[lit] + 3 * sz
+        data = self.data
+        data[off] = w0
+        data[off + 1] = w1
+        data[off + 2] = w2
+        self.size[lit] = sz + 1
+
+    def detach(self, lit: int, cid: int) -> None:
+        """Remove the entry watching ``cid`` by swap-with-last — the
+        legacy ``watch_list[i] = watch_list[-1]; pop()`` move (order
+        destroying, exactly like the original)."""
+        words = self.words
+        data = self.data
+        base = self.offs[lit]
+        n = self.size[lit]
+        for i in range(n):
+            src = base + i * words
+            if data[src] == cid:
+                last = base + (n - 1) * words
+                if src != last:
+                    data[src:src + words] = data[last:last + words]
+                self.size[lit] = n - 1
+                break
+
+    def drop_clauses(self, dropped: Set[int]) -> None:
+        """Remove every entry whose clause ID is in ``dropped``,
+        preserving survivor order — the legacy ``_compact_watches``."""
+        words = self.words
+        data = self.data
+        offs = self.offs
+        size = self.size
+        for lit in range(len(offs)):
+            n = size[lit]
+            if not n:
+                continue
+            base = offs[lit]
+            j = 0
+            for i in range(n):
+                src = base + i * words
+                if data[src] not in dropped:
+                    if j != i:
+                        dst = base + j * words
+                        data[dst:dst + words] = data[src:src + words]
+                    j += 1
+            if j != n:
+                size[lit] = j
+
+    # -- introspection (tests, footprint) ----------------------------------
+
+    def entries(self, lit: int) -> List[Tuple[int, ...]]:
+        """The literal's entries as packed tuples (legacy table shape)."""
+        words = self.words
+        data = self.data
+        base = self.offs[lit]
+        return [
+            tuple(data[base + i * words:base + (i + 1) * words])
+            for i in range(self.size[lit])
+        ]
+
+    def live_words(self) -> int:
+        words = self.words
+        total = 0
+        for n in self.size:
+            total += n * words
+        return total
+
+    def footprint(self) -> dict:
+        return {
+            "pool_words": len(self.data),
+            "used_words": self.used,
+            "live_words": self.live_words(),
+        }

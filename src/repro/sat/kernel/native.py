@@ -1,0 +1,532 @@
+"""The native BCP kernel: the same scan, compiled, over the same memory.
+
+The C function below is a transliteration of
+:class:`~repro.sat.kernel.pykernel.PythonBcpKernel.propagate` — binary,
+ternary, then the two-phase long scan — run zero-copy over the solver's
+typed arrays via ``ffi.from_buffer``: ``lit_truth`` (an ``unsigned
+char`` bytearray), levels/reasons/trail/watch columns (``int32_t``),
+arena refs (``int64_t``).  Buffer views are acquired per ``propagate()`` call and
+released before returning, so Python-side growth (clause installs,
+``ensure_num_vars``) between calls never invalidates a held pointer.
+
+What C cannot do is grow a Python ``array``.  Two cooperative return
+codes handle that:
+
+* Watch moves discovered during the long scan are not appended
+  directly; they are recorded in a *pending* scratch buffer
+  (``[dest_lit, cid, blocker]`` triples) and flushed after the
+  literal's scan completes, through the same capacity-doubling
+  relocation policy the Python side uses.  If the flush runs out of
+  pool words it returns ``NEED_GROW`` with a resume flag: Python grows
+  the pool and re-enters, and the flush continues where it stopped.
+* If a long watch list could overflow the pending buffer, the kernel
+  returns ``NEED_PEND`` *before* scanning it (queue head not
+  advanced).  Binary/ternary scans are idempotent — already-assigned
+  implications are skipped on the re-scan — so re-entering is safe.
+
+Build: cffi out-of-line API mode, compiled on demand into a cache
+directory (``REPRO_KERNEL_CACHE``, default ``~/.cache/repro-bcp-
+kernel``) keyed by a hash of the C source, so each source revision
+compiles once per machine.  Hosts without cffi or a C compiler get a
+:class:`RuntimeError` from the constructor and a ``False`` from
+:func:`native_available` — callers (config validation, tests, the
+benchmark harness) degrade to the python kernel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import sysconfig
+from array import array
+from typing import TYPE_CHECKING, Optional
+
+from repro.sat.kernel.base import BcpKernelBase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sat.solver import CdclSolver
+
+#: Shared state-array slots (Python writes, C reads, and back).
+ST_QHEAD = 0
+ST_TRAIL_LEN = 1
+ST_LEVEL = 2
+ST_PROPS = 3
+ST_LONG_USED = 4
+ST_LONG_CAP = 5
+ST_RESUME = 6
+ST_FLUSH_POS = 7
+ST_PEND_N = 8
+ST_PEND_CAP = 9
+ST_CONFLICT = 10
+ST_GROW = 11
+_STATE_SLOTS = 12
+
+#: Cooperative return codes (>= 0 is a conflicting clause ID).
+RET_NO_CONFLICT = -1
+RET_NEED_GROW = -2
+RET_NEED_PEND = -3
+
+_CDEF = """
+int bcp_propagate(unsigned char *truth,
+                  int32_t *levels, int32_t *reasons, int32_t *trail,
+                  int32_t *adata, int64_t *arefs,
+                  const int32_t *b_off, const int32_t *b_size,
+                  const int32_t *b_data,
+                  const int32_t *t_off, const int32_t *t_size,
+                  const int32_t *t_data,
+                  int32_t *l_off, int32_t *l_size, int32_t *l_cap,
+                  int32_t *l_data,
+                  int32_t *pend, int32_t *st);
+"""
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+/* State slots; keep in sync with repro/sat/kernel/native.py. */
+#define ST_QHEAD 0
+#define ST_TRAIL_LEN 1
+#define ST_LEVEL 2
+#define ST_PROPS 3
+#define ST_LONG_USED 4
+#define ST_LONG_CAP 5
+#define ST_RESUME 6
+#define ST_FLUSH_POS 7
+#define ST_PEND_N 8
+#define ST_PEND_CAP 9
+#define ST_CONFLICT 10
+#define ST_GROW 11
+
+/* Append the recorded watch moves through the same doubling/relocation
+   policy WatchColumns.append2 uses; resumable across NEED_GROW. */
+static int flush_pending(int32_t *l_off, int32_t *l_size, int32_t *l_cap,
+                         int32_t *l_data, int32_t *pend, int32_t *st)
+{
+    int fp = st[ST_FLUSH_POS];
+    int pn = st[ST_PEND_N];
+    int used = st[ST_LONG_USED];
+    int pool = st[ST_LONG_CAP];
+    while (fp < pn) {
+        int dest = pend[3 * fp];
+        int cid = pend[3 * fp + 1];
+        int blk = pend[3 * fp + 2];
+        int sz = l_size[dest];
+        int bcap = l_cap[dest];
+        int32_t *w;
+        if (sz == bcap) {
+            int new_cap = bcap ? 2 * bcap : 4;
+            if (used + 2 * new_cap > pool) {
+                st[ST_LONG_USED] = used;
+                st[ST_FLUSH_POS] = fp;
+                st[ST_GROW] = 2 * new_cap;
+                return -2;
+            }
+            if (sz)
+                memcpy(l_data + used, l_data + l_off[dest],
+                       (size_t)sz * 2 * sizeof(int32_t));
+            l_off[dest] = used;
+            l_cap[dest] = new_cap;
+            used += 2 * new_cap;
+        }
+        w = l_data + l_off[dest] + 2 * sz;
+        w[0] = cid;
+        w[1] = blk;
+        l_size[dest] = sz + 1;
+        fp++;
+    }
+    st[ST_LONG_USED] = used;
+    st[ST_FLUSH_POS] = 0;
+    st[ST_PEND_N] = 0;
+    return 0;
+}
+
+int bcp_propagate(unsigned char *truth,
+                  int32_t *levels, int32_t *reasons, int32_t *trail,
+                  int32_t *adata, int64_t *arefs,
+                  const int32_t *b_off, const int32_t *b_size,
+                  const int32_t *b_data,
+                  const int32_t *t_off, const int32_t *t_size,
+                  const int32_t *t_data,
+                  int32_t *l_off, int32_t *l_size, int32_t *l_cap,
+                  int32_t *l_data,
+                  int32_t *pend, int32_t *st)
+{
+    int qhead = st[ST_QHEAD];
+    int trail_len = st[ST_TRAIL_LEN];
+    int level = st[ST_LEVEL];
+    int props = st[ST_PROPS];
+    int conflict;
+
+    if (st[ST_RESUME]) {
+        int r = flush_pending(l_off, l_size, l_cap, l_data, pend, st);
+        if (r)
+            goto save_grow;
+        st[ST_RESUME] = 0;
+        if (st[ST_CONFLICT] >= 0) {
+            conflict = st[ST_CONFLICT];
+            st[ST_CONFLICT] = -1;
+            goto save_conflict;
+        }
+    }
+
+    while (qhead < trail_len) {
+        int lit = trail[qhead];
+        int false_lit = lit ^ 1;
+        int n, i;
+
+        /* Binary: static entries [cid, implied]. */
+        n = b_size[false_lit];
+        if (n) {
+            const int32_t *e = b_data + b_off[false_lit];
+            const int32_t *eend = e + 2 * n;
+            for (; e < eend; e += 2) {
+                int implied = e[1];
+                int v = truth[implied];
+                if (v == 2) {
+                    props++;
+                    truth[implied] = 1;
+                    truth[implied ^ 1] = 0;
+                    levels[implied >> 1] = level;
+                    reasons[implied >> 1] = e[0];
+                    trail[trail_len++] = implied;
+                } else if (v == 0) {
+                    qhead++;
+                    conflict = e[0];
+                    goto save_conflict;
+                }
+            }
+        }
+
+        /* Ternary: static entries [cid, other_a, other_b]. */
+        n = t_size[false_lit];
+        if (n) {
+            const int32_t *e = t_data + t_off[false_lit];
+            const int32_t *eend = e + 3 * n;
+            for (; e < eend; e += 3) {
+                int la = e[1];
+                int lb = e[2];
+                int va = truth[la];
+                int vb = truth[lb];
+                if (va && vb)
+                    continue; /* neither companion false */
+                if (va == 0) {
+                    if (vb == 2) {
+                        props++;
+                        truth[lb] = 1;
+                        truth[lb ^ 1] = 0;
+                        levels[lb >> 1] = level;
+                        reasons[lb >> 1] = e[0];
+                        trail[trail_len++] = lb;
+                    } else if (vb == 0) {
+                        qhead++;
+                        conflict = e[0];
+                        goto save_conflict;
+                    }
+                } else if (va == 2) {
+                    props++;
+                    truth[la] = 1;
+                    truth[la ^ 1] = 0;
+                    levels[la >> 1] = level;
+                    reasons[la >> 1] = e[0];
+                    trail[trail_len++] = la;
+                }
+            }
+        }
+
+        /* Long: two-phase scan, j < 0 = read-only phase (legacy loop). */
+        n = l_size[false_lit];
+        conflict = -1;
+        if (n) {
+            int32_t *wl;
+            int j = -1;
+            if (3 * n > st[ST_PEND_CAP]) {
+                /* Worst case overflows the pending buffer.  The queue
+                   head is NOT advanced: after Python grows the buffer,
+                   the binary/ternary re-scan is idempotent. */
+                st[ST_GROW] = 3 * n;
+                st[ST_QHEAD] = qhead;
+                st[ST_TRAIL_LEN] = trail_len;
+                st[ST_PROPS] = props;
+                return -3;
+            }
+            wl = l_data + l_off[false_lit];
+            i = 0;
+            while (i < n) {
+                int cid = wl[2 * i];
+                int blk = wl[2 * i + 1];
+                int first, ft, moved;
+                int64_t cbase, cend, k;
+                if (truth[blk] == 1) {
+                    if (j >= 0) {
+                        wl[2 * j] = cid;
+                        wl[2 * j + 1] = blk;
+                        j++;
+                    }
+                    i++;
+                    continue;
+                }
+                cbase = arefs[cid];
+                first = adata[cbase];
+                if (first == false_lit) {
+                    first = adata[cbase + 1];
+                    adata[cbase] = first;
+                    adata[cbase + 1] = false_lit;
+                }
+                ft = truth[first];
+                if (ft == 1) {
+                    if (j >= 0) {
+                        wl[2 * j] = cid;
+                        wl[2 * j + 1] = first;
+                        j++;
+                    } else {
+                        wl[2 * i + 1] = first;
+                    }
+                    i++;
+                    continue;
+                }
+                cend = cbase + adata[cbase - 1];
+                moved = 0;
+                for (k = cbase + 2; k < cend; k++) {
+                    int other = adata[k];
+                    if (truth[other] != 0) {
+                        int pn = st[ST_PEND_N];
+                        adata[k] = adata[cbase + 1];
+                        adata[cbase + 1] = other;
+                        pend[3 * pn] = other;
+                        pend[3 * pn + 1] = cid;
+                        pend[3 * pn + 2] = first;
+                        st[ST_PEND_N] = pn + 1;
+                        moved = 1;
+                        break;
+                    }
+                }
+                if (moved) {
+                    if (j < 0)
+                        j = i; /* first removal: switch to compaction */
+                    i++;
+                    continue;
+                }
+                if (ft == 2) {
+                    props++;
+                    truth[first] = 1;
+                    truth[first ^ 1] = 0;
+                    levels[first >> 1] = level;
+                    reasons[first >> 1] = cid;
+                    trail[trail_len++] = first;
+                    if (j >= 0) {
+                        wl[2 * j] = cid;
+                        wl[2 * j + 1] = blk;
+                        j++;
+                    }
+                    i++;
+                    continue;
+                }
+                /* Conflict.  Phase 1: list untouched.  Phase 2: keep
+                   the entry, then the untouched tail. */
+                conflict = cid;
+                if (j >= 0) {
+                    wl[2 * j] = cid;
+                    wl[2 * j + 1] = blk;
+                    j++;
+                    i++;
+                    while (i < n) {
+                        wl[2 * j] = wl[2 * i];
+                        wl[2 * j + 1] = wl[2 * i + 1];
+                        j++;
+                        i++;
+                    }
+                }
+                break;
+            }
+            if (j >= 0)
+                l_size[false_lit] = j;
+        }
+
+        qhead++;
+        if (st[ST_PEND_N]) {
+            int r;
+            st[ST_CONFLICT] = conflict;
+            r = flush_pending(l_off, l_size, l_cap, l_data, pend, st);
+            if (r) {
+                st[ST_RESUME] = 1;
+                goto save_grow;
+            }
+            st[ST_CONFLICT] = -1;
+        }
+        if (conflict >= 0)
+            goto save_conflict;
+    }
+
+    st[ST_QHEAD] = qhead;
+    st[ST_TRAIL_LEN] = trail_len;
+    st[ST_PROPS] = props;
+    return -1;
+
+save_conflict:
+    st[ST_QHEAD] = qhead;
+    st[ST_TRAIL_LEN] = trail_len;
+    st[ST_PROPS] = props;
+    return conflict;
+
+save_grow:
+    st[ST_QHEAD] = qhead;
+    st[ST_TRAIL_LEN] = trail_len;
+    st[ST_PROPS] = props;
+    return -2;
+}
+"""
+
+#: Memoized build outcome: the loaded extension module, or the reason
+#: it cannot be had.  One attempt per process.
+_MODULE = None
+_BUILD_ERROR: Optional[str] = None
+
+
+def _cache_dir() -> str:
+    configured = os.environ.get("REPRO_KERNEL_CACHE")
+    if configured:
+        return configured
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-bcp-kernel")
+
+
+def _load_module():
+    """Build (once per source revision per machine) and import the
+    extension; raises on hosts without cffi or a C compiler."""
+    global _MODULE, _BUILD_ERROR
+    if _MODULE is not None:
+        return _MODULE
+    if _BUILD_ERROR is not None:
+        raise RuntimeError(_BUILD_ERROR)
+    try:
+        import importlib.util
+
+        from cffi import FFI
+
+        digest = hashlib.sha1((_CDEF + _SOURCE).encode()).hexdigest()[:12]
+        modname = f"_repro_bcp_{digest}"
+        suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+        cache = _cache_dir()
+        so_path = os.path.join(cache, modname + suffix)
+        if not os.path.exists(so_path):
+            os.makedirs(cache, exist_ok=True)
+            # Compile in a per-process scratch dir, then publish the
+            # shared object atomically: concurrent builders (portfolio
+            # race workers, parallel pytest) never trample each other.
+            build_dir = os.path.join(cache, f"build-{os.getpid()}")
+            os.makedirs(build_dir, exist_ok=True)
+            try:
+                ffibuilder = FFI()
+                ffibuilder.cdef(_CDEF)
+                ffibuilder.set_source(modname, _SOURCE)
+                built = ffibuilder.compile(tmpdir=build_dir, verbose=False)
+                os.replace(built, so_path)
+            finally:
+                shutil.rmtree(build_dir, ignore_errors=True)
+        spec = importlib.util.spec_from_file_location(modname, so_path)
+        if spec is None or spec.loader is None:
+            raise ImportError(f"cannot load {so_path}")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        _MODULE = module
+        return module
+    except Exception as exc:  # cffi missing, no compiler, bad toolchain
+        _BUILD_ERROR = (
+            f"native BCP kernel unavailable ({type(exc).__name__}: {exc}); "
+            f"use bcp_backend='python' or install cffi + a C compiler"
+        )
+        raise RuntimeError(_BUILD_ERROR) from exc
+
+
+def native_available() -> bool:
+    """True when the compiled kernel can be built/loaded on this host.
+
+    The first call may compile; the outcome (either way) is memoized
+    for the process, so probing is cheap afterwards.
+    """
+    try:
+        _load_module()
+        return True
+    except RuntimeError:
+        return False
+
+
+def native_unavailable_reason() -> Optional[str]:
+    """Why :func:`native_available` is False (None when available)."""
+    return None if native_available() else _BUILD_ERROR
+
+
+class NativeBcpKernel(BcpKernelBase):
+    """BCP via the compiled C scan; construction fails cleanly when the
+    extension cannot be built (callers fall back or skip)."""
+
+    name = "native"
+
+    def __init__(self, solver: "CdclSolver") -> None:
+        module = _load_module()  # raises RuntimeError when unavailable
+        super().__init__(solver)
+        self._ffi = module.ffi
+        self._lib = module.lib
+        self._state = array("i", bytes(4 * _STATE_SLOTS))
+        self._state[ST_CONFLICT] = -1
+        # Pending watch-move scratch: [dest, cid, blocker] triples.
+        self._pend = array("i", bytes(4 * 3 * 64))
+
+    def propagate(self) -> int:
+        solver = self.solver
+        state = self._state
+        if solver._qhead >= solver._trail_len and not state[ST_RESUME]:
+            return -1  # nothing queued (also keeps empty buffers off FFI)
+        state[ST_QHEAD] = solver._qhead
+        state[ST_TRAIL_LEN] = solver._trail_len
+        state[ST_LEVEL] = solver._decision_level
+        state[ST_PROPS] = 0
+        long_cols = self.long
+        state[ST_LONG_USED] = long_cols.used
+        arena = solver._arena
+        ffi = self._ffi
+        from_buffer = ffi.from_buffer
+        release = ffi.release
+        bcp = self._lib.bcp_propagate
+        pend = self._pend
+        while True:
+            state[ST_LONG_CAP] = len(long_cols.data)
+            state[ST_PEND_CAP] = len(pend) // 3
+            views = (
+                from_buffer("unsigned char[]", solver.lit_truth),
+                from_buffer("int32_t[]", solver._levels),
+                from_buffer("int32_t[]", solver._reasons),
+                from_buffer("int32_t[]", solver._trail),
+                from_buffer("int32_t[]", arena.data),
+                from_buffer("int64_t[]", arena.refs),
+                from_buffer("int32_t[]", self.bin.offs),
+                from_buffer("int32_t[]", self.bin.size),
+                from_buffer("int32_t[]", self.bin.data),
+                from_buffer("int32_t[]", self.tern.offs),
+                from_buffer("int32_t[]", self.tern.size),
+                from_buffer("int32_t[]", self.tern.data),
+                from_buffer("int32_t[]", long_cols.offs),
+                from_buffer("int32_t[]", long_cols.size),
+                from_buffer("int32_t[]", long_cols.caps),
+                from_buffer("int32_t[]", long_cols.data),
+                from_buffer("int32_t[]", pend),
+                from_buffer("int32_t[]", state),
+            )
+            result = bcp(*views)
+            for view in views:
+                release(view)  # un-export before any Python-side resize
+            if result == RET_NEED_GROW:
+                long_cols.used = state[ST_LONG_USED]
+                long_cols.reserve(state[ST_LONG_USED] + state[ST_GROW])
+                continue
+            if result == RET_NEED_PEND:
+                need = 3 * state[ST_GROW]
+                have = len(pend)
+                pend.frombytes(bytes(4 * (max(need, 2 * have) - have)))
+                continue
+            break
+        long_cols.used = state[ST_LONG_USED]
+        solver._qhead = state[ST_QHEAD]
+        solver._trail_len = state[ST_TRAIL_LEN]
+        solver.stats.propagations += state[ST_PROPS]
+        return result

@@ -1,0 +1,262 @@
+"""The pure-Python BCP kernel: always available, the semantics reference.
+
+A line-for-line port of the legacy ``CdclSolver._propagate`` onto the
+flat data plane — binary scan, ternary scan, then the two-phase long
+scan (read-only until the first watch move, compacting after) with the
+same blocker handling, the same in-place arena watch-position swaps and
+the same conflict exits.  Search behaviour is byte-identical to the
+legacy backend by construction; the differential fuzzer's backend legs
+pin it.
+
+This is also the reference the native kernel is validated against: the
+C scan is the same algorithm over the same memory, so any divergence is
+a kernel bug, never an ambiguity.
+"""
+
+from __future__ import annotations
+
+from repro.sat.kernel.base import BcpKernelBase
+
+
+class PythonBcpKernel(BcpKernelBase):
+    """Flat-array BCP over ``array`` state, in pure Python."""
+
+    name = "python"
+
+    def propagate(self) -> int:  # solcheck: hot
+        """Exhaust the implication queue; returns a conflicting clause
+        ID or -1.  Same hot-path discipline as the legacy loop: every
+        name in the inner loops is a local, every literal test one
+        subscript, propagation counts flushed to stats once on exit.
+        """
+        solver = self.solver
+        truth = solver.lit_truth
+        arena = solver._arena
+        adata = arena.data
+        arefs = arena.refs
+        trail = solver._trail
+        levels = solver._levels
+        reasons = solver._reasons
+        level = solver._decision_level
+        long_cols = self.long
+        l_off = long_cols.offs
+        l_size = long_cols.size
+        l_data = long_cols.data
+        append_long = long_cols.append2
+        b_off = self.bin.offs
+        b_size = self.bin.size
+        b_data = self.bin.data
+        t_off = self.tern.offs
+        t_size = self.tern.size
+        t_data = self.tern.data
+        # A table whose pool was never allocated has no entries and
+        # cannot gain any mid-call (attach happens outside propagate;
+        # long watch moves need an existing long block), so one local
+        # truthiness test replaces a per-literal size subscript.
+        b_any = self.bin.used
+        t_any = self.tern.used
+        l_any = long_cols.used
+        qhead = solver._qhead
+        trail_len = solver._trail_len
+        props = 0
+        while qhead < trail_len:
+            lit = trail[qhead]
+            qhead += 1
+            false_lit = lit ^ 1
+            n = b_size[false_lit] if b_any else 0
+            if n == 1:
+                # Most literals watch exactly one binary clause; skip
+                # the range construction for that dominant case.
+                e = b_off[false_lit]
+                implied = b_data[e + 1]
+                value = truth[implied]
+                if value == 2:
+                    props += 1
+                    truth[implied] = 1
+                    truth[implied ^ 1] = 0
+                    var = implied >> 1
+                    levels[var] = level
+                    reasons[var] = b_data[e]
+                    trail[trail_len] = implied
+                    trail_len += 1
+                elif value == 0:
+                    solver._qhead = qhead
+                    solver._trail_len = trail_len
+                    solver.stats.propagations += props
+                    return b_data[e]
+            elif n:
+                base = b_off[false_lit]
+                for e in range(base, base + 2 * n, 2):
+                    implied = b_data[e + 1]
+                    value = truth[implied]
+                    if value == 2:
+                        props += 1
+                        truth[implied] = 1
+                        truth[implied ^ 1] = 0
+                        var = implied >> 1
+                        levels[var] = level
+                        reasons[var] = b_data[e]
+                        trail[trail_len] = implied
+                        trail_len += 1
+                    elif value == 0:
+                        solver._qhead = qhead
+                        solver._trail_len = trail_len
+                        solver.stats.propagations += props
+                        return b_data[e]
+            n = t_size[false_lit] if t_any else 0
+            if n:
+                base = t_off[false_lit]
+                for e in range(base, base + 3 * n, 3):
+                    lit_a = t_data[e + 1]
+                    lit_b = t_data[e + 2]
+                    value_a = truth[lit_a]
+                    value_b = truth[lit_b]
+                    if value_a and value_b:
+                        # Neither companion false: nothing can happen.
+                        continue
+                    if value_a == 0:  # a is false
+                        if value_b == 2:
+                            props += 1
+                            truth[lit_b] = 1
+                            truth[lit_b ^ 1] = 0
+                            var = lit_b >> 1
+                            levels[var] = level
+                            reasons[var] = t_data[e]
+                            trail[trail_len] = lit_b
+                            trail_len += 1
+                        elif value_b == 0:
+                            solver._qhead = qhead
+                            solver._trail_len = trail_len
+                            solver.stats.propagations += props
+                            return t_data[e]
+                        # else: b is true — clause satisfied
+                    elif value_a == 2:  # b is false, a unassigned
+                        props += 1
+                        truth[lit_a] = 1
+                        truth[lit_a ^ 1] = 0
+                        var = lit_a >> 1
+                        levels[var] = level
+                        reasons[var] = t_data[e]
+                        trail[trail_len] = lit_a
+                        trail_len += 1
+                    # else: a is true — clause satisfied
+            if not l_any:
+                continue
+            n = l_size[false_lit]
+            if not n:
+                continue
+            wbase = l_off[false_lit]
+            # Phase 1 — read-only until the first watch move (see the
+            # legacy loop); the flat twist is that entries are 2-word
+            # groups at wbase + 2*i instead of tuples.
+            i = 0
+            while i < n:
+                eoff = wbase + 2 * i
+                if truth[l_data[eoff + 1]] == 1:
+                    i += 1
+                    continue
+                cid = l_data[eoff]
+                cbase = arefs[cid]
+                first = adata[cbase]
+                if first == false_lit:
+                    first = adata[cbase + 1]
+                    adata[cbase] = first
+                    adata[cbase + 1] = false_lit
+                first_truth = truth[first]
+                if first_truth == 1:
+                    l_data[eoff + 1] = first
+                    i += 1
+                    continue
+                end = cbase + adata[cbase - 1]
+                for k in range(cbase + 2, end):
+                    other = adata[k]
+                    if truth[other] != 0:
+                        adata[k] = adata[cbase + 1]
+                        adata[cbase + 1] = other
+                        append_long(other, cid, first)
+                        break
+                else:
+                    if first_truth == 2:
+                        props += 1
+                        truth[first] = 1
+                        truth[first ^ 1] = 0
+                        var = first >> 1
+                        levels[var] = level
+                        reasons[var] = cid
+                        trail[trail_len] = first
+                        trail_len += 1
+                        i += 1
+                        continue
+                    solver._qhead = qhead
+                    solver._trail_len = trail_len
+                    solver.stats.propagations += props
+                    return cid
+                # Watch moved: slot i is dropped — compact from here on.
+                j = i
+                i += 1
+                while i < n:
+                    eoff = wbase + 2 * i
+                    i += 1
+                    cid = l_data[eoff]
+                    blocker = l_data[eoff + 1]
+                    if truth[blocker] == 1:
+                        joff = wbase + 2 * j
+                        l_data[joff] = cid
+                        l_data[joff + 1] = blocker
+                        j += 1
+                        continue
+                    cbase = arefs[cid]
+                    first = adata[cbase]
+                    if first == false_lit:
+                        first = adata[cbase + 1]
+                        adata[cbase] = first
+                        adata[cbase + 1] = false_lit
+                    first_truth = truth[first]
+                    if first_truth == 1:
+                        joff = wbase + 2 * j
+                        l_data[joff] = cid
+                        l_data[joff + 1] = first
+                        j += 1
+                        continue
+                    end = cbase + adata[cbase - 1]
+                    for k in range(cbase + 2, end):
+                        other = adata[k]
+                        if truth[other] != 0:
+                            adata[k] = adata[cbase + 1]
+                            adata[cbase + 1] = other
+                            append_long(other, cid, first)
+                            break
+                    else:
+                        joff = wbase + 2 * j
+                        l_data[joff] = cid
+                        l_data[joff + 1] = blocker
+                        j += 1
+                        if first_truth == 2:
+                            props += 1
+                            truth[first] = 1
+                            truth[first ^ 1] = 0
+                            var = first >> 1
+                            levels[var] = level
+                            reasons[var] = cid
+                            trail[trail_len] = first
+                            trail_len += 1
+                        else:
+                            # Conflict: keep the untouched tail.
+                            while i < n:
+                                soff = wbase + 2 * i
+                                joff = wbase + 2 * j
+                                l_data[joff] = l_data[soff]
+                                l_data[joff + 1] = l_data[soff + 1]
+                                j += 1
+                                i += 1
+                            l_size[false_lit] = j
+                            solver._qhead = qhead
+                            solver._trail_len = trail_len
+                            solver.stats.propagations += props
+                            return cid
+                l_size[false_lit] = j
+                break
+        solver._qhead = qhead
+        solver._trail_len = trail_len
+        solver.stats.propagations += props
+        return -1

@@ -99,12 +99,15 @@ these; see ``benchmarks/solver_bench.py`` for the tracking numbers):
 from __future__ import annotations
 
 import time
+from array import array
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cnf.formula import CnfFormula
 from repro.sat.arena import (
     ClauseArena,
+    HEADER_WORDS,
+    ClauseArenaFullError,
     INACTIVE,
     LEARNED,
     STORAGE_MODES,
@@ -112,6 +115,7 @@ from repro.sat.arena import (
 )
 from repro.sat.cdg import ConflictDependencyGraph
 from repro.sat.heuristics import DecisionStrategy, VsidsStrategy
+from repro.sat.kernel import BCP_BACKENDS, create_kernel
 from repro.sat.stats import SolverStats
 from repro.sat.types import SolveOutcome, SolveResult
 
@@ -176,6 +180,16 @@ class SolverConfig:
     #: propagation backend consumes zero-copy).  Search behaviour is
     #: identical in both modes; see ``repro.sat.arena``.
     arena_storage: str = "fast"
+    #: Propagation backend (the BCP data plane; see
+    #: ``repro.sat.kernel``): ``"legacy"`` (the in-solver tuple-list
+    #: loop — the default), ``"python"`` (the flat-array kernel, pure
+    #: Python, always available) or ``"native"`` (the same scan
+    #: compiled via cffi — requires a C compiler on first use; probe
+    #: ``repro.sat.kernel.native_available()`` before requesting it).
+    #: Search behaviour is byte-identical across all three; the kernel
+    #: backends force ``arena_storage="compact"`` internally (the
+    #: zero-copy layout they alias).
+    bcp_backend: str = "legacy"
     #: Learned-clause export cap for portfolio solving
     #: (``repro.sat.portfolio``): learned clauses of at most this many
     #: literals are buffered for sharing with peer solvers — short
@@ -198,6 +212,10 @@ PHASE_MODES = ("default", "save", "inverted")
 #: Valid values of :attr:`SolverConfig.arena_storage` (re-exported from
 #: the arena module).
 ARENA_STORAGE_MODES = STORAGE_MODES
+
+#: Valid values of :attr:`SolverConfig.bcp_backend` (re-exported from
+#: the kernel package).
+SOLVER_BCP_BACKENDS = BCP_BACKENDS
 
 #: Clause-activity magnitude that triggers a rescale.  Single source of
 #: truth for both the inlined bump in ``_analyze`` and the out-of-line
@@ -267,9 +285,19 @@ class CdclSolver:
                 f"arena_storage must be one of {STORAGE_MODES}, "
                 f"got {self.config.arena_storage!r}"
             )
+        if self.config.bcp_backend not in BCP_BACKENDS:
+            raise ValueError(
+                f"bcp_backend must be one of {BCP_BACKENDS}, "
+                f"got {self.config.bcp_backend!r}"
+            )
         self.strategy = strategy or VsidsStrategy()
         self.num_vars = 0
         self.stats = SolverStats()
+        # The kernel backends alias the assignment state across the FFI
+        # boundary, so it must live in typed arrays; the legacy backend
+        # keeps the measured-faster Python lists.  Search behaviour is
+        # identical either way (both are subscripted int sequences).
+        kernel_mode = self.config.bcp_backend != "legacy"
 
         #: Per-*literal* truth values: 1 true, 0 false, 2 unassigned
         #: (2 rather than -1 so "not false" is plain truthiness).  The
@@ -277,10 +305,13 @@ class CdclSolver:
         #: trail grows or shrinks, so every literal test anywhere in
         #: the solver (and in the decision strategies) is one subscript.
         #: Public accessors (``value_of``, ``assigns``) translate the
-        #: internal 2 back to the conventional -1.
-        self.lit_truth: List[int] = []
-        self._levels: List[int] = []
-        self._reasons: List[int] = []
+        #: internal 2 back to the conventional -1.  A ``List[int]``
+        #: under the legacy backend, a ``bytearray`` under the kernel
+        #: backends (faster Python subscripting than ``array('b')``;
+        #: the C scan reads it as ``unsigned char``).
+        self.lit_truth: Sequence[int] = bytearray() if kernel_mode else []
+        self._levels: Sequence[int] = array("i") if kernel_mode else []
+        self._reasons: Sequence[int] = array("i") if kernel_mode else []
         # Last value each variable held before it was unassigned
         # (-1 = never assigned); the phase_mode="save" source.
         self._saved_phase: List[int] = []
@@ -303,7 +334,14 @@ class CdclSolver:
         self._watches_bin: List[List[Tuple[int, int, int, int]]] = []
         self._watches_tern: List[List[Tuple[int, int, int]]] = []
         self._lit_counts: List[int] = []  # original-clause literal counts
-        self._trail: List[int] = []
+        #: The trail: a dynamically grown list under the legacy
+        #: backend; under the kernel backends a *preallocated*
+        #: ``array('i')`` of ``_var_capacity`` slots whose live prefix
+        #: is ``_trail_len`` (the C scan appends by subscript, it
+        #: cannot grow a Python list).  ``_trail_len`` is maintained in
+        #: both modes; legacy keeps ``len(_trail) == _trail_len``.
+        self._trail: Sequence[int] = array("i") if kernel_mode else []
+        self._trail_len = 0
         self._trail_lim: List[int] = []
         self._qhead = 0
         self._decision_level = 0
@@ -312,7 +350,23 @@ class CdclSolver:
         #: The flat clause store: every clause's literals live here as
         #: one block; ``_arena.refs[cid]`` addresses them and
         #: ``_arena.activity`` is the per-clause activity column.
-        self._arena = ClauseArena(self.config.arena_storage)
+        #: The kernel backends force the compact (``array('i')``)
+        #: store — the clause memory they alias zero-copy; fast-vs-
+        #: compact search identity is pinned by the differential
+        #: fuzzer, so this changes no behaviour.
+        self._arena = ClauseArena(
+            "compact" if kernel_mode else self.config.arena_storage
+        )
+        #: The propagation kernel (None under the legacy backend).  Its
+        #: construction must precede ``ensure_num_vars`` (which grows
+        #: the kernel's watch columns alongside the per-var arrays);
+        #: ``bcp_backend="native"`` raises here, cleanly, on hosts
+        #: without cffi or a C compiler.
+        self._kernel = (
+            create_kernel(self, self.config.bcp_backend)
+            if kernel_mode
+            else None
+        )
         # Analysis-side literal views, one immutable tuple per clause.
         # Conflict analysis is literal-ORDER-blind (seen-marking makes
         # duplicates and permutations irrelevant), and a clause's
@@ -431,13 +485,20 @@ class CdclSolver:
             self._saved_phase.extend([-1] * grow)
             self._seen.extend(bytes(grow))
             self._lit_counts.extend([0] * (2 * grow))
-            watches = self._watches
-            watches_bin = self._watches_bin
-            watches_tern = self._watches_tern
-            for _ in range(2 * grow):
-                watches.append([])
-                watches_bin.append([])
-                watches_tern.append([])
+            if self._kernel is None:
+                watches = self._watches
+                watches_bin = self._watches_bin
+                watches_tern = self._watches_tern
+                for _ in range(2 * grow):
+                    watches.append([])
+                    watches_bin.append([])
+                    watches_tern.append([])
+            else:
+                # Preallocate trail slots to physical capacity (the
+                # kernels append by subscript) and size the flat watch
+                # columns; the legacy tuple tables stay empty.
+                self._trail.extend([0] * grow)
+                self._kernel.grow(2 * new_cap)
             self._var_capacity = new_cap
         self.num_vars = count
 
@@ -569,8 +630,16 @@ class CdclSolver:
         watches_bin = self._watches_bin
         watches_tern = self._watches_tern
         watches = self._watches
+        kernel = self._kernel
+        kernel_attach = None if kernel is None else kernel.attach
         num_literals = 0
         next_cid = len(arefs)
+        # This loop appends to the arena word store directly (no
+        # per-clause ``arena.add`` call), so it must also enforce the
+        # arena's word ceiling itself — a running count against the
+        # hoisted limit keeps the guard O(1) per clause.
+        word_limit = arena.word_limit
+        words = len(adata)
         for clause in self._formula.clauses:
             lits = clause.literals
             n = len(lits)
@@ -594,6 +663,9 @@ class CdclSolver:
                 lits = tuple(dict.fromkeys(lits))
                 n = len(lits)
                 taut = _is_tautology(lits)
+            words += HEADER_WORDS + n
+            if words > word_limit:
+                raise ClauseArenaFullError(arena.full_message(words))
             cid = next_cid
             next_cid += 1
             original_append(cid)
@@ -626,7 +698,9 @@ class CdclSolver:
             if not clean:
                 self._install_assigned(cid, list(lits))
                 continue
-            if n == 2:
+            if kernel_attach is not None:
+                kernel_attach(cid, lits)
+            elif n == 2:
                 a, b = lits
                 watches_bin[a].append((cid, b, b ^ 1, b >> 1))
                 watches_bin[b].append((cid, a, a ^ 1, a >> 1))
@@ -741,6 +815,9 @@ class CdclSolver:
             data[base + i] = lit
 
     def _attach_clause(self, cid: int, lits: Sequence[int]) -> None:
+        if self._kernel is not None:
+            self._kernel.attach(cid, lits)
+            return
         if len(lits) == 2:
             a, b = lits
             self._watches_bin[a].append((cid, b, b ^ 1, b >> 1))
@@ -849,7 +926,11 @@ class CdclSolver:
         var = lit >> 1
         self._levels[var] = self._decision_level
         self._reasons[var] = reason
-        self._trail.append(lit)
+        if self._kernel is None:
+            self._trail.append(lit)
+        else:
+            self._trail[self._trail_len] = lit
+        self._trail_len += 1
 
     def _backtrack(self, level: int) -> None:
         if self._decision_level <= level:
@@ -858,7 +939,7 @@ class CdclSolver:
         truth = self.lit_truth
         saved = self._saved_phase
         trail = self._trail
-        undone = trail[limit:]
+        undone = trail[limit:self._trail_len]
         for lit in undone:
             saved[lit >> 1] = 1 ^ (lit & 1)
             truth[lit] = 2
@@ -870,7 +951,11 @@ class CdclSolver:
         # overwritten by the next assignment.  Level-0 entries are
         # never undone, so a stale level is always >= 1 and can never
         # masquerade as a root fact.
-        del trail[limit:]
+        if self._kernel is None:
+            del trail[limit:]
+        # Kernel mode: entries past _trail_len are dead capacity, the
+        # next assignments overwrite them in place.
+        self._trail_len = limit
         del self._trail_lim[level:]
         self._qhead = limit
         self._decision_level = level
@@ -894,7 +979,14 @@ class CdclSolver:
         literal whose satisfaction skips the clause without touching
         the arena; propagation counts accumulate locally and are
         flushed to ``stats`` once on exit.
+
+        Under a kernel backend (``config.bcp_backend != "legacy"``)
+        the whole call is delegated across the seam — same contract,
+        flat data plane (see ``repro.sat.kernel``).
         """
+        kernel = self._kernel
+        if kernel is not None:
+            return kernel.propagate()
         truth = self.lit_truth
         adata = self._arena.data
         arefs = self._arena.refs
@@ -927,6 +1019,7 @@ class CdclSolver:
                         trail_len += 1
                     elif value == 0:
                         self._qhead = qhead
+                        self._trail_len = trail_len
                         self.stats.propagations += props
                         return cid
             entries = watches_tern[false_lit]
@@ -952,6 +1045,7 @@ class CdclSolver:
                             trail_len += 1
                         elif value_b == 0:
                             self._qhead = qhead
+                            self._trail_len = trail_len
                             self.stats.propagations += props
                             return cid
                         # else: b is true — clause satisfied
@@ -1015,6 +1109,7 @@ class CdclSolver:
                         i += 1
                         continue
                     self._qhead = qhead
+                    self._trail_len = trail_len
                     self.stats.propagations += props
                     return cid
                 # Watch moved: slot i is dropped — compact from here on.
@@ -1067,11 +1162,13 @@ class CdclSolver:
                                 i += 1
                             del watch_list[j:]
                             self._qhead = qhead
+                            self._trail_len = trail_len
                             self.stats.propagations += props
                             return cid
                 del watch_list[j:]
                 break
         self._qhead = qhead
+        self._trail_len = trail_len
         self.stats.propagations += props
         return -1
 
@@ -1166,7 +1263,7 @@ class CdclSolver:
         counter = 0
         p = -1
         cid = conflict_cid
-        idx = len(trail) - 1
+        idx = self._trail_len - 1
         rescale_limit = ACTIVITY_RESCALE_LIMIT
 
         while True:
@@ -1537,8 +1634,7 @@ class CdclSolver:
         not lost — they stay below the watermark and count toward the
         next batch).
         """
-        trail = self._trail
-        limit = self._trail_lim[0] if self._trail_lim else len(trail)
+        limit = self._trail_lim[0] if self._trail_lim else self._trail_len
         if limit - self._root_prune_watermark < _PRUNE_MIN_NEW_FACTS:
             return
         self._root_prune_watermark = limit
@@ -1571,6 +1667,9 @@ class CdclSolver:
         """Remove every watch entry whose clause ID is in ``dropped``,
         compacting each list in place (surviving order preserved — the
         propagation order of the remaining entries is untouched)."""
+        if self._kernel is not None:
+            self._kernel.drop_clauses(dropped)
+            return
         for table in (self._watches, self._watches_bin, self._watches_tern):
             for watch_list in table:
                 if watch_list:
@@ -1591,6 +1690,9 @@ class CdclSolver:
         return len(self._root_pruned)
 
     def _detach_clause(self, cid: int) -> None:
+        if self._kernel is not None:
+            self._kernel.detach(cid)
+            return
         adata = self._arena.data
         base = self._arena.refs[cid]
         n = adata[base - 1]
@@ -1685,7 +1787,6 @@ class CdclSolver:
         saved_phase = self._saved_phase
         truth = self.lit_truth
         stats = self.stats
-        trail = self._trail
         num_vars = self.num_vars
         num_assumptions = len(self._assumptions)
         decide = self.strategy.decide
@@ -1766,13 +1867,13 @@ class CdclSolver:
                     return self._failed_assumption_outcome(lit)
                 # Open a level even if already true, so level indices and
                 # assumption indices stay aligned.
-                self._trail_lim.append(len(trail))
+                self._trail_lim.append(self._trail_len)
                 self._decision_level += 1
                 if value == 2:
                     self._enqueue(lit, -1)
                 continue
 
-            if len(trail) == num_vars:
+            if self._trail_len == num_vars:
                 # Every variable is assigned: SAT without asking the
                 # strategy (saves draining the whole decision heap of
                 # its propagation-assigned variables one pop at a time).
@@ -1799,7 +1900,7 @@ class CdclSolver:
                 and stats.decisions > config.max_decisions
             ):
                 return SolveOutcome(status=SolveResult.UNKNOWN)
-            self._trail_lim.append(len(trail))
+            self._trail_lim.append(self._trail_len)
             self._decision_level += 1
             if self._decision_level > self.stats.max_decision_level:
                 self.stats.max_decision_level = self._decision_level
@@ -1902,8 +2003,10 @@ class CdclSolver:
     def _sat_outcome(self) -> SolveOutcome:
         # The model is the positive-literal column of the truth table
         # (one stride-2 slice, not a per-variable subscript loop);
-        # unassigned variables default to 0.
-        model = self.lit_truth[0:2 * self.num_vars:2]
+        # unassigned variables default to 0.  ``list(...)`` normalizes
+        # the kernel backends' ``bytearray`` slice to the list the
+        # SolveOutcome contract promises.
+        model = list(self.lit_truth[0:2 * self.num_vars:2])
         if 2 in model:  # C-speed scan; all-assigned is the common case
             model = [0 if value == 2 else value for value in model]
         if self.config.check_model and not self._model_check(model):

@@ -1,0 +1,59 @@
+"""Byte-identity pin: the BCP kernels may not change the search.
+
+The kernel backends (PR 7) replace the propagation *data plane* — tuple
+watch tables become flat ``array('i')`` columns, optionally scanned in
+C — but the algorithm, the watch-list order discipline and every tie
+break are the legacy ones.  So the whole Table-1 pipeline (BMC
+unrolling, incremental solving, strategy reordering, restarts, clause
+reduction) must produce byte-identical search counters under every
+backend.
+
+Two pins, on the same 4-row subset ``test_pr5_identity.py`` uses:
+
+* every kernel backend's counters equal the legacy run's, and
+* the legacy run still equals the PR 5 baseline capture — so a kernel
+  PR cannot "pass" by moving legacy and kernel in lockstep.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.sat.kernel import native_available
+from repro.workloads.suite import small_suite
+
+BASELINE = Path(__file__).resolve().parent.parent / "data" / "table1_pr5_baseline.json"
+
+#: Search-derived counters only (times are wall-clock, not search state).
+_PINNED_FIELDS = ("status", "depth_reached", "decisions", "implications", "conflicts")
+
+
+def _counters(report):
+    return {
+        row.instance.name: {
+            method: {
+                field: getattr(result, field) for field in _PINNED_FIELDS
+            }
+            for method, result in row.results.items()
+        }
+        for row in report.rows
+    }
+
+
+@pytest.mark.slow
+def test_table1_subset_identical_across_backends():
+    expected = json.loads(BASELINE.read_text())
+    rows = [r for r in small_suite() if r.name in expected]
+    assert {r.name for r in rows} == set(expected), "baseline rows missing from suite"
+
+    legacy = _counters(run_table1(rows=rows, bcp_backend="legacy"))
+    assert legacy == expected, "legacy run drifted from the PR 5 baseline"
+
+    backends = ["python"] + (["native"] if native_available() else [])
+    for backend in backends:
+        counters = _counters(run_table1(rows=rows, bcp_backend=backend))
+        assert counters == legacy, f"{backend} kernel changed the search"

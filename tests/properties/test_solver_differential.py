@@ -29,6 +29,15 @@ counterexample can be regenerated in isolation.  The environment knobs:
     200, a prefix of the local run).
 ``FUZZ_SEED``
     Base seed (default 20040607).
+``FUZZ_BACKENDS``
+    Comma-separated BCP backends to leg against the legacy loop
+    (default ``python,native``).  Each named backend re-runs every
+    instance under ``SolverConfig(bcp_backend=...)`` and must be
+    *search-identical* — same verdict, same
+    decisions/propagations/conflicts/learned counts, same model.  The
+    ``native`` leg is silently dropped on hosts where the compiled
+    kernel cannot be built (no cffi / no C compiler); set
+    ``FUZZ_BACKENDS=python`` (or ``""``) to trim the run.
 
 The total instance count is printed at the end of the run ("count
 logged" — run with ``-s`` to see it live).
@@ -57,10 +66,22 @@ from repro.sat import (
     VsidsStrategy,
     check_proof,
 )
+from repro.sat.kernel import native_available
 from repro.sat.types import SolveResult
 
 FUZZ_INSTANCES = int(os.environ.get("FUZZ_INSTANCES", "2000"))
 FUZZ_SEED = int(os.environ.get("FUZZ_SEED", "20040607"))
+
+#: BCP backends legged against the legacy loop on every instance
+#: (``native`` is dropped, not failed, when it cannot be built here).
+FUZZ_BACKENDS = tuple(
+    backend
+    for backend in (
+        name.strip()
+        for name in os.environ.get("FUZZ_BACKENDS", "python,native").split(",")
+    )
+    if backend and (backend != "native" or native_available())
+)
 
 #: How many chunks the run is split into (separate pytest cases, so a
 #: failure localises to a ~FUZZ_INSTANCES/CHUNKS window of indices).
@@ -240,6 +261,38 @@ def run_one(index: int):
             f"{ctx}: compact arena model differs"
         )
 
+    # Backend legs (PR 7): every enabled BCP kernel must run the exact
+    # same search as the legacy tuple-table loop — the kernels are a
+    # data-plane swap, never a heuristic change.
+    for backend in FUZZ_BACKENDS:
+        rng_kernel = random.Random(FUZZ_SEED + index + 1_000_000)
+        production_kernel, _ = _strategy_pairs(
+            rng_kernel, formula.num_vars, strategy_kind
+        )
+        kernel_outcome = CdclSolver(
+            formula,
+            strategy=production_kernel,
+            config=replace(config, bcp_backend=backend),
+        ).solve()
+        assert kernel_outcome.status is outcome.status, (
+            f"{ctx}: {backend} kernel verdict differs"
+        )
+        assert (
+            kernel_outcome.stats.decisions,
+            kernel_outcome.stats.propagations,
+            kernel_outcome.stats.conflicts,
+            kernel_outcome.stats.learned_clauses,
+        ) == (
+            outcome.stats.decisions,
+            outcome.stats.propagations,
+            outcome.stats.conflicts,
+            outcome.stats.learned_clauses,
+        ), f"{ctx}: {backend} kernel search diverged from legacy"
+        if outcome.status is SolveResult.SAT:
+            assert kernel_outcome.model == outcome.model, (
+                f"{ctx}: {backend} kernel model differs"
+            )
+
     if outcome.status is SolveResult.SAT:
         assert formula.evaluate(outcome.model), f"{ctx}: model does not satisfy"
         is_sat = True
@@ -335,14 +388,28 @@ def run_one_incremental(index: int) -> None:
     config = SolverConfig(phase_mode=phase_mode, minimize_learned=minimize)
     num_vars = rng.randint(4, 10)
     incremental = CdclSolver(CnfFormula(num_vars), config=config)
+    # Kernel twins driven through the identical call sequence: this is
+    # the leg that exercises kernel grow() (ensure_num_vars between
+    # solves) and incremental attach on a warm watch layout.
+    kernel_twins = {
+        backend: CdclSolver(
+            CnfFormula(num_vars),
+            config=replace(config, bcp_backend=backend),
+        )
+        for backend in FUZZ_BACKENDS
+    }
     accumulated: list = []
     for step in range(rng.randint(2, 4)):
         grow = rng.randint(0, 2)
         if grow:
             num_vars += grow
             incremental.ensure_num_vars(num_vars)
+            for twin in kernel_twins.values():
+                twin.ensure_num_vars(num_vars)
         for clause in _random_batch(rng, num_vars, rng.randint(1, num_vars)):
             incremental.add_clause(clause)
+            for twin in kernel_twins.values():
+                twin.add_clause(clause)
             accumulated.append(clause)
         max_assumed = rng.randint(0, min(3, num_vars))
         assumptions = [
@@ -353,6 +420,33 @@ def run_one_incremental(index: int) -> None:
         outcome = incremental.solve(
             assumptions=assumptions, strategy=VsidsStrategy()
         )
+        for backend, twin in kernel_twins.items():
+            twin_outcome = twin.solve(
+                assumptions=assumptions, strategy=VsidsStrategy()
+            )
+            assert twin_outcome.status is outcome.status, (
+                f"{ctx}: {backend} kernel twin verdict differs"
+            )
+            assert (
+                twin_outcome.stats.decisions,
+                twin_outcome.stats.propagations,
+                twin_outcome.stats.conflicts,
+                twin_outcome.stats.learned_clauses,
+            ) == (
+                outcome.stats.decisions,
+                outcome.stats.propagations,
+                outcome.stats.conflicts,
+                outcome.stats.learned_clauses,
+            ), f"{ctx}: {backend} kernel twin search diverged"
+            if outcome.status is SolveResult.SAT:
+                assert twin_outcome.model == outcome.model, (
+                    f"{ctx}: {backend} kernel twin model differs"
+                )
+            else:
+                assert (twin_outcome.status is SolveResult.UNSAT) and (
+                    (twin.failed_assumptions or frozenset())
+                    == (incremental.failed_assumptions or frozenset())
+                ), f"{ctx}: {backend} kernel twin failed-assumption set differs"
         formula = _accumulated_formula(num_vars, accumulated)
         reference = CdclSolver(formula, config=config).solve(
             assumptions=assumptions

@@ -14,7 +14,13 @@ import pytest
 
 from repro.cnf import CnfFormula, mk_lit
 from repro.sat import CdclSolver, ClauseArena, SolverConfig
-from repro.sat.arena import HEADER_WORDS, INACTIVE, LEARNED, TOMBSTONE
+from repro.sat.arena import (
+    HEADER_WORDS,
+    INACTIVE,
+    LEARNED,
+    TOMBSTONE,
+    ClauseArenaFullError,
+)
 from repro.workloads.cnf_families import pigeonhole
 from tests.conftest import random_formula
 
@@ -167,3 +173,67 @@ class TestSolverIntegration:
         fp = solver.arena_footprint()
         assert fp["clauses"] == pigeonhole(4).num_clauses
         assert fp["dead_words"] == 0
+
+
+class TestArenaCapacity:
+    """The word-limit ratchet (PR 7 satellite): past ``word_limit``
+    words the arena refuses cleanly instead of corrupting 32-bit
+    offset arithmetic.  The ceiling is mocked small — constructing a
+    2-billion-word store to test the real one is not an option."""
+
+    def test_add_raises_clean_memory_error_at_ceiling(self, monkeypatch):
+        monkeypatch.setattr(ClauseArena, "word_limit", 16)
+        arena = ClauseArena()
+        arena.add((0, 2, 5))        # 5 words
+        arena.add((4, 7, 9, 11))    # 11 words
+        with pytest.raises(ClauseArenaFullError) as excinfo:
+            arena.add((1, 3, 5, 7))  # would be 17 > 16
+        message = str(excinfo.value)
+        assert "clause arena full" in message
+        assert "17 words" in message
+        assert "capped at 16" in message
+        assert "footprint" in message
+        # The refusal is a MemoryError (the advertised contract) and
+        # left the store untouched — same clause count, same words,
+        # and the arena still works below the ceiling.
+        assert isinstance(excinfo.value, MemoryError)
+        assert len(arena) == 2
+        assert len(arena.data) == 11
+        cid = arena.add((8,))  # 14 words: still fits
+        assert arena.literals(cid) == (8,)
+
+    @pytest.mark.parametrize("storage", ["fast", "compact"])
+    def test_ceiling_enforced_under_both_stores(self, storage, monkeypatch):
+        monkeypatch.setattr(ClauseArena, "word_limit", 8)
+        arena = ClauseArena(storage)
+        arena.add((0, 2))
+        with pytest.raises(MemoryError):
+            arena.add((4, 6, 8))
+
+    def test_solver_bulk_install_hits_ceiling(self, monkeypatch):
+        # The constructor's bulk install bypasses arena.add for speed;
+        # it must enforce the same ceiling with the same error.
+        monkeypatch.setattr(ClauseArena, "word_limit", 12)
+        formula = CnfFormula(4)
+        formula.add_clause([0, 2, 4])  # 5 words
+        formula.add_clause([1, 3, 5])  # 10 words
+        formula.add_clause([2, 4, 6])  # would be 15 > 12
+        with pytest.raises(ClauseArenaFullError, match="clause arena full"):
+            CdclSolver(formula).solve()
+
+    @pytest.mark.parametrize(
+        "backend", ["legacy", "python"]
+    )
+    def test_incremental_add_clause_hits_ceiling(self, backend, monkeypatch):
+        monkeypatch.setattr(ClauseArena, "word_limit", 10)
+        solver = CdclSolver(
+            CnfFormula(3), config=SolverConfig(bcp_backend=backend)
+        )
+        solver.add_clause([0, 2, 4])  # 5 words
+        with pytest.raises(MemoryError, match="clause arena full"):
+            solver.add_clause([1, 3, 5, 0])  # would be 11 > 10
+
+    def test_real_ceiling_is_int32_max(self):
+        from repro.sat.arena import WORD_LIMIT
+
+        assert ClauseArena.word_limit == WORD_LIMIT == 2**31 - 1
