@@ -405,54 +405,81 @@ def measure_kernel_bcp(repeat: int) -> Dict[str, float]:
       acceptance bars: python >= 0.9x, native >= 2.0x).
       ``native_vs_legacy`` is 0.0 on hosts that cannot build the
       native kernel (no cffi / no C compiler) — reported, not failed.
+    * ``trace_on_propagations_per_sec`` / ``trace_overhead`` — the same
+      python-kernel workload with binary trace telemetry
+      (``SolverConfig.trace_path``, PR 8) writing to a temp file, and
+      its throughput as a fraction of the tracing-off rate.  Reported
+      only; the *gated* metric is the tracing-off rate, so the smoke
+      gate prices the disabled path (one ``is not None`` per event
+      site) staying within noise of the pre-trace baseline.
+    * ``trace_events_per_sec`` / ``trace_bytes_per_event`` — encoder
+      throughput and trace density for the tracing-on leg.
     """
     import gc
+    import os
+    import tempfile
 
     from repro.sat.kernel import native_available
 
     backends = ["legacy", "python"]
     if native_available():
         backends.append("native")
+    legs = backends + ["trace"]
+    tmp = tempfile.NamedTemporaryFile(suffix=".rtrc", delete=False)
+    tmp.close()
     rates: Dict[str, Dict[str, float]] = {}
-    # One solve is only ~tens of ms, so rounds are cheap; run the
-    # backends back to back inside each round (instead of a block per
-    # backend) so load drift on a busy machine hits every backend of a
-    # round alike and the best-of ratios stay stable.
-    for _ in range(max(repeat, 5)):
-        for backend in backends:
-            formula = implication_ladder(60000)
-            # check_model=False: the workload isolates the propagation
-            # data plane, and the O(formula) model sweep would dilute
-            # every backend's rate by the same additive constant.
-            config = replace(
-                SolverConfig(record_cdg=False, check_model=False),
-                arena_storage=ARENA_STORAGE,
-                bcp_backend=backend,
-            )
-            solver = CdclSolver(formula, config=config)
-            gc.collect()
-            gc_was_enabled = gc.isenabled()
-            gc.disable()
-            try:
-                start = time.perf_counter()
-                solver.solve()
-                elapsed = time.perf_counter() - start
-            finally:
-                if gc_was_enabled:
-                    gc.enable()
-            stats = solver.stats
-            best = rates.get(backend)
-            if best is None or elapsed < best["time_s"]:
-                rates[backend] = {
-                    "time_s": elapsed,
-                    "propagations": stats.propagations,
-                    "propagations_per_sec": (
-                        stats.propagations / elapsed if elapsed else 0.0
-                    ),
-                }
+    try:
+        # One solve is only ~tens of ms, so rounds are cheap; run the
+        # backends back to back inside each round (instead of a block per
+        # backend) so load drift on a busy machine hits every backend of a
+        # round alike and the best-of ratios stay stable.
+        for _ in range(max(repeat, 5)):
+            for leg in legs:
+                backend = "python" if leg == "trace" else leg
+                formula = implication_ladder(60000)
+                # check_model=False: the workload isolates the propagation
+                # data plane, and the O(formula) model sweep would dilute
+                # every backend's rate by the same additive constant.
+                config = replace(
+                    SolverConfig(record_cdg=False, check_model=False),
+                    arena_storage=ARENA_STORAGE,
+                    bcp_backend=backend,
+                    trace_path=tmp.name if leg == "trace" else None,
+                )
+                solver = CdclSolver(formula, config=config)
+                gc.collect()
+                gc_was_enabled = gc.isenabled()
+                gc.disable()
+                try:
+                    start = time.perf_counter()
+                    solver.solve()
+                    elapsed = time.perf_counter() - start
+                finally:
+                    if gc_was_enabled:
+                        gc.enable()
+                stats = solver.stats
+                best = rates.get(leg)
+                if best is None or elapsed < best["time_s"]:
+                    rates[leg] = {
+                        "time_s": elapsed,
+                        "propagations": stats.propagations,
+                        "propagations_per_sec": (
+                            stats.propagations / elapsed if elapsed else 0.0
+                        ),
+                    }
+                    if leg == "trace":
+                        rates[leg]["trace_bytes"] = os.path.getsize(tmp.name)
+    finally:
+        trace_bytes = rates.get("trace", {}).get("trace_bytes", 0.0)
+        os.unlink(tmp.name)
     legacy_rate = rates["legacy"]["propagations_per_sec"]
     python_rate = rates["python"]["propagations_per_sec"]
     native_rate = rates.get("native", {}).get("propagations_per_sec", 0.0)
+    trace_rate = rates["trace"]["propagations_per_sec"]
+    # Event count ~= propagations + one END; decode-side event counting
+    # would double the leg's cost for a number this close.
+    trace_events = rates["trace"]["propagations"]
+    trace_time = rates["trace"]["time_s"]
     return {
         "time_s": rates["python"]["time_s"],
         "decisions": 0,
@@ -464,6 +491,14 @@ def measure_kernel_bcp(repeat: int) -> Dict[str, float]:
         "python_vs_legacy": python_rate / legacy_rate if legacy_rate else 0.0,
         "native_vs_legacy": native_rate / legacy_rate if legacy_rate else 0.0,
         "native_available": float(native_rate > 0.0),
+        "trace_on_propagations_per_sec": trace_rate,
+        "trace_overhead": trace_rate / python_rate if python_rate else 0.0,
+        "trace_events_per_sec": (
+            trace_events / trace_time if trace_time else 0.0
+        ),
+        "trace_bytes_per_event": (
+            trace_bytes / trace_events if trace_events else 0.0
+        ),
     }
 
 
@@ -512,6 +547,9 @@ def run_bench(repeat: int) -> Dict[str, Dict[str, float]]:
                 line += f"  native x{sample['native_vs_legacy']:.2f} vs legacy"
             else:
                 line += "  (native kernel unavailable here)"
+        if "trace_overhead" in sample:
+            line += (f"  tracing-on x{sample['trace_overhead']:.2f} "
+                     f"({sample['trace_bytes_per_event']:.2f} B/event)")
         print(line)
     return results
 

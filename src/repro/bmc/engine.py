@@ -10,7 +10,9 @@ variables back into the next instance's ordering.
 
 from __future__ import annotations
 
+import os
 import time
+from dataclasses import replace as dc_replace
 from typing import Callable, Optional
 
 from repro.circuit.netlist import Circuit
@@ -103,6 +105,8 @@ class BmcEngine:
         time_budget: Optional[float] = None,
         verify_traces: bool = True,
         unroller: Optional[Unroller] = None,
+        trace_dir: Optional[str] = None,
+        trace_name: str = "bmc",
     ) -> None:
         if max_depth < start_depth:
             raise ValueError("max_depth must be >= start_depth")
@@ -112,6 +116,13 @@ class BmcEngine:
         self.start_depth = start_depth
         self.strategy_factory = strategy_factory
         self.solver_config = solver_config or SolverConfig()
+        #: Binary solver-trace telemetry (repro.sat.trace): when set,
+        #: each depth's solve writes ``{trace_name}_d{k:03d}.rtrc``
+        #: under this directory (one solver per depth, so one trace per
+        #: depth).  Engines that replace ``_solve_depth`` wholesale
+        #: (the portfolio row race) do not route through this seam.
+        self.trace_dir = trace_dir
+        self.trace_name = trace_name
         self.time_budget = time_budget
         self.verify_traces = verify_traces
         self.unroller = resolve_unroller(circuit, property_net, use_coi, unroller)
@@ -137,8 +148,16 @@ class BmcEngine:
         and trace handling in :meth:`run` stay shared.
         """
         strategy = self.strategy_factory(instance, k)
+        config = self.solver_config
+        if self.trace_dir is not None:
+            config = dc_replace(
+                config,
+                trace_path=os.path.join(
+                    self.trace_dir, f"{self.trace_name}_d{k:03d}.rtrc"
+                ),
+            )
         solver = CdclSolver(
-            instance.formula, strategy=strategy, config=self.solver_config
+            instance.formula, strategy=strategy, config=config
         )
         if self.solver_hook is not None:
             self.solver_hook(solver, k)

@@ -93,6 +93,8 @@ class RefineOrderBmc(BmcEngine):
         time_budget: Optional[float] = None,
         verify_traces: bool = True,
         unroller=None,
+        trace_dir: Optional[str] = None,
+        trace_name: str = "bmc",
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -120,6 +122,8 @@ class RefineOrderBmc(BmcEngine):
             time_budget=time_budget,
             verify_traces=verify_traces,
             unroller=unroller,
+            trace_dir=trace_dir,
+            trace_name=trace_name,
         )
 
     def _make_strategy(self, instance: BmcInstance, k: int) -> DecisionStrategy:

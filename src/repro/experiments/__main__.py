@@ -71,6 +71,13 @@ def main(argv=None) -> int:
         "via cffi; requires a C compiler — search-identical either way)",
     )
     parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="binary solver-trace telemetry for Table-1 runs: write one "
+        "versioned trace per (row, method, depth) into DIR (created if "
+        "missing); inspect with `python -m repro.trace FILE` "
+        "(see repro.sat.trace for the format)",
+    )
+    parser.add_argument(
         "--portfolio", action="store_true",
         help="add a 'portfolio' column to Table 1: race all strategies "
         "per depth with learned-clause sharing (repro.bmc.portfolio); "
@@ -113,6 +120,7 @@ def main(argv=None) -> int:
             portfolio_opts=(
                 {"deterministic": True} if args.portfolio_deterministic else None
             ),
+            trace_dir=args.trace,
         )
     if want in ("table1", "all"):
         print(report.render())

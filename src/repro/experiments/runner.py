@@ -109,6 +109,7 @@ def make_engine(
     arena_storage: Optional[str] = None,
     bcp_backend: Optional[str] = None,
     portfolio_opts: Optional[Dict] = None,
+    trace_dir: Optional[str] = None,
 ) -> BmcEngine:
     """Build the BMC engine for a suite row under a named strategy.
 
@@ -120,7 +121,11 @@ def make_engine(
     ``--bcp-backend`` land here).  ``portfolio_opts`` are extra keyword
     arguments for :class:`~repro.bmc.portfolio.PortfolioBmcEngine` when
     ``strategy`` is ``"portfolio"`` (e.g. ``deterministic=True``),
-    ignored otherwise.
+    ignored otherwise.  ``trace_dir`` enables binary solver-trace
+    telemetry (``repro.sat.trace``): each depth's solve writes
+    ``{instance}_{strategy}_d{k:03d}.rtrc`` into that directory (not
+    routed through the portfolio engine, whose row race replaces the
+    per-depth solve).
     """
     if encoding_cache is _DEFAULT_CACHE:
         encoding_cache = default_encoding_cache()
@@ -145,6 +150,9 @@ def make_engine(
         use_coi=use_coi,
         unroller=unroller,
     )
+    if trace_dir is not None and strategy != "portfolio":
+        common["trace_dir"] = trace_dir
+        common["trace_name"] = f"{instance.name}_{strategy}"
     if strategy == "bmc":
         return BmcEngine(circuit, prop, **common)
     if strategy == "portfolio":

@@ -11,6 +11,7 @@ of improved circuits).
 from __future__ import annotations
 
 import io
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -189,6 +190,7 @@ def run_table1(
     bcp_backend: Optional[str] = None,
     portfolio: bool = False,
     portfolio_opts: Optional[dict] = None,
+    trace_dir: Optional[str] = None,
 ) -> Table1Report:
     """Run the full Table 1 experiment (or a subset of rows).
 
@@ -203,6 +205,9 @@ def run_table1(
     same row expectations; with ``jobs`` > 1 the pool switches to
     non-daemonic workers so each race can spawn its own solver
     processes (``repro.experiments.parallel`` nested dispatch).
+    ``trace_dir`` writes one binary solver trace per (row, method,
+    depth) into that directory (created if missing); see
+    ``repro.sat.trace`` and ``python -m repro.trace``.
     """
     suite = list(rows) if rows is not None else table1_suite()
     methods = tuple(methods)
@@ -218,6 +223,9 @@ def run_table1(
         extra["bcp_backend"] = bcp_backend
     if portfolio_opts is not None:
         extra["portfolio_opts"] = portfolio_opts
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        extra["trace_dir"] = trace_dir
 
     def progress(r: InstanceResult) -> None:
         print(

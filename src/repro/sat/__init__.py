@@ -16,6 +16,11 @@ Public surface:
   verification.
 * :class:`ClauseArena` — the flat literal store every clause lives in
   (see ``docs/architecture.md`` for the memory layout).
+* Trace telemetry: :class:`TraceWriter` / :class:`TraceReader` /
+  :class:`TraceEvent` / :class:`TraceState` (``repro.sat.trace``) and
+  :func:`replay_trace` / :class:`ReplayReport` (``repro.sat.replay``)
+  — the binary solver-trace format and its replay oracle; enable via
+  ``SolverConfig.trace_path`` / ``trace_events``.
 """
 
 from repro.sat.activity_heap import VariableActivityHeap
@@ -53,7 +58,22 @@ from repro.sat.elimination import EliminationResult, eliminate_variables
 from repro.sat.proof import drup_str, write_drup
 from repro.sat.simplify import SimplifyResult, simplify
 from repro.sat.trim import TrimResult, trim_core
+from repro.sat.replay import (
+    ReplayReport,
+    ReplayStrategy,
+    TraceExhausted,
+    replay_trace,
+)
 from repro.sat.stats import SolverStats
+from repro.sat.trace import (
+    TraceError,
+    TraceEvent,
+    TraceFormatError,
+    TraceReader,
+    TraceState,
+    TraceVersionError,
+    TraceWriter,
+)
 from repro.sat.types import SolveOutcome, SolveResult
 
 __all__ = [
@@ -95,4 +115,15 @@ __all__ = [
     "SharedClauseBus",
     "default_members",
     "solve_portfolio",
+    "TraceWriter",
+    "TraceReader",
+    "TraceEvent",
+    "TraceState",
+    "TraceError",
+    "TraceFormatError",
+    "TraceVersionError",
+    "ReplayStrategy",
+    "ReplayReport",
+    "TraceExhausted",
+    "replay_trace",
 ]

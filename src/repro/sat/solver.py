@@ -117,6 +117,15 @@ from repro.sat.cdg import ConflictDependencyGraph
 from repro.sat.heuristics import DecisionStrategy, VsidsStrategy
 from repro.sat.kernel import BCP_BACKENDS, create_kernel
 from repro.sat.stats import SolverStats
+from repro.sat.trace import (
+    STATUS_SAT,
+    STATUS_UNKNOWN,
+    STATUS_UNSAT,
+    TraceEvent,
+    TraceRecorder,
+    TraceTee,
+    TraceWriter,
+)
 from repro.sat.types import SolveOutcome, SolveResult
 
 
@@ -198,6 +207,22 @@ class SolverConfig:
     #: through the :attr:`CdclSolver.on_learned` hook at restart points
     #: and through :meth:`CdclSolver.drain_exported` between solves.
     export_learned_max_len: Optional[int] = None
+    #: Binary solver-trace telemetry (``repro.sat.trace``): when set,
+    #: every ``solve()`` writes its search-level event stream (DECIDE /
+    #: ENQUEUE / CONFLICT / LEARN / BACKTRACK / RESTART / REDUCE /
+    #: ASSUME / END) to this path as a versioned varint-packed binary
+    #: trace.  Repeated ``solve()`` calls on one solver re-open the
+    #: path, so the file holds the *last* call's trace.  The stream
+    #: sees only search-level state, which PR 7 pinned byte-identical
+    #: across BCP backends — traces are therefore backend-invariant.
+    #: Disabled (``None``) the entire feature costs one ``is not None``
+    #: test per event site.
+    trace_path: Optional[str] = None
+    #: In-memory variant of :attr:`trace_path`: a caller-supplied list
+    #: that receives decoded :class:`repro.sat.trace.TraceEvent` tuples
+    #: (no serialization).  Both options may be set at once; the
+    #: streams are identical by construction.
+    trace_events: Optional[List["TraceEvent"]] = None
     max_conflicts: Optional[int] = None
     max_decisions: Optional[int] = None
     max_propagations: Optional[int] = None
@@ -205,6 +230,13 @@ class SolverConfig:
 
 #: Valid values of :attr:`SolverConfig.minimize_learned`.
 MINIMIZE_MODES = ("off", "local", "recursive")
+
+#: Solve outcome -> trace END-event status code (repro.sat.trace).
+_TRACE_STATUS = {
+    SolveResult.SAT: STATUS_SAT,
+    SolveResult.UNSAT: STATUS_UNSAT,
+    SolveResult.UNKNOWN: STATUS_UNKNOWN,
+}
 
 #: Valid values of :attr:`SolverConfig.phase_mode`.
 PHASE_MODES = ("default", "save", "inverted")
@@ -414,6 +446,14 @@ class CdclSolver:
         )
         self._ok = True
         self._solving = False
+        # Trace telemetry (repro.sat.trace): the active sink during a
+        # traced solve(), else None.  _trace_mark is the trail position
+        # up to which entries have been emitted as ENQUEUE events; the
+        # event sites in _search flush [_trace_mark, _trail_len) before
+        # each event so propagations are recorded lazily, off the BCP
+        # hot path.
+        self._trace = None
+        self._trace_mark = 0
         # Lazy index of the constructor formula's literal tuples (model
         # checking); references the formula's own immutable tuples.
         self._formula_literal_index: Optional[List[Tuple[int, ...]]] = None
@@ -1746,15 +1786,54 @@ class CdclSolver:
         self._pending_root_pruned = 0
         self.stats.imported_clauses += self._pending_imported
         self._pending_imported = 0
+        trace = self._open_trace()
         start = time.perf_counter()
         try:
             self._backtrack(0)
+            if trace is not None:
+                # Mark 0: the first flush re-emits the root trail
+                # (install-time units and their implications), so the
+                # trace is self-contained — TraceState rebuilds the
+                # full final trail from events alone.
+                self._trace = trace
+                self._trace_mark = 0
             outcome = self._search()
+            if trace is not None:
+                self._trace_flush()
+                trace.end(_TRACE_STATUS[outcome.status])
         finally:
             self._solving = False
+            if trace is not None:
+                self._trace = None
+                trace.close()
         self.stats.solve_time = time.perf_counter() - start
         outcome.stats = self.stats
         return outcome
+
+    def _open_trace(self):
+        """Build this solve() call's trace sink, or None when tracing
+        is disabled (the common case: the config holds two Nones)."""
+        config = self.config
+        if config.trace_path is None and config.trace_events is None:
+            return None
+        sinks = []
+        if config.trace_path is not None:
+            sinks.append(TraceWriter(config.trace_path, self.num_vars))
+        if config.trace_events is not None:
+            sinks.append(TraceRecorder(config.trace_events, self.num_vars))
+        if len(sinks) == 1:
+            return sinks[0]
+        return TraceTee(sinks)
+
+    # Called once per search-level event site of a traced solve; the
+    # heavy per-literal loop lives in TraceWriter.enqueue_run.
+    # solcheck: hot
+    def _trace_flush(self) -> None:
+        mark = self._trace_mark
+        n = self._trail_len
+        if n > mark:
+            self._trace.enqueue_run(self._trail, mark, n)
+            self._trace_mark = n
 
     def _search(self) -> SolveOutcome:
         if not self._ok:
@@ -1791,12 +1870,21 @@ class CdclSolver:
         num_assumptions = len(self._assumptions)
         decide = self.strategy.decide
         on_conflict = self.strategy.on_conflict
+        # Trace sink (None when disabled — every event site below is
+        # then a single `is not None` test).  Event capture lives here
+        # at search level, never inside _propagate: the native kernel
+        # runs the BCP loop opaquely in C, and search-level state is
+        # what PR 7 pinned byte-identical across backends.
+        trace = self._trace
 
         while True:
             conflict = self._propagate()
             if conflict != -1:
                 stats.conflicts += 1
                 conflicts_in_epoch += 1
+                if trace is not None:
+                    self._trace_flush()
+                    trace.conflict(self._decision_level)
                 if self._decision_level == 0:
                     self._record_final_conflict(conflict)
                     self._ok = False
@@ -1810,6 +1898,10 @@ class CdclSolver:
                 # Backjumping below the assumption prefix is fine: the
                 # decision loop re-establishes assumptions level by level.
                 self._backtrack(btlevel)
+                if trace is not None:
+                    trace.learn(len(learned))
+                    trace.backtrack(btlevel)
+                    self._trace_mark = self._trail_len
                 cid = self._add_learned(learned, antecedents)
                 if export_cap is not None and len(learned) <= export_cap:
                     export_buffer.append(tuple(learned))
@@ -1836,7 +1928,15 @@ class CdclSolver:
                 conflicts_in_epoch = 0
                 epoch_limit = config.restart_base * luby(restart_epoch)
                 self.stats.restarts += 1
+                if trace is not None:
+                    # Pending enqueues at the backjump level survive a
+                    # restart to that same level — flush before the
+                    # trail is truncated so they are not lost.
+                    self._trace_flush()
                 self._backtrack(num_assumptions)
+                if trace is not None:
+                    trace.restart(num_assumptions)
+                    self._trace_mark = self._trail_len
                 if prune_enabled:
                     self._prune_root_satisfied()
                 if on_learned is not None and num_assumptions == 0:
@@ -1856,7 +1956,10 @@ class CdclSolver:
                             return self._unsat_outcome()
                 continue
             if config.clause_deletion and self._num_live_learned > max_learned:
+                deleted_before = stats.deleted_clauses
                 self._reduce_learned_db()
+                if trace is not None:
+                    trace.reduce(stats.deleted_clauses - deleted_before)
                 max_learned = int(max_learned * config.reduce_growth)
                 self._max_learned = max_learned
 
@@ -1865,6 +1968,12 @@ class CdclSolver:
                 value = truth[lit]
                 if value == 0:
                     return self._failed_assumption_outcome(lit)
+                if trace is not None:
+                    # ASSUME records only the level-open; the literal
+                    # itself (when actually enqueued) arrives through
+                    # the ordinary ENQUEUE flush at the next site.
+                    self._trace_flush()
+                    trace.assume(lit)
                 # Open a level even if already true, so level indices and
                 # assumption indices stay aligned.
                 self._trail_lim.append(self._trail_len)
@@ -1905,6 +2014,16 @@ class CdclSolver:
             if self._decision_level > self.stats.max_decision_level:
                 self.stats.max_decision_level = self._decision_level
             self._enqueue(lit, -1)
+            if trace is not None:
+                # One guarded block per decision: flush the propagation
+                # run that preceded it (everything below the literal
+                # just enqueued), then record the decision itself.
+                mark = self._trace_mark
+                n = self._trail_len - 1
+                if n > mark:
+                    trace.enqueue_run(self._trail, mark, n)
+                trace.decide(lit)
+                self._trace_mark = n + 1
 
     # ------------------------------------------------------------------
     # Outcome construction.

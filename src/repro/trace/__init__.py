@@ -1,0 +1,159 @@
+"""Trace analyzer: offline reporting over binary solver traces.
+
+``python -m repro.trace <file.rtrc> [--json]`` decodes a trace written
+by ``SolverConfig.trace_path`` (format: ``repro.sat.trace``) and
+reports event counts, per-depth conflict/decision histograms, the
+learned-length distribution, and decode throughput.  The analyzer is
+read-only and formula-free: everything comes from the event stream.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Union
+
+from repro.sat.trace import (
+    EV_ASSUME,
+    EV_BACKTRACK,
+    EV_CONFLICT,
+    EV_DECIDE,
+    EV_ENQUEUE,
+    EV_LEARN,
+    EV_REDUCE,
+    EV_RESTART,
+    EVENT_NAMES,
+    STATUS_NAMES,
+    TraceEvent,
+    TraceReader,
+    TraceState,
+)
+
+__all__ = ["analyze_trace", "render_report"]
+
+#: Depth-histogram bucket width: depths d land in bucket d // 8.
+DEPTH_BUCKET = 8
+
+
+def _bucket_label(bucket: int) -> str:
+    lo = bucket * DEPTH_BUCKET
+    return f"{lo}-{lo + DEPTH_BUCKET - 1}"
+
+
+def analyze_trace(path: str) -> Dict[str, object]:
+    """Decode ``path`` and compute the analyzer report as a JSON-ready
+    dict.  ``events_per_sec`` is this decode pass's throughput — the
+    trace itself carries no timing (wall clock in the stream would
+    break the cross-backend byte-identity contract)."""
+    reader = TraceReader(path)
+    decode_start = time.perf_counter()
+    events = reader.events()
+    decode_elapsed = time.perf_counter() - decode_start
+
+    counts = [0] * len(EVENT_NAMES)
+    conflict_depths: Dict[int, int] = {}
+    decision_depths: Dict[int, int] = {}
+    learned_lengths: Dict[int, int] = {}
+    state = TraceState(reader.num_vars)
+    max_depth = 0
+    for event in events:
+        kind = event.kind
+        counts[kind] += 1
+        state.apply(event)
+        if kind == EV_DECIDE:
+            depth = state.level
+            if depth > max_depth:
+                max_depth = depth
+            bucket = depth // DEPTH_BUCKET
+            decision_depths[bucket] = decision_depths.get(bucket, 0) + 1
+        elif kind == EV_CONFLICT:
+            bucket = event.arg // DEPTH_BUCKET
+            conflict_depths[bucket] = conflict_depths.get(bucket, 0) + 1
+        elif kind == EV_LEARN:
+            length = event.arg
+            learned_lengths[length] = learned_lengths.get(length, 0) + 1
+
+    total_learned = sum(learned_lengths.values())
+    total_learned_lits = sum(n * c for n, c in learned_lengths.items())
+    report: Dict[str, object] = {
+        "path": path,
+        "version": reader.version,
+        "num_vars": reader.num_vars,
+        "size_bytes": reader.size_bytes,
+        "total_events": len(events),
+        "bytes_per_event": (
+            reader.size_bytes / len(events) if events else 0.0
+        ),
+        "decode_seconds": decode_elapsed,
+        "events_per_sec": (
+            len(events) / decode_elapsed if decode_elapsed else 0.0
+        ),
+        "status": state.status_name,
+        "event_counts": {
+            EVENT_NAMES[kind]: counts[kind]
+            for kind in range(len(EVENT_NAMES))
+            if counts[kind]
+        },
+        "max_depth": max_depth,
+        "final_trail_len": len(state.trail),
+        "restarts": state.restarts,
+        "deleted_clauses": state.deleted,
+        "conflict_depth_histogram": {
+            _bucket_label(b): conflict_depths[b]
+            for b in sorted(conflict_depths)
+        },
+        "decision_depth_histogram": {
+            _bucket_label(b): decision_depths[b]
+            for b in sorted(decision_depths)
+        },
+        "learned_length_histogram": {
+            str(n): learned_lengths[n] for n in sorted(learned_lengths)
+        },
+        "learned_clauses": total_learned,
+        "mean_learned_len": (
+            total_learned_lits / total_learned if total_learned else 0.0
+        ),
+    }
+    return report
+
+
+def _render_histogram(lines: List[str], title: str, hist: Dict[str, int]) -> None:
+    if not hist:
+        return
+    lines.append(f"{title}:")
+    peak = max(hist.values())
+    for label, count in hist.items():
+        bar = "#" * max(1, round(40 * count / peak))
+        lines.append(f"  {label:>9s} {count:8d} {bar}")
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`analyze_trace`'s dict."""
+    lines = [
+        f"trace {report['path']}  (format v{report['version']}, "
+        f"{report['size_bytes']} bytes)",
+        f"  num_vars      {report['num_vars']}",
+        f"  status        {report['status']}",
+        f"  events        {report['total_events']} "
+        f"({report['bytes_per_event']:.2f} bytes/event)",
+        f"  decode rate   {report['events_per_sec']:,.0f} events/s",
+        f"  max depth     {report['max_depth']}",
+        f"  final trail   {report['final_trail_len']} literals",
+        f"  learned       {report['learned_clauses']} clauses "
+        f"(mean len {report['mean_learned_len']:.2f}), "
+        f"{report['deleted_clauses']} deleted, "
+        f"{report['restarts']} restarts",
+    ]
+    counts = report["event_counts"]
+    lines.append("event counts:")
+    for name, count in counts.items():
+        lines.append(f"  {name:>9s} {count:8d}")
+    _render_histogram(
+        lines, "decisions by depth", report["decision_depth_histogram"]
+    )
+    _render_histogram(
+        lines, "conflicts by depth", report["conflict_depth_histogram"]
+    )
+    _render_histogram(
+        lines, "learned-clause lengths", report["learned_length_histogram"]
+    )
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""CLI entry: ``python -m repro.trace <file.rtrc> [--json]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.sat.trace import TraceFormatError
+from repro.trace import analyze_trace, render_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Analyze a binary solver trace (repro.sat.trace "
+        "format): event counts, per-depth histograms, learned-length "
+        "distribution, decode throughput.",
+    )
+    parser.add_argument("trace", help="trace file written via SolverConfig.trace_path")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = analyze_trace(args.trace)
+    except FileNotFoundError:
+        print(f"error: no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

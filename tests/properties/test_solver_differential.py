@@ -38,6 +38,13 @@ counterexample can be regenerated in isolation.  The environment knobs:
     ``native`` leg is silently dropped on hosts where the compiled
     kernel cannot be built (no cffi / no C compiler); set
     ``FUZZ_BACKENDS=python`` (or ``""``) to trim the run.
+``FUZZ_TRACE``
+    Set to ``1`` to add the replay-oracle leg (default off): each
+    instance is re-solved with in-memory trace telemetry
+    (``SolverConfig.trace_events``), and the captured trace is replayed
+    into a fresh solver via ``repro.sat.replay.replay_trace`` — the
+    replay must reproduce the original verdict, final trail, and event
+    stream byte-for-byte.
 
 The total instance count is printed at the end of the run ("count
 logged" — run with ``-s`` to see it live).
@@ -67,6 +74,7 @@ from repro.sat import (
     check_proof,
 )
 from repro.sat.kernel import native_available
+from repro.sat.replay import replay_trace
 from repro.sat.types import SolveResult
 
 FUZZ_INSTANCES = int(os.environ.get("FUZZ_INSTANCES", "2000"))
@@ -82,6 +90,12 @@ FUZZ_BACKENDS = tuple(
     )
     if backend and (backend != "native" or native_available())
 )
+
+#: ``FUZZ_TRACE=1`` adds the replay-oracle leg (PR 8): every instance is
+#: re-solved with in-memory tracing and the trace is replayed through
+#: ``repro.sat.replay.replay_trace``, which must reproduce the verdict,
+#: the final trail, and the entire event stream.
+FUZZ_TRACE = os.environ.get("FUZZ_TRACE", "") == "1"
 
 #: How many chunks the run is split into (separate pytest cases, so a
 #: failure localises to a ~FUZZ_INSTANCES/CHUNKS window of indices).
@@ -292,6 +306,35 @@ def run_one(index: int):
             assert kernel_outcome.model == outcome.model, (
                 f"{ctx}: {backend} kernel model differs"
             )
+
+    # Replay-oracle leg (PR 8, FUZZ_TRACE=1): re-run the instance with
+    # in-memory tracing, replay the trace into a fresh solver, and
+    # require the replay to reproduce the verdict, the final trail and
+    # the entire event stream (repro.sat.replay's three-way oracle).
+    if FUZZ_TRACE:
+        rng_trace = random.Random(FUZZ_SEED + index + 1_000_000)
+        production_trace, _ = _strategy_pairs(
+            rng_trace, formula.num_vars, strategy_kind
+        )
+        events = []
+        traced_solver = CdclSolver(
+            formula,
+            strategy=production_trace,
+            config=replace(config, trace_events=events),
+        )
+        traced_outcome = traced_solver.solve()
+        assert traced_outcome.status is outcome.status, (
+            f"{ctx}: tracing changed the verdict"
+        )
+        report = replay_trace(formula, events, config=config)
+        assert report.matches, f"{ctx}: trace replay diverged: {report.mismatch}"
+        assert report.status == traced_outcome.status.value.upper(), (
+            f"{ctx}: replay verdict {report.status} != "
+            f"{traced_outcome.status.value.upper()}"
+        )
+        assert report.final_trail == list(
+            traced_solver._trail[: traced_solver._trail_len]
+        ), f"{ctx}: replay final trail differs from the traced run"
 
     if outcome.status is SolveResult.SAT:
         assert formula.evaluate(outcome.model), f"{ctx}: model does not satisfy"
