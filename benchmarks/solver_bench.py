@@ -15,6 +15,12 @@ inner loops from the BMC layer:
   bookkeeping over fixed work.
 * ``decision_overhead`` — PR 3's decision-engine microbenchmark, see
   below.
+* ``kernel_bcp`` / ``kernel_analyze`` — the pluggable-kernel planes
+  (PR 7 / PR 9) measured across every available backend side by side:
+  the pure-BCP ladder per propagation backend, and the conflict-heavy
+  PHP kernel per conflict-analysis backend (with the fused native
+  propagate-then-analyze step), each reporting throughput ratios
+  against the legacy in-solver loops of the same run.
 
 Each sample also reports conflict-analysis quality: learned-clause
 counts, mean learned-clause length (pre- and post-minimization), and how
@@ -117,6 +123,12 @@ ARENA_STORAGE = "fast"
 #: ignores this and measures all backends side by side.
 BCP_BACKEND = "legacy"
 
+#: Conflict-analysis backend applied to every workload config
+#: (``--analyze-backend``; see ``SolverConfig.analyze_backend``).  The
+#: ``kernel_analyze`` workload ignores this and measures all backends
+#: side by side.
+ANALYZE_BACKEND = "legacy"
+
 
 def implication_ladder(length: int) -> CnfFormula:
     """x0 -> x1 -> ... : one unit clause triggers a length-n BCP chain."""
@@ -206,7 +218,8 @@ def measure_workload(name: str, repeat: int) -> Dict[str, float]:
         spec = WORKLOADS[name]()
         formula, config = spec[0], spec[1]
         config = replace(
-            config, arena_storage=ARENA_STORAGE, bcp_backend=BCP_BACKEND
+            config, arena_storage=ARENA_STORAGE, bcp_backend=BCP_BACKEND,
+            analyze_backend=ANALYZE_BACKEND,
         )
         strategy = spec[2]() if len(spec) > 2 else None
         solver = CdclSolver(formula, strategy=strategy, config=config)
@@ -502,12 +515,179 @@ def measure_kernel_bcp(repeat: int) -> Dict[str, float]:
     }
 
 
+#: The ``kernel_analyze`` instance: PHP(10) under a conflict budget —
+#: conflict-analysis-heavy fixed work (8000 first-UIP walks over
+#: progressively longer trails), the shape the analysis kernels were
+#: built for.  The deeper instance keeps per-conflict propagation
+#: dense enough that the fused plane's advantage is dominated by C
+#: scan time, not crossing overhead.
+ANALYZE_HOLES = 10
+ANALYZE_CONFLICTS = 8000
+
+
+def _measure_analyze_split() -> Dict[str, float]:
+    """One instrumented legacy solve of the ``kernel_analyze`` instance:
+    wrap ``_propagate`` and ``_analyze`` with wall-clock accumulators to
+    report how the solve splits between propagation, first-UIP analysis
+    and everything else (decide / backtrack / install).  The per-call
+    ``perf_counter`` overhead inflates the instrumented wall time, so
+    the fractions are reported from this solve while the throughput
+    legs time clean solves."""
+    formula = pigeonhole(ANALYZE_HOLES)
+    config = replace(
+        SolverConfig(
+            record_cdg=False, check_model=False,
+            max_conflicts=ANALYZE_CONFLICTS,
+        ),
+        arena_storage=ARENA_STORAGE,
+    )
+    solver = CdclSolver(formula, config=config)
+    acc = {"propagate": 0.0, "analyze": 0.0}
+    orig_propagate = solver._propagate
+    orig_analyze = solver._analyze
+
+    def timed_propagate():
+        start = time.perf_counter()
+        result = orig_propagate()
+        acc["propagate"] += time.perf_counter() - start
+        return result
+
+    def timed_analyze(conflict_cid):
+        start = time.perf_counter()
+        result = orig_analyze(conflict_cid)
+        acc["analyze"] += time.perf_counter() - start
+        return result
+
+    solver._propagate = timed_propagate
+    solver._analyze = timed_analyze
+    start = time.perf_counter()
+    solver.solve()
+    total = time.perf_counter() - start
+    return {
+        "propagate": acc["propagate"] / total if total else 0.0,
+        "analyze": acc["analyze"] / total if total else 0.0,
+    }
+
+
+def measure_kernel_analyze(repeat: int) -> Dict[str, float]:
+    """The ``kernel_analyze`` workload: the conflict-heavy PHP kernel
+    under every available conflict-analysis backend, side by side.
+
+    The searches are byte-identical (pinned by the differential
+    fuzzer's analysis legs), so the per-backend *conflict* rates are
+    the same first-UIP work at different plane costs.  Three legs:
+
+    * ``legacy`` — the in-solver ``_propagate``/``_analyze`` loops.
+    * ``python`` — ``analyze_backend="python"`` over the legacy data
+      plane: the seam's pure-Python kernel.  Its conflict throughput is
+      the smoke-gated metric (bar: >= 0.9x legacy, BCP-normalized).
+    * ``native`` — the fused plane (``bcp_backend="native"`` +
+      ``analyze_backend="native"``): one FFI call propagates and, on
+      conflict, runs first-UIP without re-crossing the boundary.
+      ``native_vs_legacy`` is the PR acceptance bar (>= 2.0x conflict
+      throughput), reported-not-gated so CI hosts without a C compiler
+      pass cleanly (0.0 when the kernel cannot build).
+
+    ``propagate_wall_fraction`` / ``analyze_wall_fraction`` report the
+    legacy solve's propagate-vs-analyze wall split (from one
+    instrumented solve; see :func:`_measure_analyze_split`) — the
+    ceiling on what any analysis-plane-only speedup can deliver.
+    """
+    import gc
+
+    from repro.sat.kernel import native_available
+
+    legs = [("legacy", "legacy", "legacy"), ("python", "legacy", "python")]
+    if native_available():
+        legs.append(("native", "native", "native"))
+    rates: Dict[str, Dict[str, float]] = {}
+    # Back-to-back legs per round (same rationale as kernel_bcp): load
+    # drift hits every backend of a round alike.
+    for _ in range(max(repeat, 5)):
+        for leg, bcp, analyze in legs:
+            formula = pigeonhole(ANALYZE_HOLES)
+            # check_model=False: the budget-capped solve ends UNKNOWN
+            # and the workload isolates the conflict pipeline anyway.
+            config = replace(
+                SolverConfig(
+                    record_cdg=False, check_model=False,
+                    max_conflicts=ANALYZE_CONFLICTS,
+                ),
+                arena_storage=ARENA_STORAGE,
+                bcp_backend=bcp,
+                analyze_backend=analyze,
+            )
+            solver = CdclSolver(formula, config=config)
+            gc.collect()
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                solver.solve()
+                elapsed = time.perf_counter() - start
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            stats = solver.stats
+            best = rates.get(leg)
+            if best is None or elapsed < best["time_s"]:
+                rates[leg] = {
+                    "time_s": elapsed,
+                    "decisions": stats.decisions,
+                    "propagations": stats.propagations,
+                    "conflicts": stats.conflicts,
+                    "learned_clauses": stats.learned_clauses,
+                }
+    # Identity backstop: every leg must have done the same search.
+    work = {
+        (r["conflicts"], r["decisions"], r["propagations"],
+         r["learned_clauses"])
+        for r in rates.values()
+    }
+    assert len(work) == 1, f"analysis backends diverged: {rates}"
+    split = _measure_analyze_split()
+
+    def conflict_rate(leg: str) -> float:
+        sample = rates.get(leg)
+        if sample is None or not sample["time_s"]:
+            return 0.0
+        return sample["conflicts"] / sample["time_s"]
+
+    legacy_rate = conflict_rate("legacy")
+    python_rate = conflict_rate("python")
+    native_rate = conflict_rate("native")
+    python_sample = rates["python"]
+    return {
+        "time_s": python_sample["time_s"],
+        "decisions": python_sample["decisions"],
+        "propagations": python_sample["propagations"],
+        "conflicts": python_sample["conflicts"],
+        "decisions_per_sec": (
+            python_sample["decisions"] / python_sample["time_s"]
+            if python_sample["time_s"] else 0.0
+        ),
+        "propagations_per_sec": (
+            python_sample["propagations"] / python_sample["time_s"]
+            if python_sample["time_s"] else 0.0
+        ),
+        "conflicts_per_sec": python_rate,
+        "legacy_conflicts_per_sec": legacy_rate,
+        "native_conflicts_per_sec": native_rate,
+        "python_vs_legacy": python_rate / legacy_rate if legacy_rate else 0.0,
+        "native_vs_legacy": native_rate / legacy_rate if legacy_rate else 0.0,
+        "native_available": float(native_rate > 0.0),
+        "propagate_wall_fraction": split["propagate"],
+        "analyze_wall_fraction": split["analyze"],
+    }
+
+
 #: Workload names with bespoke measurement functions (dispatched by
 #: :func:`measure`; everything else goes through the solver loop of
 #: :func:`measure_workload`).
 SPECIAL_WORKLOADS = {
     "portfolio_race": measure_portfolio_race,
     "kernel_bcp": measure_kernel_bcp,
+    "kernel_analyze": measure_kernel_analyze,
 }
 
 
@@ -550,6 +730,9 @@ def run_bench(repeat: int) -> Dict[str, Dict[str, float]]:
         if "trace_overhead" in sample:
             line += (f"  tracing-on x{sample['trace_overhead']:.2f} "
                      f"({sample['trace_bytes_per_event']:.2f} B/event)")
+        if "analyze_wall_fraction" in sample:
+            line += (f"  wall split prop {sample['propagate_wall_fraction']:.0%}"
+                     f" / analyze {sample['analyze_wall_fraction']:.0%}")
         print(line)
     return results
 
@@ -576,6 +759,13 @@ SMOKE_WORKLOADS = (
     # reported in the JSON but not gated — CI hosts without a C
     # compiler must pass cleanly.
     ("kernel_bcp", "propagations_per_sec"),
+    # The seam's python conflict-analysis kernel on the conflict-heavy
+    # PHP kernel (PR 9): BCP-normalized conflict throughput guards the
+    # analysis seam (mirror sync, kernel dispatch, bump replay) staying
+    # within a constant factor of the inline legacy loop.  The fused
+    # native ratio is reported in the JSON but not gated — CI hosts
+    # without a C compiler must pass cleanly.
+    ("kernel_analyze", "conflicts_per_sec"),
 )
 
 #: Pure-BCP workload used to calibrate the smoke gate: its throughput
@@ -619,7 +809,12 @@ def run_smoke(baseline_path: str, threshold: float, repeat: int) -> int:
         else:
             ratio = (now / now_cal) / (reference / ref_cal)
         status = "ok" if ratio >= 1.0 - threshold else "REGRESSED"
-        unit = "dec/s" if metric.startswith("decisions") else "props/s"
+        if metric.startswith("decisions"):
+            unit = "dec/s"
+        elif metric.startswith("conflicts"):
+            unit = "conf/s"
+        else:
+            unit = "props/s"
         print(f"smoke {name:14s} {now:12.0f} {unit:7s}  "
               f"baseline {reference:12.0f}  normalized ratio {ratio:.2f}  "
               f"{status}")
@@ -662,10 +857,18 @@ def main(argv=None) -> int:
              "'native' needs cffi + a C compiler).  The kernel_bcp "
              "workload always measures all available backends.",
     )
+    parser.add_argument(
+        "--analyze-backend", choices=("legacy", "python", "native"),
+        default="legacy",
+        help="conflict-analysis backend for every workload "
+             "(search-identical).  The kernel_analyze workload always "
+             "measures all available backends.",
+    )
     args = parser.parse_args(argv)
-    global ARENA_STORAGE, BCP_BACKEND
+    global ARENA_STORAGE, BCP_BACKEND, ANALYZE_BACKEND
     ARENA_STORAGE = args.arena_storage
     BCP_BACKEND = args.bcp_backend
+    ANALYZE_BACKEND = args.analyze_backend
 
     if args.smoke:
         return run_smoke(args.baseline or args.output, args.smoke_threshold,

@@ -119,8 +119,11 @@ class BmcEngine:
         #: Binary solver-trace telemetry (repro.sat.trace): when set,
         #: each depth's solve writes ``{trace_name}_d{k:03d}.rtrc``
         #: under this directory (one solver per depth, so one trace per
-        #: depth).  Engines that replace ``_solve_depth`` wholesale
-        #: (the portfolio row race) do not route through this seam.
+        #: depth).  The portfolio engines route this seam too: the row
+        #: race keeps only the winning member's traces (which member
+        #: wins is scheduling-dependent unless deterministic) and the
+        #: depth race re-solves the winner with the writer attached —
+        #: see ``repro.bmc.portfolio``.
         self.trace_dir = trace_dir
         self.trace_name = trace_name
         self.time_budget = time_budget

@@ -30,7 +30,9 @@ hence every shared clause is sound for every peer at every later depth.
 
 from __future__ import annotations
 
+import os
 import time
+from dataclasses import replace as dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
@@ -126,6 +128,20 @@ class PortfolioBmcEngine(BmcEngine):
     pool worker the row race cannot fork and likewise falls back to the
     in-process depth path.
 
+    Solver-trace telemetry (``trace_dir``/``trace_name``, inherited
+    from :class:`BmcEngine`): the row race has every member write its
+    per-depth traces as ``{trace_name}__{spec}_d{k:03d}.rtrc`` and
+    afterwards keeps only the *winner's*, renamed to the canonical
+    ``{trace_name}_d{k:03d}.rtrc`` (losers' files, including partial
+    files of cancelled members, are removed); the depth granularity
+    traces the serial small-formula solves inline and re-solves each
+    raced depth's winning member standalone with the writer attached
+    (see :meth:`_trace_winner_replay` for why a race cannot be traced
+    in place).  Limitation: under the wall-clock row race, which
+    member wins — and therefore which traces survive — is
+    scheduling-dependent run to run; traced portfolio runs are
+    byte-reproducible only with ``deterministic=True``.
+
     Parameters beyond :class:`BmcEngine` (``strategy_factory`` is
     ignored — the portfolio supplies the strategies): ``member_specs``
     (default :data:`BMC_MEMBER_SPECS`), ``deterministic`` / ``jobs`` /
@@ -203,7 +219,7 @@ class PortfolioBmcEngine(BmcEngine):
             spec, self.circuit, self.property_net, self.max_depth,
             self.solver_config, self.weighting, self.start_depth,
             self.time_budget, self.verify_traces, self.unroller.use_coi,
-            self.unroller,
+            self.unroller, self.trace_dir, self.trace_name,
         )
         result = engine.run()
         winner = f"serial:{spec}"
@@ -249,6 +265,7 @@ class PortfolioBmcEngine(BmcEngine):
                     self.max_depth, self.solver_config, self.share_max_len,
                     self.weighting, self.start_depth, self.time_budget,
                     self.verify_traces, self.unroller.use_coi, unroller,
+                    self.trace_dir, f"{self.trace_name}__{spec}",
                     export_q, import_qs[index], result_q,
                 ),
                 daemon=True,
@@ -375,6 +392,10 @@ class PortfolioBmcEngine(BmcEngine):
             reports.append(MemberReport(name=other, status="skipped"))
         for depth_stats in result.per_depth:
             depth_stats.winner = winner
+        if self.trace_dir is not None:
+            _promote_winner_traces(
+                self.trace_dir, self.trace_name, specs, winner
+            )
         self.row_winner = winner
         self.reports = reports
         wall = time.perf_counter() - start
@@ -390,10 +411,15 @@ class PortfolioBmcEngine(BmcEngine):
         )
         if instance.formula.num_clauses < self.race_min_clauses:
             # Too small to amortize a race: lead member, fresh solver.
+            config = members[0].overlay_config(self.solver_config, None)
+            if self.trace_dir is not None:
+                config = dc_replace(
+                    config, trace_path=self._depth_trace_path(k)
+                )
             solver = CdclSolver(
                 instance.formula,
                 strategy=members[0].build_strategy(),
-                config=members[0].overlay_config(self.solver_config, None),
+                config=config,
             )
             outcome = solver.solve()
             winner = f"serial:{members[0].name}"
@@ -433,6 +459,8 @@ class PortfolioBmcEngine(BmcEngine):
                 k, winner, True, result.epochs, result.shared_clauses,
                 result.deliveries, result.wall_time,
             ))
+            if self.trace_dir is not None and winner is not None:
+                self._trace_winner_replay(instance, members, winner, k)
         if (
             outcome.status is SolveResult.UNSAT
             and outcome.core_vars is not None
@@ -440,10 +468,63 @@ class PortfolioBmcEngine(BmcEngine):
             bmc_score_update(self.var_rank, outcome.core_vars, k, self.weighting)
         return outcome, {"winner": winner}
 
+    def _depth_trace_path(self, k: int) -> str:
+        """Canonical trace file for depth ``k`` (matches the name the
+        plain :class:`BmcEngine` seam would write)."""
+        return os.path.join(self.trace_dir, f"{self.trace_name}_d{k:03d}.rtrc")
+
+    def _trace_winner_replay(
+        self, instance: BmcInstance, members, winner: str, k: int
+    ) -> None:
+        """Depth-granularity tracing: re-solve the winning member's
+        configuration standalone with the trace writer attached.
+
+        The race itself cannot be traced in place — its members run in
+        worker processes (or epoch slices) whose searches depend on
+        cross-member clause deliveries, and the trace seam records one
+        solver's solve.  The replay is a clean solo solve of the
+        winner's strategy on the byte-identical depth formula:
+        representative of the winning ordering, not a literal
+        transcript of the raced search.  Its outcome and statistics
+        are discarded (the race already decided the depth)."""
+        member = next((m for m in members if m.name == winner), None)
+        if member is None:  # pragma: no cover - serial winners trace inline
+            return
+        config = dc_replace(
+            member.overlay_config(self.solver_config, None),
+            trace_path=self._depth_trace_path(k),
+        )
+        CdclSolver(
+            instance.formula, strategy=member.build_strategy(), config=config
+        ).solve()
+
+
+def _promote_winner_traces(
+    trace_dir: str, trace_name: str, specs: Sequence[str], winner: str
+) -> None:
+    """Keep only the row-race winner's per-member solver traces.
+
+    Workers write ``{trace_name}__{spec}_d{k:03d}.rtrc``; the winner's
+    files are renamed to the canonical ``{trace_name}_d{k:03d}.rtrc``
+    and every loser's (including partial files left by a cancelled
+    member mid-write) are removed."""
+    for spec in specs:
+        prefix = f"{trace_name}__{spec}_d"
+        for fname in sorted(os.listdir(trace_dir)):
+            if not (fname.startswith(prefix) and fname.endswith(".rtrc")):
+                continue
+            path = os.path.join(trace_dir, fname)
+            if spec == winner:
+                tail = fname[len(f"{trace_name}__{spec}"):]
+                os.replace(path, os.path.join(trace_dir, trace_name + tail))
+            else:
+                os.remove(path)
+
 
 def _member_engine(
     spec, circuit, property_net, max_depth, config, weighting,
     start_depth, time_budget, verify_traces, use_coi, unroller,
+    trace_dir=None, trace_name="bmc",
 ):
     """Build the single-strategy engine a row-race worker runs: the
     plain VSIDS/BerkMin depth loops or the paper's refine-order loop
@@ -453,6 +534,7 @@ def _member_engine(
         max_depth=max_depth, solver_config=config, start_depth=start_depth,
         time_budget=time_budget, verify_traces=verify_traces,
         use_coi=use_coi, unroller=unroller,
+        trace_dir=trace_dir, trace_name=trace_name,
     )
     if spec == "vsids":
         return BmcEngine(circuit, property_net, **common)
@@ -478,13 +560,14 @@ def _member_engine(
 def _row_race_worker(
     index, spec, circuit, property_net, max_depth, base_config,
     share_max_len, weighting, start_depth, time_budget, verify_traces,
-    use_coi, unroller, export_q, import_q, result_q,
+    use_coi, unroller, trace_dir, trace_name, export_q, import_q, result_q,
 ):
     """Row-race child: run one member's whole depth loop, exporting
     learned clauses tagged with their depth at every restart and
-    importing the same-depth clauses of peers."""
+    importing the same-depth clauses of peers.  ``trace_name`` is the
+    member-qualified ``{row}__{spec}`` prefix; the parent promotes the
+    winner's files and deletes the rest afterwards."""
     import queue as queue_module
-    from dataclasses import replace as dc_replace
 
     try:
         config = dc_replace(
@@ -494,6 +577,7 @@ def _row_race_worker(
         engine = _member_engine(
             spec, circuit, property_net, max_depth, config, weighting,
             start_depth, time_budget, verify_traces, use_coi, unroller,
+            trace_dir, trace_name,
         )
         held: Dict[int, list] = {}
 

@@ -24,7 +24,12 @@ from repro.experiments.fig6 import fig6_csv, render_fig6
 from repro.experiments.fig7 import fig7_csv, render_fig7, run_fig7
 from repro.experiments.overhead import run_overhead
 from repro.experiments.table1 import run_table1
-from repro.sat.solver import ARENA_STORAGE_MODES, PHASE_MODES, SOLVER_BCP_BACKENDS
+from repro.sat.solver import (
+    ARENA_STORAGE_MODES,
+    PHASE_MODES,
+    SOLVER_ANALYZE_BACKENDS,
+    SOLVER_BCP_BACKENDS,
+)
 from repro.workloads.suite import small_suite, table1_suite
 
 
@@ -69,6 +74,14 @@ def main(argv=None) -> int:
         "(in-solver tuple tables, the default), 'python' (flat "
         "array('i') watch columns) or 'native' (the same scan compiled "
         "via cffi; requires a C compiler — search-identical either way)",
+    )
+    parser.add_argument(
+        "--analyze-backend", choices=SOLVER_ANALYZE_BACKENDS, default=None,
+        help="conflict-analysis backend for Table-1 runs: 'legacy' "
+        "(in-solver first-UIP loop, the default), 'python' (the same "
+        "loop behind the kernel seam) or 'native' (compiled via cffi; "
+        "with --bcp-backend native the two fuse into one "
+        "propagate-then-analyze FFI call — search-identical either way)",
     )
     parser.add_argument(
         "--trace", metavar="DIR", default=None,
@@ -116,6 +129,7 @@ def main(argv=None) -> int:
             phase_mode=args.phase_mode,
             arena_storage=args.arena_storage,
             bcp_backend=args.bcp_backend,
+            analyze_backend=args.analyze_backend,
             portfolio=args.portfolio,
             portfolio_opts=(
                 {"deterministic": True} if args.portfolio_deterministic else None

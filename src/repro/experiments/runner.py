@@ -108,6 +108,7 @@ def make_engine(
     phase_mode: Optional[str] = None,
     arena_storage: Optional[str] = None,
     bcp_backend: Optional[str] = None,
+    analyze_backend: Optional[str] = None,
     portfolio_opts: Optional[Dict] = None,
     trace_dir: Optional[str] = None,
 ) -> BmcEngine:
@@ -115,17 +116,20 @@ def make_engine(
 
     ``encoding_cache`` defaults to the per-process cache (see module
     docstring); pass ``None`` to force a private build.  ``phase_mode``,
-    ``arena_storage`` and ``bcp_backend`` overlay the matching
-    :class:`SolverConfig` fields on whatever configuration is in effect
-    (the experiment CLI's ``--phase-mode``/``--arena-storage``/
-    ``--bcp-backend`` land here).  ``portfolio_opts`` are extra keyword
+    ``arena_storage``, ``bcp_backend`` and ``analyze_backend`` overlay
+    the matching :class:`SolverConfig` fields on whatever configuration
+    is in effect (the experiment CLI's ``--phase-mode``/
+    ``--arena-storage``/``--bcp-backend``/``--analyze-backend`` land
+    here).  ``portfolio_opts`` are extra keyword
     arguments for :class:`~repro.bmc.portfolio.PortfolioBmcEngine` when
     ``strategy`` is ``"portfolio"`` (e.g. ``deterministic=True``),
     ignored otherwise.  ``trace_dir`` enables binary solver-trace
     telemetry (``repro.sat.trace``): each depth's solve writes
-    ``{instance}_{strategy}_d{k:03d}.rtrc`` into that directory (not
-    routed through the portfolio engine, whose row race replaces the
-    per-depth solve).
+    ``{instance}_{strategy}_d{k:03d}.rtrc`` into that directory.  The
+    portfolio engines route the same seam with one caveat — in the row
+    race only the *winning* member's solves are kept, and which member
+    wins is scheduling-dependent unless ``deterministic=True`` (see
+    ``repro.bmc.portfolio``).
     """
     if encoding_cache is _DEFAULT_CACHE:
         encoding_cache = default_encoding_cache()
@@ -136,6 +140,8 @@ def make_engine(
         overlay["arena_storage"] = arena_storage
     if bcp_backend is not None:
         overlay["bcp_backend"] = bcp_backend
+    if analyze_backend is not None:
+        overlay["analyze_backend"] = analyze_backend
     if overlay:
         base = solver_config if solver_config is not None else SolverConfig()
         solver_config = replace(base, **overlay)
@@ -150,7 +156,7 @@ def make_engine(
         use_coi=use_coi,
         unroller=unroller,
     )
-    if trace_dir is not None and strategy != "portfolio":
+    if trace_dir is not None:
         common["trace_dir"] = trace_dir
         common["trace_name"] = f"{instance.name}_{strategy}"
     if strategy == "bmc":

@@ -188,6 +188,7 @@ def run_table1(
     phase_mode: Optional[str] = None,
     arena_storage: Optional[str] = None,
     bcp_backend: Optional[str] = None,
+    analyze_backend: Optional[str] = None,
     portfolio: bool = False,
     portfolio_opts: Optional[dict] = None,
     trace_dir: Optional[str] = None,
@@ -197,9 +198,9 @@ def run_table1(
     ``jobs`` > 1 spreads the (instance, method) grid over a process
     pool (0 = one worker per CPU); the report's rows and every
     search-derived number are identical to a serial run.
-    ``phase_mode``/``arena_storage``/``bcp_backend`` override the
-    matching solver configuration fields for every run (default: the
-    :class:`SolverConfig` defaults).  ``portfolio=True`` appends a
+    ``phase_mode``/``arena_storage``/``bcp_backend``/``analyze_backend``
+    override the matching solver configuration fields for every run
+    (default: the :class:`SolverConfig` defaults).  ``portfolio=True`` appends a
     ``portfolio`` column — the strategy race with clause sharing
     (``repro.bmc.portfolio``) — whose verdicts are checked against the
     same row expectations; with ``jobs`` > 1 the pool switches to
@@ -221,6 +222,8 @@ def run_table1(
         extra["arena_storage"] = arena_storage
     if bcp_backend is not None:
         extra["bcp_backend"] = bcp_backend
+    if analyze_backend is not None:
+        extra["analyze_backend"] = analyze_backend
     if portfolio_opts is not None:
         extra["portfolio_opts"] = portfolio_opts
     if trace_dir is not None:

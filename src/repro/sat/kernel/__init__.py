@@ -1,37 +1,45 @@
-"""Pluggable BCP kernels over the flat data plane (``SolverConfig.bcp_backend``).
+"""Pluggable BCP and conflict-analysis kernels over the flat data plane.
 
-Three backends share one search behaviour, byte for byte:
+``SolverConfig.bcp_backend`` selects the propagation data plane and
+``SolverConfig.analyze_backend`` the conflict-analysis plane; the two
+compose.  Each offers three backends sharing one search behaviour,
+byte for byte:
 
 ``"legacy"``
-    The in-solver tuple-list propagation loop (``CdclSolver
-    ._propagate``) — per-literal Python lists of packed tuples, the
-    pre-kernel data plane.  No kernel object is constructed.
+    The in-solver loops (``CdclSolver._propagate`` / ``_analyze``) —
+    the pre-kernel paths.  No kernel object is constructed.
 ``"python"``
-    :class:`~repro.sat.kernel.pykernel.PythonBcpKernel`: the same scan
-    over flat ``array('i')`` watch columns and typed solver state.
-    Always available; the semantics reference for the native kernel.
+    :class:`~repro.sat.kernel.pykernel.PythonBcpKernel` /
+    :class:`~repro.sat.kernel.pykernel.PythonAnalyzeKernel`: the same
+    loops over flat ``array('i')`` columns and typed solver state.
+    Always available; the semantics references for the native kernels.
 ``"native"``
-    :class:`~repro.sat.kernel.native.NativeBcpKernel`: the scan
+    :class:`~repro.sat.kernel.native.NativeBcpKernel` /
+    :class:`~repro.sat.kernel.native.NativeAnalyzeKernel`: the loops
     compiled to C (cffi, built on demand, cached), aliasing the same
-    arrays zero-copy.  Requires cffi and a C compiler; probe with
-    :func:`native_available` before requesting it.
+    arrays zero-copy.  When *both* planes are native the solver routes
+    through the fused ``search_step`` (propagate, then analyze the
+    conflict without re-crossing the FFI boundary).  Requires cffi and
+    a C compiler; probe with :func:`native_available` first.
 
-See :mod:`repro.sat.kernel.base` for the seam contract and
-``docs/architecture.md`` ("Propagation data plane") for the layout.
+See :mod:`repro.sat.kernel.base` for the seam contracts and
+``docs/architecture.md`` ("Propagation data plane" / "Conflict-analysis
+plane") for the layouts.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.sat.kernel.base import BcpKernelBase
-from repro.sat.kernel.columns import WatchColumns
+from repro.sat.kernel.base import AnalyzeKernelBase, BcpKernelBase
+from repro.sat.kernel.columns import ClauseLitMirror, WatchColumns
 from repro.sat.kernel.native import (
+    NativeAnalyzeKernel,
     NativeBcpKernel,
     native_available,
     native_unavailable_reason,
 )
-from repro.sat.kernel.pykernel import PythonBcpKernel
+from repro.sat.kernel.pykernel import PythonAnalyzeKernel, PythonBcpKernel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sat.solver import CdclSolver
@@ -39,9 +47,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Valid values of ``SolverConfig.bcp_backend``.
 BCP_BACKENDS = ("legacy", "python", "native")
 
+#: Valid values of ``SolverConfig.analyze_backend``.
+ANALYZE_BACKENDS = ("legacy", "python", "native")
+
 
 def create_kernel(solver: "CdclSolver", backend: str) -> BcpKernelBase:
-    """Instantiate the kernel for ``backend`` (not ``"legacy"``).
+    """Instantiate the BCP kernel for ``backend`` (not ``"legacy"``).
 
     ``"native"`` raises :class:`RuntimeError` with the build failure
     when the compiled kernel cannot be had on this host.
@@ -53,12 +64,33 @@ def create_kernel(solver: "CdclSolver", backend: str) -> BcpKernelBase:
     raise ValueError(f"no kernel for bcp_backend {backend!r}")
 
 
+def create_analyze_kernel(
+    solver: "CdclSolver", backend: str
+) -> AnalyzeKernelBase:
+    """Instantiate the analysis kernel for ``backend`` (not ``"legacy"``).
+
+    Same degradation contract as :func:`create_kernel`: ``"native"``
+    raises :class:`RuntimeError` when the extension cannot be built.
+    """
+    if backend == "python":
+        return PythonAnalyzeKernel(solver)
+    if backend == "native":
+        return NativeAnalyzeKernel(solver)
+    raise ValueError(f"no kernel for analyze_backend {backend!r}")
+
+
 __all__ = [
+    "ANALYZE_BACKENDS",
+    "AnalyzeKernelBase",
     "BCP_BACKENDS",
     "BcpKernelBase",
+    "ClauseLitMirror",
+    "NativeAnalyzeKernel",
     "NativeBcpKernel",
+    "PythonAnalyzeKernel",
     "PythonBcpKernel",
     "WatchColumns",
+    "create_analyze_kernel",
     "create_kernel",
     "native_available",
     "native_unavailable_reason",

@@ -37,9 +37,9 @@ same doubling policy).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.sat.kernel.columns import WatchColumns
+from repro.sat.kernel.columns import ClauseLitMirror, WatchColumns
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sat.solver import CdclSolver
@@ -135,3 +135,113 @@ class BcpKernelBase:
             "bin": self.bin.footprint(),
             "tern": self.tern.footprint(),
         }
+
+
+class AnalyzeKernelBase:
+    """The conflict-analysis seam: what an analysis backend owes the solver.
+
+    An *analysis kernel* runs the first-UIP resolution loop — and only
+    that loop — over the solver's flat state.  Everything downstream of
+    the raw first-UIP clause (activity-bump replay, minimization,
+    level-0 reason closure, LBD, the backjump-literal swap, CDG/proof
+    recording, clause install) stays in ``CdclSolver``; the seam hands
+    back exactly what that Python tail needs:
+
+    ``analyze(conflict_cid) -> (learned, antecedents)``
+        Run first-UIP from the conflicting clause.  On return:
+
+        * ``learned`` is the raw (pre-minimization) clause with the
+          asserting literal at position 0, remaining literals in legacy
+          discovery order;
+        * ``antecedents`` is the ordered resolvent list —
+          ``antecedents[0]`` the conflict clause, then each reason
+          clause in resolution order (the CDG/proof derivation prefix,
+          and the bump-replay worklist: legacy bumps exactly
+          ``antecedents[1:]`` in this order);
+        * the solver's ``_seen`` marks are LEFT SET, with the marked
+          variables appended to ``solver._touched_scratch`` and the
+          level-0 subset to ``solver._zero_scratch`` (discovery order)
+          — minimization and the reason closure consume the marks, and
+          ``_finish_analysis`` clears them, exactly as after the legacy
+          loop.
+
+    ``search_step(num_assumptions) -> (conflict, analysis_or_none)``
+        The fused fast path (native only): propagate, and when a
+        conflict lands at an analyzable level (``decision_level >
+        num_assumptions``) run the resolution loop before returning to
+        Python — one FFI crossing per conflict instead of two.
+        ``analysis`` is the ``analyze`` pair, or None when there is no
+        conflict / the level mandates a terminal Python path (level 0
+        UNSAT, assumption-prefix conflicts).  The base implementation
+        composes the two seams in Python; the native kernel overrides
+        it with the single C call.
+
+    ``sync_mirror()`` / ``free_clause(cid)``
+        Install-order mirror bookkeeping (see
+        :class:`~repro.sat.kernel.columns.ClauseLitMirror`): analysis
+        iterates clause literals in install order, which for long
+        clauses only the mirror preserves.  ``sync_mirror`` runs at
+        analysis entry (cheap no-op when nothing new was installed);
+        ``free_clause`` drops a deleted clause's block at learned-DB
+        reduction.  The pure-Python kernel iterates the solver's
+        ``_lits_view`` directly and never materializes the mirror.
+    """
+
+    #: Config value selecting this kernel (subclasses override).
+    name = "base"
+
+    def __init__(self, solver: "CdclSolver") -> None:
+        self.solver = solver
+        self.mirror = ClauseLitMirror()
+
+    # -- mirror bookkeeping (no-ops for the pure-Python kernel) ------------
+
+    def sync_mirror(self) -> None:
+        self.mirror.sync(self.solver._lits_view)
+
+    def free_clause(self, cid: int) -> None:
+        self.mirror.free(cid)
+
+    def invalidate_views(self) -> None:
+        """Release any FFI views cached across ``search_step`` calls.
+
+        The solver calls this before every operation that can resize a
+        kernel-viewed array (clause install, learned-DB reduction /
+        arena compaction) and at ``solve()`` teardown.  A no-op for the
+        pure-Python kernel; the native kernel releases its cached
+        ``from_buffer`` exports so the resize does not hit a pinned
+        buffer.  Safety is fail-loud either way: a missed invalidation
+        raises ``BufferError`` at the resize site (cffi keeps the
+        buffer exported), never silent corruption.
+        """
+
+    def invalidate_arena_views(self) -> None:
+        """Soft variant of :meth:`invalidate_views` for the per-conflict
+        resizes (arena append in ``_add_learned``, mirror sync): the
+        native kernel drops only the arena and mirror exports and keeps
+        the other cached views alive.  Watch-pool growth during the
+        attach is covered separately (``WatchColumns.on_resize``).
+        A no-op for the pure-Python kernel.
+        """
+
+    # -- the seam ----------------------------------------------------------
+
+    def analyze(self, conflict_cid: int) -> Tuple[List[int], List[int]]:
+        raise NotImplementedError
+
+    def search_step(
+        self, num_assumptions: int
+    ) -> Tuple[int, Optional[Tuple[List[int], List[int]]]]:
+        """Propagate, then analyze in place when the conflict is
+        analyzable.  This Python composition exists for completeness
+        and tests; the solver only routes through ``search_step`` when
+        both kernels are native (where the override fuses the two loops
+        into one C call)."""
+        solver = self.solver
+        conflict = solver._propagate()
+        if conflict < 0 or solver._decision_level <= num_assumptions:
+            return conflict, None
+        return conflict, self.analyze(conflict)
+
+    def footprint(self) -> Dict[str, object]:
+        return {"mirror": self.mirror.footprint()}

@@ -41,13 +41,13 @@ tables' and search behaviour is preserved.
 from __future__ import annotations
 
 from array import array
-from typing import List, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 
 class WatchColumns:
     """One watch table (long, binary or ternary) as flat typed columns."""
 
-    __slots__ = ("words", "offs", "size", "caps", "data", "used")
+    __slots__ = ("words", "offs", "size", "caps", "data", "used", "on_resize")
 
     def __init__(self, words: int) -> None:
         #: Words per entry (2 long, 2 binary, 3 ternary).
@@ -61,6 +61,11 @@ class WatchColumns:
         #: The entry pool; ``used`` words are allocated to blocks.
         self.data = array("i")
         self.used = 0
+        #: Called right before any column array resizes — the fused
+        #: native analysis kernel hooks this to drop its cached
+        #: ``from_buffer`` views (a resize of an exported buffer would
+        #: raise BufferError).  None when nothing caches views.
+        self.on_resize = None
 
     # -- sizing ------------------------------------------------------------
 
@@ -69,6 +74,9 @@ class WatchColumns:
         (new literals start with no block: off 0, size 0, cap 0)."""
         add = lit_capacity - len(self.offs)
         if add > 0:
+            cb = self.on_resize
+            if cb is not None:
+                cb()
             zeros = array("i", bytes(4 * add))
             self.offs.extend(zeros)
             self.size.extend(zeros)
@@ -79,6 +87,9 @@ class WatchColumns:
         (geometric, so per-word cost is amortized O(1))."""
         have = len(self.data)
         if words_needed > have:
+            cb = self.on_resize
+            if cb is not None:
+                cb()
             target = max(words_needed, 2 * have, 64)
             self.data.frombytes(bytes(4 * (target - have)))
 
@@ -190,4 +201,129 @@ class WatchColumns:
             "pool_words": len(self.data),
             "used_words": self.used,
             "live_words": self.live_words(),
+        }
+
+
+#: Mirror compaction trigger (words): below this much dead weight the
+#: rebuild costs more than the memory it returns.
+_MIRROR_COMPACT_MIN_DEAD = 1024
+
+
+class ClauseLitMirror:
+    """Install-order literal blocks of *long* clauses, as flat columns.
+
+    Conflict analysis iterates each visited clause's literals in
+    **install order** (``CdclSolver._lits_view``) — that order decides
+    seen-marking order, hence the learned clause, hence the whole
+    search.  The arena block cannot serve: long-clause (n >= 4) watch
+    moves permute it in place.  A C analysis kernel therefore needs a
+    flat install-order copy; this class is that copy, built lazily from
+    the view and never mutated by propagation.
+
+    Short clauses (n <= 3) are deliberately *not* mirrored
+    (``refs[cid] == -1``): their watches are static, so arena order ==
+    install order for every short clause analysis can visit.  (The one
+    short-block rewrite — ``_install_assigned``'s unit-at-level-0
+    repositioning — only touches clauses that are satisfied or unit at
+    level 0 forever; such a clause can never be a conflict nor the
+    reason of a level>0 variable, so the analysis main loop never reads
+    it.  The Python-side consumers that *do* read such clauses —
+    ``_reason_closure``, minimization — iterate the view directly.)
+
+    Block layout (32-bit words), addressed like the arena::
+
+        ... | n | lit_0 | ... | lit_{n-1} | n | ...
+                ^
+                refs[cid]
+
+    ``sync(view)`` appends blocks for clauses installed since the last
+    call (one pass over the view's new tail — O(1) amortized per
+    clause, called at analysis-kernel entry).  ``free(cid)`` drops a
+    deleted clause's block (learned-DB reduction); dead words are
+    reclaimed by an arena-style in-place compaction once they reach
+    half the store.  The backing arrays only grow or compact between
+    FFI calls, so per-call ``ffi.from_buffer`` aliasing is safe.
+    """
+
+    __slots__ = ("data", "refs", "synced", "dead")
+
+    def __init__(self) -> None:
+        #: The literal blocks; ``refs[cid]`` points at the first literal
+        #: and ``data[refs[cid] - 1]`` holds the length.
+        self.data = array("i")
+        #: Per-clause block offset; -1 = not mirrored (short clause,
+        #: tautology's empty slot, or freed).
+        self.refs = array("q")
+        #: Number of view entries already mirrored.
+        self.synced = 0
+        #: Dead words left behind by :meth:`free`.
+        self.dead = 0
+
+    def sync(self, view: Sequence[Tuple[int, ...]]) -> None:
+        """Mirror every clause installed since the last call."""
+        n = len(view)
+        synced = self.synced
+        if synced == n:
+            return
+        if (
+            self.dead >= _MIRROR_COMPACT_MIN_DEAD
+            and 2 * self.dead >= len(self.data)
+        ):
+            self.compact()
+        data = self.data
+        refs = self.refs
+        for cid in range(synced, n):
+            lits = view[cid]
+            if len(lits) > 3:
+                data.append(len(lits))
+                refs.append(len(data))
+                data.extend(lits)
+            else:
+                refs.append(-1)
+        self.synced = n
+
+    def free(self, cid: int) -> None:
+        """Drop a deleted clause's block (no-op when not mirrored)."""
+        if cid < self.synced:
+            ref = self.refs[cid]
+            if ref >= 0:
+                self.dead += self.data[ref - 1] + 1
+                self.refs[cid] = -1
+
+    def compact(self) -> int:
+        """Slide live blocks left in place; returns words reclaimed.
+        Clause IDs are stable (only ``refs`` is rewritten)."""
+        if not self.dead:
+            return 0
+        data = self.data
+        refs = self.refs
+        write = 0
+        for cid in range(len(refs)):
+            ref = refs[cid]
+            if ref < 0:
+                continue
+            n = data[ref - 1]
+            src = ref - 1
+            if src != write:
+                data[write:write + 1 + n] = data[src:src + 1 + n]
+            refs[cid] = write + 1
+            write += 1 + n
+        reclaimed = len(data) - write
+        del data[write:]
+        self.dead = 0
+        return reclaimed
+
+    def entries(self, cid: int) -> Tuple[int, ...]:
+        """The mirrored literal tuple (white-box test surface); ``()``
+        when the clause is not mirrored."""
+        ref = self.refs[cid]
+        if ref < 0:
+            return ()
+        return tuple(self.data[ref:ref + self.data[ref - 1]])
+
+    def footprint(self) -> dict:
+        return {
+            "pool_words": len(self.data),
+            "dead_words": self.dead,
+            "clauses": self.synced,
         }

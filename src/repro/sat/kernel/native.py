@@ -1,13 +1,19 @@
-"""The native BCP kernel: the same scan, compiled, over the same memory.
+"""The native kernels: the same loops, compiled, over the same memory.
 
-The C function below is a transliteration of
-:class:`~repro.sat.kernel.pykernel.PythonBcpKernel.propagate` — binary,
-ternary, then the two-phase long scan — run zero-copy over the solver's
-typed arrays via ``ffi.from_buffer``: ``lit_truth`` (an ``unsigned
-char`` bytearray), levels/reasons/trail/watch columns (``int32_t``),
-arena refs (``int64_t``).  Buffer views are acquired per ``propagate()`` call and
-released before returning, so Python-side growth (clause installs,
-``ensure_num_vars``) between calls never invalidates a held pointer.
+The C functions below are transliterations of
+:class:`~repro.sat.kernel.pykernel.PythonBcpKernel.propagate` (binary,
+ternary, then the two-phase long scan) and
+:class:`~repro.sat.kernel.pykernel.PythonAnalyzeKernel.analyze` (the
+first-UIP resolution walk, reading long-clause literals from the
+install-order mirror), plus the *fused* ``search_step`` that runs both
+without returning to Python between them — one FFI crossing per
+conflict.  All run zero-copy over the solver's typed arrays via
+``ffi.from_buffer``: ``lit_truth``/``_seen`` (``unsigned char``
+bytearrays), levels/reasons/trail/watch columns/mirror words
+(``int32_t``), arena and mirror refs (``int64_t``).  Buffer views are
+acquired per call and released before returning, so Python-side growth
+(clause installs, ``ensure_num_vars``) between calls never invalidates
+a held pointer.
 
 What C cannot do is grow a Python ``array``.  Two cooperative return
 codes handle that:
@@ -23,6 +29,13 @@ codes handle that:
   returns ``NEED_PEND`` *before* scanning it (queue head not
   advanced).  Binary/ternary scans are idempotent — already-assigned
   implications are skipped on the re-scan — so re-entering is safe.
+* The analysis walk returns ``NEED_ABUF`` when one of its four scratch
+  buffers (learned / antecedents / touched / zero) would overflow,
+  after unmarking every ``seen`` bit it set (clause-activity bumps are
+  replayed Python-side from the antecedent list, so nothing else was
+  mutated): Python doubles the buffer named by ``ST_ABUF`` and the walk
+  restarts idempotently.  In the fused step the conflict ID is parked
+  in ``ST_ACONFLICT`` so the re-entry skips straight to the walk.
 
 Build: cffi out-of-line API mode, compiled on demand into a cache
 directory (``REPRO_KERNEL_CACHE``, default ``~/.cache/repro-bcp-
@@ -42,9 +55,11 @@ import sysconfig
 from array import array
 from typing import TYPE_CHECKING, Optional
 
-from repro.sat.kernel.base import BcpKernelBase
+from repro.sat.kernel.base import AnalyzeKernelBase, BcpKernelBase
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from typing import List, Tuple
+
     from repro.sat.solver import CdclSolver
 
 #: Shared state-array slots (Python writes, C reads, and back).
@@ -60,12 +75,27 @@ ST_PEND_N = 8
 ST_PEND_CAP = 9
 ST_CONFLICT = 10
 ST_GROW = 11
-_STATE_SLOTS = 12
+# Conflict-analysis slots (NativeAnalyzeKernel; the BCP entry point
+# never reads them).
+ST_ASSUME_LVL = 12
+ST_ACONFLICT = 13
+ST_LEARNED_N = 14
+ST_ANTS_N = 15
+ST_TOUCHED_N = 16
+ST_ZERO_N = 17
+ST_LEARNED_CAP = 18
+ST_ANTS_CAP = 19
+ST_TOUCHED_CAP = 20
+ST_ZERO_CAP = 21
+ST_ABUF = 22
+ST_ANALYZED = 23
+_STATE_SLOTS = 24
 
 #: Cooperative return codes (>= 0 is a conflicting clause ID).
 RET_NO_CONFLICT = -1
 RET_NEED_GROW = -2
 RET_NEED_PEND = -3
+RET_NEED_ABUF = -4
 
 _CDEF = """
 int bcp_propagate(unsigned char *truth,
@@ -78,6 +108,27 @@ int bcp_propagate(unsigned char *truth,
                   int32_t *l_off, int32_t *l_size, int32_t *l_cap,
                   int32_t *l_data,
                   int32_t *pend, int32_t *st);
+int analyze_first_uip(const int32_t *levels, const int32_t *reasons,
+                      const int32_t *trail,
+                      const int32_t *adata, const int64_t *arefs,
+                      const int32_t *mdata, const int64_t *mrefs,
+                      unsigned char *seen,
+                      int32_t *learned, int32_t *ants,
+                      int32_t *touched, int32_t *zero, int32_t *st);
+int search_step(unsigned char *truth,
+                int32_t *levels, int32_t *reasons, int32_t *trail,
+                int32_t *adata, int64_t *arefs,
+                const int32_t *b_off, const int32_t *b_size,
+                const int32_t *b_data,
+                const int32_t *t_off, const int32_t *t_size,
+                const int32_t *t_data,
+                int32_t *l_off, int32_t *l_size, int32_t *l_cap,
+                int32_t *l_data, int32_t *pend,
+                const int32_t *mdata, const int64_t *mrefs,
+                unsigned char *seen,
+                int32_t *learned, int32_t *ants,
+                int32_t *touched, int32_t *zero,
+                int32_t *st);
 """
 
 _SOURCE = r"""
@@ -97,6 +148,18 @@ _SOURCE = r"""
 #define ST_PEND_CAP 9
 #define ST_CONFLICT 10
 #define ST_GROW 11
+#define ST_ASSUME_LVL 12
+#define ST_ACONFLICT 13
+#define ST_LEARNED_N 14
+#define ST_ANTS_N 15
+#define ST_TOUCHED_N 16
+#define ST_ZERO_N 17
+#define ST_LEARNED_CAP 18
+#define ST_ANTS_CAP 19
+#define ST_TOUCHED_CAP 20
+#define ST_ZERO_CAP 21
+#define ST_ABUF 22
+#define ST_ANALYZED 23
 
 /* Append the recorded watch moves through the same doubling/relocation
    policy WatchColumns.append2 uses; resumable across NEED_GROW. */
@@ -141,16 +204,17 @@ static int flush_pending(int32_t *l_off, int32_t *l_size, int32_t *l_cap,
     return 0;
 }
 
-int bcp_propagate(unsigned char *truth,
-                  int32_t *levels, int32_t *reasons, int32_t *trail,
-                  int32_t *adata, int64_t *arefs,
-                  const int32_t *b_off, const int32_t *b_size,
-                  const int32_t *b_data,
-                  const int32_t *t_off, const int32_t *t_size,
-                  const int32_t *t_data,
-                  int32_t *l_off, int32_t *l_size, int32_t *l_cap,
-                  int32_t *l_data,
-                  int32_t *pend, int32_t *st)
+/* The BCP scan (exported via bcp_propagate, fused via search_step). */
+static int bcp_scan(unsigned char *truth,
+                    int32_t *levels, int32_t *reasons, int32_t *trail,
+                    int32_t *adata, int64_t *arefs,
+                    const int32_t *b_off, const int32_t *b_size,
+                    const int32_t *b_data,
+                    const int32_t *t_off, const int32_t *t_size,
+                    const int32_t *t_data,
+                    int32_t *l_off, int32_t *l_size, int32_t *l_cap,
+                    int32_t *l_data,
+                    int32_t *pend, int32_t *st)
 {
     int qhead = st[ST_QHEAD];
     int trail_len = st[ST_TRAIL_LEN];
@@ -375,6 +439,182 @@ save_grow:
     st[ST_PROPS] = props;
     return -2;
 }
+
+int bcp_propagate(unsigned char *truth,
+                  int32_t *levels, int32_t *reasons, int32_t *trail,
+                  int32_t *adata, int64_t *arefs,
+                  const int32_t *b_off, const int32_t *b_size,
+                  const int32_t *b_data,
+                  const int32_t *t_off, const int32_t *t_size,
+                  const int32_t *t_data,
+                  int32_t *l_off, int32_t *l_size, int32_t *l_cap,
+                  int32_t *l_data,
+                  int32_t *pend, int32_t *st)
+{
+    return bcp_scan(truth, levels, reasons, trail, adata, arefs,
+                    b_off, b_size, b_data, t_off, t_size, t_data,
+                    l_off, l_size, l_cap, l_data, pend, st);
+}
+
+/* First-UIP resolution walk — the PythonAnalyzeKernel.analyze loop.
+   Clause literals come from the install-order mirror when the clause
+   is mirrored (long clauses, whose arena blocks watch moves permute),
+   else straight from the arena block (short clauses: static watches,
+   arena order == install order for every clause analysis can visit).
+   Reads st[ST_ACONFLICT] (the conflicting clause), st[ST_LEVEL] and
+   st[ST_TRAIL_LEN]; fills the four scratch buffers and their ST_*_N
+   counts.  Any buffer overflow unmarks every seen bit set so far and
+   returns NEED_ABUF with the buffer index in ST_ABUF — nothing else
+   was mutated (bumps are replayed later in Python), so the restarted
+   walk is idempotent. */
+static int analyze_uip(const int32_t *levels, const int32_t *reasons,
+                       const int32_t *trail,
+                       const int32_t *adata, const int64_t *arefs,
+                       const int32_t *mdata, const int64_t *mrefs,
+                       unsigned char *seen,
+                       int32_t *learned, int32_t *ants,
+                       int32_t *touched, int32_t *zero, int32_t *st)
+{
+    int current = st[ST_LEVEL];
+    int lcap = st[ST_LEARNED_CAP];
+    int acap = st[ST_ANTS_CAP];
+    int tcap = st[ST_TOUCHED_CAP];
+    int zcap = st[ST_ZERO_CAP];
+    int ln = 1, an = 1, tn = 0, zn = 0;
+    int counter = 0;
+    int p = -1;
+    int cid = st[ST_ACONFLICT];
+    int idx = st[ST_TRAIL_LEN] - 1;
+    int which, k;
+
+    ants[0] = cid;
+    for (;;) {
+        const int32_t *lits;
+        int cn;
+        int64_t mref = mrefs[cid];
+        if (mref >= 0) {
+            lits = mdata + mref;
+            cn = mdata[mref - 1];
+        } else {
+            int64_t cbase = arefs[cid];
+            lits = adata + cbase;
+            cn = adata[cbase - 1];
+        }
+        for (k = 0; k < cn; k++) {
+            int q = lits[k];
+            int var, level;
+            if (q == p)
+                continue;
+            var = q >> 1;
+            if (seen[var])
+                continue;
+            level = levels[var];
+            if (level == 0) {
+                if (tn == tcap) { which = 2; goto rollback; }
+                if (zn == zcap) { which = 3; goto rollback; }
+                seen[var] = 1;
+                touched[tn++] = var;
+                zero[zn++] = var;
+                continue;
+            }
+            if (tn == tcap) { which = 2; goto rollback; }
+            seen[var] = 1;
+            touched[tn++] = var;
+            if (level >= current) {
+                counter++;
+            } else {
+                if (ln == lcap) { which = 0; goto rollback; }
+                learned[ln++] = q;
+            }
+        }
+        while (!seen[trail[idx] >> 1])
+            idx--;
+        p = trail[idx];
+        idx--;
+        counter--;
+        if (counter == 0)
+            break;
+        cid = reasons[p >> 1];
+        if (an == acap) { which = 1; goto rollback; }
+        ants[an++] = cid;
+    }
+    learned[0] = p ^ 1;
+    st[ST_LEARNED_N] = ln;
+    st[ST_ANTS_N] = an;
+    st[ST_TOUCHED_N] = tn;
+    st[ST_ZERO_N] = zn;
+    return 0;
+
+rollback:
+    for (k = 0; k < tn; k++)
+        seen[touched[k]] = 0;
+    st[ST_ABUF] = which;
+    return -4;
+}
+
+int analyze_first_uip(const int32_t *levels, const int32_t *reasons,
+                      const int32_t *trail,
+                      const int32_t *adata, const int64_t *arefs,
+                      const int32_t *mdata, const int64_t *mrefs,
+                      unsigned char *seen,
+                      int32_t *learned, int32_t *ants,
+                      int32_t *touched, int32_t *zero, int32_t *st)
+{
+    return analyze_uip(levels, reasons, trail, adata, arefs,
+                       mdata, mrefs, seen, learned, ants,
+                       touched, zero, st);
+}
+
+/* The fused step: propagate, and when the conflict lands above the
+   assumption prefix (st[ST_LEVEL] > st[ST_ASSUME_LVL] — level 0 and
+   assumption-prefix conflicts take terminal Python paths), run the
+   resolution walk before returning — one FFI crossing per conflict.
+   Re-entry: scan-side NEED_GROW/NEED_PEND resume through bcp_scan's
+   own ST_RESUME machinery (st[ST_ACONFLICT] still < 0); an analysis
+   NEED_ABUF leaves the conflict in ST_ACONFLICT so the next call
+   skips straight to the (idempotent) walk.  st[ST_ANALYZED] tells
+   Python whether the returned conflict comes with analysis results. */
+int search_step(unsigned char *truth,
+                int32_t *levels, int32_t *reasons, int32_t *trail,
+                int32_t *adata, int64_t *arefs,
+                const int32_t *b_off, const int32_t *b_size,
+                const int32_t *b_data,
+                const int32_t *t_off, const int32_t *t_size,
+                const int32_t *t_data,
+                int32_t *l_off, int32_t *l_size, int32_t *l_cap,
+                int32_t *l_data, int32_t *pend,
+                const int32_t *mdata, const int64_t *mrefs,
+                unsigned char *seen,
+                int32_t *learned, int32_t *ants,
+                int32_t *touched, int32_t *zero,
+                int32_t *st)
+{
+    int conflict, r;
+    if (st[ST_ACONFLICT] >= 0) {
+        r = analyze_uip(levels, reasons, trail, adata, arefs,
+                        mdata, mrefs, seen, learned, ants,
+                        touched, zero, st);
+        if (r)
+            return r;
+        st[ST_ANALYZED] = 1;
+        return st[ST_ACONFLICT];
+    }
+    conflict = bcp_scan(truth, levels, reasons, trail, adata, arefs,
+                        b_off, b_size, b_data, t_off, t_size, t_data,
+                        l_off, l_size, l_cap, l_data, pend, st);
+    if (conflict < 0)
+        return conflict;
+    if (st[ST_LEVEL] > st[ST_ASSUME_LVL]) {
+        st[ST_ACONFLICT] = conflict;
+        r = analyze_uip(levels, reasons, trail, adata, arefs,
+                        mdata, mrefs, seen, learned, ants,
+                        touched, zero, st);
+        if (r)
+            return r;
+        st[ST_ANALYZED] = 1;
+    }
+    return conflict;
+}
 """
 
 #: Memoized build outcome: the loaded extension module, or the reason
@@ -516,6 +756,12 @@ class NativeBcpKernel(BcpKernelBase):
             for view in views:
                 release(view)  # un-export before any Python-side resize
             if result == RET_NEED_GROW:
+                akernel = solver._akernel
+                if akernel is not None:
+                    # The fused step's cached views pin long_cols.data
+                    # too (root/assumption propagation runs here even
+                    # when search uses the fused path).
+                    akernel.invalidate_views()
                 long_cols.used = state[ST_LONG_USED]
                 long_cols.reserve(state[ST_LONG_USED] + state[ST_GROW])
                 continue
@@ -530,3 +776,265 @@ class NativeBcpKernel(BcpKernelBase):
         solver._trail_len = state[ST_TRAIL_LEN]
         solver.stats.propagations += state[ST_PROPS]
         return result
+
+
+class NativeAnalyzeKernel(AnalyzeKernelBase):
+    """First-UIP analysis via the compiled walk, with the fused
+    propagate-then-analyze step when the BCP kernel is native too.
+
+    Owns its own 24-slot state array and scratch buffers — the BCP
+    kernel's call-scoped state never persists across its ``propagate``
+    returns, so the two kernels share nothing but the solver arrays
+    (and, in the fused step, the BCP kernel's watch columns, handled
+    through the exact re-entry protocol ``NativeBcpKernel.propagate``
+    uses).  Scratch buffers grow by doubling on ``RET_NEED_ABUF``
+    (``ST_ABUF`` names the one that overflowed); the C side unmarks
+    ``seen`` before asking, so the restarted walk is idempotent.
+    """
+
+    name = "native"
+
+    def __init__(self, solver: "CdclSolver") -> None:
+        module = _load_module()  # raises RuntimeError when unavailable
+        super().__init__(solver)
+        self._ffi = module.ffi
+        self._lib = module.lib
+        self._state = array("i", bytes(4 * _STATE_SLOTS))
+        self._state[ST_CONFLICT] = -1
+        self._state[ST_ACONFLICT] = -1
+        # Fused-step pending watch moves ([dest, cid, blocker] triples;
+        # separate from the BCP kernel's call-scoped buffer).
+        self._pend = array("i", bytes(4 * 3 * 64))
+        # Analysis scratch: learned literals, antecedent clause IDs,
+        # seen-marked variables, level-0 subset.
+        self._learned_buf = array("i", bytes(4 * 256))
+        self._ants_buf = array("i", bytes(4 * 256))
+        self._touched_buf = array("i", bytes(4 * 1024))
+        self._zero_buf = array("i", bytes(4 * 256))
+        # The fused step's from_buffer views, cached across calls: most
+        # search steps are decision-only (no array resized in between),
+        # so re-exporting 25 buffers per step dominates the crossing
+        # cost.  Any site that can resize a viewed array must call
+        # invalidate_views() (or the soft invalidate_arena_views())
+        # first; cffi pins exported buffers, so a missed call raises
+        # BufferError at the resize — fail-loud.  The list holds None
+        # in soft-released slots until _refresh_views re-exports them.
+        self._views: Optional[List[object]] = None
+        # The resize paths inside the watch columns (relocation /
+        # attach growth) fire this hook themselves, which is what lets
+        # _add_learned get away with the soft invalidation.
+        kernel = solver._kernel
+        if kernel is not None:
+            for cols in (kernel.bin, kernel.tern, kernel.long):
+                cols.on_resize = self.invalidate_views
+
+    #: Call-list slots re-exported per conflict (the only arrays that
+    #: resize on every learned clause): arena.data, arena.refs,
+    #: mirror.data, mirror.refs.
+    _VOLATILE = (4, 5, 17, 18)
+
+    def invalidate_views(self) -> None:
+        views = self._views
+        if views is not None:
+            self._views = None
+            release = self._ffi.release
+            for view in views:
+                if view is not None:
+                    release(view)
+
+    def invalidate_arena_views(self) -> None:
+        views = self._views
+        if views is not None:
+            release = self._ffi.release
+            for i in self._VOLATILE:
+                view = views[i]
+                if view is not None:
+                    views[i] = None
+                    release(view)
+
+    def _refresh_views(self, views: List[object]) -> None:
+        """Re-export the soft-released slots (see invalidate_arena_views)."""
+        solver = self.solver
+        arena = solver._arena
+        mirror = self.mirror
+        from_buffer = self._ffi.from_buffer
+        if views[4] is None:
+            views[4] = from_buffer("int32_t[]", arena.data)
+            views[5] = from_buffer("int64_t[]", arena.refs)
+        if views[17] is None:
+            views[17] = from_buffer("int32_t[]", mirror.data)
+            views[18] = from_buffer("int64_t[]", mirror.refs)
+
+    def _build_views(self) -> List[object]:
+        """(Re)export the fused step's 25 buffer views and cache them.
+        Order matches the ``search_step`` C signature exactly.  The
+        scratch-capacity state slots are set here, not per call: a
+        viewed array cannot resize while its export is live, so the
+        capacities are constant for the lifetime of the cache."""
+        solver = self.solver
+        bcp = solver._kernel
+        arena = solver._arena
+        mirror = self.mirror
+        from_buffer = self._ffi.from_buffer
+        views = [
+            from_buffer("unsigned char[]", solver.lit_truth),
+            from_buffer("int32_t[]", solver._levels),
+            from_buffer("int32_t[]", solver._reasons),
+            from_buffer("int32_t[]", solver._trail),
+            from_buffer("int32_t[]", arena.data),
+            from_buffer("int64_t[]", arena.refs),
+            from_buffer("int32_t[]", bcp.bin.offs),
+            from_buffer("int32_t[]", bcp.bin.size),
+            from_buffer("int32_t[]", bcp.bin.data),
+            from_buffer("int32_t[]", bcp.tern.offs),
+            from_buffer("int32_t[]", bcp.tern.size),
+            from_buffer("int32_t[]", bcp.tern.data),
+            from_buffer("int32_t[]", bcp.long.offs),
+            from_buffer("int32_t[]", bcp.long.size),
+            from_buffer("int32_t[]", bcp.long.caps),
+            from_buffer("int32_t[]", bcp.long.data),
+            from_buffer("int32_t[]", self._pend),
+            from_buffer("int32_t[]", mirror.data),
+            from_buffer("int64_t[]", mirror.refs),
+            from_buffer("unsigned char[]", solver._seen),
+            from_buffer("int32_t[]", self._learned_buf),
+            from_buffer("int32_t[]", self._ants_buf),
+            from_buffer("int32_t[]", self._touched_buf),
+            from_buffer("int32_t[]", self._zero_buf),
+            from_buffer("int32_t[]", self._state),
+        ]
+        state = self._state
+        state[ST_LONG_CAP] = len(bcp.long.data)
+        state[ST_PEND_CAP] = len(self._pend) // 3
+        state[ST_LEARNED_CAP] = len(self._learned_buf)
+        state[ST_ANTS_CAP] = len(self._ants_buf)
+        state[ST_TOUCHED_CAP] = len(self._touched_buf)
+        state[ST_ZERO_CAP] = len(self._zero_buf)
+        self._views = views
+        return views
+
+    def _grow_abuf(self) -> None:
+        buf = (
+            self._learned_buf,
+            self._ants_buf,
+            self._touched_buf,
+            self._zero_buf,
+        )[self._state[ST_ABUF]]
+        buf.frombytes(bytes(4 * len(buf)))
+
+    def _extract(self) -> "Tuple[List[int], List[int]]":
+        """Materialize the seam's return pair and scratch-list side
+        effects from the C buffers (see ``AnalyzeKernelBase``)."""
+        state = self._state
+        solver = self.solver
+        learned = list(self._learned_buf[: state[ST_LEARNED_N]])
+        antecedents = list(self._ants_buf[: state[ST_ANTS_N]])
+        tn = state[ST_TOUCHED_N]
+        if tn:
+            solver._touched_scratch.extend(self._touched_buf[:tn])
+        zn = state[ST_ZERO_N]
+        if zn:
+            solver._zero_scratch.extend(self._zero_buf[:zn])
+        return learned, antecedents
+
+    def analyze(self, conflict_cid: int) -> "Tuple[List[int], List[int]]":
+        solver = self.solver
+        # Rare path under the fused step (assumption-level conflicts):
+        # drop the cached fused views before the mirror may resize.
+        self.invalidate_views()
+        self.sync_mirror()
+        state = self._state
+        state[ST_LEVEL] = solver._decision_level
+        state[ST_TRAIL_LEN] = solver._trail_len
+        state[ST_ACONFLICT] = conflict_cid
+        arena = solver._arena
+        mirror = self.mirror
+        ffi = self._ffi
+        from_buffer = ffi.from_buffer
+        release = ffi.release
+        fn = self._lib.analyze_first_uip
+        while True:
+            state[ST_LEARNED_CAP] = len(self._learned_buf)
+            state[ST_ANTS_CAP] = len(self._ants_buf)
+            state[ST_TOUCHED_CAP] = len(self._touched_buf)
+            state[ST_ZERO_CAP] = len(self._zero_buf)
+            views = (
+                from_buffer("int32_t[]", solver._levels),
+                from_buffer("int32_t[]", solver._reasons),
+                from_buffer("int32_t[]", solver._trail),
+                from_buffer("int32_t[]", arena.data),
+                from_buffer("int64_t[]", arena.refs),
+                from_buffer("int32_t[]", mirror.data),
+                from_buffer("int64_t[]", mirror.refs),
+                from_buffer("unsigned char[]", solver._seen),
+                from_buffer("int32_t[]", self._learned_buf),
+                from_buffer("int32_t[]", self._ants_buf),
+                from_buffer("int32_t[]", self._touched_buf),
+                from_buffer("int32_t[]", self._zero_buf),
+                from_buffer("int32_t[]", state),
+            )
+            result = fn(*views)
+            for view in views:
+                release(view)  # un-export before any Python-side resize
+            if result == RET_NEED_ABUF:
+                self._grow_abuf()
+                continue
+            break
+        state[ST_ACONFLICT] = -1
+        return self._extract()
+
+    def search_step(
+        self, num_assumptions: int
+    ) -> "Tuple[int, Optional[Tuple[List[int], List[int]]]]":
+        solver = self.solver
+        state = self._state
+        if solver._qhead >= solver._trail_len:
+            return -1, None  # nothing queued (keeps empty buffers off FFI)
+        bcp = solver._kernel
+        long_cols = bcp.long
+        mirror = self.mirror
+        if mirror.synced != len(solver._lits_view):
+            # sync may extend (and compact may shrink) the mirror pool.
+            self.invalidate_arena_views()
+            mirror.sync(solver._lits_view)
+        state[ST_QHEAD] = solver._qhead
+        state[ST_TRAIL_LEN] = solver._trail_len
+        state[ST_LEVEL] = solver._decision_level
+        state[ST_ASSUME_LVL] = num_assumptions
+        state[ST_PROPS] = 0
+        state[ST_ANALYZED] = 0
+        state[ST_LONG_USED] = long_cols.used
+        step = self._lib.search_step
+        pend = self._pend
+        while True:
+            views = self._views
+            if views is None:
+                views = self._build_views()
+            elif views[4] is None or views[17] is None:
+                self._refresh_views(views)
+            result = step(*views)
+            if result == RET_NEED_GROW:
+                self.invalidate_views()  # un-export before the resize
+                long_cols.used = state[ST_LONG_USED]
+                long_cols.reserve(state[ST_LONG_USED] + state[ST_GROW])
+                continue
+            if result == RET_NEED_PEND:
+                self.invalidate_views()
+                need = 3 * state[ST_GROW]
+                have = len(pend)
+                pend.frombytes(bytes(4 * (max(need, 2 * have) - have)))
+                continue
+            if result == RET_NEED_ABUF:
+                self.invalidate_views()
+                self._grow_abuf()
+                continue
+            break
+        long_cols.used = state[ST_LONG_USED]
+        solver._qhead = state[ST_QHEAD]
+        solver._trail_len = state[ST_TRAIL_LEN]
+        solver.stats.propagations += state[ST_PROPS]
+        if result >= 0 and state[ST_ANALYZED]:
+            state[ST_ACONFLICT] = -1
+            state[ST_ANALYZED] = 0
+            return result, self._extract()
+        return result, None

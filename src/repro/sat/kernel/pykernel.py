@@ -1,21 +1,28 @@
-"""The pure-Python BCP kernel: always available, the semantics reference.
+"""The pure-Python kernels: always available, the semantics reference.
 
-A line-for-line port of the legacy ``CdclSolver._propagate`` onto the
-flat data plane — binary scan, ternary scan, then the two-phase long
-scan (read-only until the first watch move, compacting after) with the
-same blocker handling, the same in-place arena watch-position swaps and
-the same conflict exits.  Search behaviour is byte-identical to the
-legacy backend by construction; the differential fuzzer's backend legs
-pin it.
+:class:`PythonBcpKernel` is a line-for-line port of the legacy
+``CdclSolver._propagate`` onto the flat data plane — binary scan,
+ternary scan, then the two-phase long scan (read-only until the first
+watch move, compacting after) with the same blocker handling, the same
+in-place arena watch-position swaps and the same conflict exits.
+:class:`PythonAnalyzeKernel` is the same treatment of the legacy
+``CdclSolver._analyze`` main loop: the first-UIP resolution walk,
+verbatim, minus the pieces the seam keeps in the solver (clause-
+activity bumps — replayed from the antecedent list — minimization and
+everything after).  Search behaviour is byte-identical to the legacy
+backends by construction; the differential fuzzer's backend legs pin
+both.
 
-This is also the reference the native kernel is validated against: the
-C scan is the same algorithm over the same memory, so any divergence is
-a kernel bug, never an ambiguity.
+These are also the references the native kernels are validated
+against: the C code is the same algorithm over the same memory, so any
+divergence is a kernel bug, never an ambiguity.
 """
 
 from __future__ import annotations
 
-from repro.sat.kernel.base import BcpKernelBase
+from typing import List, Tuple
+
+from repro.sat.kernel.base import AnalyzeKernelBase, BcpKernelBase
 
 
 class PythonBcpKernel(BcpKernelBase):
@@ -260,3 +267,87 @@ class PythonBcpKernel(BcpKernelBase):
         solver._trail_len = trail_len
         solver.stats.propagations += props
         return -1
+
+
+class PythonAnalyzeKernel(AnalyzeKernelBase):
+    """First-UIP analysis over the flat state, in pure Python.
+
+    The legacy ``_analyze`` main loop verbatim — same seen-marking
+    order over the same install-order literal views, so the learned
+    clause and every scratch-list side effect are byte-identical —
+    minus the inlined clause-activity bumps, which the solver replays
+    from the returned antecedent order (``antecedents[1:]`` is exactly
+    the legacy visit order: ``antecedents[0]``, the conflict clause, is
+    falsified and can never be a reason, so legacy never bumped it).
+    Iterates ``_lits_view`` directly; the install-order mirror stays
+    empty (it exists for the C kernel, which cannot walk tuples).
+    """
+
+    name = "python"
+
+    def sync_mirror(self) -> None:
+        pass  # iterates the view directly; no flat copy needed
+
+    def free_clause(self, cid: int) -> None:
+        pass
+
+    def analyze(  # solcheck: hot
+        self, conflict_cid: int
+    ) -> Tuple[List[int], List[int]]:
+        """The first-UIP resolution walk; returns ``(learned,
+        antecedents)`` with the asserting literal at ``learned[0]``,
+        seen marks left set and the touched/zero scratch lists filled —
+        the seam contract (see :class:`AnalyzeKernelBase`).  Same
+        hot-path discipline as the legacy loop: every name in the inner
+        loop is a local, the only marker structure is the persistent
+        ``_seen`` bytearray.
+        """
+        solver = self.solver
+        seen = solver._seen
+        levels = solver._levels
+        reasons = solver._reasons
+        view = solver._lits_view
+        trail = solver._trail
+        current = solver._decision_level
+        learned: List[int] = [0]
+        antecedents: List[int] = [conflict_cid]
+        zero = solver._zero_scratch
+        touched = solver._touched_scratch
+        touched_append = touched.append
+        learned_append = learned.append
+        counter = 0
+        p = -1
+        cid = conflict_cid
+        idx = solver._trail_len - 1
+
+        while True:
+            for q in view[cid]:
+                if q == p:
+                    continue
+                var = q >> 1
+                if seen[var]:
+                    continue
+                level = levels[var]
+                if level == 0:
+                    seen[var] = 1
+                    touched_append(var)
+                    zero.append(var)
+                    continue
+                seen[var] = 1
+                touched_append(var)
+                if level >= current:
+                    counter += 1
+                else:
+                    learned_append(q)
+            while not seen[trail[idx] >> 1]:
+                idx -= 1
+            p = trail[idx]
+            idx -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            cid = reasons[p >> 1]
+            antecedents.append(cid)
+
+        learned[0] = p ^ 1
+        return learned, antecedents

@@ -115,7 +115,12 @@ from repro.sat.arena import (
 )
 from repro.sat.cdg import ConflictDependencyGraph
 from repro.sat.heuristics import DecisionStrategy, VsidsStrategy
-from repro.sat.kernel import BCP_BACKENDS, create_kernel
+from repro.sat.kernel import (
+    ANALYZE_BACKENDS,
+    BCP_BACKENDS,
+    create_analyze_kernel,
+    create_kernel,
+)
 from repro.sat.stats import SolverStats
 from repro.sat.trace import (
     STATUS_SAT,
@@ -126,7 +131,7 @@ from repro.sat.trace import (
     TraceTee,
     TraceWriter,
 )
-from repro.sat.types import SolveOutcome, SolveResult
+from repro.sat.types import AnalysisResult, SolveOutcome, SolveResult
 
 
 @dataclass
@@ -199,6 +204,20 @@ class SolverConfig:
     #: backends force ``arena_storage="compact"`` internally (the
     #: zero-copy layout they alias).
     bcp_backend: str = "legacy"
+    #: Conflict-analysis backend (the first-UIP resolution loop; see
+    #: ``repro.sat.kernel``), composing with :attr:`bcp_backend`:
+    #: ``"legacy"`` (the in-solver ``_analyze`` main loop — the
+    #: default), ``"python"`` (the same loop behind the kernel seam,
+    #: always available) or ``"native"`` (the walk compiled via cffi).
+    #: Search behaviour is byte-identical across all three — identical
+    #: literal iteration order means identical learned clauses.  When
+    #: both planes are ``"native"`` the search loop runs the *fused*
+    #: ``search_step`` (propagate, then analyze the conflict without
+    #: re-crossing the FFI boundary).  ``"native"`` analysis over a
+    #: ``"legacy"`` BCP plane silently upgrades the data plane to the
+    #: python BCP kernel (the C walk needs the typed arrays; search is
+    #: identical either way).
+    analyze_backend: str = "legacy"
     #: Learned-clause export cap for portfolio solving
     #: (``repro.sat.portfolio``): learned clauses of at most this many
     #: literals are buffered for sharing with peer solvers — short
@@ -248,6 +267,10 @@ ARENA_STORAGE_MODES = STORAGE_MODES
 #: Valid values of :attr:`SolverConfig.bcp_backend` (re-exported from
 #: the kernel package).
 SOLVER_BCP_BACKENDS = BCP_BACKENDS
+
+#: Valid values of :attr:`SolverConfig.analyze_backend` (re-exported
+#: from the kernel package).
+SOLVER_ANALYZE_BACKENDS = ANALYZE_BACKENDS
 
 #: Clause-activity magnitude that triggers a rescale.  Single source of
 #: truth for both the inlined bump in ``_analyze`` and the out-of-line
@@ -322,6 +345,11 @@ class CdclSolver:
                 f"bcp_backend must be one of {BCP_BACKENDS}, "
                 f"got {self.config.bcp_backend!r}"
             )
+        if self.config.analyze_backend not in ANALYZE_BACKENDS:
+            raise ValueError(
+                f"analyze_backend must be one of {ANALYZE_BACKENDS}, "
+                f"got {self.config.analyze_backend!r}"
+            )
         self.strategy = strategy or VsidsStrategy()
         self.num_vars = 0
         self.stats = SolverStats()
@@ -329,7 +357,14 @@ class CdclSolver:
         # boundary, so it must live in typed arrays; the legacy backend
         # keeps the measured-faster Python lists.  Search behaviour is
         # identical either way (both are subscripted int sequences).
-        kernel_mode = self.config.bcp_backend != "legacy"
+        # Native conflict analysis also needs the typed plane (the C
+        # walk reads levels/reasons/trail/seen zero-copy), so it forces
+        # kernel mode even over bcp_backend="legacy" — the data plane
+        # is then the python BCP kernel.
+        kernel_mode = (
+            self.config.bcp_backend != "legacy"
+            or self.config.analyze_backend == "native"
+        )
 
         #: Per-*literal* truth values: 1 true, 0 false, 2 unassigned
         #: (2 rather than -1 so "not false" is plain truthiness).  The
@@ -395,9 +430,31 @@ class CdclSolver:
         #: ``bcp_backend="native"`` raises here, cleanly, on hosts
         #: without cffi or a C compiler.
         self._kernel = (
-            create_kernel(self, self.config.bcp_backend)
+            create_kernel(
+                self,
+                self.config.bcp_backend
+                if self.config.bcp_backend != "legacy"
+                else "python",
+            )
             if kernel_mode
             else None
+        )
+        #: The conflict-analysis kernel (None under the legacy
+        #: backend); ``analyze_backend="native"`` raises here, cleanly,
+        #: on hosts without cffi or a C compiler.
+        self._akernel = (
+            create_analyze_kernel(self, self.config.analyze_backend)
+            if self.config.analyze_backend != "legacy"
+            else None
+        )
+        #: True when both planes are native: the search loop then runs
+        #: the fused propagate->analyze step (one FFI crossing per
+        #: conflict) instead of two seam calls.
+        self._fused = (
+            self._kernel is not None
+            and self._kernel.name == "native"
+            and self._akernel is not None
+            and self._akernel.name == "native"
         )
         # Analysis-side literal views, one immutable tuple per clause.
         # Conflict analysis is literal-ORDER-blind (seen-marking makes
@@ -438,6 +495,12 @@ class CdclSolver:
         self._touched_scratch: List[int] = []
         self._zero_scratch: List[int] = []
         self._min_stack: List[int] = []
+        # LBD (glue) stamp array: one slot per possible decision level
+        # (0..var_capacity, grown with the variable space) plus a
+        # generation counter, so counting a learned clause's distinct
+        # levels allocates nothing and never needs clearing.
+        self._lbd_stamp = array("i", [0])
+        self._lbd_gen = 0
 
         self._cdg = (
             ConflictDependencyGraph(self._num_initial)
@@ -524,6 +587,7 @@ class CdclSolver:
             self._reasons.extend([-1] * grow)
             self._saved_phase.extend([-1] * grow)
             self._seen.extend(bytes(grow))
+            self._lbd_stamp.extend([0] * grow)
             self._lit_counts.extend([0] * (2 * grow))
             if self._kernel is None:
                 watches = self._watches
@@ -757,6 +821,12 @@ class CdclSolver:
     def _install_clause(
         self, lits: List[int], initial: bool, count_literals: bool = True
     ) -> int:
+        akernel = self._akernel
+        if akernel is not None:
+            # The arena and watch pools may grow below; the fused
+            # native step caches FFI views of them across calls
+            # (mid-solve path: shared-clause import at level 0).
+            akernel.invalidate_views()
         lits = list(dict.fromkeys(lits))  # dedupe, keep order
         taut = _is_tautology(lits)
         cid = self._arena.add(lits, INACTIVE if taut else 0)
@@ -1263,12 +1333,16 @@ class CdclSolver:
             return entry[1]
         return -1
 
-    def _analyze(self, conflict_cid: int) -> Tuple[List[int], int, List[int]]:  # solcheck: hot
+    def _analyze(self, conflict_cid: int) -> AnalysisResult:  # solcheck: hot
         """First-UIP analysis with learned-clause minimization.
 
-        Returns ``(learned_literals, backjump_level, antecedent_ids)`` with
-        the asserting literal at ``learned_literals[0]`` and (when the
-        clause is not unit) a literal of the backjump level at position 1.
+        The legacy analysis backend: the resolution main loop inline
+        (``analyze_backend="python"``/``"native"`` route the same loop
+        through the kernel seam instead — see :meth:`_analyze_kernel`),
+        then the shared Python tail (:meth:`_finish_analysis`).  The
+        returned :class:`AnalysisResult` carries the asserting literal
+        at ``learned[0]`` and (when the clause is not unit) a literal
+        of the backjump level at position 1.
 
         Hot-path invariants: the only marker structure is the persistent
         ``_seen`` bytearray; level-0 variables and marked variables are
@@ -1346,12 +1420,75 @@ class CdclSolver:
             antecedents.append(cid)
 
         learned[0] = p ^ 1
+        return self._finish_analysis(learned, antecedents)
+
+    def _analyze_kernel(self, conflict_cid: int) -> AnalysisResult:
+        """Analysis via the kernel seam (``analyze_backend`` not
+        ``"legacy"``): the kernel runs the resolution main loop, the
+        solver replays the clause-activity bumps its legacy twin
+        inlines (from the antecedent order, before minimization can
+        extend the list) and runs the shared tail."""
+        learned, antecedents = self._akernel.analyze(conflict_cid)
+        self._replay_clause_bumps(antecedents)
+        return self._finish_analysis(learned, antecedents)
+
+    def _replay_clause_bumps(self, antecedents: List[int]) -> None:
+        """Replay the bumps ``_analyze`` inlines, float-identically.
+
+        Legacy bumps each learned clause visited by the resolution main
+        loop, in visit order — which is exactly ``antecedents[1:]`` as
+        a kernel hands it back (``antecedents[0]``, the conflict
+        clause, is falsified and can never be a reason, so the legacy
+        ``cid != conflict_cid`` guard never bumped it).  Must run
+        before :meth:`_finish_analysis`: minimization and the level-0
+        closure append further antecedents legacy does not bump.
+        """
+        aflags = self._arena.flags
+        activity = self._activity
+        inc = self._activity_inc
+        rescale_limit = ACTIVITY_RESCALE_LIMIT
+        for i in range(1, len(antecedents)):
+            cid = antecedents[i]
+            if aflags[cid] & 1:  # LEARNED
+                bumped = activity[cid] + inc
+                activity[cid] = bumped
+                if bumped > rescale_limit:
+                    self._rescale_clause_activity()
+                    inc = self._activity_inc
+
+    def _finish_analysis(
+        self, learned: List[int], antecedents: List[int]
+    ) -> AnalysisResult:
+        """The analysis tail every backend funnels through: learned-
+        clause minimization, LBD, the level-0 reason closure, seen-mark
+        clearing and the backjump-literal swap.  Expects the seam state
+        the main loop leaves behind — asserting literal at
+        ``learned[0]``, seen marks set, touched/zero scratch filled."""
+        levels = self._levels
+        seen = self._seen
+        zero = self._zero_scratch
+        touched = self._touched_scratch
         stats = self.stats
         stats.learned_literals_before_min += len(learned)
         mode = self.config.minimize_learned
         if mode != "off" and len(learned) > 2:
             self._minimize_learned(learned, antecedents, mode == "recursive")
         stats.learned_literals += len(learned)
+
+        # LBD of the final (minimized) clause: distinct decision levels
+        # among its literals, counted with the generation-stamped array
+        # (no set, no clearing).  Identical across backends because the
+        # clause itself is.
+        gen = self._lbd_gen + 1
+        self._lbd_gen = gen
+        stamp = self._lbd_stamp
+        lbd = 0
+        for q in learned:
+            level = levels[q >> 1]
+            if stamp[level] != gen:
+                stamp[level] = gen
+                lbd += 1
+        stats.learned_lbd_sum += lbd
 
         # While the seen marks are still set, close over the level-0
         # chains (minimization may have added zero-level variables).
@@ -1374,7 +1511,7 @@ class CdclSolver:
             btlevel = max_level
         else:
             btlevel = 0
-        return learned, btlevel, antecedents
+        return AnalysisResult(learned, btlevel, lbd, antecedents)
 
     def _minimize_learned(
         self, learned: List[int], antecedents: List[int], recursive: bool
@@ -1560,6 +1697,13 @@ class CdclSolver:
         self._activity_inc *= scale
 
     def _add_learned(self, learned: List[int], antecedents: List[int]) -> int:
+        akernel = self._akernel
+        if akernel is not None:
+            # The arena append always resizes arrays the fused native
+            # step holds cached FFI views of; watch-pool growth during
+            # the attach (rare) invalidates itself via the columns'
+            # on_resize hook.
+            akernel.invalidate_arena_views()
         cid = self._arena.add(learned, LEARNED, self._activity_inc)
         self._lits_view.append(tuple(learned))
         self._learned_ids.append(cid)
@@ -1620,11 +1764,18 @@ class CdclSolver:
         root_pruned = self._root_pruned
         arena = self._arena
         view = self._lits_view
+        akernel = self._akernel
+        if akernel is not None:
+            # Arena compaction below resizes the word store the fused
+            # native step holds cached FFI views of.
+            akernel.invalidate_views()
         for cid in candidates[: len(candidates) // 2]:
             if cid not in root_pruned:  # pruned clauses are already detached
                 self._detach_clause(cid)
             arena.tombstone(cid)
             view[cid] = ()  # free the analysis view; reasons stay live
+            if akernel is not None:
+                akernel.free_clause(cid)  # and its install-order mirror block
             self._num_live_learned -= 1
             self.stats.deleted_clauses += 1
         self._maybe_compact_arena()
@@ -1803,6 +1954,11 @@ class CdclSolver:
                 trace.end(_TRACE_STATUS[outcome.status])
         finally:
             self._solving = False
+            if self._akernel is not None:
+                # Release cached fused-step views so between-solve
+                # mutations (ensure_num_vars, add_clause) never hit a
+                # pinned buffer.
+                self._akernel.invalidate_views()
             if trace is not None:
                 self._trace = None
                 trace.close()
@@ -1876,9 +2032,20 @@ class CdclSolver:
         # runs the BCP loop opaquely in C, and search-level state is
         # what PR 7 pinned byte-identical across backends.
         trace = self._trace
+        # Conflict-analysis dispatch: the fused native step (propagate
+        # and analyze in one FFI crossing), the kernel seam, or the
+        # legacy inline loop.  All three produce identical
+        # AnalysisResults — the fuzzer and the Table-1 pin hold the
+        # grid byte-identical.
+        akernel = self._akernel
+        fused_step = akernel.search_step if self._fused else None
 
         while True:
-            conflict = self._propagate()
+            if fused_step is not None:
+                conflict, analysis = fused_step(num_assumptions)
+            else:
+                conflict = self._propagate()
+                analysis = None
             if conflict != -1:
                 stats.conflicts += 1
                 conflicts_in_epoch += 1
@@ -1893,7 +2060,19 @@ class CdclSolver:
                     # The conflict is entirely above assumption decisions:
                     # UNSAT under the current assumptions.
                     return self._assumption_conflict_outcome(conflict)
-                learned, btlevel, antecedents = self._analyze(conflict)
+                if analysis is not None:
+                    # Fused path: the C walk already ran; replay the
+                    # bumps and run the shared Python tail.
+                    self._replay_clause_bumps(analysis[1])
+                    learned, btlevel, _, antecedents = self._finish_analysis(
+                        analysis[0], analysis[1]
+                    )
+                elif akernel is not None:
+                    learned, btlevel, _, antecedents = self._analyze_kernel(
+                        conflict
+                    )
+                else:
+                    learned, btlevel, _, antecedents = self._analyze(conflict)
                 self._activity_inc /= activity_decay
                 # Backjumping below the assumption prefix is fine: the
                 # decision loop re-establishes assumptions level by level.

@@ -28,6 +28,11 @@ class SolverStats:
     learned_literals_before_min: int = 0
     learned_literals: int = 0
     minimized_literals: int = 0
+    # Sum of learned-clause LBDs (distinct decision levels per clause,
+    # post-minimization); with learned_clauses this gives the mean glue
+    # — the conflict-analysis quality metric the analyze backends must
+    # agree on exactly.
+    learned_lbd_sum: int = 0
     # Clauses detached by root-level watch pruning during this solve
     # (satisfied forever by a level-0 assignment; see
     # SolverConfig.prune_root_satisfied).
@@ -68,6 +73,7 @@ class SolverStats:
         self.learned_literals_before_min += other.learned_literals_before_min
         self.learned_literals += other.learned_literals
         self.minimized_literals += other.minimized_literals
+        self.learned_lbd_sum += other.learned_lbd_sum
         self.root_pruned_clauses += other.root_pruned_clauses
         self.arena_compactions += other.arena_compactions
         self.arena_reclaimed_words += other.arena_reclaimed_words

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional
+from typing import FrozenSet, List, NamedTuple, Optional
 
 from repro.sat.stats import SolverStats
 
@@ -15,6 +15,29 @@ class SolveResult(enum.Enum):
     SAT = "sat"
     UNSAT = "unsat"
     UNKNOWN = "unknown"  # a resource budget was exhausted
+
+
+class AnalysisResult(NamedTuple):
+    """One conflict analysis, finalized (post-minimization).
+
+    Produced by ``CdclSolver._finish_analysis`` — the Python tail every
+    analysis backend (legacy / python / native, fused or not) funnels
+    through — and consumed by the search loop's conflict block.
+    """
+
+    #: The learned clause: asserting literal at position 0; when longer
+    #: than one literal, a literal of the backjump level at position 1.
+    learned: List[int]
+    #: The level the search backjumps to (0 for a unit clause).
+    backtrack_level: int
+    #: Literal-block-distance of the learned clause: the number of
+    #: distinct decision levels among its literals (glue metric).
+    lbd: int
+    #: Ordered resolvent list — the conflict clause first, then every
+    #: reason clause consumed by the resolution walk, minimization
+    #: proofs and the level-0 closure (a complete derivation for the
+    #: CDG / proof replay).
+    antecedents: List[int]
 
 
 @dataclass

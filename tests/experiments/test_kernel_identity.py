@@ -57,3 +57,25 @@ def test_table1_subset_identical_across_backends():
     for backend in backends:
         counters = _counters(run_table1(rows=rows, bcp_backend=backend))
         assert counters == legacy, f"{backend} kernel changed the search"
+
+
+@pytest.mark.slow
+def test_table1_subset_identical_across_analyze_backends():
+    """The conflict-analysis plane (PR 9) composed with each data
+    plane: every (bcp_backend, analyze_backend) cell — including the
+    fused native step — must reproduce the PR 5 baseline counters."""
+    expected = json.loads(BASELINE.read_text())
+    rows = [r for r in small_suite() if r.name in expected]
+    assert {r.name for r in rows} == set(expected), "baseline rows missing from suite"
+
+    cells = [("legacy", "python"), ("python", "python")]
+    if native_available():
+        # Mixed planes and the fully fused cell.
+        cells += [("python", "native"), ("native", "python"), ("native", "native")]
+    for bcp, analyze in cells:
+        counters = _counters(
+            run_table1(rows=rows, bcp_backend=bcp, analyze_backend=analyze)
+        )
+        assert counters == expected, (
+            f"(bcp={bcp}, analyze={analyze}) changed the search"
+        )

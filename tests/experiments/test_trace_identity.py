@@ -92,3 +92,34 @@ def test_fuzzer_kernel_traces_byte_identical_across_backends():
                 f"instance {index}: {backend} trace differs from "
                 f"{backends[0]}"
             )
+
+
+def test_fuzzer_analyze_traces_byte_identical_across_planes():
+    """PR 9: (bcp_backend, analyze_backend) cells — including the fused
+    native step, where the trace's conflict/learned events are emitted
+    from the C-produced analysis — must emit byte-identical traces."""
+    import random
+
+    from tests.properties.test_solver_differential import FUZZ_SEED
+
+    cells = [("legacy", "legacy"), ("python", "python"), ("legacy", "python")]
+    if native_available():
+        cells.append(("native", "native"))
+    for index in range(40):
+        formula, _ = make_instance(index)
+        blobs = {}
+        for bcp, analyze in cells:
+            rng = random.Random(FUZZ_SEED + index + 1_000_000)
+            production, _ = _strategy_pairs(rng, formula.num_vars, index % 4)
+            events = []
+            config = SolverConfig(
+                bcp_backend=bcp, analyze_backend=analyze, trace_events=events
+            )
+            CdclSolver(formula, strategy=production, config=config).solve()
+            blobs[(bcp, analyze)] = encode_events(events, formula.num_vars)
+        reference = blobs[cells[0]]
+        assert reference, f"instance {index}: empty trace"
+        for cell in cells[1:]:
+            assert blobs[cell] == reference, (
+                f"instance {index}: {cell} trace differs from {cells[0]}"
+            )

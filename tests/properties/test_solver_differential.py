@@ -38,6 +38,16 @@ counterexample can be regenerated in isolation.  The environment knobs:
     ``native`` leg is silently dropped on hosts where the compiled
     kernel cannot be built (no cffi / no C compiler); set
     ``FUZZ_BACKENDS=python`` (or ``""``) to trim the run.
+``FUZZ_ANALYZE_BACKENDS``
+    Comma-separated conflict-analysis backends to leg against the
+    legacy in-solver first-UIP loop (default ``python,native``).  The
+    ``python`` leg runs ``analyze_backend="python"`` over the python
+    data plane; the ``native`` leg runs the fully fused plane
+    (``bcp_backend="native"`` + ``analyze_backend="native"``, one FFI
+    crossing per conflict).  Each must be *search-identical* to the
+    legacy run — same verdict, same decisions/propagations/conflicts/
+    learned counts, same model.  ``native`` is silently dropped where
+    the compiled kernel cannot be built; set it to ``""`` to trim.
 ``FUZZ_TRACE``
     Set to ``1`` to add the replay-oracle leg (default off): each
     instance is re-solved with in-memory trace telemetry
@@ -90,6 +100,27 @@ FUZZ_BACKENDS = tuple(
     )
     if backend and (backend != "native" or native_available())
 )
+
+#: Conflict-analysis backends legged against the legacy first-UIP loop
+#: on every instance (PR 9).  ``python`` exercises the seam's Python
+#: kernel over the python data plane; ``native`` the fused
+#: propagate-then-analyze C step.  (``native`` is dropped, not failed,
+#: when it cannot be built here.)
+FUZZ_ANALYZE_BACKENDS = tuple(
+    backend
+    for backend in (
+        name.strip()
+        for name in os.environ.get(
+            "FUZZ_ANALYZE_BACKENDS", "python,native"
+        ).split(",")
+    )
+    if backend and (backend != "native" or native_available())
+)
+
+#: The backend pair each analysis leg runs under (data plane, analysis
+#: plane): the native analysis kernel only fuses over the native BCP
+#: kernel, and the python leg keeps the whole pipeline pure-Python.
+_ANALYZE_LEG_PLANES = {"python": ("python", "python"), "native": ("native", "native")}
 
 #: ``FUZZ_TRACE=1`` adds the replay-oracle leg (PR 8): every instance is
 #: re-solved with in-memory tracing and the trace is replayed through
@@ -305,6 +336,42 @@ def run_one(index: int):
         if outcome.status is SolveResult.SAT:
             assert kernel_outcome.model == outcome.model, (
                 f"{ctx}: {backend} kernel model differs"
+            )
+
+    # Analysis legs (PR 9): every enabled conflict-analysis backend
+    # must run the exact same search as the legacy in-solver first-UIP
+    # loop — the analysis kernels (and the fused native step) are a
+    # plane swap, never a heuristic change.
+    for analyze_leg in FUZZ_ANALYZE_BACKENDS:
+        bcp_plane, analyze_plane = _ANALYZE_LEG_PLANES[analyze_leg]
+        rng_analyze = random.Random(FUZZ_SEED + index + 1_000_000)
+        production_analyze, _ = _strategy_pairs(
+            rng_analyze, formula.num_vars, strategy_kind
+        )
+        analyze_outcome = CdclSolver(
+            formula,
+            strategy=production_analyze,
+            config=replace(
+                config, bcp_backend=bcp_plane, analyze_backend=analyze_plane
+            ),
+        ).solve()
+        assert analyze_outcome.status is outcome.status, (
+            f"{ctx}: {analyze_leg} analysis verdict differs"
+        )
+        assert (
+            analyze_outcome.stats.decisions,
+            analyze_outcome.stats.propagations,
+            analyze_outcome.stats.conflicts,
+            analyze_outcome.stats.learned_clauses,
+        ) == (
+            outcome.stats.decisions,
+            outcome.stats.propagations,
+            outcome.stats.conflicts,
+            outcome.stats.learned_clauses,
+        ), f"{ctx}: {analyze_leg} analysis search diverged from legacy"
+        if outcome.status is SolveResult.SAT:
+            assert analyze_outcome.model == outcome.model, (
+                f"{ctx}: {analyze_leg} analysis model differs"
             )
 
     # Replay-oracle leg (PR 8, FUZZ_TRACE=1): re-run the instance with

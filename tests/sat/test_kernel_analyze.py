@@ -1,0 +1,274 @@
+"""The conflict-analysis kernel seam (PR 9): white-box and oracle tests.
+
+The analysis kernels replace the solver's first-UIP loop — and with the
+fused native step, the propagate-then-analyze crossing — but hand back
+exactly what the legacy Python tail consumes (raw learned clause,
+ordered antecedents, scratch side effects).  Beyond the differential
+fuzzer's search-identity legs, these tests pin:
+
+* the install-order mirror (``ClauseLitMirror``) against the solver's
+  ``_lits_view`` — long clauses mirrored verbatim, short clauses
+  deliberately absent;
+* the C scratch-buffer re-entry protocol (``RET_NEED_ABUF``): shrunken
+  buffers force mid-walk restarts that must not change the search;
+* proofs and cores built *through the kernels*: UNSAT answers replay
+  through ``check_proof`` and their cores re-prove UNSAT;
+* the fused step's cached-FFI-view lifecycle: incremental solves,
+  variable growth and clause addition between solves must never trip a
+  pinned buffer (cffi raises ``BufferError`` loudly if a cached view
+  survives into a resize).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import pytest
+
+from repro.cnf import CnfFormula
+from repro.sat import CdclSolver, SolverConfig, check_proof
+from repro.sat.kernel import (
+    ANALYZE_BACKENDS,
+    create_analyze_kernel,
+    native_available,
+)
+from repro.sat.types import SolveResult
+from repro.workloads.cnf_families import pigeonhole, xor_chain
+from tests.conftest import random_formula
+
+#: Every (bcp_backend, analyze_backend) cell the host can run; the
+#: legacy/legacy cell is the reference.
+def _cells():
+    cells = [("legacy", "legacy"), ("legacy", "python"), ("python", "python")]
+    if native_available():
+        cells += [("python", "native"), ("native", "python"), ("native", "native")]
+    return cells
+
+
+def _search_signature(solver, outcome):
+    stats = outcome.stats
+    return (
+        outcome.status,
+        stats.decisions,
+        stats.propagations,
+        stats.conflicts,
+        stats.learned_clauses,
+        stats.learned_lbd_sum,
+        stats.deleted_clauses,
+        tuple(outcome.model) if outcome.model else None,
+    )
+
+
+def test_analyze_backends_registry():
+    assert ANALYZE_BACKENDS == ("legacy", "python", "native")
+    with pytest.raises(ValueError):
+        create_analyze_kernel(
+            CdclSolver(CnfFormula(1)), "no-such-backend"
+        )
+
+
+def test_grid_search_identical_with_lbd(rng):
+    """All runnable plane cells produce the same search — including the
+    LBD tally, which the kernel path computes in ``_finish_analysis``
+    from the C-built learned clause."""
+    formulas = [pigeonhole(5), xor_chain(12, False)]
+    for _ in range(6):
+        formulas.append(random_formula(rng, rng.randint(6, 12), 40))
+    for formula in formulas:
+        reference = None
+        for bcp, analyze in _cells():
+            config = SolverConfig(bcp_backend=bcp, analyze_backend=analyze)
+            solver = CdclSolver(formula, config=config)
+            sig = _search_signature(solver, solver.solve())
+            if reference is None:
+                reference = sig
+            else:
+                assert sig == reference, f"cell ({bcp}, {analyze}) diverged"
+
+
+# ----------------------------------------------------------------------
+# The install-order mirror.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not native_available(), reason="needs the native kernel")
+def test_mirror_matches_lits_view_install_order():
+    """After a solve, every live long clause's mirror block equals its
+    ``_lits_view`` tuple (install order), and short clauses have no
+    block — arena order serves them."""
+    config = SolverConfig(bcp_backend="native", analyze_backend="native")
+    solver = CdclSolver(pigeonhole(6), config=config)
+    solver.solve()
+    akernel = solver._akernel
+    akernel.sync_mirror()
+    mirror = akernel.mirror
+    view = solver._lits_view
+    assert mirror.synced == len(view)
+    checked_long = checked_short = 0
+    for cid, lits in enumerate(view):
+        ref = mirror.refs[cid]
+        if len(lits) >= 4:
+            assert ref >= 0, f"cid {cid}: long clause missing from mirror"
+            n = mirror.data[ref - 1]
+            assert n == len(lits)
+            assert tuple(mirror.data[ref:ref + n]) == lits, (
+                f"cid {cid}: mirror block is not install order"
+            )
+            checked_long += 1
+        else:
+            assert ref == -1, f"cid {cid}: short clause mirrored"
+            checked_short += 1
+    assert checked_long and checked_short
+
+
+@pytest.mark.skipif(not native_available(), reason="needs the native kernel")
+def test_mirror_frees_deleted_clauses():
+    """Learned-DB reduction frees mirror blocks; a freed cid's ref is
+    dead and the dead words are eventually compacted away by sync."""
+    config = SolverConfig(
+        bcp_backend="native", analyze_backend="native", record_cdg=False
+    )
+    solver = CdclSolver(pigeonhole(7), config=config)
+    outcome = solver.solve()
+    assert outcome.stats.deleted_clauses > 0
+    akernel = solver._akernel
+    akernel.sync_mirror()
+    mirror = akernel.mirror
+    view = solver._lits_view
+    for cid, lits in enumerate(view):
+        if not lits:  # deleted (view freed at reduction)
+            assert mirror.refs[cid] == -1, f"cid {cid}: dead clause still mirrored"
+
+
+# ----------------------------------------------------------------------
+# Scratch-buffer re-entry (RET_NEED_ABUF).
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not native_available(), reason="needs the native kernel")
+def test_need_abuf_reentry_is_search_identical():
+    """Tiny analysis scratch buffers force the C walk to bail out and
+    restart (seen-marks unwound) several times per conflict; the search
+    must be byte-identical to legacy anyway."""
+    formula = pigeonhole(6)
+    legacy = CdclSolver(formula, config=SolverConfig())
+    reference = _search_signature(legacy, legacy.solve())
+
+    config = SolverConfig(bcp_backend="native", analyze_backend="native")
+    solver = CdclSolver(formula, config=config)
+    akernel = solver._akernel
+    # Minimum viable capacities (doubling still reaches any size).
+    akernel._learned_buf = array("i", bytes(4 * 2))
+    akernel._ants_buf = array("i", bytes(4 * 2))
+    akernel._touched_buf = array("i", bytes(4 * 2))
+    akernel._zero_buf = array("i", bytes(4 * 2))
+    assert _search_signature(solver, solver.solve()) == reference
+    # The buffers actually grew — the re-entry path ran.
+    assert len(akernel._learned_buf) > 2
+    assert len(akernel._touched_buf) > 2
+
+
+# ----------------------------------------------------------------------
+# Proofs and cores through the kernel-built learned clauses.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "bcp,analyze",
+    [
+        ("legacy", "python"),
+        ("python", "python"),
+        pytest.param(
+            "native",
+            "native",
+            marks=pytest.mark.skipif(
+                not native_available(), reason="native kernel not buildable here"
+            ),
+        ),
+    ],
+)
+def test_kernel_proofs_replay_and_cores_reprove(rng, bcp, analyze):
+    """UNSAT verdicts whose learned clauses were built by an analysis
+    kernel must export a replayable resolution proof, and the extracted
+    core must itself be UNSAT."""
+    formulas = [pigeonhole(4), xor_chain(9, False)]
+    unsat_seen = 0
+    for _ in range(12):
+        formulas.append(random_formula(rng, rng.randint(5, 10), 44))
+    for formula in formulas:
+        config = SolverConfig(bcp_backend=bcp, analyze_backend=analyze)
+        solver = CdclSolver(formula, config=config)
+        outcome = solver.solve()
+        if outcome.status is not SolveResult.UNSAT:
+            continue
+        unsat_seen += 1
+        check_proof(formula, solver.export_proof())
+        core = formula.subformula(outcome.core_clauses)
+        recheck = CdclSolver(
+            core, config=SolverConfig(bcp_backend=bcp, analyze_backend=analyze)
+        ).solve()
+        assert recheck.status is SolveResult.UNSAT, "core does not re-prove"
+    assert unsat_seen >= 2, "workload produced too few UNSAT instances"
+
+
+# ----------------------------------------------------------------------
+# The fused step's cached-view lifecycle.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not native_available(), reason="needs the native kernel")
+def test_view_cache_released_between_solves():
+    """The fused step caches ``ffi.from_buffer`` views across calls;
+    ``solve()`` teardown must release them so between-solve resizes
+    (variable growth, clause addition) find unpinned arrays."""
+    formula = pigeonhole(5)
+    config = SolverConfig(bcp_backend="native", analyze_backend="native")
+    solver = CdclSolver(formula, config=config)
+    solver.solve()
+    assert solver._akernel._views is None, "cached views leaked past solve()"
+    # These resize kernel-viewed arrays; a leaked view => BufferError.
+    solver.ensure_num_vars(solver.num_vars + 3)
+    solver.add_clause([2 * (solver.num_vars - 1), 2 * (solver.num_vars - 2)])
+    solver.solve()
+    assert solver._akernel._views is None
+
+
+@pytest.mark.skipif(not native_available(), reason="needs the native kernel")
+def test_incremental_fused_sequence_matches_legacy(rng):
+    """Interleaved solve / grow / add_clause sequences under the fused
+    plane match legacy verdict-for-verdict and counter-for-counter (and
+    never trip a pinned cached view)."""
+    import random
+
+    for trial in range(8):
+        base_vars = rng.randint(6, 12)
+        formula = random_formula(rng, base_vars, 3 * base_vars)
+        script_seed = rng.randint(0, 10**9)
+        signatures = []
+        for bcp, analyze in (("legacy", "legacy"), ("native", "native")):
+            solver = CdclSolver(
+                formula,
+                config=SolverConfig(bcp_backend=bcp, analyze_backend=analyze),
+            )
+            script = random.Random(script_seed)
+            trace = []
+            for _ in range(4):
+                outcome = solver.solve()
+                trace.append(
+                    (
+                        outcome.status,
+                        outcome.stats.decisions,
+                        outcome.stats.conflicts,
+                        outcome.stats.learned_clauses,
+                    )
+                )
+                if outcome.status is SolveResult.UNSAT:
+                    break
+                solver.ensure_num_vars(solver.num_vars + script.randint(1, 3))
+                for _ in range(4):
+                    chosen = script.sample(range(solver.num_vars), 3)
+                    solver.add_clause(
+                        [2 * v + script.randint(0, 1) for v in chosen]
+                    )
+            signatures.append(tuple(trace))
+        assert signatures[0] == signatures[1], f"trial {trial} diverged"
