@@ -97,6 +97,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 import time
@@ -427,17 +428,25 @@ def measure_kernel_bcp(repeat: int) -> Dict[str, float]:
       site) staying within noise of the pre-trace baseline.
     * ``trace_events_per_sec`` / ``trace_bytes_per_event`` — encoder
       throughput and trace density for the tracing-on leg.
+    * ``metrics_on_propagations_per_sec`` / ``metrics_overhead`` — the
+      same python-kernel workload with the full observability plane on
+      (a live ``MetricsRegistry`` plus ``profile_access`` counting,
+      PR 10), and its throughput as a fraction of the plain rate.
+      Reported only, like the trace leg: the gated metric is the
+      observability-off rate, so the gate prices the disabled path
+      (``self._profile is None`` checks at the flush sites).
     """
     import gc
     import os
     import tempfile
 
+    from repro.metrics import MetricsRegistry
     from repro.sat.kernel import native_available
 
     backends = ["legacy", "python"]
     if native_available():
         backends.append("native")
-    legs = backends + ["trace"]
+    legs = backends + ["trace", "metrics"]
     tmp = tempfile.NamedTemporaryFile(suffix=".rtrc", delete=False)
     tmp.close()
     rates: Dict[str, Dict[str, float]] = {}
@@ -448,7 +457,7 @@ def measure_kernel_bcp(repeat: int) -> Dict[str, float]:
         # round alike and the best-of ratios stay stable.
         for _ in range(max(repeat, 5)):
             for leg in legs:
-                backend = "python" if leg == "trace" else leg
+                backend = "python" if leg in ("trace", "metrics") else leg
                 formula = implication_ladder(60000)
                 # check_model=False: the workload isolates the propagation
                 # data plane, and the O(formula) model sweep would dilute
@@ -458,6 +467,8 @@ def measure_kernel_bcp(repeat: int) -> Dict[str, float]:
                     arena_storage=ARENA_STORAGE,
                     bcp_backend=backend,
                     trace_path=tmp.name if leg == "trace" else None,
+                    metrics=MetricsRegistry() if leg == "metrics" else None,
+                    profile_access=(leg == "metrics"),
                 )
                 solver = CdclSolver(formula, config=config)
                 gc.collect()
@@ -489,6 +500,7 @@ def measure_kernel_bcp(repeat: int) -> Dict[str, float]:
     python_rate = rates["python"]["propagations_per_sec"]
     native_rate = rates.get("native", {}).get("propagations_per_sec", 0.0)
     trace_rate = rates["trace"]["propagations_per_sec"]
+    metrics_rate = rates["metrics"]["propagations_per_sec"]
     # Event count ~= propagations + one END; decode-side event counting
     # would double the leg's cost for a number this close.
     trace_events = rates["trace"]["propagations"]
@@ -511,6 +523,10 @@ def measure_kernel_bcp(repeat: int) -> Dict[str, float]:
         ),
         "trace_bytes_per_event": (
             trace_bytes / trace_events if trace_events else 0.0
+        ),
+        "metrics_on_propagations_per_sec": metrics_rate,
+        "metrics_overhead": (
+            metrics_rate / python_rate if python_rate else 0.0
         ),
     }
 
@@ -730,6 +746,8 @@ def run_bench(repeat: int) -> Dict[str, Dict[str, float]]:
         if "trace_overhead" in sample:
             line += (f"  tracing-on x{sample['trace_overhead']:.2f} "
                      f"({sample['trace_bytes_per_event']:.2f} B/event)")
+        if "metrics_overhead" in sample:
+            line += f"  metrics-on x{sample['metrics_overhead']:.2f}"
         if "analyze_wall_fraction" in sample:
             line += (f"  wall split prop {sample['propagate_wall_fraction']:.0%}"
                      f" / analyze {sample['analyze_wall_fraction']:.0%}")
@@ -828,9 +846,88 @@ def run_smoke(baseline_path: str, threshold: float, repeat: int) -> int:
     return 0
 
 
+#: Default longitudinal log next to this script, one JSON object per
+#: (workload, metric) per full-bench run.
+DEFAULT_HISTORY = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_history.jsonl"
+)
+
+#: Metrics worth tracking over time: every throughput rate, plus the
+#: dimensionless ratios that stay comparable across hosts.
+_HISTORY_RATIO_METRICS = (
+    "trace_overhead",
+    "metrics_overhead",
+    "python_vs_legacy",
+    "native_vs_legacy",
+    "race_speedup",
+    "sharing_hit_rate",
+    "trace_bytes_per_event",
+)
+
+
+def _git_rev() -> str:
+    """Short HEAD revision of the repo this script lives in, or
+    ``"unknown"`` outside a git checkout."""
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def append_history(path: str, results: Dict[str, Dict[str, float]]) -> int:
+    """Append one flat JSONL record per tracked (workload, metric) —
+    throughput rates and host-independent ratios — stamped with the
+    git revision and the run time.  Returns the record count.  The log
+    only ever grows; trend tooling (and humans with ``jq``) read it to
+    see when a rate moved and at which commit."""
+    rev = _git_rev()
+    stamp = time.time()
+    records = []
+    for workload in sorted(results):
+        sample = results[workload]
+        for metric in sorted(sample):
+            value = sample[metric]
+            if not isinstance(value, (int, float)):
+                continue
+            if not (
+                metric.endswith("_per_sec") or metric in _HISTORY_RATIO_METRICS
+            ):
+                continue
+            records.append(
+                {
+                    "workload": workload,
+                    "metric": metric,
+                    "value": value,
+                    "git_rev": rev,
+                    "timestamp": stamp,
+                }
+            )
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_solver.json")
+    parser.add_argument(
+        "--history", default=DEFAULT_HISTORY, metavar="JSONL",
+        help="append per-(workload, metric) trend records here after a "
+        "full run (default: benchmarks/BENCH_history.jsonl; pass an "
+        "empty string to disable)",
+    )
     parser.add_argument(
         "--baseline", metavar="JSON",
         help="earlier run to embed as 'before' (this run becomes 'after')",
@@ -907,6 +1004,9 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"[wrote {args.output}]")
+    if args.history:
+        count = append_history(args.history, after)
+        print(f"[appended {count} records to {args.history}]")
     return 0
 
 

@@ -153,12 +153,13 @@ class BmcEngine:
         strategy = self.strategy_factory(instance, k)
         config = self.solver_config
         if self.trace_dir is not None:
-            config = dc_replace(
-                config,
-                trace_path=os.path.join(
-                    self.trace_dir, f"{self.trace_name}_d{k:03d}.rtrc"
-                ),
-            )
+            stem = os.path.join(self.trace_dir, f"{self.trace_name}_d{k:03d}")
+            overrides = {"trace_path": stem + ".rtrc"}
+            # Access-stream sidecar rides the same per-depth naming so
+            # `python -m repro.trace <dir>` picks both up in one pass.
+            if config.profile_access:
+                overrides["access_stream_path"] = stem + ".racc"
+            config = dc_replace(config, **overrides)
         solver = CdclSolver(
             instance.formula, strategy=strategy, config=config
         )
@@ -205,6 +206,7 @@ class BmcEngine:
                 winner=extras.get("winner"),
             )
             result.per_depth.append(depth_stats)
+            self._publish_depth_metrics(depth_stats)
             if outcome.status is SolveResult.UNKNOWN:
                 result.status = BmcStatus.BUDGET_EXHAUSTED
                 break
@@ -216,6 +218,36 @@ class BmcEngine:
             self.on_unsat(k, instance, outcome)
         result.total_time = time.perf_counter() - start
         return result
+
+    def _publish_depth_metrics(self, depth_stats: DepthStats) -> None:
+        """Publish one depth's outcome into the configured registry.
+
+        The per-solve solver counters already flow through
+        ``CdclSolver._publish_metrics`` (the registry rides
+        ``solver_config.metrics`` into every depth's solver); this adds
+        the depth-loop view: current depth, instance size, and
+        per-status depth counts.  Status is the only extra label — depth
+        ``k`` is a gauge value, not a label, to keep series cardinality
+        bounded.
+        """
+        registry = self.solver_config.metrics
+        if registry is None:
+            return
+        labels = dict(self.solver_config.metrics_labels or {})
+        registry.gauge("bmc_depth", labels=labels).set(float(depth_stats.k))
+        registry.gauge("bmc_instance_vars", labels=labels).set(
+            float(depth_stats.num_vars)
+        )
+        registry.gauge("bmc_instance_clauses", labels=labels).set(
+            float(depth_stats.num_clauses)
+        )
+        registry.counter("bmc_depths_total", labels=labels).inc()
+        registry.counter("bmc_solve_seconds_total", labels=labels).inc(
+            depth_stats.solve_time
+        )
+        status_labels = dict(labels)
+        status_labels["status"] = depth_stats.status
+        registry.counter("bmc_depth_status_total", labels=status_labels).inc()
 
     def _build_trace(self, instance: BmcInstance, outcome: SolveOutcome) -> Trace:
         trace = Trace(

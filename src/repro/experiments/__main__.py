@@ -91,6 +91,22 @@ def main(argv=None) -> int:
         "(see repro.sat.trace for the format)",
     )
     parser.add_argument(
+        "--progress", type=int, nargs="?", const=2048, default=None,
+        metavar="N",
+        help="print a live stderr progress line every N conflicts "
+        "inside each Table-1 solve (default N when the flag is given "
+        "bare: 2048); conflict rates are computed from wall-clock "
+        "deltas in the experiment layer, never in the solver",
+    )
+    parser.add_argument(
+        "--profile-access", action="store_true",
+        help="per-structure access profiling for Table-1 runs "
+        "(SolverConfig.profile_access): counts arena/watch/trail/heap "
+        "touches without changing the search; with --trace DIR also "
+        "writes per-depth .racc access-stream sidecars for "
+        "`python -m repro.trace DIR`",
+    )
+    parser.add_argument(
         "--portfolio", action="store_true",
         help="add a 'portfolio' column to Table 1: race all strategies "
         "per depth with learned-clause sharing (repro.bmc.portfolio); "
@@ -135,6 +151,8 @@ def main(argv=None) -> int:
                 {"deterministic": True} if args.portfolio_deterministic else None
             ),
             trace_dir=args.trace,
+            progress=args.progress,
+            profile_access=args.profile_access,
         )
     if want in ("table1", "all"):
         print(report.render())

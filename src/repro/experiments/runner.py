@@ -41,6 +41,7 @@ search-derived field is identical to a serial run.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -97,6 +98,43 @@ class InstanceResult:
     per_depth: List[DepthStats] = field(default_factory=list)
 
 
+class _ProgressPrinter:
+    """Live in-solve progress lines (``SolverConfig.on_progress``).
+
+    Rates come from ``time.perf_counter`` deltas between firings —
+    taken *here*, in the experiment layer, never inside the solver
+    (search state stays clock-free; see ``CdclSolver.progress_snapshot``).
+    Module-level and attribute-only so instances survive the ``--jobs``
+    pool's pickling.
+    """
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self._last_time: Optional[float] = None
+        self._last_conflicts = 0
+
+    def __call__(self, snap: Dict[str, int]) -> None:
+        now = time.perf_counter()
+        rate = ""
+        if self._last_time is not None:
+            elapsed = now - self._last_time
+            if elapsed > 0:
+                per_sec = (snap["conflicts"] - self._last_conflicts) / elapsed
+                rate = f"  {per_sec:,.0f} conflicts/s"
+        self._last_time = now
+        self._last_conflicts = snap["conflicts"]
+        print(
+            f"    [{self.label}] conflicts={snap['conflicts']} "
+            f"decisions={snap['decisions']} "
+            f"propagations={snap['propagations']} "
+            f"learned={snap['learned']} "
+            f"trail={snap['trail']}/{snap['vars']} "
+            f"level={snap['level']}{rate}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+
 def make_engine(
     instance: SuiteInstance,
     strategy: str,
@@ -111,6 +149,8 @@ def make_engine(
     analyze_backend: Optional[str] = None,
     portfolio_opts: Optional[Dict] = None,
     trace_dir: Optional[str] = None,
+    progress: Optional[int] = None,
+    profile_access: bool = False,
 ) -> BmcEngine:
     """Build the BMC engine for a suite row under a named strategy.
 
@@ -130,6 +170,12 @@ def make_engine(
     race only the *winning* member's solves are kept, and which member
     wins is scheduling-dependent unless ``deterministic=True`` (see
     ``repro.bmc.portfolio``).
+
+    ``progress=N`` prints a live stderr line every ``N`` conflicts
+    (``SolverConfig.on_progress``).  ``profile_access=True`` turns on
+    per-structure access counting (``SolverConfig.profile_access``) and
+    — combined with ``trace_dir`` — per-depth ``.racc`` access-stream
+    sidecars next to the traces; both are search-identical overlays.
     """
     if encoding_cache is _DEFAULT_CACHE:
         encoding_cache = default_encoding_cache()
@@ -142,6 +188,13 @@ def make_engine(
         overlay["bcp_backend"] = bcp_backend
     if analyze_backend is not None:
         overlay["analyze_backend"] = analyze_backend
+    if profile_access:
+        overlay["profile_access"] = True
+    if progress is not None:
+        if progress <= 0:
+            raise ValueError(f"progress must be positive, got {progress}")
+        overlay["on_progress"] = _ProgressPrinter(f"{instance.name}/{strategy}")
+        overlay["progress_every"] = progress
     if overlay:
         base = solver_config if solver_config is not None else SolverConfig()
         solver_config = replace(base, **overlay)

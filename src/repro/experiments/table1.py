@@ -192,6 +192,8 @@ def run_table1(
     portfolio: bool = False,
     portfolio_opts: Optional[dict] = None,
     trace_dir: Optional[str] = None,
+    progress: Optional[int] = None,
+    profile_access: bool = False,
 ) -> Table1Report:
     """Run the full Table 1 experiment (or a subset of rows).
 
@@ -209,6 +211,11 @@ def run_table1(
     ``trace_dir`` writes one binary solver trace per (row, method,
     depth) into that directory (created if missing); see
     ``repro.sat.trace`` and ``python -m repro.trace``.
+    ``progress=N`` prints a live stderr line every ``N`` conflicts
+    inside each solve; ``profile_access=True`` adds per-structure
+    access counting (and, with ``trace_dir``, per-depth ``.racc``
+    sidecars for ``python -m repro.trace``) — both are
+    search-identical (see ``repro.experiments.runner.make_engine``).
     """
     suite = list(rows) if rows is not None else table1_suite()
     methods = tuple(methods)
@@ -229,6 +236,10 @@ def run_table1(
     if trace_dir is not None:
         os.makedirs(trace_dir, exist_ok=True)
         extra["trace_dir"] = trace_dir
+    if progress is not None:
+        extra["progress"] = progress
+    if profile_access:
+        extra["profile_access"] = True
 
     def progress(r: InstanceResult) -> None:
         print(

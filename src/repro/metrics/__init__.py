@@ -1,0 +1,353 @@
+"""repro.metrics — the observability plane's registry and exporters.
+
+A deliberately small, stdlib-only metrics subsystem in the spirit of
+the Prometheus client: a :class:`MetricsRegistry` hands out
+:class:`Counter` / :class:`Gauge` / :class:`Histogram` series keyed by
+``(name, labels)``, and two exporters render the whole registry — a
+JSON document (machine-readable ledger, test golden) and the
+Prometheus text exposition format (the surface a service tier
+scrapes).
+
+Design constraints, inherited from the solver's determinism rules
+(docs/coding_rules.md):
+
+* **No wall-clock reads on the publish path.**  ``Counter.inc`` /
+  ``Gauge.set`` are pure arithmetic; the *only* clock read in the
+  subsystem is :meth:`MetricsRegistry.snapshot`, which stamps a
+  monotonic time so that **rates are computed between snapshots**,
+  never inside the solver.  ``repro.sat`` / ``repro.bmc`` publish raw
+  counts; whoever scrapes takes two snapshots and calls
+  :meth:`MetricsSnapshot.rates`.
+* **Near-zero overhead when detached.**  Publishers hold
+  ``Optional[MetricsRegistry]`` and guard with ``is not None``; the
+  registry itself is a dict of float cells, no locks, no background
+  threads.  (The solver additionally publishes only at epoch
+  boundaries — restart / solve-exit — never per-conflict.)
+* **Deterministic rendering.**  Both exporters emit series sorted by
+  ``(name, labels)`` so goldens are stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "render_json",
+    "render_prometheus",
+]
+
+#: Canonical label key: sorted (k, v) pairs — hashable, order-free.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets: powers of two, wide enough for clause
+#: lengths, LBDs, and per-depth conflict counts alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+    1024.0, 4096.0, 16384.0, 65536.0,
+)
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count.  ``inc`` only; no clock."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (sizes, ratios, depths)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics: ``le``)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "counts", "total", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        self.counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``+Inf``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric series.
+
+    Series identity is ``(name, labels)``; the first registration of a
+    name fixes its kind and help string, and re-registering with a
+    conflicting kind raises (a name means one thing).
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[str, LabelKey], object] = {}
+        self._kinds: Dict[str, str] = {}
+        self._helps: Dict[str, str] = {}
+
+    # -- get-or-create -------------------------------------------------
+    def _get(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labels: Optional[Mapping[str, str]],
+        **kwargs: object,
+    ) -> object:
+        kind = cls.kind  # type: ignore[attr-defined]
+        known = self._kinds.get(name)
+        if known is not None and known != kind:
+            raise ValueError(f"metric {name!r} already registered as {known}")
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = cls(name, key[1], **kwargs)
+            self._series[key] = series
+            self._kinds[name] = kind
+            if help:
+                self._helps[name] = help
+        return series
+
+    def counter(
+        self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        return self._get(Counter, name, help, labels)  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        return self._get(Gauge, name, help, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(  # type: ignore[return-value]
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    # -- introspection -------------------------------------------------
+    def __iter__(self) -> Iterator[object]:
+        for key in sorted(self._series):
+            yield self._series[key]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def get(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[object]:
+        return self._series.get((name, _label_key(labels)))
+
+    def value(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> float:
+        """The current value of a counter/gauge series (0.0 if absent)."""
+        series = self._series.get((name, _label_key(labels)))
+        if series is None:
+            return 0.0
+        return getattr(series, "value", 0.0)
+
+    def help_for(self, name: str) -> str:
+        return self._helps.get(name, "")
+
+    def kind_for(self, name: str) -> str:
+        return self._kinds.get(name, "untyped")
+
+    # -- snapshots -----------------------------------------------------
+    def snapshot(self) -> "MetricsSnapshot":
+        """Freeze every counter/gauge value, stamped with a monotonic
+        time.  This is the subsystem's only clock read: rate = delta
+        between two snapshots, so search state never sees the clock."""
+        values: Dict[Tuple[str, LabelKey], float] = {}
+        for key, series in self._series.items():
+            value = getattr(series, "value", None)
+            if value is not None:
+                values[key] = float(value)
+        return MetricsSnapshot(time.monotonic(), values)
+
+
+class MetricsSnapshot:
+    """Point-in-time copy of scalar series; rates come from deltas."""
+
+    __slots__ = ("time", "values")
+
+    def __init__(
+        self, stamp: float, values: Dict[Tuple[str, LabelKey], float]
+    ) -> None:
+        self.time = stamp
+        self.values = values
+
+    def delta(self, earlier: "MetricsSnapshot") -> Dict[Tuple[str, LabelKey], float]:
+        """Per-series value change since ``earlier`` (absent = from 0)."""
+        return {
+            key: value - earlier.values.get(key, 0.0)
+            for key, value in self.values.items()
+        }
+
+    def rates(self, earlier: "MetricsSnapshot") -> Dict[Tuple[str, LabelKey], float]:
+        """Per-series events/second since ``earlier``."""
+        dt = self.time - earlier.time
+        if dt <= 0.0:
+            return {key: 0.0 for key in self.values}
+        return {key: dv / dt for key, dv in self.delta(earlier).items()}
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+def _num(value: float) -> object:
+    """Render integral floats as ints (stable goldens, smaller JSON)."""
+    return int(value) if float(value).is_integer() else value
+
+
+def render_json(registry: MetricsRegistry, indent: Optional[int] = None) -> str:
+    """The registry as a JSON document: one object per metric name,
+    samples sorted by labels — deterministic for goldens/ledgers."""
+    doc: Dict[str, Dict[str, object]] = {}
+    for series in registry:
+        name = series.name  # type: ignore[attr-defined]
+        entry = doc.setdefault(
+            name,
+            {
+                "type": registry.kind_for(name),
+                "help": registry.help_for(name),
+                "samples": [],
+            },
+        )
+        labels = dict(series.labels)  # type: ignore[attr-defined]
+        if isinstance(series, Histogram):
+            sample: Dict[str, object] = {
+                "labels": labels,
+                "buckets": [
+                    ["+Inf" if le == float("inf") else _num(le), n]
+                    for le, n in series.cumulative()
+                ],
+                "sum": _num(series.total),
+                "count": series.count,
+            }
+        else:
+            sample = {"labels": labels, "value": _num(series.value)}  # type: ignore[attr-defined]
+        entry["samples"].append(sample)  # type: ignore[union-attr]
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: LabelKey, extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The Prometheus text exposition format (version 0.0.4).
+
+    ``# HELP`` / ``# TYPE`` once per metric name, then each series
+    sorted by labels; histograms expand to ``_bucket``/``_sum``/
+    ``_count`` with cumulative ``le`` buckets.
+    """
+    lines: List[str] = []
+    seen_header = set()
+    for series in registry:
+        name = series.name  # type: ignore[attr-defined]
+        if name not in seen_header:
+            seen_header.add(name)
+            help_text = registry.help_for(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {registry.kind_for(name)}")
+        labels: LabelKey = series.labels  # type: ignore[attr-defined]
+        if isinstance(series, Histogram):
+            for le, count in series.cumulative():
+                bucket = _format_labels(labels, f'le="{_format_value(le)}"')
+                lines.append(f"{name}_bucket{bucket} {count}")
+            lines.append(f"{name}_sum{_format_labels(labels)} "
+                         f"{_format_value(series.total)}")
+            lines.append(f"{name}_count{_format_labels(labels)} {series.count}")
+        else:
+            value = series.value  # type: ignore[attr-defined]
+            lines.append(f"{name}{_format_labels(labels)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,265 @@
+"""The sampled access-stream sidecar (``.racc``): RTRC-style varint
+framing for (structure, offset) events.
+
+While the flat raw counters (``repro.sat.profile``) answer "*how
+much* does each structure get touched", the sidecar answers *where*:
+a byte stream of ``(structure_id, offset)`` events — clause IDs and
+arena word offsets touched by conflict analysis, sampled every
+``SolverConfig.access_sample_every`` conflicts at search level (never
+inside the hot loops), cheap enough to leave on for long runs and
+dense enough for offline locality analysis (hot-clause ranking,
+offset histograms, reuse-distance approximation).
+
+Framing (little-endian varints, one per event)::
+
+    magic "RACC" | version u8 | varint sample_every | events...
+    event = varint( zigzag(offset - last[sid]) << 3 | sid )
+
+Offsets are delta-encoded per structure space (monotone scans cost
+one byte per event); the 3 low bits carry the structure ID, so a
+whole event is a single varint — the same ~1-3 bytes/event budget the
+RTRC trace hits.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from collections import Counter as _TallyCounter
+from typing import BinaryIO, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ACCESS_MAGIC",
+    "ACCESS_VERSION",
+    "SID_CLAUSE",
+    "SID_ARENA",
+    "SID_TRAIL",
+    "SID_NAMES",
+    "AccessStreamWriter",
+    "read_access_stream",
+    "analyze_access_stream",
+]
+
+ACCESS_MAGIC = b"RACC"
+ACCESS_VERSION = 1
+
+# Structure-ID spaces (3 bits available: 0..7).
+SID_CLAUSE = 0  # clause IDs resolved over by conflict analysis
+SID_ARENA = 1   # arena word offsets of those clauses' blocks
+SID_TRAIL = 2   # trail length at each sampled conflict
+
+SID_NAMES = {SID_CLAUSE: "clause", SID_ARENA: "arena", SID_TRAIL: "trail"}
+
+#: Flush the byte buffer past this size (matches the trace writer).
+_FLUSH_THRESHOLD = 1 << 16
+
+
+class AccessStreamWriter:
+    """Buffered sidecar writer.
+
+    ``record_block`` is the batch emitter the solver calls once per
+    sampled conflict (a handful of antecedent IDs + arena refs), so it
+    follows the hot-path discipline even though its call rate is
+    conflict-granular, not per-access.
+    """
+
+    def __init__(self, path_or_file: object, sample_every: int = 1) -> None:
+        if hasattr(path_or_file, "write"):
+            self._fh: BinaryIO = path_or_file  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(os.fspath(path_or_file), "wb")  # type: ignore[arg-type]
+            self._owns = True
+        self._buf = bytearray()
+        self._buf.extend(ACCESS_MAGIC)
+        self._buf.append(ACCESS_VERSION)
+        value = sample_every
+        while value > 0x7F:
+            self._buf.append(0x80 | (value & 0x7F))
+            value >>= 7
+        self._buf.append(value)
+        # Per-structure last offset for delta encoding.
+        self._last = [0] * 8
+        self.events = 0
+
+    def record_block(self, sid: int, offsets: Sequence[int]) -> None:  # solcheck: hot
+        """Append one event per offset in the structure space ``sid``."""
+        buf = self._buf
+        append = buf.append
+        last = self._last[sid]
+        n = 0
+        for off in offsets:
+            d = off - last
+            last = off
+            e = (((d << 1) ^ (d >> 63)) << 3) | sid
+            while e > 0x7F:
+                append(0x80 | (e & 0x7F))
+                e >>= 7
+            append(e)
+            n += 1
+        self._last[sid] = last
+        self.events += n
+        if len(buf) >= _FLUSH_THRESHOLD:
+            self._fh.write(buf)
+            del buf[:]
+
+    def record(self, sid: int, offset: int) -> None:
+        self.record_block(sid, (offset,))
+
+    def flush(self) -> None:
+        if self._buf:
+            self._fh.write(self._buf)
+            del self._buf[:]
+        self._fh.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns:
+            self._fh.close()
+
+
+def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    shift = 0
+    value = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def read_access_stream(path_or_file: object) -> Iterator[Tuple[int, int]]:
+    """Yield ``(sid, offset)`` events from a ``.racc`` capture."""
+    if hasattr(path_or_file, "read"):
+        data = path_or_file.read()  # type: ignore[union-attr]
+    else:
+        with open(os.fspath(path_or_file), "rb") as fh:  # type: ignore[arg-type]
+            data = fh.read()
+    if data[:4] != ACCESS_MAGIC:
+        raise ValueError("not an access stream: bad magic")
+    version = data[4]
+    if version != ACCESS_VERSION:
+        raise ValueError(f"unsupported access-stream version {version}")
+    pos = 5
+    _sample_every, pos = _read_varint(data, pos)
+    last = [0] * 8
+    n = len(data)
+    while pos < n:
+        packed, pos = _read_varint(data, pos)
+        sid = packed & 0x7
+        z = packed >> 3
+        delta = (z >> 1) ^ -(z & 1)
+        offset = last[sid] + delta
+        last[sid] = offset
+        yield sid, offset
+
+
+def stream_sample_every(path_or_file: object) -> int:
+    """The ``sample_every`` recorded in a capture's header."""
+    if hasattr(path_or_file, "read"):
+        head = path_or_file.read(16)  # type: ignore[union-attr]
+    else:
+        with open(os.fspath(path_or_file), "rb") as fh:  # type: ignore[arg-type]
+            head = fh.read(16)
+    if head[:4] != ACCESS_MAGIC:
+        raise ValueError("not an access stream: bad magic")
+    value, _pos = _read_varint(head, 5)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Offline analysis: histograms, hot offsets, reuse distance
+# ---------------------------------------------------------------------------
+
+def _log2_bucket(value: int) -> int:
+    return value.bit_length() if value > 0 else 0
+
+
+def analyze_access_stream(
+    paths: Sequence[object], top_n: int = 10
+) -> Dict[str, object]:
+    """Aggregate one or more ``.racc`` captures into a locality report.
+
+    Per structure space: event count, offset span, a log2 offset
+    histogram, the ``top_n`` hottest offsets, and (for the clause and
+    arena spaces) a log2 **reuse-distance approximation** histogram —
+    the event-position gap between successive touches of the same
+    offset, a standard stand-in for stack reuse distance that ranks
+    "rereferenced soon" against "streamed once".
+    """
+    counts: Dict[int, int] = {}
+    mins: Dict[int, int] = {}
+    maxs: Dict[int, int] = {}
+    offset_hist: Dict[int, _TallyCounter] = {}
+    hot: Dict[int, _TallyCounter] = {}
+    reuse_hist: Dict[int, _TallyCounter] = {}
+    last_pos: Dict[int, Dict[int, int]] = {SID_CLAUSE: {}, SID_ARENA: {}}
+    pos = 0
+    for path in paths:
+        for sid, offset in read_access_stream(path):
+            pos += 1
+            counts[sid] = counts.get(sid, 0) + 1
+            if sid not in mins or offset < mins[sid]:
+                mins[sid] = offset
+            if sid not in maxs or offset > maxs[sid]:
+                maxs[sid] = offset
+            offset_hist.setdefault(sid, _TallyCounter())[_log2_bucket(offset)] += 1
+            hot.setdefault(sid, _TallyCounter())[offset] += 1
+            seen = last_pos.get(sid)
+            if seen is not None:
+                prev = seen.get(offset)
+                if prev is not None:
+                    reuse_hist.setdefault(sid, _TallyCounter())[
+                        _log2_bucket(pos - prev)
+                    ] += 1
+                seen[offset] = pos
+    report: Dict[str, object] = {"total_events": pos, "structures": {}}
+    structures: Dict[str, object] = report["structures"]  # type: ignore[assignment]
+    for sid in sorted(counts):
+        name = SID_NAMES.get(sid, f"sid{sid}")
+        structures[name] = {
+            "events": counts[sid],
+            "min_offset": mins[sid],
+            "max_offset": maxs[sid],
+            "distinct_offsets": len(hot[sid]),
+            "offset_log2_hist": dict(sorted(offset_hist[sid].items())),
+            "top_offsets": hot[sid].most_common(top_n),
+            "reuse_log2_hist": dict(sorted(reuse_hist.get(sid, _TallyCounter()).items())),
+        }
+    return report
+
+
+def render_access_report(report: Dict[str, object], width: int = 40) -> str:
+    """Human-readable rendering of :func:`analyze_access_stream`."""
+    out = io.StringIO()
+    total = report.get("total_events", 0)
+    out.write(f"access stream: {total} events\n")
+    structures: Dict[str, Dict[str, object]] = report.get("structures", {})  # type: ignore[assignment]
+    for name, info in structures.items():
+        out.write(
+            f"\n[{name}] {info['events']} events, "
+            f"{info['distinct_offsets']} distinct offsets, "
+            f"span {info['min_offset']}..{info['max_offset']}\n"
+        )
+        hist: Dict[int, int] = info["offset_log2_hist"]  # type: ignore[assignment]
+        peak = max(hist.values(), default=1)
+        out.write("  offset distribution (log2 buckets):\n")
+        for bucket, n in hist.items():
+            bar = "#" * max(1, round(width * n / peak))
+            lo = 0 if bucket == 0 else 1 << (bucket - 1)
+            out.write(f"    2^{bucket:<2} (~{lo:>8}) {n:>8} {bar}\n")
+        top: List[Tuple[int, int]] = info["top_offsets"]  # type: ignore[assignment]
+        if top:
+            out.write("  hottest offsets:\n")
+            for offset, n in top:
+                out.write(f"    {offset:>10} x{n}\n")
+        reuse: Dict[int, int] = info["reuse_log2_hist"]  # type: ignore[assignment]
+        if reuse:
+            rpeak = max(reuse.values())
+            out.write("  reuse distance (approx, log2 event gap):\n")
+            for bucket, n in reuse.items():
+                bar = "#" * max(1, round(width * n / rpeak))
+                out.write(f"    2^{bucket:<2} {n:>8} {bar}\n")
+    return out.getvalue()

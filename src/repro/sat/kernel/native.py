@@ -56,6 +56,7 @@ from array import array
 from typing import TYPE_CHECKING, Optional
 
 from repro.sat.kernel.base import AnalyzeKernelBase, BcpKernelBase
+from repro.sat.profile import PROF_DEQ, PROF_PROPS, new_profile_buffer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from typing import List, Tuple
@@ -107,14 +108,15 @@ int bcp_propagate(unsigned char *truth,
                   const int32_t *t_data,
                   int32_t *l_off, int32_t *l_size, int32_t *l_cap,
                   int32_t *l_data,
-                  int32_t *pend, int32_t *st);
+                  int32_t *pend, int32_t *st, int64_t *prof);
 int analyze_first_uip(const int32_t *levels, const int32_t *reasons,
                       const int32_t *trail,
                       const int32_t *adata, const int64_t *arefs,
                       const int32_t *mdata, const int64_t *mrefs,
                       unsigned char *seen,
                       int32_t *learned, int32_t *ants,
-                      int32_t *touched, int32_t *zero, int32_t *st);
+                      int32_t *touched, int32_t *zero, int32_t *st,
+                      int64_t *prof);
 int search_step(unsigned char *truth,
                 int32_t *levels, int32_t *reasons, int32_t *trail,
                 int32_t *adata, int64_t *arefs,
@@ -128,7 +130,7 @@ int search_step(unsigned char *truth,
                 unsigned char *seen,
                 int32_t *learned, int32_t *ants,
                 int32_t *touched, int32_t *zero,
-                int32_t *st);
+                int32_t *st, int64_t *prof);
 """
 
 _SOURCE = r"""
@@ -160,6 +162,20 @@ _SOURCE = r"""
 #define ST_ZERO_CAP 21
 #define ST_ABUF 22
 #define ST_ANALYZED 23
+
+/* Raw access-profile slots (repro/sat/profile.py); the scan counters
+   accumulate in locals and flush at the exit labels, so the loops pay
+   one add per counted event whether or not anyone is watching (the
+   wrapper hands a dummy buffer when profiling is off).  Enqueue and
+   dequeue counts (slots 5/6) are derived Python-side from the ST_
+   slots; heap ops (slot 9) are solver-side. */
+#define PROF_BIN 0
+#define PROF_TERN 1
+#define PROF_LONG 2
+#define PROF_OPEN 3
+#define PROF_ARENA 4
+#define PROF_AWORDS 7
+#define PROF_ATRAIL 8
 
 /* Append the recorded watch moves through the same doubling/relocation
    policy WatchColumns.append2 uses; resumable across NEED_GROW. */
@@ -214,13 +230,20 @@ static int bcp_scan(unsigned char *truth,
                     const int32_t *t_data,
                     int32_t *l_off, int32_t *l_size, int32_t *l_cap,
                     int32_t *l_data,
-                    int32_t *pend, int32_t *st)
+                    int32_t *pend, int32_t *st, int64_t *prof)
 {
     int qhead = st[ST_QHEAD];
     int trail_len = st[ST_TRAIL_LEN];
     int level = st[ST_LEVEL];
     int props = st[ST_PROPS];
     int conflict;
+    /* Access-profile scan counters.  Columns count whole at scan
+       start; "opened" = blocker test failed; the NEED_PEND exit
+       flushes bin/tern from the per-literal snapshots because the
+       re-entry re-scans the interrupted literal (NEED_GROW exits are
+       exact as-is: the interrupted literal's scan is complete). */
+    int64_t p_bin = 0, p_tern = 0, p_long = 0, p_open = 0, p_arena = 0;
+    int64_t p_bin_lit = 0, p_tern_lit = 0;
 
     if (st[ST_RESUME]) {
         int r = flush_pending(l_off, l_size, l_cap, l_data, pend, st);
@@ -238,9 +261,12 @@ static int bcp_scan(unsigned char *truth,
         int lit = trail[qhead];
         int false_lit = lit ^ 1;
         int n, i;
+        p_bin_lit = p_bin;
+        p_tern_lit = p_tern;
 
         /* Binary: static entries [cid, implied]. */
         n = b_size[false_lit];
+        p_bin += n;
         if (n) {
             const int32_t *e = b_data + b_off[false_lit];
             const int32_t *eend = e + 2 * n;
@@ -264,6 +290,7 @@ static int bcp_scan(unsigned char *truth,
 
         /* Ternary: static entries [cid, other_a, other_b]. */
         n = t_size[false_lit];
+        p_tern += n;
         if (n) {
             const int32_t *e = t_data + t_off[false_lit];
             const int32_t *eend = e + 3 * n;
@@ -307,13 +334,21 @@ static int bcp_scan(unsigned char *truth,
             if (3 * n > st[ST_PEND_CAP]) {
                 /* Worst case overflows the pending buffer.  The queue
                    head is NOT advanced: after Python grows the buffer,
-                   the binary/ternary re-scan is idempotent. */
+                   the binary/ternary re-scan is idempotent.  Flush the
+                   profile counters up to the snapshots — the re-scan
+                   recounts this literal's bin/tern columns. */
                 st[ST_GROW] = 3 * n;
                 st[ST_QHEAD] = qhead;
                 st[ST_TRAIL_LEN] = trail_len;
                 st[ST_PROPS] = props;
+                prof[PROF_BIN] += p_bin_lit;
+                prof[PROF_TERN] += p_tern_lit;
+                prof[PROF_LONG] += p_long;
+                prof[PROF_OPEN] += p_open;
+                prof[PROF_ARENA] += p_arena;
                 return -3;
             }
+            p_long += n;
             wl = l_data + l_off[false_lit];
             i = 0;
             while (i < n) {
@@ -330,6 +365,7 @@ static int bcp_scan(unsigned char *truth,
                     i++;
                     continue;
                 }
+                p_open++;
                 cbase = arefs[cid];
                 first = adata[cbase];
                 if (first == false_lit) {
@@ -350,6 +386,7 @@ static int bcp_scan(unsigned char *truth,
                     continue;
                 }
                 cend = cbase + adata[cbase - 1];
+                p_arena += cend - cbase - 2;
                 moved = 0;
                 for (k = cbase + 2; k < cend; k++) {
                     int other = adata[k];
@@ -425,18 +462,33 @@ static int bcp_scan(unsigned char *truth,
     st[ST_QHEAD] = qhead;
     st[ST_TRAIL_LEN] = trail_len;
     st[ST_PROPS] = props;
+    prof[PROF_BIN] += p_bin;
+    prof[PROF_TERN] += p_tern;
+    prof[PROF_LONG] += p_long;
+    prof[PROF_OPEN] += p_open;
+    prof[PROF_ARENA] += p_arena;
     return -1;
 
 save_conflict:
     st[ST_QHEAD] = qhead;
     st[ST_TRAIL_LEN] = trail_len;
     st[ST_PROPS] = props;
+    prof[PROF_BIN] += p_bin;
+    prof[PROF_TERN] += p_tern;
+    prof[PROF_LONG] += p_long;
+    prof[PROF_OPEN] += p_open;
+    prof[PROF_ARENA] += p_arena;
     return conflict;
 
 save_grow:
     st[ST_QHEAD] = qhead;
     st[ST_TRAIL_LEN] = trail_len;
     st[ST_PROPS] = props;
+    prof[PROF_BIN] += p_bin;
+    prof[PROF_TERN] += p_tern;
+    prof[PROF_LONG] += p_long;
+    prof[PROF_OPEN] += p_open;
+    prof[PROF_ARENA] += p_arena;
     return -2;
 }
 
@@ -449,11 +501,11 @@ int bcp_propagate(unsigned char *truth,
                   const int32_t *t_data,
                   int32_t *l_off, int32_t *l_size, int32_t *l_cap,
                   int32_t *l_data,
-                  int32_t *pend, int32_t *st)
+                  int32_t *pend, int32_t *st, int64_t *prof)
 {
     return bcp_scan(truth, levels, reasons, trail, adata, arefs,
                     b_off, b_size, b_data, t_off, t_size, t_data,
-                    l_off, l_size, l_cap, l_data, pend, st);
+                    l_off, l_size, l_cap, l_data, pend, st, prof);
 }
 
 /* First-UIP resolution walk — the PythonAnalyzeKernel.analyze loop.
@@ -473,7 +525,8 @@ static int analyze_uip(const int32_t *levels, const int32_t *reasons,
                        const int32_t *mdata, const int64_t *mrefs,
                        unsigned char *seen,
                        int32_t *learned, int32_t *ants,
-                       int32_t *touched, int32_t *zero, int32_t *st)
+                       int32_t *touched, int32_t *zero, int32_t *st,
+                       int64_t *prof)
 {
     int current = st[ST_LEVEL];
     int lcap = st[ST_LEARNED_CAP];
@@ -485,6 +538,8 @@ static int analyze_uip(const int32_t *levels, const int32_t *reasons,
     int p = -1;
     int cid = st[ST_ACONFLICT];
     int idx = st[ST_TRAIL_LEN] - 1;
+    int idx0 = idx;
+    int64_t a_words = 0;
     int which, k;
 
     ants[0] = cid;
@@ -500,6 +555,7 @@ static int analyze_uip(const int32_t *levels, const int32_t *reasons,
             lits = adata + cbase;
             cn = adata[cbase - 1];
         }
+        a_words += cn;
         for (k = 0; k < cn; k++) {
             int q = lits[k];
             int var, level;
@@ -543,6 +599,11 @@ static int analyze_uip(const int32_t *levels, const int32_t *reasons,
     st[ST_ANTS_N] = an;
     st[ST_TOUCHED_N] = tn;
     st[ST_ZERO_N] = zn;
+    /* Flushed on success only: a NEED_ABUF restart recounts the whole
+       (idempotent) walk, so discarding here keeps the totals at one
+       full walk — what the Python backends count. */
+    prof[PROF_AWORDS] += a_words;
+    prof[PROF_ATRAIL] += idx0 - idx;
     return 0;
 
 rollback:
@@ -558,11 +619,12 @@ int analyze_first_uip(const int32_t *levels, const int32_t *reasons,
                       const int32_t *mdata, const int64_t *mrefs,
                       unsigned char *seen,
                       int32_t *learned, int32_t *ants,
-                      int32_t *touched, int32_t *zero, int32_t *st)
+                      int32_t *touched, int32_t *zero, int32_t *st,
+                      int64_t *prof)
 {
     return analyze_uip(levels, reasons, trail, adata, arefs,
                        mdata, mrefs, seen, learned, ants,
-                       touched, zero, st);
+                       touched, zero, st, prof);
 }
 
 /* The fused step: propagate, and when the conflict lands above the
@@ -587,13 +649,13 @@ int search_step(unsigned char *truth,
                 unsigned char *seen,
                 int32_t *learned, int32_t *ants,
                 int32_t *touched, int32_t *zero,
-                int32_t *st)
+                int32_t *st, int64_t *prof)
 {
     int conflict, r;
     if (st[ST_ACONFLICT] >= 0) {
         r = analyze_uip(levels, reasons, trail, adata, arefs,
                         mdata, mrefs, seen, learned, ants,
-                        touched, zero, st);
+                        touched, zero, st, prof);
         if (r)
             return r;
         st[ST_ANALYZED] = 1;
@@ -601,14 +663,14 @@ int search_step(unsigned char *truth,
     }
     conflict = bcp_scan(truth, levels, reasons, trail, adata, arefs,
                         b_off, b_size, b_data, t_off, t_size, t_data,
-                        l_off, l_size, l_cap, l_data, pend, st);
+                        l_off, l_size, l_cap, l_data, pend, st, prof);
     if (conflict < 0)
         return conflict;
     if (st[ST_LEVEL] > st[ST_ASSUME_LVL]) {
         st[ST_ACONFLICT] = conflict;
         r = analyze_uip(levels, reasons, trail, adata, arefs,
                         mdata, mrefs, seen, learned, ants,
-                        touched, zero, st);
+                        touched, zero, st, prof);
         if (r)
             return r;
         st[ST_ANALYZED] = 1;
@@ -711,12 +773,21 @@ class NativeBcpKernel(BcpKernelBase):
         self._state[ST_CONFLICT] = -1
         # Pending watch-move scratch: [dest, cid, blocker] triples.
         self._pend = array("i", bytes(4 * 3 * 64))
+        # The C scan accumulates its access-profile counters
+        # unconditionally; when profiling is off it writes into this
+        # private dummy buffer instead of the solver's.
+        self._prof_buf = (
+            solver._profile
+            if solver._profile is not None
+            else new_profile_buffer()
+        )
 
     def propagate(self) -> int:
         solver = self.solver
         state = self._state
         if solver._qhead >= solver._trail_len and not state[ST_RESUME]:
             return -1  # nothing queued (also keeps empty buffers off FFI)
+        qhead0 = solver._qhead
         state[ST_QHEAD] = solver._qhead
         state[ST_TRAIL_LEN] = solver._trail_len
         state[ST_LEVEL] = solver._decision_level
@@ -751,6 +822,7 @@ class NativeBcpKernel(BcpKernelBase):
                 from_buffer("int32_t[]", long_cols.data),
                 from_buffer("int32_t[]", pend),
                 from_buffer("int32_t[]", state),
+                from_buffer("int64_t[]", self._prof_buf),
             )
             result = bcp(*views)
             for view in views:
@@ -775,6 +847,14 @@ class NativeBcpKernel(BcpKernelBase):
         solver._qhead = state[ST_QHEAD]
         solver._trail_len = state[ST_TRAIL_LEN]
         solver.stats.propagations += state[ST_PROPS]
+        profile = solver._profile
+        if profile is not None:
+            # Enqueue/dequeue counts derive from the state slots (the C
+            # side only tracks the scan counters); ST_PROPS accumulates
+            # across growth re-entries within this call, matching the
+            # stats credit above.
+            profile[PROF_PROPS] += state[ST_PROPS]
+            profile[PROF_DEQ] += state[ST_QHEAD] - qhead0
         return result
 
 
@@ -811,9 +891,16 @@ class NativeAnalyzeKernel(AnalyzeKernelBase):
         self._ants_buf = array("i", bytes(4 * 256))
         self._touched_buf = array("i", bytes(4 * 1024))
         self._zero_buf = array("i", bytes(4 * 256))
+        # Access-profile sink (dummy when profiling is off); never
+        # resizes, so its cached view needs no invalidation.
+        self._prof_buf = (
+            solver._profile
+            if solver._profile is not None
+            else new_profile_buffer()
+        )
         # The fused step's from_buffer views, cached across calls: most
         # search steps are decision-only (no array resized in between),
-        # so re-exporting 25 buffers per step dominates the crossing
+        # so re-exporting 26 buffers per step dominates the crossing
         # cost.  Any site that can resize a viewed array must call
         # invalidate_views() (or the soft invalidate_arena_views())
         # first; cffi pins exported buffers, so a missed call raises
@@ -866,7 +953,7 @@ class NativeAnalyzeKernel(AnalyzeKernelBase):
             views[18] = from_buffer("int64_t[]", mirror.refs)
 
     def _build_views(self) -> List[object]:
-        """(Re)export the fused step's 25 buffer views and cache them.
+        """(Re)export the fused step's 26 buffer views and cache them.
         Order matches the ``search_step`` C signature exactly.  The
         scratch-capacity state slots are set here, not per call: a
         viewed array cannot resize while its export is live, so the
@@ -902,6 +989,7 @@ class NativeAnalyzeKernel(AnalyzeKernelBase):
             from_buffer("int32_t[]", self._touched_buf),
             from_buffer("int32_t[]", self._zero_buf),
             from_buffer("int32_t[]", self._state),
+            from_buffer("int64_t[]", self._prof_buf),
         ]
         state = self._state
         state[ST_LONG_CAP] = len(bcp.long.data)
@@ -972,6 +1060,7 @@ class NativeAnalyzeKernel(AnalyzeKernelBase):
                 from_buffer("int32_t[]", self._touched_buf),
                 from_buffer("int32_t[]", self._zero_buf),
                 from_buffer("int32_t[]", state),
+                from_buffer("int64_t[]", self._prof_buf),
             )
             result = fn(*views)
             for view in views:
@@ -992,6 +1081,7 @@ class NativeAnalyzeKernel(AnalyzeKernelBase):
             return -1, None  # nothing queued (keeps empty buffers off FFI)
         bcp = solver._kernel
         long_cols = bcp.long
+        qhead0 = solver._qhead
         mirror = self.mirror
         if mirror.synced != len(solver._lits_view):
             # sync may extend (and compact may shrink) the mirror pool.
@@ -1033,6 +1123,10 @@ class NativeAnalyzeKernel(AnalyzeKernelBase):
         solver._qhead = state[ST_QHEAD]
         solver._trail_len = state[ST_TRAIL_LEN]
         solver.stats.propagations += state[ST_PROPS]
+        profile = solver._profile
+        if profile is not None:
+            profile[PROF_PROPS] += state[ST_PROPS]
+            profile[PROF_DEQ] += state[ST_QHEAD] - qhead0
         if result >= 0 and state[ST_ANALYZED]:
             state[ST_ACONFLICT] = -1
             state[ST_ANALYZED] = 0

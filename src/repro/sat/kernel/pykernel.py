@@ -23,6 +23,17 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.sat.kernel.base import AnalyzeKernelBase, BcpKernelBase
+from repro.sat.profile import (
+    PROF_ARENA,
+    PROF_ATRAIL,
+    PROF_AWORDS,
+    PROF_BIN,
+    PROF_DEQ,
+    PROF_LONG,
+    PROF_OPEN,
+    PROF_PROPS,
+    PROF_TERN,
+)
 
 
 class PythonBcpKernel(BcpKernelBase):
@@ -66,11 +77,22 @@ class PythonBcpKernel(BcpKernelBase):
         qhead = solver._qhead
         trail_len = solver._trail_len
         props = 0
+        # Access profiling (repro.sat.profile): raw aggregates in
+        # locals, flushed at the exit sites — same conventions as the
+        # legacy loop and the C kernel.
+        profile = solver._profile
+        qhead0 = qhead
+        acc_bin = 0
+        acc_tern = 0
+        acc_long = 0
+        acc_open = 0
+        acc_arena = 0
         while qhead < trail_len:
             lit = trail[qhead]
             qhead += 1
             false_lit = lit ^ 1
             n = b_size[false_lit] if b_any else 0
+            acc_bin += n
             if n == 1:
                 # Most literals watch exactly one binary clause; skip
                 # the range construction for that dominant case.
@@ -90,6 +112,14 @@ class PythonBcpKernel(BcpKernelBase):
                     solver._qhead = qhead
                     solver._trail_len = trail_len
                     solver.stats.propagations += props
+                    if profile is not None:
+                        profile[PROF_BIN] += acc_bin
+                        profile[PROF_TERN] += acc_tern
+                        profile[PROF_LONG] += acc_long
+                        profile[PROF_OPEN] += acc_open
+                        profile[PROF_ARENA] += acc_arena
+                        profile[PROF_PROPS] += props
+                        profile[PROF_DEQ] += qhead - qhead0
                     return b_data[e]
             elif n:
                 base = b_off[false_lit]
@@ -109,8 +139,17 @@ class PythonBcpKernel(BcpKernelBase):
                         solver._qhead = qhead
                         solver._trail_len = trail_len
                         solver.stats.propagations += props
+                        if profile is not None:
+                            profile[PROF_BIN] += acc_bin
+                            profile[PROF_TERN] += acc_tern
+                            profile[PROF_LONG] += acc_long
+                            profile[PROF_OPEN] += acc_open
+                            profile[PROF_ARENA] += acc_arena
+                            profile[PROF_PROPS] += props
+                            profile[PROF_DEQ] += qhead - qhead0
                         return b_data[e]
             n = t_size[false_lit] if t_any else 0
+            acc_tern += n
             if n:
                 base = t_off[false_lit]
                 for e in range(base, base + 3 * n, 3):
@@ -135,6 +174,14 @@ class PythonBcpKernel(BcpKernelBase):
                             solver._qhead = qhead
                             solver._trail_len = trail_len
                             solver.stats.propagations += props
+                            if profile is not None:
+                                profile[PROF_BIN] += acc_bin
+                                profile[PROF_TERN] += acc_tern
+                                profile[PROF_LONG] += acc_long
+                                profile[PROF_OPEN] += acc_open
+                                profile[PROF_ARENA] += acc_arena
+                                profile[PROF_PROPS] += props
+                                profile[PROF_DEQ] += qhead - qhead0
                             return t_data[e]
                         # else: b is true — clause satisfied
                     elif value_a == 2:  # b is false, a unassigned
@@ -152,6 +199,7 @@ class PythonBcpKernel(BcpKernelBase):
             n = l_size[false_lit]
             if not n:
                 continue
+            acc_long += n
             wbase = l_off[false_lit]
             # Phase 1 — read-only until the first watch move (see the
             # legacy loop); the flat twist is that entries are 2-word
@@ -163,6 +211,7 @@ class PythonBcpKernel(BcpKernelBase):
                     i += 1
                     continue
                 cid = l_data[eoff]
+                acc_open += 1
                 cbase = arefs[cid]
                 first = adata[cbase]
                 if first == false_lit:
@@ -175,6 +224,7 @@ class PythonBcpKernel(BcpKernelBase):
                     i += 1
                     continue
                 end = cbase + adata[cbase - 1]
+                acc_arena += end - cbase - 2
                 for k in range(cbase + 2, end):
                     other = adata[k]
                     if truth[other] != 0:
@@ -197,6 +247,14 @@ class PythonBcpKernel(BcpKernelBase):
                     solver._qhead = qhead
                     solver._trail_len = trail_len
                     solver.stats.propagations += props
+                    if profile is not None:
+                        profile[PROF_BIN] += acc_bin
+                        profile[PROF_TERN] += acc_tern
+                        profile[PROF_LONG] += acc_long
+                        profile[PROF_OPEN] += acc_open
+                        profile[PROF_ARENA] += acc_arena
+                        profile[PROF_PROPS] += props
+                        profile[PROF_DEQ] += qhead - qhead0
                     return cid
                 # Watch moved: slot i is dropped — compact from here on.
                 j = i
@@ -212,6 +270,7 @@ class PythonBcpKernel(BcpKernelBase):
                         l_data[joff + 1] = blocker
                         j += 1
                         continue
+                    acc_open += 1
                     cbase = arefs[cid]
                     first = adata[cbase]
                     if first == false_lit:
@@ -226,6 +285,7 @@ class PythonBcpKernel(BcpKernelBase):
                         j += 1
                         continue
                     end = cbase + adata[cbase - 1]
+                    acc_arena += end - cbase - 2
                     for k in range(cbase + 2, end):
                         other = adata[k]
                         if truth[other] != 0:
@@ -260,12 +320,28 @@ class PythonBcpKernel(BcpKernelBase):
                             solver._qhead = qhead
                             solver._trail_len = trail_len
                             solver.stats.propagations += props
+                            if profile is not None:
+                                profile[PROF_BIN] += acc_bin
+                                profile[PROF_TERN] += acc_tern
+                                profile[PROF_LONG] += acc_long
+                                profile[PROF_OPEN] += acc_open
+                                profile[PROF_ARENA] += acc_arena
+                                profile[PROF_PROPS] += props
+                                profile[PROF_DEQ] += qhead - qhead0
                             return cid
                 l_size[false_lit] = j
                 break
         solver._qhead = qhead
         solver._trail_len = trail_len
         solver.stats.propagations += props
+        if profile is not None:
+            profile[PROF_BIN] += acc_bin
+            profile[PROF_TERN] += acc_tern
+            profile[PROF_LONG] += acc_long
+            profile[PROF_OPEN] += acc_open
+            profile[PROF_ARENA] += acc_arena
+            profile[PROF_PROPS] += props
+            profile[PROF_DEQ] += qhead - qhead0
         return -1
 
 
@@ -319,9 +395,14 @@ class PythonAnalyzeKernel(AnalyzeKernelBase):
         p = -1
         cid = conflict_cid
         idx = solver._trail_len - 1
+        profile = solver._profile
+        idx0 = idx
+        acc_words = 0
 
         while True:
-            for q in view[cid]:
+            lits = view[cid]
+            acc_words += len(lits)
+            for q in lits:
                 if q == p:
                     continue
                 var = q >> 1
@@ -350,4 +431,7 @@ class PythonAnalyzeKernel(AnalyzeKernelBase):
             antecedents.append(cid)
 
         learned[0] = p ^ 1
+        if profile is not None:
+            profile[PROF_AWORDS] += acc_words
+            profile[PROF_ATRAIL] += idx0 - idx
         return learned, antecedents

@@ -261,6 +261,42 @@ class MemberReport:
     exported: int = 0
     imported: int = 0
     solve_time: float = 0.0
+    #: Full accumulated :class:`SolverStats` when known — deterministic
+    #: members (merged across epochs) and race finishers.  ``None`` for
+    #: cancelled racers, whose only record is the sharing-point
+    #: snapshot scalars above.
+    stats: Optional[SolverStats] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready member report.
+
+        The ``stats`` sub-dict routes through
+        :meth:`SolverStats.as_dict` whenever the member's full counters
+        are known, so every solver counter (LBD sums, arena
+        compactions, ...) reaches the metrics/bench consumers without
+        this report having to enumerate them; cancelled racers fall
+        back to the snapshot scalars.
+        """
+        if self.stats is not None:
+            stats: Dict[str, object] = dict(self.stats.as_dict())
+        else:
+            stats = {
+                "conflicts": self.conflicts,
+                "decisions": self.decisions,
+                "propagations": self.propagations,
+                "restarts": self.restarts,
+                "exported_clauses": self.exported,
+                "imported_clauses": self.imported,
+            }
+        return {
+            "name": self.name,
+            "status": self.status,
+            "winner": self.winner,
+            "epochs": self.epochs,
+            "depth": self.depth,
+            "solve_time": self.solve_time,
+            "stats": stats,
+        }
 
 
 @dataclass
@@ -283,6 +319,20 @@ class PortfolioOutcome:
     deliveries: int = 0
     deterministic: bool = False
     wall_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready outcome with per-member reports (see
+        :meth:`MemberReport.as_dict`)."""
+        return {
+            "status": self.status.value,
+            "winner": self.winner,
+            "epochs": self.epochs,
+            "shared_clauses": self.shared_clauses,
+            "deliveries": self.deliveries,
+            "deterministic": self.deterministic,
+            "wall_time": self.wall_time,
+            "members": [report.as_dict() for report in self.reports],
+        }
 
     @property
     def model(self):
@@ -339,11 +389,17 @@ def _build_solver(
     # restart — occasionally much better, occasionally much worse; the
     # robust default is warm.
     strategy.persist_activity = warm_activity
-    return CdclSolver(
-        formula,
-        strategy=strategy,
-        config=member.overlay_config(base_config, share_max_len),
-    )
+    config = member.overlay_config(base_config, share_max_len)
+    if config.metrics is not None or config.on_progress is not None:
+        # The registry and progress callback stay with the coordinating
+        # process: member solvers may live in forked children, where a
+        # published counter dies with the child (and in-process members
+        # would multiply-count one logical solve).  The portfolio
+        # publishes aggregate and per-member series itself.
+        config = replace(
+            config, metrics=None, metrics_labels=None, on_progress=None
+        )
+    return CdclSolver(formula, strategy=strategy, config=config)
 
 
 def _run_member_epoch(
@@ -646,18 +702,82 @@ class PortfolioSolver:
     def solve(self) -> PortfolioOutcome:
         """Run the portfolio; see :class:`PortfolioOutcome`."""
         if self.deterministic:
-            return self._solve_deterministic()
-        width = min(len(self.members), _available_cpus())
-        if self.jobs is not None and self.jobs > 0:
-            width = min(width, self.jobs)
-        if width <= 1 or _in_daemon():
-            # No real parallelism available (single member or CPU,
-            # nested inside a daemonic pool worker, or explicitly
-            # jobs=1): a wider race would only time-slice, so run the
-            # epoch-interleaved deterministic path in-process instead —
-            # same verdict, and the sharing still prunes the search.
-            return self._solve_deterministic(force_serial=True)
-        return self._solve_race(width)
+            result = self._solve_deterministic()
+        else:
+            width = min(len(self.members), _available_cpus())
+            if self.jobs is not None and self.jobs > 0:
+                width = min(width, self.jobs)
+            if width <= 1 or _in_daemon():
+                # No real parallelism available (single member or CPU,
+                # nested inside a daemonic pool worker, or explicitly
+                # jobs=1): a wider race would only time-slice, so run
+                # the epoch-interleaved deterministic path in-process
+                # instead — same verdict, and the sharing still prunes
+                # the search.
+                result = self._solve_deterministic(force_serial=True)
+            else:
+                result = self._solve_race(width)
+        self._publish_metrics(result)
+        return result
+
+    #: Per-member counters published with a ``member`` label; the keys
+    #: come out of :meth:`MemberReport.as_dict`'s ``stats`` sub-dict
+    #: (present in both the full SolverStats export and the
+    #: cancelled-racer fallback).
+    _MEMBER_COUNTER_KEYS = (
+        "conflicts",
+        "decisions",
+        "propagations",
+        "restarts",
+        "exported_clauses",
+        "imported_clauses",
+    )
+
+    def _publish_metrics(self, result: PortfolioOutcome) -> None:
+        """Publish bus traffic and per-member work into the registry.
+
+        The bus hit rate is installed deliveries over queued deliveries
+        — a queued clause misses when its receiver finishes (or is
+        cancelled) before the next import point drains it.
+        """
+        config = self.base_config
+        registry = config.metrics if config is not None else None
+        if registry is None:
+            return
+        labels = dict(config.metrics_labels or {})
+        registry.counter("portfolio_solves_total", labels=labels).inc()
+        registry.counter("portfolio_epochs_total", labels=labels).inc(
+            result.epochs
+        )
+        registry.counter("portfolio_bus_shared_total", labels=labels).inc(
+            result.shared_clauses
+        )
+        registry.counter("portfolio_bus_deliveries_total", labels=labels).inc(
+            result.deliveries
+        )
+        exported = 0
+        imported = 0
+        for report in result.reports:
+            member_labels = dict(labels)
+            member_labels["member"] = report.name
+            stats = report.as_dict()["stats"]
+            for key in self._MEMBER_COUNTER_KEYS:
+                value = stats.get(key, 0)  # type: ignore[union-attr]
+                if value:
+                    registry.counter(
+                        f"portfolio_member_{key}_total", labels=member_labels
+                    ).inc(value)
+            exported += report.exported
+            imported += report.imported
+        registry.counter(
+            "portfolio_exported_clauses_total", labels=labels
+        ).inc(exported)
+        registry.counter(
+            "portfolio_imported_clauses_total", labels=labels
+        ).inc(imported)
+        registry.gauge("portfolio_bus_hit_rate", labels=labels).set(
+            imported / result.deliveries if result.deliveries else 0.0
+        )
 
     # ------------------------------------------------------------------
     # Deterministic epoch-barrier mode.
@@ -739,6 +859,9 @@ class PortfolioSolver:
                     report.exported += stats.exported_clauses
                     report.imported += stats.imported_clauses
                     report.solve_time += stats.solve_time
+                    if report.stats is None:
+                        report.stats = SolverStats()
+                    report.stats.merge(stats)
                     bus.publish(index, exported)
                     if outcome is not None:
                         report.status = status
@@ -929,6 +1052,7 @@ class PortfolioSolver:
                 ) = snapshot
             if index in extra_outcomes:
                 report.status = extra_outcomes[index].status.value
+                report.stats = extra_outcomes[index].stats
             else:
                 report.status = "cancelled"
         if winner_index is None:
@@ -938,6 +1062,7 @@ class PortfolioSolver:
             report = reports[winner_index]
             report.winner = True
             report.status = winner_outcome.status.value
+            report.stats = winner_outcome.stats
             status = winner_outcome.status
             winner = members[winner_index].name
             # Same soundness backstop as the deterministic mode: any

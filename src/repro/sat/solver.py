@@ -101,9 +101,24 @@ from __future__ import annotations
 import time
 from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.cnf.formula import CnfFormula
+from repro.metrics.access import (
+    SID_ARENA,
+    SID_CLAUSE,
+    SID_TRAIL,
+    AccessStreamWriter,
+)
 from repro.sat.arena import (
     ClauseArena,
     HEADER_WORDS,
@@ -121,6 +136,22 @@ from repro.sat.kernel import (
     create_analyze_kernel,
     create_kernel,
 )
+from repro.sat.profile import (
+    NPROF,
+    PROF_ARENA,
+    PROF_ATRAIL,
+    PROF_AWORDS,
+    PROF_BIN,
+    PROF_DEQ,
+    PROF_HEAP,
+    PROF_LONG,
+    PROF_OPEN,
+    PROF_PROPS,
+    PROF_TERN,
+    new_profile_buffer,
+    profile_as_dict,
+    structure_counts,
+)
 from repro.sat.stats import SolverStats
 from repro.sat.trace import (
     STATUS_SAT,
@@ -132,6 +163,9 @@ from repro.sat.trace import (
     TraceWriter,
 )
 from repro.sat.types import AnalysisResult, SolveOutcome, SolveResult
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.metrics import MetricsRegistry
 
 
 @dataclass
@@ -242,6 +276,49 @@ class SolverConfig:
     #: (no serialization).  Both options may be set at once; the
     #: streams are identical by construction.
     trace_events: Optional[List["TraceEvent"]] = None
+    #: Observability plane (``repro.metrics``): a registry this solver
+    #: publishes counters and gauges into — ``solver_*_total`` counter
+    #: deltas for every :class:`SolverStats` field plus state gauges
+    #: (learned-DB size, arena footprint/tombstone ratio, heap size,
+    #: trail depth).  Publishing happens at epoch boundaries only
+    #: (restart points and ``solve()`` exit), never per conflict, and
+    #: reads no clock — rates come from registry snapshots.  ``None``
+    #: (the default) costs one ``is not None`` test per restart.
+    metrics: Optional["MetricsRegistry"] = None
+    #: Label set attached to every series this solver publishes (e.g.
+    #: the portfolio member name); ``None`` for unlabeled series.
+    metrics_labels: Optional[Dict[str, str]] = None
+    #: Per-structure access profiling (``repro.sat.profile``): every
+    #: BCP/analysis backend accounts its memory traffic — arena words,
+    #: watch-column entries, ``lit_truth``/trail/reasons/levels
+    #: subscripts, heap ops — into the flat raw-counter array exposed
+    #: as :meth:`CdclSolver.access_profile`.  Aggregation happens at
+    #: kernel-call granularity (locals flushed at exit; the native
+    #: kernels fill the same buffer from C through one
+    #: ``from_buffer`` view), so profiled searches stay byte-identical
+    #: and the hot loops stay solcheck-clean.
+    profile_access: bool = False
+    #: Sampled access-stream sidecar (``repro.metrics.access``): when
+    #: set, every ``solve()`` appends (structure, offset) events — the
+    #: antecedent clause IDs and arena block offsets each sampled
+    #: conflict's analysis touched, plus the trail depth — to this
+    #: path in the varint ``RACC`` framing, for offline locality
+    #: analysis (``python -m repro.trace``).  Like the trace, the file
+    #: holds the *last* call's stream.
+    access_stream_path: Optional[str] = None
+    #: Record an access-stream sample every this many conflicts
+    #: (deterministic — keyed on the conflict counter, no clock).
+    access_sample_every: int = 16
+    #: Live-progress hook, fired at search level every
+    #: :attr:`progress_every` conflicts with a counters-only payload
+    #: (:meth:`CdclSolver.progress_snapshot`).  The payload carries no
+    #: wall-clock reading — interested callers stamp arrival times
+    #: themselves (see ``repro.experiments`` ``--progress``).  The
+    #: hook must not mutate the solver (same contract as the strategy
+    #: hooks).
+    on_progress: Optional[Callable[[Dict[str, int]], None]] = None
+    #: Conflict interval between :attr:`on_progress` firings.
+    progress_every: int = 2048
     max_conflicts: Optional[int] = None
     max_decisions: Optional[int] = None
     max_propagations: Optional[int] = None
@@ -424,6 +501,13 @@ class CdclSolver:
         self._arena = ClauseArena(
             "compact" if kernel_mode else self.config.arena_storage
         )
+        #: Raw access-counter buffer (repro.sat.profile), or None when
+        #: profiling is off.  Allocated *before* the kernels: the
+        #: native wrappers capture it at construction and alias it from
+        #: C through one ``from_buffer`` view.
+        self._profile = (
+            new_profile_buffer() if self.config.profile_access else None
+        )
         #: The propagation kernel (None under the legacy backend).  Its
         #: construction must precede ``ensure_num_vars`` (which grows
         #: the kernel's watch columns alongside the per-var arrays);
@@ -546,6 +630,14 @@ class CdclSolver:
         # last one threw away.  None until the first search computes
         # the formula-derived floor.
         self._max_learned: Optional[float] = None
+        # Observability plane state: the open access-stream sidecar
+        # during a solve (else None), the per-field counter values
+        # already published into config.metrics (counters publish
+        # deltas; cleared when stats reset at solve entry), and the
+        # raw profile slots already published (same delta discipline).
+        self._access_stream: Optional[AccessStreamWriter] = None
+        self._published_stats: Dict[str, float] = {}
+        self._published_profile: List[int] = [0] * NPROF
 
         self.ensure_num_vars(self._formula.num_vars)
         self._install_initial()
@@ -1071,6 +1163,11 @@ class CdclSolver:
         self._decision_level = level
         self.strategy.on_unassigned(undone)
         self.strategy.on_backtrack()
+        profile = self._profile
+        if profile is not None:
+            # Heap reinserts: every unassigned variable is offered back
+            # to the decision heap (pops are counted at decision sites).
+            profile[PROF_HEAP] += len(undone)
 
     # ------------------------------------------------------------------
     # Boolean constraint propagation (two watched literals).
@@ -1111,12 +1208,23 @@ class CdclSolver:
         qhead = self._qhead
         props = 0
         trail_len = len(trail)
+        # Access profiling (repro.sat.profile): raw aggregates in plain
+        # locals, flushed at the exit sites below — never a buffer write
+        # inside the loop.
+        profile = self._profile
+        qhead0 = qhead
+        acc_bin = 0
+        acc_tern = 0
+        acc_long = 0
+        acc_open = 0
+        acc_arena = 0
         while qhead < trail_len:
             lit = trail[qhead]
             qhead += 1
             false_lit = lit ^ 1
             entries = watches_bin[false_lit]
             if entries:
+                acc_bin += len(entries)
                 for cid, implied, neg, var in entries:
                     value = truth[implied]
                     if value == 2:
@@ -1131,9 +1239,18 @@ class CdclSolver:
                         self._qhead = qhead
                         self._trail_len = trail_len
                         self.stats.propagations += props
+                        if profile is not None:
+                            profile[PROF_BIN] += acc_bin
+                            profile[PROF_TERN] += acc_tern
+                            profile[PROF_LONG] += acc_long
+                            profile[PROF_OPEN] += acc_open
+                            profile[PROF_ARENA] += acc_arena
+                            profile[PROF_PROPS] += props
+                            profile[PROF_DEQ] += qhead - qhead0
                         return cid
             entries = watches_tern[false_lit]
             if entries:
+                acc_tern += len(entries)
                 for cid, lit_a, lit_b in entries:
                     value_a = truth[lit_a]
                     value_b = truth[lit_b]
@@ -1157,6 +1274,14 @@ class CdclSolver:
                             self._qhead = qhead
                             self._trail_len = trail_len
                             self.stats.propagations += props
+                            if profile is not None:
+                                profile[PROF_BIN] += acc_bin
+                                profile[PROF_TERN] += acc_tern
+                                profile[PROF_LONG] += acc_long
+                                profile[PROF_OPEN] += acc_open
+                                profile[PROF_ARENA] += acc_arena
+                                profile[PROF_PROPS] += props
+                                profile[PROF_DEQ] += qhead - qhead0
                             return cid
                         # else: b is true — clause satisfied
                     elif value_a == 2:  # b is false, a unassigned
@@ -1173,6 +1298,7 @@ class CdclSolver:
             if not watch_list:
                 continue
             n = len(watch_list)
+            acc_long += n
             # Phase 1 — read-only: until a watch actually *moves* the
             # list needs no compaction, so kept entries cost no stores
             # (satisfied blockers, refreshed blockers and unit
@@ -1187,6 +1313,7 @@ class CdclSolver:
                     i += 1
                     continue
                 cid = entry[0]
+                acc_open += 1
                 base = arefs[cid]
                 first = adata[base]
                 if first == false_lit:
@@ -1199,6 +1326,7 @@ class CdclSolver:
                     i += 1
                     continue
                 end = base + adata[base - 1]
+                acc_arena += end - base - 2
                 for k in range(base + 2, end):
                     other = adata[k]
                     if truth[other] != 0:
@@ -1221,6 +1349,14 @@ class CdclSolver:
                     self._qhead = qhead
                     self._trail_len = trail_len
                     self.stats.propagations += props
+                    if profile is not None:
+                        profile[PROF_BIN] += acc_bin
+                        profile[PROF_TERN] += acc_tern
+                        profile[PROF_LONG] += acc_long
+                        profile[PROF_OPEN] += acc_open
+                        profile[PROF_ARENA] += acc_arena
+                        profile[PROF_PROPS] += props
+                        profile[PROF_DEQ] += qhead - qhead0
                     return cid
                 # Watch moved: slot i is dropped — compact from here on.
                 j = i
@@ -1233,6 +1369,7 @@ class CdclSolver:
                         j += 1
                         continue
                     cid = entry[0]
+                    acc_open += 1
                     base = arefs[cid]
                     first = adata[base]
                     if first == false_lit:
@@ -1245,6 +1382,7 @@ class CdclSolver:
                         j += 1
                         continue
                     end = base + adata[base - 1]
+                    acc_arena += end - base - 2
                     for k in range(base + 2, end):
                         other = adata[k]
                         if truth[other] != 0:
@@ -1274,12 +1412,28 @@ class CdclSolver:
                             self._qhead = qhead
                             self._trail_len = trail_len
                             self.stats.propagations += props
+                            if profile is not None:
+                                profile[PROF_BIN] += acc_bin
+                                profile[PROF_TERN] += acc_tern
+                                profile[PROF_LONG] += acc_long
+                                profile[PROF_OPEN] += acc_open
+                                profile[PROF_ARENA] += acc_arena
+                                profile[PROF_PROPS] += props
+                                profile[PROF_DEQ] += qhead - qhead0
                             return cid
                 del watch_list[j:]
                 break
         self._qhead = qhead
         self._trail_len = trail_len
         self.stats.propagations += props
+        if profile is not None:
+            profile[PROF_BIN] += acc_bin
+            profile[PROF_TERN] += acc_tern
+            profile[PROF_LONG] += acc_long
+            profile[PROF_OPEN] += acc_open
+            profile[PROF_ARENA] += acc_arena
+            profile[PROF_PROPS] += props
+            profile[PROF_DEQ] += qhead - qhead0
         return -1
 
     # ------------------------------------------------------------------
@@ -1379,6 +1533,9 @@ class CdclSolver:
         cid = conflict_cid
         idx = self._trail_len - 1
         rescale_limit = ACTIVITY_RESCALE_LIMIT
+        profile = self._profile
+        idx0 = idx
+        acc_words = 0
 
         while True:
             if cid != conflict_cid and aflags[cid] & 1:  # LEARNED
@@ -1391,7 +1548,9 @@ class CdclSolver:
                     # solcheck: ignore[HOT02] must re-read: the rescale
                     # just rewrote _activity_inc under our feet
                     inc = self._activity_inc
-            for q in view[cid]:
+            lits = view[cid]
+            acc_words += len(lits)
+            for q in lits:
                 if q == p:
                     continue
                 var = q >> 1
@@ -1420,6 +1579,9 @@ class CdclSolver:
             antecedents.append(cid)
 
         learned[0] = p ^ 1
+        if profile is not None:
+            profile[PROF_AWORDS] += acc_words
+            profile[PROF_ATRAIL] += idx0 - idx
         return self._finish_analysis(learned, antecedents)
 
     def _analyze_kernel(self, conflict_cid: int) -> AnalysisResult:
@@ -1931,6 +2093,9 @@ class CdclSolver:
         self._assumptions = list(assumptions)
         self.failed_assumptions = None
         self.stats = SolverStats()
+        # Stats reset ⇒ the counter deltas already published into
+        # config.metrics restart from zero too.
+        self._published_stats.clear()
         self.stats.propagations += self._pending_load_propagations
         self._pending_load_propagations = 0
         self.stats.root_pruned_clauses += self._pending_root_pruned
@@ -1938,9 +2103,11 @@ class CdclSolver:
         self.stats.imported_clauses += self._pending_imported
         self._pending_imported = 0
         trace = self._open_trace()
+        sidecar = self._open_access_stream()
         start = time.perf_counter()
         try:
             self._backtrack(0)
+            self._access_stream = sidecar
             if trace is not None:
                 # Mark 0: the first flush re-emits the root trail
                 # (install-time units and their implications), so the
@@ -1962,7 +2129,12 @@ class CdclSolver:
             if trace is not None:
                 self._trace = None
                 trace.close()
+            if sidecar is not None:
+                self._access_stream = None
+                sidecar.close()
         self.stats.solve_time = time.perf_counter() - start
+        if self.config.metrics is not None:
+            self._publish_metrics()
         outcome.stats = self.stats
         return outcome
 
@@ -1990,6 +2162,126 @@ class CdclSolver:
         if n > mark:
             self._trace.enqueue_run(self._trail, mark, n)
             self._trace_mark = n
+
+    # ------------------------------------------------------------------
+    # Observability plane: access profiling, metrics, live progress.
+    # ------------------------------------------------------------------
+
+    def _open_access_stream(self) -> Optional[AccessStreamWriter]:
+        """This solve() call's ``.racc`` sidecar writer, or None (the
+        common case — one config read)."""
+        config = self.config
+        if config.access_stream_path is None:
+            return None
+        return AccessStreamWriter(
+            config.access_stream_path, config.access_sample_every
+        )
+
+    def _record_access_sample(
+        self, sidecar: AccessStreamWriter, antecedents: List[int]
+    ) -> None:
+        """One sampled conflict's event block: the clause IDs analysis
+        resolved over, their arena block offsets, and the trail depth.
+        Runs at search level, conflict-granular — never per access."""
+        arefs = self._arena.refs
+        sidecar.record_block(SID_CLAUSE, antecedents)
+        sidecar.record_block(
+            SID_ARENA, [arefs[cid] for cid in antecedents]
+        )
+        sidecar.record(SID_TRAIL, self._trail_len)
+
+    def access_profile(self) -> Optional[Dict[str, object]]:
+        """The per-structure access profile accumulated so far (raw
+        slots by name plus derived structure totals), or None when
+        ``config.profile_access`` is off.  Cumulative across solve()
+        calls — callers wanting per-solve numbers difference two reads.
+        """
+        if self._profile is None:
+            return None
+        return profile_as_dict(self._profile)
+
+    def progress_snapshot(self) -> Dict[str, int]:
+        """The live-progress payload: counters and depths only — no
+        clock read, nothing a hook could perturb the search with."""
+        stats = self.stats
+        return {
+            "conflicts": stats.conflicts,
+            "decisions": stats.decisions,
+            "propagations": stats.propagations,
+            "restarts": stats.restarts,
+            "learned": self._num_live_learned,
+            "trail": self._trail_len,
+            "level": self._decision_level,
+            "vars": self.num_vars,
+        }
+
+    def _publish_metrics(self) -> None:
+        """Publish into ``config.metrics``: counter deltas for every
+        :class:`SolverStats` field, state gauges, and (when profiling)
+        per-structure access counters.  Called at epoch boundaries only
+        — restart points and solve() exit — and reads no clock (rates
+        are a snapshot-time concern; see ``repro.metrics``)."""
+        registry = self.config.metrics
+        if registry is None:
+            return
+        labels = self.config.metrics_labels
+        published = self._published_stats
+        for name, value in self.stats.as_dict().items():
+            prev = published.get(name, 0.0)
+            if value != prev:
+                registry.counter(
+                    f"solver_{name}_total",
+                    help=f"Cumulative solver {name} across solves.",
+                    labels=labels,
+                ).inc(value - prev)
+                published[name] = float(value)
+        arena = self._arena
+        words = len(arena.data)
+        registry.gauge(
+            "solver_vars", help="Variables in the solver.", labels=labels
+        ).set(self.num_vars)
+        registry.gauge(
+            "solver_learned_live",
+            help="Live learned clauses in the database.",
+            labels=labels,
+        ).set(self._num_live_learned)
+        registry.gauge(
+            "solver_trail_depth",
+            help="Assigned literals on the trail.",
+            labels=labels,
+        ).set(self._trail_len)
+        registry.gauge(
+            "solver_arena_words",
+            help="Clause-arena footprint in literal words.",
+            labels=labels,
+        ).set(words)
+        registry.gauge(
+            "solver_arena_tombstone_ratio",
+            help="Fraction of arena words held by deleted clauses.",
+            labels=labels,
+        ).set(arena.dead_words / words if words else 0.0)
+        heap = getattr(self.strategy, "_heap", None)
+        if heap is not None:
+            registry.gauge(
+                "solver_heap_size",
+                help="Variables in the decision activity heap.",
+                labels=labels,
+            ).set(len(heap))
+        profile = self._profile
+        if profile is not None:
+            prev_raw = self._published_profile
+            raw_delta = [profile[i] - prev_raw[i] for i in range(NPROF)]
+            for structure, count in structure_counts(raw_delta).items():
+                if count:
+                    access_labels = dict(labels) if labels else {}
+                    access_labels["structure"] = structure
+                    registry.counter(
+                        "solver_access_total",
+                        help="Per-structure memory accesses "
+                        "(repro.sat.profile).",
+                        labels=access_labels,
+                    ).inc(count)
+            self._published_profile = list(profile)
 
     def _search(self) -> SolveOutcome:
         if not self._ok:
@@ -2026,6 +2318,16 @@ class CdclSolver:
         num_assumptions = len(self._assumptions)
         decide = self.strategy.decide
         on_conflict = self.strategy.on_conflict
+        # Observability hoists: all default-off, each costing one `is
+        # not None` (or bool) test per conflict/decision when detached.
+        # Like the trace, every capture site lives at search level —
+        # the hot loops below the seam stay untouched.
+        profile = self._profile
+        sidecar = self._access_stream
+        sample_every = config.access_sample_every
+        on_progress = config.on_progress
+        progress_every = config.progress_every
+        metrics_on = config.metrics is not None
         # Trace sink (None when disabled — every event site below is
         # then a single `is not None` test).  Event capture lives here
         # at search level, never inside _propagate: the native kernel
@@ -2089,6 +2391,17 @@ class CdclSolver:
                     self._enqueue(learned[0], cid)
                     stats.propagations += 1
                 on_conflict(learned)
+                if sidecar is not None and stats.conflicts % sample_every == 0:
+                    # Sampled access-stream event block: which clauses
+                    # (and arena blocks) this conflict's analysis
+                    # resolved over, plus the trail depth.  Keyed on
+                    # the conflict counter — deterministic, no clock.
+                    self._record_access_sample(sidecar, antecedents)
+                if (
+                    on_progress is not None
+                    and stats.conflicts % progress_every == 0
+                ):
+                    on_progress(self.progress_snapshot())
                 if max_conflicts is not None and stats.conflicts >= max_conflicts:
                     return SolveOutcome(status=SolveResult.UNKNOWN)
                 if (
@@ -2118,6 +2431,12 @@ class CdclSolver:
                     self._trace_mark = self._trail_len
                 if prune_enabled:
                     self._prune_root_satisfied()
+                if metrics_on:
+                    # Epoch-boundary publish: counter deltas + state
+                    # gauges at every restart, so a scraper sees live
+                    # values without the solver ever publishing on the
+                    # per-conflict path.
+                    self._publish_metrics()
                 if on_learned is not None and num_assumptions == 0:
                     # Sharing point (portfolio race mode): the solver is
                     # at decision level 0, so peer clauses can be
@@ -2183,6 +2502,10 @@ class CdclSolver:
             elif invert_phase:
                 lit ^= 1
             stats.decisions += 1
+            if profile is not None:
+                # One heap pop per decision (reinserts are counted at
+                # backtrack time).
+                profile[PROF_HEAP] += 1
             if (
                 config.max_decisions is not None
                 and stats.decisions > config.max_decisions

@@ -6,7 +6,8 @@ paper's Fig. 7 ("Number of Decisions" / "Number of Implications").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Dict, Union
 
 
 @dataclass
@@ -50,6 +51,17 @@ class SolverStats:
     # pending load propagations).
     exported_clauses: int = 0
     imported_clauses: int = 0
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """Every counter by field name, in declaration order.
+
+        This is the single export surface: the metrics publisher, the
+        bench harness, and the experiments tables all consume it, so a
+        newly added counter flows everywhere at once (a test pins the
+        key set to the dataclass fields, so nothing can silently fall
+        out of the export).
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     @property
     def mean_learned_length(self) -> float:

@@ -1,4 +1,12 @@
-"""CLI entry: ``python -m repro.trace <file.rtrc> [--json]``."""
+"""CLI entry: ``python -m repro.trace <capture>... [--json]``.
+
+Each ``capture`` is a ``.rtrc`` trace file, a ``.racc`` access-stream
+sidecar, or a directory holding either kind.  Multiple traces (for BMC
+runs, the per-depth ``{name}_d{k:03d}.rtrc`` series) merge into one
+aggregated report; sidecars render as a per-structure access/locality
+report after the trace report (or under an ``"access"`` key in JSON
+mode).
+"""
 
 from __future__ import annotations
 
@@ -6,34 +14,77 @@ import argparse
 import json
 import sys
 
+from repro.metrics.access import analyze_access_stream, render_access_report
 from repro.sat.trace import TraceFormatError
-from repro.trace import analyze_trace, render_report
+from repro.trace import analyze_traces, discover_captures, render_report
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.trace",
-        description="Analyze a binary solver trace (repro.sat.trace "
-        "format): event counts, per-depth histograms, learned-length "
-        "distribution, decode throughput.",
+        description="Analyze binary solver traces (repro.sat.trace "
+        "format) and access-stream sidecars (repro.metrics.access): "
+        "event counts, per-depth histograms, learned-length "
+        "distribution, per-structure access locality.",
     )
-    parser.add_argument("trace", help="trace file written via SolverConfig.trace_path")
+    parser.add_argument(
+        "captures",
+        nargs="+",
+        help=".rtrc trace files, .racc access sidecars, or directories "
+        "of either (directories expand in sorted name order, so "
+        "per-depth captures aggregate in depth order)",
+    )
     parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="hot-offset rows per structure in the access report "
+        "(default: 10)",
+    )
     args = parser.parse_args(argv)
-    try:
-        report = analyze_trace(args.trace)
-    except FileNotFoundError:
-        print(f"error: no such trace file: {args.trace}", file=sys.stderr)
+    traces, sidecars = discover_captures(args.captures)
+    if not traces and not sidecars:
+        print(
+            "error: no .rtrc/.racc captures found under: "
+            + " ".join(args.captures),
+            file=sys.stderr,
+        )
         return 2
-    except TraceFormatError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    report = None
+    if traces:
+        try:
+            report = analyze_traces(traces)
+        except FileNotFoundError as exc:
+            print(
+                f"error: no such trace file: {exc.filename}", file=sys.stderr
+            )
+            return 2
+        except TraceFormatError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    access = None
+    if sidecars:
+        try:
+            access = analyze_access_stream(sidecars, top_n=args.top)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: bad access stream: {exc}", file=sys.stderr)
+            return 2
     if args.json:
-        print(json.dumps(report, indent=2, sort_keys=True))
+        payload = dict(report) if report is not None else {}
+        if access is not None:
+            payload["access"] = access
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
-        print(render_report(report))
+        chunks = []
+        if report is not None:
+            chunks.append(render_report(report))
+        if access is not None:
+            chunks.append(render_access_report(access))
+        print("\n\n".join(chunks))
     return 0
 
 

@@ -30,13 +30,12 @@ BASELINE = Path(__file__).resolve().parent.parent / "data" / "table1_pr5_baselin
 _PINNED_FIELDS = ("status", "depth_reached", "decisions", "implications", "conflicts")
 
 
-@pytest.mark.slow
-def test_table1_subset_matches_pr5_counters():
+def _pin_against_baseline(**table1_kwargs):
     expected = json.loads(BASELINE.read_text())
     rows = [r for r in small_suite() if r.name in expected]
     assert {r.name for r in rows} == set(expected), "baseline rows missing from suite"
 
-    report = run_table1(rows=rows)
+    report = run_table1(rows=rows, **table1_kwargs)
 
     actual = {}
     for row in report.rows:
@@ -47,3 +46,16 @@ def test_table1_subset_matches_pr5_counters():
             for method, result in row.results.items()
         }
     assert actual == expected
+
+
+@pytest.mark.slow
+def test_table1_subset_matches_pr5_counters():
+    _pin_against_baseline()
+
+
+@pytest.mark.slow
+def test_profiling_on_matches_pr5_counters():
+    """Per-structure access profiling (PR 10) is observation, not
+    intervention: with ``profile_access=True`` every pinned counter
+    still matches the PR 5 baseline exactly."""
+    _pin_against_baseline(profile_access=True)

@@ -1,0 +1,102 @@
+"""Exporter goldens: the exact JSON and Prometheus text for a small
+deterministic registry.  Pinning the full text keeps the exposition
+format stable for anything that scrapes or diffs it."""
+
+from __future__ import annotations
+
+import json
+
+from repro.metrics import MetricsRegistry, render_json, render_prometheus
+
+
+def _make_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("solver_conflicts_total", help="conflicts seen").inc(42)
+    reg.gauge("bmc_depth", help="current unrolling depth").set(7)
+    reg.counter(
+        "solver_access_total", help="structure accesses",
+        labels={"structure": "arena"},
+    ).inc(100)
+    reg.counter(
+        "solver_access_total", labels={"structure": "watch"},
+    ).inc(50)
+    h = reg.histogram("learned_len", help="learned clause lengths",
+                      buckets=(1, 2, 4))
+    for v in (1, 3, 3, 9):
+        h.observe(v)
+    return reg
+
+
+PROMETHEUS_GOLDEN = """\
+# HELP bmc_depth current unrolling depth
+# TYPE bmc_depth gauge
+bmc_depth 7
+# HELP learned_len learned clause lengths
+# TYPE learned_len histogram
+learned_len_bucket{le="1"} 1
+learned_len_bucket{le="2"} 1
+learned_len_bucket{le="4"} 3
+learned_len_bucket{le="+Inf"} 4
+learned_len_sum 16
+learned_len_count 4
+# HELP solver_access_total structure accesses
+# TYPE solver_access_total counter
+solver_access_total{structure="arena"} 100
+solver_access_total{structure="watch"} 50
+# HELP solver_conflicts_total conflicts seen
+# TYPE solver_conflicts_total counter
+solver_conflicts_total 42
+"""
+
+
+def test_prometheus_golden():
+    assert render_prometheus(_make_registry()) == PROMETHEUS_GOLDEN
+
+
+def test_prometheus_is_deterministic():
+    assert render_prometheus(_make_registry()) == render_prometheus(
+        _make_registry()
+    )
+
+
+def test_json_golden():
+    doc = json.loads(render_json(_make_registry()))
+    assert doc == {
+        "bmc_depth": {
+            "type": "gauge",
+            "help": "current unrolling depth",
+            "samples": [{"labels": {}, "value": 7}],
+        },
+        "learned_len": {
+            "type": "histogram",
+            "help": "learned clause lengths",
+            "samples": [
+                {
+                    "labels": {},
+                    "buckets": [[1, 1], [2, 1], [4, 3], ["+Inf", 4]],
+                    "sum": 16,
+                    "count": 4,
+                }
+            ],
+        },
+        "solver_access_total": {
+            "type": "counter",
+            "help": "structure accesses",
+            "samples": [
+                {"labels": {"structure": "arena"}, "value": 100},
+                {"labels": {"structure": "watch"}, "value": 50},
+            ],
+        },
+        "solver_conflicts_total": {
+            "type": "counter",
+            "help": "conflicts seen",
+            "samples": [{"labels": {}, "value": 42}],
+        },
+    }
+
+
+def test_json_indent_round_trips():
+    reg = _make_registry()
+    assert json.loads(render_json(reg, indent=2)) == json.loads(
+        render_json(reg)
+    )

@@ -1,0 +1,134 @@
+"""Unit tests for the metrics registry (``repro.metrics``, PR 10)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    render_json,
+    render_prometheus,
+)
+
+
+def test_counter_get_or_create_and_inc():
+    reg = MetricsRegistry()
+    c = reg.counter("solver_conflicts_total", help="conflicts")
+    c.inc()
+    c.inc(41)
+    assert reg.counter("solver_conflicts_total") is c
+    assert reg.value("solver_conflicts_total") == 42.0
+    assert reg.kind_for("solver_conflicts_total") == "counter"
+    assert reg.help_for("solver_conflicts_total") == "conflicts"
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("x_total").inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("trail_depth")
+    g.set(10)
+    g.inc(5)
+    g.dec(3)
+    assert reg.value("trail_depth") == 12.0
+
+
+def test_labels_create_distinct_series():
+    reg = MetricsRegistry()
+    reg.counter("c_total", labels={"k": "a"}).inc(1)
+    reg.counter("c_total", labels={"k": "b"}).inc(2)
+    reg.counter("c_total").inc(4)
+    assert reg.value("c_total", {"k": "a"}) == 1.0
+    assert reg.value("c_total", {"k": "b"}) == 2.0
+    assert reg.value("c_total") == 4.0
+    assert len(reg) == 3
+
+
+def test_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    reg.counter("c_total", labels={"a": "1", "b": "2"}).inc()
+    assert reg.value("c_total", {"b": "2", "a": "1"}) == 1.0
+
+
+def test_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("thing")
+    with pytest.raises(ValueError):
+        reg.gauge("thing")
+
+
+def test_value_of_absent_series_is_zero():
+    assert MetricsRegistry().value("nope") == 0.0
+
+
+def test_histogram_buckets_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("lens", buckets=(1, 2, 4))
+    for v in (1, 1, 3, 100):
+        h.observe(v)
+    assert h.count == 4
+    assert h.total == 105.0
+    assert h.cumulative() == [
+        (1.0, 2),
+        (2.0, 2),
+        (4.0, 3),
+        (float("inf"), 4),
+    ]
+
+
+def test_default_buckets_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+def test_snapshot_delta_and_rates():
+    reg = MetricsRegistry()
+    c = reg.counter("events_total")
+    c.inc(10)
+    first = reg.snapshot()
+    c.inc(30)
+    second = reg.snapshot()
+    key = ("events_total", ())
+    assert second.delta(first)[key] == 30.0
+    assert second.time >= first.time
+    rates = second.rates(first)
+    # dt may be arbitrarily small but never negative; a zero-dt snapshot
+    # pair reports 0.0 rather than dividing by zero.
+    assert rates[key] >= 0.0
+
+
+def test_snapshot_missing_series_counts_from_zero():
+    reg = MetricsRegistry()
+    first = reg.snapshot()
+    reg.counter("late_total").inc(7)
+    second = reg.snapshot()
+    assert second.delta(first)[("late_total", ())] == 7.0
+
+
+def test_render_json_is_sorted_and_parseable():
+    reg = MetricsRegistry()
+    reg.counter("b_total", labels={"x": "2"}).inc(2)
+    reg.counter("b_total", labels={"x": "1"}).inc(1)
+    reg.gauge("a_gauge").set(1.5)
+    doc = json.loads(render_json(reg))
+    assert list(doc) == ["a_gauge", "b_total"]
+    samples = doc["b_total"]["samples"]
+    assert [s["labels"] for s in samples] == [{"x": "1"}, {"x": "2"}]
+    assert doc["a_gauge"]["samples"][0]["value"] == 1.5
+    # Integral floats render as ints.
+    assert samples[0]["value"] == 1
+    # Deterministic: same registry, same document.
+    assert render_json(reg) == render_json(reg)
+
+
+def test_render_prometheus_escapes_label_values():
+    reg = MetricsRegistry()
+    reg.counter("c_total", labels={"k": 'a"b\\c\nd'}).inc()
+    text = render_prometheus(reg)
+    assert 'k="a\\"b\\\\c\\nd"' in text

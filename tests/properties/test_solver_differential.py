@@ -55,6 +55,16 @@ counterexample can be regenerated in isolation.  The environment knobs:
     into a fresh solver via ``repro.sat.replay.replay_trace`` — the
     replay must reproduce the original verdict, final trail, and event
     stream byte-for-byte.
+``FUZZ_METRICS``
+    Set to ``1`` to add the observability leg (PR 10, default off):
+    each instance is re-solved with the full observability plane on — a
+    live ``MetricsRegistry`` plus per-structure access profiling
+    (``SolverConfig.profile_access``) — and the instrumented search
+    must be byte-identical (verdict, decisions/propagations/conflicts/
+    learned counts, model), with the published ``solver_*_total``
+    counters equal to the solve's ``SolverStats`` export and the
+    ``solver_access_total`` series equal to the raw profile's derived
+    per-structure counts.
 
 The total instance count is printed at the end of the run ("count
 logged" — run with ``-s`` to see it live).
@@ -127,6 +137,12 @@ _ANALYZE_LEG_PLANES = {"python": ("python", "python"), "native": ("native", "nat
 #: ``repro.sat.replay.replay_trace``, which must reproduce the verdict,
 #: the final trail, and the entire event stream.
 FUZZ_TRACE = os.environ.get("FUZZ_TRACE", "") == "1"
+
+#: ``FUZZ_METRICS=1`` adds the observability leg (PR 10): every
+#: instance is re-solved with a live registry + access profiling, the
+#: search must be byte-identical, and the exported counters must equal
+#: the solve's ``SolverStats``.
+FUZZ_METRICS = os.environ.get("FUZZ_METRICS", "") == "1"
 
 #: How many chunks the run is split into (separate pytest cases, so a
 #: failure localises to a ~FUZZ_INSTANCES/CHUNKS window of indices).
@@ -402,6 +418,67 @@ def run_one(index: int):
         assert report.final_trail == list(
             traced_solver._trail[: traced_solver._trail_len]
         ), f"{ctx}: replay final trail differs from the traced run"
+
+    # Observability leg (PR 10, FUZZ_METRICS=1): the full observability
+    # plane — live registry + per-structure access profiling — must be
+    # write-only instrumentation: byte-identical search, and the
+    # published counters must equal the solve's own stats export.
+    if FUZZ_METRICS:
+        from repro.metrics import MetricsRegistry
+        from repro.sat.profile import structure_counts
+
+        rng_metrics = random.Random(FUZZ_SEED + index + 1_000_000)
+        production_metrics, _ = _strategy_pairs(
+            rng_metrics, formula.num_vars, strategy_kind
+        )
+        registry = MetricsRegistry()
+        metrics_solver = CdclSolver(
+            formula,
+            strategy=production_metrics,
+            config=replace(config, metrics=registry, profile_access=True),
+        )
+        metrics_outcome = metrics_solver.solve()
+        assert metrics_outcome.status is outcome.status, (
+            f"{ctx}: observability plane changed the verdict"
+        )
+        assert (
+            metrics_outcome.stats.decisions,
+            metrics_outcome.stats.propagations,
+            metrics_outcome.stats.conflicts,
+            metrics_outcome.stats.learned_clauses,
+        ) == (
+            outcome.stats.decisions,
+            outcome.stats.propagations,
+            outcome.stats.conflicts,
+            outcome.stats.learned_clauses,
+        ), f"{ctx}: observability plane diverged the search"
+        if outcome.status is SolveResult.SAT:
+            assert metrics_outcome.model == outcome.model, (
+                f"{ctx}: observability plane changed the model"
+            )
+        stats_dict = metrics_outcome.stats.as_dict()
+        for name in (
+            "decisions",
+            "propagations",
+            "conflicts",
+            "restarts",
+            "learned_clauses",
+        ):
+            published = registry.value(f"solver_{name}_total")
+            assert published == stats_dict[name], (
+                f"{ctx}: solver_{name}_total={published} != "
+                f"stats.{name}={stats_dict[name]}"
+            )
+        for structure, count in structure_counts(
+            metrics_solver._profile
+        ).items():
+            published = registry.value(
+                "solver_access_total", {"structure": structure}
+            )
+            assert published == count, (
+                f"{ctx}: solver_access_total[{structure}]={published} "
+                f"!= profile count {count}"
+            )
 
     if outcome.status is SolveResult.SAT:
         assert formula.evaluate(outcome.model), f"{ctx}: model does not satisfy"
